@@ -1,0 +1,158 @@
+// Ablation: the result data pipeline (paper §4.5/§4.6).
+//
+// Sweeps result-set sizes through the TDF packaging (ODBC-Server analog)
+// and the Result Converter, in both buffered-in-memory and spill-to-disk
+// regimes, and across converter parallelism — the design choices DESIGN.md
+// calls out for the Result Store / Result Converter components.
+
+#include <benchmark/benchmark.h>
+
+#include "backend/connector.h"
+#include "backend/result_store.h"
+#include "backend/tdf.h"
+#include "convert/result_converter.h"
+#include "protocol/tdwp.h"
+#include "vdb/engine.h"
+
+using namespace hyperq;
+
+namespace {
+
+vdb::QueryResult MakeResult(int64_t rows) {
+  vdb::QueryResult result;
+  result.columns = {{"ID", SqlType::Int()},
+                    {"NAME", SqlType::Varchar(32)},
+                    {"AMOUNT", SqlType::Decimal(12, 2)},
+                    {"WHEN_D", SqlType::Date()}};
+  result.rows.reserve(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    result.rows.push_back({Datum::Int(i),
+                           Datum::String("row_" + std::to_string(i % 997)),
+                           Datum::MakeDecimal(Decimal{i * 37, 2}),
+                           Datum::Date(static_cast<int32_t>(8000 + i % 365))});
+  }
+  result.command_tag = "SELECT";
+  return result;
+}
+
+// TDF packaging: rows -> TDF batches in the ResultStore, optionally
+// spilling (memory budget = 64KiB forces spill for larger results).
+void BM_TdfPackage(benchmark::State& state) {
+  int64_t rows = state.range(0);
+  bool spill = state.range(1) != 0;
+  vdb::QueryResult result = MakeResult(rows);
+  backend::ConnectorOptions opts;
+  opts.store_memory_budget = spill ? (64 << 10) : (256 << 20);
+  int64_t spilled = 0;
+  for (auto _ : state) {
+    // Same packaging path the BackendConnector uses internally.
+    vdb::QueryResult copy = result;
+    auto packaged = [&]() -> Result<backend::BackendResult> {
+      backend::BackendResult out;
+      for (const auto& col : copy.columns) {
+        out.columns.push_back({col.name, col.type});
+      }
+      out.store = std::make_shared<backend::ResultStore>(
+          opts.store_memory_budget, opts.spill_dir);
+      size_t i = 0;
+      while (i < copy.rows.size()) {
+        backend::TdfWriter writer(out.columns);
+        size_t end = std::min(copy.rows.size(), i + opts.batch_rows);
+        for (; i < end; ++i) {
+          HQ_RETURN_IF_ERROR(writer.AddRow(copy.rows[i]));
+        }
+        size_t n = writer.row_count();
+        HQ_RETURN_IF_ERROR(out.store->Append(writer.Finish(), n));
+      }
+      return out;
+    }();
+    if (!packaged.ok()) {
+      state.SkipWithError(packaged.status().ToString().c_str());
+      return;
+    }
+    spilled = static_cast<int64_t>(packaged->store->spilled_batches());
+    benchmark::DoNotOptimize(packaged);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["spilled_batches"] = static_cast<double>(spilled);
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_TdfPackage)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({20000, 0})
+    ->Args({20000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1});
+
+// Result conversion: TDF -> frontend binary records across parallelism.
+void BM_ResultConvert(benchmark::State& state) {
+  int64_t rows = state.range(0);
+  int parallelism = static_cast<int>(state.range(1));
+  vdb::QueryResult result = MakeResult(rows);
+  backend::BackendResult packaged;
+  for (const auto& col : result.columns) {
+    packaged.columns.push_back({col.name, col.type});
+  }
+  packaged.store = std::make_shared<backend::ResultStore>();
+  backend::TdfWriter writer(packaged.columns);
+  for (const auto& row : result.rows) {
+    if (!writer.AddRow(row).ok()) {
+      state.SkipWithError("tdf encode failed");
+      return;
+    }
+  }
+  size_t nrows = writer.row_count();
+  if (!packaged.store->Append(writer.Finish(), nrows).ok()) {
+    state.SkipWithError("store append failed");
+    return;
+  }
+
+  convert::ResultConverter converter(parallelism);
+  for (auto _ : state) {
+    auto converted = converter.Convert(packaged);
+    if (!converted.ok()) {
+      state.SkipWithError(converted.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(converted);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_ResultConvert)
+    ->Args({20000, 1})
+    ->Args({20000, 2})
+    ->Args({20000, 4})
+    ->Args({100000, 1})
+    ->Args({100000, 4});
+
+// Round trip including the client-side decode (bit-identical check path).
+void BM_RecordRoundTrip(benchmark::State& state) {
+  std::vector<protocol::WireColumn> schema;
+  auto c1 = protocol::ToWireColumn("ID", SqlType::Int());
+  auto c2 = protocol::ToWireColumn("D", SqlType::Date());
+  auto c3 = protocol::ToWireColumn("S", SqlType::Varchar(32));
+  if (!c1.ok() || !c2.ok() || !c3.ok()) {
+    state.SkipWithError("schema");
+    return;
+  }
+  schema = {*c1, *c2, *c3};
+  std::vector<Datum> row = {Datum::Int(42), Datum::Date(16071),
+                            Datum::String("hello world")};
+  for (auto _ : state) {
+    BufferWriter w;
+    if (!protocol::EncodeRecord(schema, row, &w).ok()) {
+      state.SkipWithError("encode");
+      return;
+    }
+    BufferReader r(w.data(), w.size());
+    auto decoded = protocol::DecodeRecord(schema, &r);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecordRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

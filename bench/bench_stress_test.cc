@@ -1,0 +1,133 @@
+// Experiment F9b: concurrent stress test (paper §7.3, Figure 9b).
+//
+// Mimics the Fortune-10 customer scenario: N client sessions connect over
+// the tdwp wire protocol and continuously pump TPC-H queries through
+// Hyper-Q to the target warehouse. Per-query timing decompositions are
+// carried back in the Success message; the aggregate shows Hyper-Q's
+// overhead shrinking to a tiny fraction under concurrency (paper: 0.1-0.2%)
+// because execution time grows with the concurrency level while the
+// translation cost per query stays constant.
+//
+// Knobs: HQ_STRESS_CLIENTS (default 10), HQ_STRESS_SECONDS (default 10),
+// HQ_TPCH_SF (default 0.005).
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "protocol/client.h"
+#include "protocol/server.h"
+#include "service/hyperq_service.h"
+#include "vdb/engine.h"
+#include "workload/tpch.h"
+
+using namespace hyperq;
+
+namespace {
+
+int EnvInt(const char* name, int dflt) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : dflt;
+}
+double EnvDouble(const char* name, double dflt) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : dflt;
+}
+
+struct ClientTotals {
+  double translation = 0, execution = 0, conversion = 0;
+  int64_t queries = 0, failures = 0;
+};
+
+// The lighter two-thirds of the TPC-H mix keeps per-query latency low
+// enough for meaningful concurrency on the embedded target.
+const std::vector<int> kStressQueries = {0, 2, 3, 4, 5, 9, 11, 13, 18, 21};
+
+}  // namespace
+
+int main() {
+  int clients = EnvInt("HQ_STRESS_CLIENTS", 10);
+  int seconds = EnvInt("HQ_STRESS_SECONDS", 10);
+  double sf = EnvDouble("HQ_TPCH_SF", 0.005);
+
+  vdb::Engine engine;
+  service::HyperQService service(&engine);
+  auto sid = service.OpenSession("loader");
+  if (!sid.ok()) return 1;
+  if (!workload::LoadTpch(&service, *sid, &engine, {sf, 7}).ok()) {
+    std::fprintf(stderr, "load failed\n");
+    return 1;
+  }
+
+  protocol::TdwpServer server(&service);
+  if (!server.Start(0).ok()) return 1;
+
+  std::printf("Stress test: %d concurrent tdwp sessions, %ds, TPC-H SF "
+              "%.3g\n",
+              clients, seconds, sf);
+
+  std::atomic<bool> stop{false};
+  std::vector<ClientTotals> totals(clients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      protocol::TdwpClient client;
+      if (!client.Connect(server.port()).ok()) return;
+      if (!client.Logon("stress" + std::to_string(c), "pw").ok()) return;
+      size_t qi = static_cast<size_t>(c);
+      while (!stop.load(std::memory_order_relaxed)) {
+        int q = kStressQueries[qi++ % kStressQueries.size()];
+        auto result = client.Run(workload::TpchQueries()[q]);
+        if (!result.ok()) {
+          ++totals[c].failures;
+          continue;
+        }
+        totals[c].translation += result->translation_micros;
+        totals[c].conversion += result->conversion_micros;
+        totals[c].execution += result->execution_micros;
+        ++totals[c].queries;
+      }
+      client.Goodbye();
+    });
+  }
+
+  Stopwatch wall;
+  while (wall.ElapsedSeconds() < seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  stop = true;
+  for (auto& t : threads) t.join();
+  server.Stop();
+
+  ClientTotals sum;
+  for (const auto& t : totals) {
+    sum.translation += t.translation;
+    sum.execution += t.execution;
+    sum.conversion += t.conversion;
+    sum.queries += t.queries;
+    sum.failures += t.failures;
+  }
+  double total = sum.translation + sum.execution + sum.conversion;
+  std::printf("\n=== Figure 9(b): aggregated elapsed time, concurrent "
+              "stress test ===\n");
+  std::printf("  Sessions:              %10d\n", clients);
+  std::printf("  Queries completed:     %10lld (%lld failures)\n",
+              static_cast<long long>(sum.queries),
+              static_cast<long long>(sum.failures));
+  std::printf("  Throughput:            %10.1f queries/s\n",
+              sum.queries / wall.ElapsedSeconds());
+  if (total > 0) {
+    std::printf("  Query translation:     %10.1f us  (%6.3f%%)\n",
+                sum.translation, 100.0 * sum.translation / total);
+    std::printf("  Execution:             %10.1f us  (%6.3f%%)\n",
+                sum.execution, 100.0 * sum.execution / total);
+    std::printf("  Result transformation: %10.1f us  (%6.3f%%)\n",
+                sum.conversion, 100.0 * sum.conversion / total);
+    std::printf("  Hyper-Q overhead:      %29.3f%%  (paper: 0.1-0.2%%)\n",
+                100.0 * (sum.translation + sum.conversion) / total);
+  }
+  return sum.failures == 0 ? 0 : 2;
+}

@@ -1,0 +1,121 @@
+// Experiment F9a: Hyper-Q overhead on TPC-H (paper §7.2, Figure 9a).
+//
+// All 22 TPC-H queries are submitted in the Teradata-ish dialect through
+// the full pipeline against the vdb target; per query we record
+//   * query translation time (parse + bind + transform + serialize),
+//   * execution time on the target, and
+//   * result transformation time (TDF -> frontend binary records),
+// then report each component's share of end-to-end time. The paper measures
+// <2% total overhead (≈0.5% translation, ≈1% conversion).
+//
+// Scale factor: HQ_TPCH_SF (default 0.01).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/stopwatch.h"
+#include "convert/result_converter.h"
+#include "service/hyperq_service.h"
+#include "vdb/engine.h"
+#include "workload/tpch.h"
+
+using namespace hyperq;
+
+namespace {
+
+double ScaleFactor() {
+  const char* env = std::getenv("HQ_TPCH_SF");
+  return env != nullptr ? std::atof(env) : 0.01;
+}
+
+struct Fixture {
+  vdb::Engine engine;
+  std::unique_ptr<service::HyperQService> service;
+  uint32_t sid = 0;
+
+  explicit Fixture(double sf) {
+    service = std::make_unique<service::HyperQService>(&engine);
+    auto s = service->OpenSession("tpch");
+    if (!s.ok()) std::abort();
+    sid = *s;
+    Status load = workload::LoadTpch(service.get(), sid, &engine,
+                                     {sf, 19620718});
+    if (!load.ok()) {
+      std::fprintf(stderr, "TPC-H load failed: %s\n",
+                   load.ToString().c_str());
+      std::abort();
+    }
+  }
+};
+
+void RunOverheadStudy(double sf) {
+  Fixture fx(sf);
+  const auto& queries = workload::TpchQueries();
+
+  std::printf("\n=== Figure 9(a): Hyper-Q overhead, TPC-H SF %.3g, "
+              "sequential run ===\n",
+              sf);
+  std::printf("%5s %12s %12s %12s %12s %8s\n", "query", "translate(us)",
+              "execute(us)", "convert(us)", "total(us)", "rows");
+
+  double sum_translate = 0, sum_execute = 0, sum_convert = 0;
+  convert::ResultConverter converter(2);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto outcome = fx.service->Submit(fx.sid, queries[i]);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "Q%zu failed: %s\n", i + 1,
+                   outcome.status().ToString().c_str());
+      std::abort();
+    }
+    Stopwatch conv;
+    size_t rows = 0;
+    if (outcome->result.is_rowset()) {
+      auto converted = converter.Convert(outcome->result);
+      if (!converted.ok()) std::abort();
+      rows = converted->total_rows;
+    }
+    double convert_us = conv.ElapsedMicros();
+    double total = outcome->timing.translation_micros +
+                   outcome->timing.execution_micros + convert_us;
+    std::printf("%5zu %12.1f %12.1f %12.1f %12.1f %8zu\n", i + 1,
+                outcome->timing.translation_micros,
+                outcome->timing.execution_micros, convert_us, total, rows);
+    sum_translate += outcome->timing.translation_micros;
+    sum_execute += outcome->timing.execution_micros;
+    sum_convert += convert_us;
+  }
+
+  double sum_total = sum_translate + sum_execute + sum_convert;
+  std::printf("\nAggregated elapsed time (all 22 queries):\n");
+  std::printf("  Query translation:     %10.1f us  (%5.2f%%)\n",
+              sum_translate, 100.0 * sum_translate / sum_total);
+  std::printf("  Execution:             %10.1f us  (%5.2f%%)\n", sum_execute,
+              100.0 * sum_execute / sum_total);
+  std::printf("  Result transformation: %10.1f us  (%5.2f%%)\n", sum_convert,
+              100.0 * sum_convert / sum_total);
+  std::printf("  Hyper-Q overhead:      %29.2f%%  (paper: < 2%%)\n",
+              100.0 * (sum_translate + sum_convert) / sum_total);
+}
+
+// Micro-benchmark: full translation (no execution) of a representative
+// TPC-H query.
+void BM_TranslateTpchQ1(benchmark::State& state) {
+  static Fixture* fx = new Fixture(0.001);
+  for (auto _ : state) {
+    FeatureSet features;
+    auto r = fx->service->Translate(workload::TpchQueries()[0], &features);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TranslateTpchQ1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunOverheadStudy(ScaleFactor());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Migration assessment (paper use case B.4: "Performance evaluation of
+// cloud databases" / the discovery phase of Appendix A.1).
+//
+// Before committing to a target, a customer points Hyper-Q at a workload
+// and asks: which non-portable features does it use, how many queries does
+// each rewrite class touch, and which candidate targets could absorb it
+// with rewrites alone? This example runs the bundled Health-customer
+// workload through the instrumented translator and prints the assessment.
+//
+// Run: ./build/examples/example_migration_assessment
+
+#include <cstdio>
+
+#include "common/features.h"
+#include "service/hyperq_service.h"
+#include "transform/backend_profile.h"
+#include "vdb/engine.h"
+#include "workload/customer.h"
+
+using namespace hyperq;
+
+int main() {
+  vdb::Engine warehouse;
+  service::HyperQService hyperq(&warehouse);
+  auto sid = hyperq.OpenSession("assessor");
+  if (!sid.ok()) return 1;
+  if (!workload::SetUpCustomerSchema(&hyperq, *sid).ok()) return 1;
+
+  auto profile = workload::CustomerProfile::Customer1Health();
+  auto queries = workload::SynthesizeWorkload(profile, /*scale=*/0.1);
+
+  WorkloadFeatureStats stats;
+  int failures = 0;
+  for (const auto& q : queries) {
+    FeatureSet features;
+    auto translated = hyperq.Translate(q.sql, &features);
+    if (!translated.ok()) {
+      ++failures;
+      continue;
+    }
+    stats.AddQuery(features);
+  }
+
+  std::printf("Workload assessment: %s (%s), %zu distinct queries\n\n",
+              profile.name.c_str(), profile.sector.c_str(), queries.size());
+  std::printf("%-34s %10s\n", "Tracked feature", "queries");
+  for (int i = 0; i < kNumFeatures; ++i) {
+    if (stats.feature_query_counts[i] == 0) continue;
+    std::printf("%-34s %10lld\n", FeatureName(static_cast<Feature>(i)),
+                static_cast<long long>(stats.feature_query_counts[i]));
+  }
+  std::printf("\nRewrite classes (share of distinct queries):\n");
+  for (int c = 0; c < 3; ++c) {
+    auto cls = static_cast<RewriteClass>(c);
+    std::printf("  %-16s %6.1f%%\n", RewriteClassName(cls),
+                100.0 * stats.QueryFraction(cls));
+  }
+  std::printf("  translation failures: %d (must be 0 for a go-live)\n\n",
+              failures);
+
+  // Which candidate targets would need which machinery?
+  std::printf("Candidate-target readiness (rewrite vs. emulation need):\n");
+  for (const auto& target : transform::BackendProfile::CloudFleet()) {
+    int native = 0, rewrite = 0, emulate = 0;
+    if (target.supports_qualify) ++native; else ++rewrite;
+    if (target.supports_vector_subquery) ++native; else ++rewrite;
+    if (target.supports_grouping_sets) ++native; else ++rewrite;
+    if (target.supports_ordinal_group_by) ++native; else ++rewrite;
+    if (target.supports_recursive_cte) ++native; else ++emulate;
+    if (target.supports_merge) ++native; else ++emulate;
+    if (target.supports_macros) ++native; else ++emulate;
+    if (target.supports_set_tables) ++native; else ++emulate;
+    if (target.supports_period_type) ++native; else ++emulate;
+    std::printf("  %-12s native %d, query-rewrite %d, mid-tier emulation "
+                "%d\n",
+                target.name.c_str(), native, rewrite, emulate);
+  }
+  std::printf("\nAll gaps are closed automatically by Hyper-Q; the numbers "
+              "above size the\nrewriting machinery each target would "
+              "exercise.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "backend/connector.h"
+
+namespace hyperq::backend {
+
+Result<std::vector<std::vector<Datum>>> BackendResult::DecodeRows() const {
+  std::vector<std::vector<Datum>> rows;
+  if (!store) return rows;
+  Status status = store->Scan([&](const std::vector<uint8_t>& bytes) {
+    HQ_ASSIGN_OR_RETURN(TdfReader reader, TdfReader::Open(bytes));
+    HQ_ASSIGN_OR_RETURN(auto batch_rows, reader.ReadAll());
+    for (auto& r : batch_rows) rows.push_back(std::move(r));
+    return Status::OK();
+  });
+  HQ_RETURN_IF_ERROR(status);
+  return rows;
+}
+
+BackendConnector::BackendConnector(vdb::Engine* engine,
+                                   ConnectorOptions options)
+    : engine_(engine), options_(std::move(options)) {}
+
+Result<BackendResult> BackendConnector::Execute(const std::string& sql) {
+  HQ_ASSIGN_OR_RETURN(vdb::QueryResult result, engine_->Execute(sql));
+  return Package(std::move(result));
+}
+
+Result<BackendResult> BackendConnector::ExecuteScript(
+    const std::string& script) {
+  HQ_ASSIGN_OR_RETURN(vdb::QueryResult result,
+                      engine_->ExecuteScript(script));
+  return Package(std::move(result));
+}
+
+Result<BackendResult> BackendConnector::Package(vdb::QueryResult result) {
+  BackendResult out;
+  out.affected_rows = result.affected_rows;
+  out.command_tag = std::move(result.command_tag);
+  if (result.columns.empty()) return out;
+
+  for (const auto& col : result.columns) {
+    out.columns.push_back({col.name, col.type});
+  }
+  out.store = std::make_shared<ResultStore>(options_.store_memory_budget,
+                                            options_.spill_dir);
+  size_t i = 0;
+  while (i < result.rows.size() || result.rows.empty()) {
+    TdfWriter writer(out.columns);
+    size_t end = std::min(result.rows.size(), i + options_.batch_rows);
+    for (; i < end; ++i) {
+      HQ_RETURN_IF_ERROR(writer.AddRow(result.rows[i]));
+    }
+    size_t n = writer.row_count();
+    HQ_RETURN_IF_ERROR(out.store->Append(writer.Finish(), n));
+    if (result.rows.empty() || i >= result.rows.size()) break;
+  }
+  return out;
+}
+
+}  // namespace hyperq::backend

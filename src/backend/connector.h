@@ -1,0 +1,66 @@
+// BackendConnector — the paper's "ODBC Server" component (§4.5): an
+// abstraction over the target database's client API that submits requests
+// and retrieves results in TDF batches.
+//
+// In the paper the component wraps each target's ODBC driver; here it wraps
+// the embedded vdb engine (see DESIGN.md, substitution table). The batching
+// behaviour — results pulled on demand in fixed-size batches and packaged
+// as TDF — is preserved.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/result_store.h"
+#include "backend/tdf.h"
+#include "common/result.h"
+#include "vdb/engine.h"
+
+namespace hyperq::backend {
+
+/// \brief Outcome of one backend request.
+struct BackendResult {
+  std::vector<TdfColumn> columns;  // empty for command results
+  std::shared_ptr<ResultStore> store;  // TDF batches (rowsets only)
+  int64_t affected_rows = 0;
+  std::string command_tag;
+
+  bool is_rowset() const { return !columns.empty(); }
+
+  /// \brief Decodes all batches back into datum rows (tests/conversion).
+  Result<std::vector<std::vector<Datum>>> DecodeRows() const;
+};
+
+struct ConnectorOptions {
+  size_t batch_rows = 1024;            // rows per TDF batch
+  size_t store_memory_budget = 16 << 20;
+  std::string spill_dir;               // empty = system temp
+};
+
+/// \brief Submits SQL-B requests to the target engine and packages results.
+/// One connector per session, like one ODBC connection per session.
+class BackendConnector {
+ public:
+  explicit BackendConnector(vdb::Engine* engine,
+                            ConnectorOptions options = {});
+
+  /// \brief Executes one statement; rowset results are pulled into TDF
+  /// batches of `batch_rows` rows.
+  Result<BackendResult> Execute(const std::string& sql);
+
+  /// \brief Executes a multi-statement request; returns the last result.
+  Result<BackendResult> ExecuteScript(const std::string& script);
+
+  vdb::Engine* engine() { return engine_; }
+
+ private:
+  Result<BackendResult> Package(vdb::QueryResult result);
+
+  vdb::Engine* engine_;
+  ConnectorOptions options_;
+};
+
+}  // namespace hyperq::backend

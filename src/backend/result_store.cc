@@ -1,0 +1,80 @@
+#include "backend/result_store.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace hyperq::backend {
+
+namespace {
+std::atomic<int64_t> g_store_counter{0};
+}
+
+ResultStore::ResultStore(size_t memory_budget_bytes, std::string spill_dir)
+    : memory_budget_(memory_budget_bytes), spill_dir_(std::move(spill_dir)) {
+  if (spill_dir_.empty()) {
+    spill_dir_ = std::filesystem::temp_directory_path().string();
+  }
+}
+
+ResultStore::~ResultStore() { Release(); }
+
+Status ResultStore::Append(std::vector<uint8_t> batch, size_t row_count) {
+  total_rows_ += static_cast<int64_t>(row_count);
+  Slot slot;
+  if (memory_bytes_ + batch.size() > memory_budget_ && !batch.empty()) {
+    // Spill this batch.
+    std::string path = spill_dir_ + "/hyperq_spill_" +
+                       std::to_string(g_store_counter.fetch_add(1)) + "_" +
+                       std::to_string(next_file_++) + ".tdf";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot create spill file ", path);
+    }
+    out.write(reinterpret_cast<const char*>(batch.data()),
+              static_cast<std::streamsize>(batch.size()));
+    if (!out) {
+      return Status::IoError("short write to spill file ", path);
+    }
+    slot.spilled = true;
+    slot.path = std::move(path);
+    ++spilled_files_;
+  } else {
+    memory_bytes_ += batch.size();
+    slot.bytes = std::move(batch);
+  }
+  in_memory_.push_back(std::move(slot));
+  return Status::OK();
+}
+
+Status ResultStore::Scan(
+    const std::function<Status(const std::vector<uint8_t>&)>& fn) const {
+  for (const Slot& slot : in_memory_) {
+    if (!slot.spilled) {
+      HQ_RETURN_IF_ERROR(fn(slot.bytes));
+      continue;
+    }
+    std::ifstream in(slot.path, std::ios::binary);
+    if (!in) {
+      return Status::IoError("cannot reopen spill file ", slot.path);
+    }
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    HQ_RETURN_IF_ERROR(fn(bytes));
+  }
+  return Status::OK();
+}
+
+void ResultStore::Release() {
+  for (Slot& slot : in_memory_) {
+    if (slot.spilled && !slot.path.empty()) {
+      std::remove(slot.path.c_str());
+      slot.path.clear();
+    }
+  }
+  in_memory_.clear();
+  memory_bytes_ = 0;
+}
+
+}  // namespace hyperq::backend

@@ -1,0 +1,63 @@
+// ResultStore (paper §4.6): buffers TDF batches when the frontend protocol
+// cannot stream (e.g. it must announce the total row count first). Batches
+// beyond a memory budget spill to temporary files, which are kept until the
+// result is fully consumed and then removed.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hyperq::backend {
+
+/// \brief Bounded in-memory buffer of encoded TDF batches with disk spill.
+class ResultStore {
+ public:
+  /// \param memory_budget_bytes in-memory cap before spilling
+  /// \param spill_dir directory for spill files (created lazily); empty
+  ///        uses the system temp directory
+  explicit ResultStore(size_t memory_budget_bytes = 16 << 20,
+                       std::string spill_dir = "");
+  ~ResultStore();
+
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+  ResultStore(ResultStore&&) = default;
+
+  /// \brief Appends one encoded TDF batch.
+  Status Append(std::vector<uint8_t> batch, size_t row_count);
+
+  int64_t total_rows() const { return total_rows_; }
+  size_t batch_count() const { return in_memory_.size(); }
+  size_t spilled_batches() const { return spilled_files_; }
+  size_t memory_bytes() const { return memory_bytes_; }
+
+  /// \brief Visits every batch in append order (spilled batches are read
+  /// back from disk). The store stays valid for repeated scans.
+  Status Scan(
+      const std::function<Status(const std::vector<uint8_t>&)>& fn) const;
+
+  /// \brief Deletes spill files; called by the destructor.
+  void Release();
+
+ private:
+  struct Slot {
+    bool spilled = false;
+    std::vector<uint8_t> bytes;  // when in memory
+    std::string path;            // when spilled
+  };
+
+  size_t memory_budget_;
+  std::string spill_dir_;
+  std::vector<Slot> in_memory_;  // all slots, in append order
+  size_t memory_bytes_ = 0;
+  size_t spilled_files_ = 0;
+  int64_t total_rows_ = 0;
+  int64_t next_file_ = 0;
+};
+
+}  // namespace hyperq::backend

@@ -1,0 +1,87 @@
+// TDF — Tabular Data Format (paper §4.5): Hyper-Q's binary batch
+// representation for query results pulled from the target database.
+//
+// A TDF batch is self-describing: a header with the column schema followed
+// by rows. Rows carry a presence bitmap and variable-width field encodings;
+// compound values (PERIOD) nest their components, demonstrating the
+// format's nested-data capability. All integers are little-endian.
+//
+// Layout:
+//   magic      u32   'T''D''F''1'
+//   ncols      u32
+//   per column: kind u8, length i32, precision i32, scale i32,
+//               name (u32 length + bytes)
+//   nrows      u32
+//   per row:   presence bitmap (ceil(ncols/8) bytes; bit set = non-NULL)
+//              then each non-NULL field:
+//                ints               i64
+//                double             f64
+//                decimal            i64 unscaled + i32 scale
+//                bool               u8
+//                char/varchar       u32 length + bytes
+//                date               i32 days
+//                time/timestamp     i64 micros
+//                interval           i64 micros
+//                period(date)       nested: i32 begin + i32 end
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/result.h"
+#include "types/datum.h"
+#include "types/type.h"
+
+namespace hyperq::backend {
+
+struct TdfColumn {
+  std::string name;
+  SqlType type;
+};
+
+/// \brief Encodes rows into one TDF batch.
+class TdfWriter {
+ public:
+  explicit TdfWriter(std::vector<TdfColumn> schema);
+
+  /// \brief Appends one row (datums must match the schema arity; values are
+  /// encoded by their runtime kind, which the schema's type governs).
+  Status AddRow(const std::vector<Datum>& row);
+
+  size_t row_count() const { return rows_; }
+
+  /// \brief Finalizes and returns the encoded batch.
+  std::vector<uint8_t> Finish();
+
+ private:
+  std::vector<TdfColumn> schema_;
+  BufferWriter body_;
+  size_t rows_ = 0;
+};
+
+/// \brief Decodes one TDF batch.
+class TdfReader {
+ public:
+  /// \brief Parses the batch header; fails on malformed input.
+  static Result<TdfReader> Open(std::vector<uint8_t> bytes);
+
+  const std::vector<TdfColumn>& schema() const { return schema_; }
+  size_t row_count() const { return nrows_; }
+
+  /// \brief Decodes all rows.
+  Result<std::vector<std::vector<Datum>>> ReadAll() const;
+
+ private:
+  TdfReader() = default;
+  std::vector<uint8_t> bytes_;
+  std::vector<TdfColumn> schema_;
+  size_t nrows_ = 0;
+  size_t rows_offset_ = 0;
+};
+
+constexpr uint32_t kTdfMagic = 0x31464454;  // "TDF1"
+
+}  // namespace hyperq::backend

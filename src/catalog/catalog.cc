@@ -1,0 +1,124 @@
+#include "catalog/catalog.h"
+
+#include "common/str_util.h"
+
+namespace hyperq {
+
+int TableDef::FindColumn(const std::string& column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (EqualsIgnoreCase(columns[i].name, column_name)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::string Catalog::NormalizeName(const std::string& name) {
+  auto pos = name.rfind('.');
+  std::string base = pos == std::string::npos ? name : name.substr(pos + 1);
+  return ToUpper(base);
+}
+
+Status Catalog::CreateTable(TableDef table) {
+  std::string key = NormalizeName(table.name);
+  if (tables_.count(key) || views_.count(key)) {
+    return Status::CatalogError("object '", table.name, "' already exists");
+  }
+  tables_.emplace(std::move(key), std::move(table));
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(NormalizeName(name)) == 0) {
+    return Status::CatalogError("table '", name, "' does not exist");
+  }
+  return Status::OK();
+}
+
+Result<const TableDef*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(NormalizeName(name));
+  if (it == tables_.end()) {
+    return Status::CatalogError("table '", name, "' does not exist");
+  }
+  return &it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(NormalizeName(name)) > 0;
+}
+
+Status Catalog::CreateView(ViewDef view) {
+  std::string key = NormalizeName(view.name);
+  if (tables_.count(key) || views_.count(key)) {
+    return Status::CatalogError("object '", view.name, "' already exists");
+  }
+  views_.emplace(std::move(key), std::move(view));
+  return Status::OK();
+}
+
+Status Catalog::DropView(const std::string& name) {
+  if (views_.erase(NormalizeName(name)) == 0) {
+    return Status::CatalogError("view '", name, "' does not exist");
+  }
+  return Status::OK();
+}
+
+Result<const ViewDef*> Catalog::GetView(const std::string& name) const {
+  auto it = views_.find(NormalizeName(name));
+  if (it == views_.end()) {
+    return Status::CatalogError("view '", name, "' does not exist");
+  }
+  return &it->second;
+}
+
+bool Catalog::HasView(const std::string& name) const {
+  return views_.count(NormalizeName(name)) > 0;
+}
+
+Status Catalog::CreateMacro(MacroDef macro) {
+  std::string key = NormalizeName(macro.name);
+  if (macros_.count(key)) {
+    return Status::CatalogError("macro '", macro.name, "' already exists");
+  }
+  macros_.emplace(std::move(key), std::move(macro));
+  return Status::OK();
+}
+
+Status Catalog::DropMacro(const std::string& name) {
+  if (macros_.erase(NormalizeName(name)) == 0) {
+    return Status::CatalogError("macro '", name, "' does not exist");
+  }
+  return Status::OK();
+}
+
+Result<const MacroDef*> Catalog::GetMacro(const std::string& name) const {
+  auto it = macros_.find(NormalizeName(name));
+  if (it == macros_.end()) {
+    return Status::CatalogError("macro '", name, "' does not exist");
+  }
+  return &it->second;
+}
+
+bool Catalog::HasMacro(const std::string& name) const {
+  return macros_.count(NormalizeName(name)) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : tables_) out.push_back(v.name);
+  return out;
+}
+
+std::vector<std::string> Catalog::ViewNames() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : views_) out.push_back(v.name);
+  return out;
+}
+
+std::vector<std::string> Catalog::MacroNames() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : macros_) out.push_back(v.name);
+  return out;
+}
+
+}  // namespace hyperq

@@ -1,0 +1,124 @@
+// Hyper-Q's metadata layer ("DTM catalog" in the paper's Table 2).
+//
+// The virtualization layer keeps its own logical catalog describing the
+// objects applications believe exist on the original database: tables,
+// views, and macros, plus extended column properties the target system
+// cannot represent natively (case-insensitive text columns, non-constant
+// defaults, SET-table semantics). The target engine (vdb) maintains its own
+// physical catalog; the service layer keeps the two in sync when DDL flows
+// through the proxy.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "types/type.h"
+
+namespace hyperq {
+
+/// \brief Extended, source-dialect-only column properties that must be
+/// emulated in the mid-tier (paper Table 2, "Unsupported column properties").
+struct ColumnProperties {
+  bool case_insensitive = false;       // Teradata NOT CASESPECIFIC
+  std::string default_expr;            // non-constant default, e.g. "CURRENT_DATE"
+  bool has_default = false;
+};
+
+struct ColumnDef {
+  std::string name;
+  SqlType type;
+  bool nullable = true;
+  ColumnProperties props;
+};
+
+/// Teradata distinguishes SET tables (duplicate rows rejected) from
+/// MULTISET tables; targets without set semantics need emulation.
+enum class TableSemantics { kSet, kMultiset };
+
+struct TableDef {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  TableSemantics semantics = TableSemantics::kMultiset;
+  bool is_global_temporary = false;
+
+  /// \brief Index of a column by case-insensitive name; -1 when absent.
+  int FindColumn(const std::string& column_name) const;
+};
+
+struct ViewDef {
+  std::string name;
+  std::vector<std::string> column_names;  // optional explicit column list
+  std::string definition_sql;             // the view body in SQL-A
+  bool updatable = false;                 // simple single-table views only
+  std::string base_table;                 // set when updatable
+};
+
+/// \brief A Teradata macro: a named, parameterized sequence of statements
+/// expanded/emulated in the mid-tier.
+struct MacroParam {
+  std::string name;
+  SqlType type;
+  std::string default_value;  // literal text; empty = required
+  bool has_default = false;
+};
+
+struct MacroDef {
+  std::string name;
+  std::vector<MacroParam> params;
+  std::vector<std::string> body_statements;  // SQL-A texts with :param refs
+};
+
+/// \brief Session-scoped state the proxy must emulate (HELP SESSION etc.).
+struct SessionInfo {
+  std::string user = "dbc";
+  std::string account = "DBC";
+  std::string default_database = "default";
+  std::string charset = "ASCII";
+  std::string transaction_semantics = "Teradata";
+  std::string collation = "ASCII";
+  int session_id = 0;
+};
+
+/// \brief Case-insensitive name → object registry for one logical database.
+///
+/// Thread-compatible: the service layer serializes DDL; concurrent readers
+/// are safe once populated.
+class Catalog {
+ public:
+  Status CreateTable(TableDef table);
+  Status DropTable(const std::string& name);
+  Result<const TableDef*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+
+  Status CreateView(ViewDef view);
+  Status DropView(const std::string& name);
+  Result<const ViewDef*> GetView(const std::string& name) const;
+  bool HasView(const std::string& name) const;
+
+  Status CreateMacro(MacroDef macro);
+  Status DropMacro(const std::string& name);
+  Result<const MacroDef*> GetMacro(const std::string& name) const;
+  bool HasMacro(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+  std::vector<std::string> ViewNames() const;
+  std::vector<std::string> MacroNames() const;
+
+  /// \brief Resolves a (possibly qualified) name to just its object part;
+  /// the single-database model ignores the qualifier.
+  static std::string NormalizeName(const std::string& name);
+
+ private:
+  // Keys are upper-cased names.
+  std::map<std::string, TableDef> tables_;
+  std::map<std::string, ViewDef> views_;
+  std::map<std::string, MacroDef> macros_;
+};
+
+}  // namespace hyperq

@@ -1,0 +1,131 @@
+#include "common/features.h"
+
+namespace hyperq {
+
+const char* RewriteClassName(RewriteClass c) {
+  switch (c) {
+    case RewriteClass::kTranslation:
+      return "Translation";
+    case RewriteClass::kTransformation:
+      return "Transformation";
+    case RewriteClass::kEmulation:
+      return "Emulation";
+  }
+  return "?";
+}
+
+RewriteClass FeatureClass(Feature f) {
+  int i = static_cast<int>(f);
+  if (i < kFeaturesPerClass) return RewriteClass::kTranslation;
+  if (i < 2 * kFeaturesPerClass) return RewriteClass::kTransformation;
+  return RewriteClass::kEmulation;
+}
+
+const char* FeatureName(Feature f) {
+  switch (f) {
+    case Feature::kSelAbbrev:
+      return "SEL abbreviation";
+    case Feature::kInsAbbrev:
+      return "INS abbreviation";
+    case Feature::kUpdAbbrev:
+      return "UPD abbreviation";
+    case Feature::kDelAbbrev:
+      return "DEL abbreviation";
+    case Feature::kTxnShorthand:
+      return "BT/ET shorthand";
+    case Feature::kBuiltinRename:
+      return "Built-in function rename";
+    case Feature::kNullFuncs:
+      return "ZEROIFNULL/NULLIFZERO";
+    case Feature::kTopToLimit:
+      return "TOP n";
+    case Feature::kStatsElimination:
+      return "COLLECT STATISTICS";
+    case Feature::kQualify:
+      return "QUALIFY";
+    case Feature::kImplicitJoin:
+      return "Implicit joins";
+    case Feature::kChainedProjections:
+      return "Chained projections";
+    case Feature::kOrdinalGroupBy:
+      return "Ordinal GROUP/ORDER BY";
+    case Feature::kGroupingExtensions:
+      return "OLAP grouping extensions";
+    case Feature::kDateArithmetic:
+      return "Date arithmetic";
+    case Feature::kDateIntComparison:
+      return "Date-integer comparison";
+    case Feature::kVectorSubquery:
+      return "Vector subquery";
+    case Feature::kOrderedAnalytics:
+      return "Ordered analytics";
+    case Feature::kMacros:
+      return "Macros";
+    case Feature::kRecursiveQuery:
+      return "Recursive query";
+    case Feature::kMerge:
+      return "MERGE";
+    case Feature::kDmlOnViews:
+      return "DML on views";
+    case Feature::kSessionCommands:
+      return "Session commands";
+    case Feature::kColumnProperties:
+      return "Unsupported column properties";
+    case Feature::kSetSemantics:
+      return "SET table semantics";
+    case Feature::kTemporaryTables:
+      return "Temporary tables";
+    case Feature::kPeriodType:
+      return "PERIOD data type";
+    case Feature::kNumFeatures:
+      break;
+  }
+  return "?";
+}
+
+bool FeatureSet::HasClass(RewriteClass c) const {
+  for (int i = 0; i < kNumFeatures; ++i) {
+    if (bits_.test(i) && FeatureClass(static_cast<Feature>(i)) == c) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FeatureSet::ToString() const {
+  std::string out;
+  for (int i = 0; i < kNumFeatures; ++i) {
+    if (bits_.test(i)) {
+      if (!out.empty()) out += ", ";
+      out += FeatureName(static_cast<Feature>(i));
+    }
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+void WorkloadFeatureStats::AddQuery(const FeatureSet& fs) {
+  ++total_queries;
+  for (int i = 0; i < kNumFeatures; ++i) {
+    if (fs.Has(static_cast<Feature>(i))) ++feature_query_counts[i];
+  }
+  for (int c = 0; c < 3; ++c) {
+    if (fs.HasClass(static_cast<RewriteClass>(c))) ++class_query_counts[c];
+  }
+}
+
+double WorkloadFeatureStats::FeatureCoverage(RewriteClass c) const {
+  int seen = 0;
+  for (int i = 0; i < kNumFeatures; ++i) {
+    Feature f = static_cast<Feature>(i);
+    if (FeatureClass(f) == c && feature_query_counts[i] > 0) ++seen;
+  }
+  return static_cast<double>(seen) / kFeaturesPerClass;
+}
+
+double WorkloadFeatureStats::QueryFraction(RewriteClass c) const {
+  if (total_queries == 0) return 0.0;
+  return static_cast<double>(class_query_counts[static_cast<int>(c)]) /
+         static_cast<double>(total_queries);
+}
+
+}  // namespace hyperq

@@ -1,0 +1,98 @@
+// The 27 tracked non-portable features (paper §7.1): 9 per rewrite class.
+//
+// Hyper-Q's rewrite engine is instrumented to record which tracked features
+// each incoming query exercises; the workload-study benchmark (Figure 8)
+// aggregates these counters.
+
+#pragma once
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <string>
+
+namespace hyperq {
+
+/// The three classes of rewrite difficulty from paper §2.1.
+enum class RewriteClass : uint8_t { kTranslation = 0, kTransformation, kEmulation };
+
+const char* RewriteClassName(RewriteClass c);
+
+/// \brief The tracked features. Order groups them by class: 0-8 translation,
+/// 9-17 transformation, 18-26 emulation.
+enum class Feature : uint8_t {
+  // --- Translation: localized, keyword-level rewrites -----------------------
+  kSelAbbrev = 0,        // SEL for SELECT
+  kInsAbbrev,            // INS for INSERT
+  kUpdAbbrev,            // UPD for UPDATE
+  kDelAbbrev,            // DEL for DELETE
+  kTxnShorthand,         // BT / ET
+  kBuiltinRename,        // CHARS/CHARACTERS/INDEX -> LENGTH/POSITION etc.
+  kNullFuncs,            // ZEROIFNULL / NULLIFZERO
+  kTopToLimit,           // TOP n -> LIMIT n
+  kStatsElimination,     // COLLECT STATISTICS -> zero statements
+
+  // --- Transformation: structural, semantics-preserving rewrites ------------
+  kQualify,              // QUALIFY clause
+  kImplicitJoin,         // tables referenced but absent from FROM
+  kChainedProjections,   // named expressions reused in the same block
+  kOrdinalGroupBy,       // GROUP BY / ORDER BY ordinals
+  kGroupingExtensions,   // ROLLUP / CUBE / GROUPING SETS
+  kDateArithmetic,       // DATE +/- integer
+  kDateIntComparison,    // DATE vs INTEGER comparison
+  kVectorSubquery,       // (a, b) > ANY (SELECT ...)
+  kOrderedAnalytics,     // Teradata RANK(x DESC) / CSUM / TOP WITH TIES
+
+  // --- Emulation: mid-tier stateful execution -------------------------------
+  kMacros,               // CREATE MACRO / EXEC
+  kRecursiveQuery,       // WITH RECURSIVE
+  kMerge,                // MERGE statement
+  kDmlOnViews,           // INSERT/UPDATE/DELETE against a view
+  kSessionCommands,      // HELP SESSION / SET SESSION
+  kColumnProperties,     // NOT CASESPECIFIC, non-constant defaults
+  kSetSemantics,         // SET (duplicate-rejecting) tables
+  kTemporaryTables,      // GLOBAL TEMPORARY / VOLATILE
+  kPeriodType,           // PERIOD(DATE) columns
+
+  kNumFeatures,
+};
+
+constexpr int kNumFeatures = static_cast<int>(Feature::kNumFeatures);
+constexpr int kFeaturesPerClass = 9;
+
+RewriteClass FeatureClass(Feature f);
+const char* FeatureName(Feature f);
+
+/// \brief The tracked-feature footprint of a single query.
+class FeatureSet {
+ public:
+  void Record(Feature f) { bits_.set(static_cast<size_t>(f)); }
+  bool Has(Feature f) const { return bits_.test(static_cast<size_t>(f)); }
+  bool HasClass(RewriteClass c) const;
+  bool empty() const { return bits_.none(); }
+  void Clear() { bits_.reset(); }
+
+  /// Merges another query's footprint (for statement batches).
+  void Merge(const FeatureSet& other) { bits_ |= other.bits_; }
+
+  std::string ToString() const;
+
+ private:
+  std::bitset<kNumFeatures> bits_;
+};
+
+/// \brief Workload-level aggregation for the Figure 8 study.
+struct WorkloadFeatureStats {
+  int64_t total_queries = 0;
+  std::array<int64_t, kNumFeatures> feature_query_counts{};  // queries using f
+  std::array<int64_t, 3> class_query_counts{};  // distinct queries per class
+
+  void AddQuery(const FeatureSet& fs);
+
+  /// Fraction of the 9 tracked features of `c` seen at least once (Fig 8a).
+  double FeatureCoverage(RewriteClass c) const;
+  /// Fraction of queries touching class `c` (Fig 8b).
+  double QueryFraction(RewriteClass c) const;
+};
+
+}  // namespace hyperq

@@ -1,0 +1,42 @@
+// Minimal leveled logger. Quiet by default (warnings and errors only) so
+// benchmarks are not polluted; tests and the proxy CLI can raise verbosity.
+
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace hyperq {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// \brief Sets the global minimum level that actually gets printed.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void LogLine(LogLevel level, const std::string& msg);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, oss_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    oss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream oss_;
+};
+}  // namespace internal
+
+}  // namespace hyperq
+
+#define HQ_LOG(level)                                               \
+  if (::hyperq::LogLevel::level >= ::hyperq::GetLogLevel())         \
+  ::hyperq::internal::LogMessage(::hyperq::LogLevel::level)

@@ -1,0 +1,73 @@
+// Result<T>: value-or-Status, the companion of Status for functions that
+// produce a value. Mirrors arrow::Result / absl::StatusOr.
+
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace hyperq {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Constructing from an OK status is a programming error (there would be no
+/// value); it is converted to an Internal error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT implicit
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  /// Callers must check ok() first.
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// \brief Moves the value out, or returns `alt` when holding an error.
+  T ValueOr(T alt) && { return ok() ? std::move(value()) : std::move(alt); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace hyperq
+
+// Internal helpers for HQ_ASSIGN_OR_RETURN token pasting.
+#define HQ_CONCAT_IMPL(x, y) x##y
+#define HQ_CONCAT(x, y) HQ_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// assigns the value to `lhs` (which may be a declaration).
+#define HQ_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  auto HQ_CONCAT(_res_, __LINE__) = (rexpr);                        \
+  if (!HQ_CONCAT(_res_, __LINE__).ok())                             \
+    return HQ_CONCAT(_res_, __LINE__).status();                     \
+  lhs = std::move(HQ_CONCAT(_res_, __LINE__)).value()

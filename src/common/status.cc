@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace hyperq {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kSyntaxError:
+      return "syntax_error";
+    case StatusCode::kBindError:
+      return "bind_error";
+    case StatusCode::kNotSupported:
+      return "not_supported";
+    case StatusCode::kCatalogError:
+      return "catalog_error";
+    case StatusCode::kExecutionError:
+      return "execution_error";
+    case StatusCode::kProtocolError:
+      return "protocol_error";
+    case StatusCode::kIoError:
+      return "io_error";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeName(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace hyperq

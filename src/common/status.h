@@ -1,0 +1,159 @@
+// Status: the error-handling currency of the library.
+//
+// Following the Arrow/RocksDB idiom, fallible functions return Status (or
+// Result<T>, see result.h) instead of throwing exceptions. A Status is cheap
+// to move (a single pointer; OK is nullptr) and carries a code plus a
+// human-readable message.
+
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace hyperq {
+
+/// Error taxonomy shared by all subsystems.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something structurally wrong
+  kSyntaxError,       // SQL text failed to parse
+  kBindError,         // name resolution / type derivation failure
+  kNotSupported,      // feature absent and not emulatable
+  kCatalogError,      // missing/duplicate catalog object
+  kExecutionError,    // runtime failure in the target engine
+  kProtocolError,     // malformed wire-protocol traffic
+  kIoError,           // socket/file failure
+  kInternal,          // invariant violation ("should never happen")
+};
+
+/// \brief Returns a stable lower-case name for a status code, e.g.
+/// "syntax_error".
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus message.
+///
+/// The OK state is represented as a null internal pointer so that success
+/// paths never allocate.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_unique<State>(State{code, std::move(msg)});
+    }
+  }
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  bool IsSyntaxError() const { return code() == StatusCode::kSyntaxError; }
+  bool IsBindError() const { return code() == StatusCode::kBindError; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsCatalogError() const { return code() == StatusCode::kCatalogError; }
+  bool IsExecutionError() const {
+    return code() == StatusCode::kExecutionError;
+  }
+  bool IsProtocolError() const { return code() == StatusCode::kProtocolError; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+
+  /// \brief "ok" or "<code_name>: <message>".
+  std::string ToString() const;
+
+  /// \brief Prepends context to the message, keeping the code.
+  Status WithContext(const std::string& context) const {
+    if (ok()) return *this;
+    return Status(state_->code, context + ": " + state_->msg);
+  }
+
+  // Factory helpers. Each accepts a stream of << -able parts.
+  template <typename... Args>
+  static Status InvalidArgument(Args&&... args) {
+    return Make(StatusCode::kInvalidArgument, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status SyntaxError(Args&&... args) {
+    return Make(StatusCode::kSyntaxError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status BindError(Args&&... args) {
+    return Make(StatusCode::kBindError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotSupported(Args&&... args) {
+    return Make(StatusCode::kNotSupported, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status CatalogError(Args&&... args) {
+    return Make(StatusCode::kCatalogError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ExecutionError(Args&&... args) {
+    return Make(StatusCode::kExecutionError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ProtocolError(Args&&... args) {
+    return Make(StatusCode::kProtocolError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status IoError(Args&&... args) {
+    return Make(StatusCode::kIoError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Internal(Args&&... args) {
+    return Make(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+
+  template <typename... Args>
+  static Status Make(StatusCode code, Args&&... args) {
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return Status(code, oss.str());
+  }
+
+  void CopyFrom(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+
+  std::unique_ptr<State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace hyperq
+
+/// Propagates a non-OK Status to the caller.
+#define HQ_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::hyperq::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                   \
+  } while (0)

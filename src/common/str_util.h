@@ -1,0 +1,36 @@
+// Small string helpers used across the SQL front-ends and serializers.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hyperq {
+
+/// \brief ASCII upper-case copy.
+std::string ToUpper(std::string_view s);
+/// \brief ASCII lower-case copy.
+std::string ToLower(std::string_view s);
+
+/// \brief Case-insensitive ASCII equality (SQL identifiers/keywords).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// \brief Strips leading/trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+/// \brief Splits on a single character; empty fields are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// \brief Joins parts with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// \brief True if `s` starts with `prefix` (case-insensitive).
+bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix);
+
+/// \brief Doubles every occurrence of `quote` and wraps the string in it
+/// (SQL string/identifier quoting).
+std::string QuoteSql(std::string_view s, char quote);
+
+}  // namespace hyperq

@@ -1,0 +1,71 @@
+#include "convert/result_converter.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace hyperq::convert {
+
+ResultConverter::ResultConverter(int parallelism, size_t rows_per_batch)
+    : parallelism_(std::max(1, parallelism)),
+      rows_per_batch_(std::max<size_t>(1, rows_per_batch)) {}
+
+Result<ConversionResult> ResultConverter::Convert(
+    const backend::BackendResult& result) const {
+  ConversionResult out;
+  if (!result.is_rowset()) return out;
+
+  for (const auto& col : result.columns) {
+    HQ_ASSIGN_OR_RETURN(protocol::WireColumn wc,
+                        protocol::ToWireColumn(col.name, col.type));
+    out.columns.push_back(std::move(wc));
+  }
+
+  // Unwrap TDF (buffered: the header must announce the full row count).
+  HQ_ASSIGN_OR_RETURN(std::vector<std::vector<Datum>> rows,
+                      result.DecodeRows());
+  out.total_rows = rows.size();
+
+  // Carve the rows into wire batches, then encode batches in parallel.
+  size_t nbatches = (rows.size() + rows_per_batch_ - 1) / rows_per_batch_;
+  out.batches.resize(nbatches);
+  if (nbatches == 0) return out;
+
+  std::vector<Status> statuses(nbatches);
+  auto encode_range = [&](size_t begin_batch, size_t end_batch) {
+    for (size_t b = begin_batch; b < end_batch; ++b) {
+      size_t row_begin = b * rows_per_batch_;
+      size_t row_end = std::min(rows.size(), row_begin + rows_per_batch_);
+      BufferWriter w;
+      w.PutU32(static_cast<uint32_t>(row_end - row_begin));
+      for (size_t r = row_begin; r < row_end; ++r) {
+        Status s = protocol::EncodeRecord(out.columns, rows[r], &w);
+        if (!s.ok()) {
+          statuses[b] = s;
+          return;
+        }
+      }
+      out.batches[b] = w.Take();
+    }
+  };
+
+  int workers = std::min<int>(parallelism_, static_cast<int>(nbatches));
+  if (workers <= 1) {
+    encode_range(0, nbatches);
+  } else {
+    std::vector<std::thread> threads;
+    size_t per = (nbatches + workers - 1) / workers;
+    for (int t = 0; t < workers; ++t) {
+      size_t begin = t * per;
+      size_t end = std::min(nbatches, begin + per);
+      if (begin >= end) break;
+      threads.emplace_back(encode_range, begin, end);
+    }
+    for (auto& th : threads) th.join();
+  }
+  for (const Status& s : statuses) {
+    HQ_RETURN_IF_ERROR(s);
+  }
+  return out;
+}
+
+}  // namespace hyperq::convert

@@ -1,0 +1,44 @@
+// Result Converter (paper §4.6): unwraps TDF batches and converts rows into
+// the original database's binary record format. Conversion fans out over a
+// configurable number of worker threads, each handling a subset of the
+// rows, exactly as the paper describes.
+//
+// tdwp requires the total row count before the first record (see
+// protocol/tdwp.h), so conversion is a buffered operation: the full TDF
+// result (possibly spilled to disk by the ResultStore) is consumed before
+// the first wire batch is released.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "backend/connector.h"
+#include "common/result.h"
+#include "protocol/tdwp.h"
+
+namespace hyperq::convert {
+
+struct ConversionResult {
+  std::vector<protocol::WireColumn> columns;
+  /// RecordBatch frame payloads: u32 row count + encoded records.
+  std::vector<std::vector<uint8_t>> batches;
+  uint64_t total_rows = 0;
+};
+
+class ResultConverter {
+ public:
+  /// \param parallelism worker threads for record encoding (>= 1)
+  /// \param rows_per_batch records per wire batch
+  explicit ResultConverter(int parallelism = 2, size_t rows_per_batch = 2048);
+
+  /// \brief Converts a backend (TDF) result into wire batches.
+  Result<ConversionResult> Convert(
+      const backend::BackendResult& result) const;
+
+ private:
+  int parallelism_;
+  size_t rows_per_batch_;
+};
+
+}  // namespace hyperq::convert

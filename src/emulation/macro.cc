@@ -1,0 +1,91 @@
+#include "emulation/macro.h"
+
+#include <map>
+
+#include "common/str_util.h"
+#include "sql/lexer.h"
+#include "types/date.h"
+
+namespace hyperq::emulation {
+
+Result<std::string> RenderConstExpr(const sql::Expr& expr) {
+  if (expr.kind == sql::ExprKind::kUnary &&
+      expr.uop == sql::UnaryOp::kNeg) {
+    HQ_ASSIGN_OR_RETURN(std::string inner, RenderConstExpr(*expr.children[0]));
+    return "-" + inner;
+  }
+  if (expr.kind != sql::ExprKind::kConst) {
+    return Status::NotSupported(
+        "macro arguments must be constant expressions");
+  }
+  const Datum& v = expr.value;
+  if (v.is_null()) return std::string("NULL");
+  if (v.is_string()) return QuoteSql(v.string_val(), '\'');
+  if (v.is_date()) return "DATE '" + FormatDate(v.date_val()) + "'";
+  if (v.is_timestamp()) {
+    return "TIMESTAMP '" + FormatTimestamp(v.timestamp_val()) + "'";
+  }
+  if (v.is_time()) return "TIME '" + FormatTime(v.time_val()) + "'";
+  return v.ToString();
+}
+
+Result<std::vector<std::string>> ExpandMacro(
+    const MacroDef& macro, const sql::ExecMacroStatement& exec) {
+  // Build the parameter -> literal map.
+  std::map<std::string, std::string> values;
+  if (exec.positional_args.size() > macro.params.size()) {
+    return Status::BindError("macro '", macro.name, "' takes ",
+                             macro.params.size(), " parameters but ",
+                             exec.positional_args.size(), " were given");
+  }
+  for (size_t i = 0; i < exec.positional_args.size(); ++i) {
+    HQ_ASSIGN_OR_RETURN(std::string lit,
+                        RenderConstExpr(*exec.positional_args[i]));
+    values[ToUpper(macro.params[i].name)] = std::move(lit);
+  }
+  for (const auto& [name, arg] : exec.named_args) {
+    bool known = false;
+    for (const auto& p : macro.params) {
+      if (EqualsIgnoreCase(p.name, name)) known = true;
+    }
+    if (!known) {
+      return Status::BindError("macro '", macro.name,
+                               "' has no parameter '", name, "'");
+    }
+    HQ_ASSIGN_OR_RETURN(std::string lit, RenderConstExpr(*arg));
+    values[ToUpper(name)] = std::move(lit);
+  }
+  for (const auto& p : macro.params) {
+    std::string key = ToUpper(p.name);
+    if (values.count(key)) continue;
+    if (!p.has_default) {
+      return Status::BindError("macro '", macro.name, "' parameter '",
+                               p.name, "' has no value and no default");
+    }
+    values[key] = p.default_value;
+  }
+
+  // Token-level substitution of :param references in each body statement.
+  std::vector<std::string> out;
+  for (const std::string& body : macro.body_statements) {
+    HQ_ASSIGN_OR_RETURN(std::vector<sql::Token> tokens, sql::Tokenize(body));
+    std::string expanded;
+    size_t copied = 0;
+    for (const sql::Token& t : tokens) {
+      if (t.kind != sql::TokenKind::kParam) continue;
+      auto it = values.find(t.upper);
+      if (it == values.end()) {
+        return Status::BindError("macro '", macro.name,
+                                 "' references unknown parameter :", t.text);
+      }
+      expanded += body.substr(copied, t.begin_offset - copied);
+      expanded += it->second;
+      copied = t.end_offset;
+    }
+    expanded += body.substr(copied);
+    out.push_back(std::move(expanded));
+  }
+  return out;
+}
+
+}  // namespace hyperq::emulation

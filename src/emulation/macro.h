@@ -1,0 +1,28 @@
+// Macro emulation (paper Table 2: "Emulate macro code execution in the
+// mid-tier"). Teradata macros are named, parameterized statement sequences;
+// targets have no equivalent, so EXEC expands the stored body — with
+// parameter substitution — into individual SQL-A statements that flow back
+// through the normal translation pipeline.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace hyperq::emulation {
+
+/// \brief Expands EXEC into the macro's body statements with all :params
+/// replaced by the (literal) argument values. Arguments may be given
+/// positionally or by name; missing parameters take their declared default.
+Result<std::vector<std::string>> ExpandMacro(
+    const MacroDef& macro, const sql::ExecMacroStatement& exec);
+
+/// \brief Renders a constant AST expression as a SQL literal (used for
+/// macro argument substitution). Non-constant arguments are rejected.
+Result<std::string> RenderConstExpr(const sql::Expr& expr);
+
+}  // namespace hyperq::emulation

@@ -1,0 +1,119 @@
+#include "emulation/merge.h"
+
+#include "catalog/catalog.h"
+#include "common/str_util.h"
+
+namespace hyperq::emulation {
+
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+using sql::SelectStmt;
+using sql::TableRef;
+
+namespace {
+
+// Does the expression reference the given qualifier anywhere?
+bool RefsQualifier(const Expr& e, const std::string& qual_upper) {
+  if (e.kind == ExprKind::kIdent && e.name_parts.size() >= 2 &&
+      ToUpper(e.name_parts[e.name_parts.size() - 2]) == qual_upper) {
+    return true;
+  }
+  for (const auto& c : e.children) {
+    if (c && RefsQualifier(*c, qual_upper)) return true;
+  }
+  for (const auto& [w, t] : e.when_then) {
+    if (RefsQualifier(*w, qual_upper) || RefsQualifier(*t, qual_upper)) {
+      return true;
+    }
+  }
+  if (e.else_expr && RefsQualifier(*e.else_expr, qual_upper)) return true;
+  return false;
+}
+
+// SELECT <items> FROM <source> WHERE <cond>.
+std::unique_ptr<SelectStmt> SelectFromSource(
+    std::vector<sql::SelectItem> items, const TableRef& source,
+    ExprPtr where) {
+  auto stmt = std::make_unique<SelectStmt>();
+  stmt->block = std::make_unique<sql::QueryBlock>();
+  stmt->block->select_list = std::move(items);
+  stmt->block->from.push_back(source.Clone());
+  stmt->block->where = std::move(where);
+  return stmt;
+}
+
+ExprPtr ExistsOver(const TableRef& table, ExprPtr cond, bool negated) {
+  auto exists = std::make_unique<Expr>(ExprKind::kExistsSubq);
+  std::vector<sql::SelectItem> one;
+  sql::SelectItem item;
+  item.expr = sql::MakeIntConst(1);
+  one.push_back(std::move(item));
+  exists->subquery = SelectFromSource(std::move(one), table, std::move(cond));
+  if (!negated) return exists;
+  return sql::MakeUnary(sql::UnaryOp::kNot, std::move(exists));
+}
+
+}  // namespace
+
+Result<std::vector<sql::StatementPtr>> LowerMerge(
+    const sql::MergeStatement& merge) {
+  if (merge.source == nullptr || merge.on_condition == nullptr) {
+    return Status::Internal("malformed MERGE statement");
+  }
+  std::string source_qual =
+      !merge.source->alias.empty()
+          ? ToUpper(merge.source->alias)
+          : ::hyperq::Catalog::NormalizeName(merge.source->table_name);
+
+  std::vector<sql::StatementPtr> out;
+
+  if (merge.has_matched_update) {
+    auto upd = std::make_unique<sql::UpdateStatement>();
+    upd->table = merge.target;
+    upd->alias = merge.target_alias;
+    for (const auto& [col, val] : merge.update_assignments) {
+      if (RefsQualifier(*val, source_qual)) {
+        // Correlated value: SET col = (SELECT val FROM source WHERE on).
+        auto subq = std::make_unique<Expr>(ExprKind::kScalarSubq);
+        std::vector<sql::SelectItem> items;
+        sql::SelectItem item;
+        item.expr = val->Clone();
+        items.push_back(std::move(item));
+        subq->subquery = SelectFromSource(std::move(items), *merge.source,
+                                          merge.on_condition->Clone());
+        upd->assignments.emplace_back(col, std::move(subq));
+      } else {
+        upd->assignments.emplace_back(col, val->Clone());
+      }
+    }
+    upd->where = ExistsOver(*merge.source, merge.on_condition->Clone(),
+                            /*negated=*/false);
+    out.push_back(std::move(upd));
+  }
+
+  if (merge.has_not_matched_insert) {
+    auto ins = std::make_unique<sql::InsertStatement>();
+    ins->table = merge.target;
+    ins->columns = merge.insert_columns;
+    // INSERT INTO target SELECT <values> FROM source
+    //   WHERE NOT EXISTS (SELECT 1 FROM target t WHERE on).
+    TableRef target_ref(TableRef::Kind::kBaseTable);
+    target_ref.table_name = merge.target;
+    target_ref.alias = merge.target_alias;
+    std::vector<sql::SelectItem> items;
+    for (const auto& v : merge.insert_values) {
+      sql::SelectItem item;
+      item.expr = v->Clone();
+      items.push_back(std::move(item));
+    }
+    ins->source = SelectFromSource(
+        std::move(items), *merge.source,
+        ExistsOver(target_ref, merge.on_condition->Clone(),
+                   /*negated=*/true));
+    out.push_back(std::move(ins));
+  }
+  return out;
+}
+
+}  // namespace hyperq::emulation

@@ -1,0 +1,21 @@
+// MERGE emulation (paper Figure 2 / Table 2): targets without MERGE get the
+// statement decomposed into an UPDATE (WHEN MATCHED) and an INSERT (WHEN NOT
+// MATCHED), both plain SQL-A statements fed back through the translation
+// pipeline. Assignment values referencing the source become correlated
+// scalar subqueries; the INSERT branch anti-joins via NOT EXISTS.
+
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace hyperq::emulation {
+
+/// \brief Decomposes MERGE into [UPDATE?, INSERT?] statements (in that
+/// order, matching Teradata's matched-first semantics).
+Result<std::vector<sql::StatementPtr>> LowerMerge(
+    const sql::MergeStatement& merge);
+
+}  // namespace hyperq::emulation

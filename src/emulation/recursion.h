@@ -1,0 +1,62 @@
+// Recursive-query emulation (paper §6 and Figure 7).
+//
+// When the target lacks WITH RECURSIVE, Hyper-Q breaks the query into a
+// sequence of temporary-table operations:
+//   1. seed both WorkTable and TempTable with the non-recursive branch,
+//   2. repeatedly evaluate the recursive branch against TempTable,
+//      appending new rows to WorkTable, until an iteration adds nothing,
+//   3. run the main query with the CTE reference pointed at WorkTable,
+//   4. drop the temporary tables.
+// The mid-tier drives the loop by inspecting per-statement activity counts.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "backend/connector.h"
+#include "common/features.h"
+#include "common/result.h"
+#include "serializer/serializer.h"
+#include "xtra/xtra.h"
+
+namespace hyperq::emulation {
+
+/// \brief Per-execution trace entry (exposed so tests can assert the exact
+/// Figure 7 step sequence).
+struct RecursionStep {
+  std::string description;  // e.g. "seed", "iterate", "main", "cleanup"
+  std::string sql;          // statement sent to the target
+  int64_t produced_rows = -1;
+};
+
+class RecursionDriver {
+ public:
+  RecursionDriver(const serializer::Serializer* serializer,
+                  backend::BackendConnector* connector,
+                  int max_iterations = 10000)
+      : serializer_(serializer),
+        connector_(connector),
+        max_iterations_(max_iterations) {}
+
+  /// \brief Executes a kRecursiveCte plan via temp-table emulation.
+  /// \param trace optional step log
+  Result<backend::BackendResult> Execute(const xtra::Op& plan,
+                                         std::vector<RecursionStep>* trace =
+                                             nullptr);
+
+ private:
+  Status Run(const std::string& what, const std::string& sql,
+             std::vector<RecursionStep>* trace, int64_t* affected);
+
+  const serializer::Serializer* serializer_;
+  backend::BackendConnector* connector_;
+  int max_iterations_;
+};
+
+/// \brief Clones `plan` replacing every CteRef named `cte` with a Get on
+/// `table` (preserving column ids). Exposed for tests.
+xtra::OpPtr ReplaceCteRefs(const xtra::Op& plan, const std::string& cte,
+                           const std::string& table);
+
+}  // namespace hyperq::emulation

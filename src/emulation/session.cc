@@ -1,0 +1,78 @@
+#include "emulation/session.h"
+
+#include "common/str_util.h"
+
+namespace hyperq::emulation {
+
+Result<LocalResult> AnswerHelp(const sql::HelpStatement& stmt,
+                               const SessionInfo& session,
+                               const Catalog& catalog) {
+  LocalResult out;
+  switch (stmt.topic) {
+    case sql::HelpStatement::Topic::kSession: {
+      out.columns = {{"User Name", SqlType::Varchar(30)},
+                     {"Account Name", SqlType::Varchar(30)},
+                     {"Logon Date", SqlType::Varchar(10)},
+                     {"Current DataBase", SqlType::Varchar(30)},
+                     {"Collation", SqlType::Varchar(16)},
+                     {"Character Set", SqlType::Varchar(16)},
+                     {"Transaction Semantics", SqlType::Varchar(16)},
+                     {"Session Id", SqlType::Int()}};
+      out.rows.push_back({Datum::String(session.user),
+                          Datum::String(session.account),
+                          Datum::String("22/01/08"),
+                          Datum::String(session.default_database),
+                          Datum::String(session.collation),
+                          Datum::String(session.charset),
+                          Datum::String(session.transaction_semantics),
+                          Datum::Int(session.session_id)});
+      return out;
+    }
+    case sql::HelpStatement::Topic::kTable: {
+      HQ_ASSIGN_OR_RETURN(const TableDef* table,
+                          catalog.GetTable(stmt.object));
+      out.columns = {{"Column Name", SqlType::Varchar(30)},
+                     {"Type", SqlType::Varchar(32)},
+                     {"Nullable", SqlType::Varchar(1)},
+                     {"Case Sensitive", SqlType::Varchar(1)}};
+      for (const auto& col : table->columns) {
+        out.rows.push_back(
+            {Datum::String(col.name), Datum::String(col.type.ToString()),
+             Datum::String(col.nullable ? "Y" : "N"),
+             Datum::String(col.props.case_insensitive ? "N" : "Y")});
+      }
+      return out;
+    }
+    case sql::HelpStatement::Topic::kDatabase: {
+      out.columns = {{"Table/View/Macro Name", SqlType::Varchar(30)},
+                     {"Kind", SqlType::Varchar(1)}};
+      for (const auto& name : catalog.TableNames()) {
+        out.rows.push_back({Datum::String(name), Datum::String("T")});
+      }
+      for (const auto& name : catalog.ViewNames()) {
+        out.rows.push_back({Datum::String(name), Datum::String("V")});
+      }
+      for (const auto& name : catalog.MacroNames()) {
+        out.rows.push_back({Datum::String(name), Datum::String("M")});
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unknown HELP topic");
+}
+
+Status ApplySetSession(const sql::SetSessionStatement& stmt,
+                       SessionInfo* session) {
+  if (stmt.property == "DATABASE") {
+    session->default_database = stmt.value;
+    return Status::OK();
+  }
+  if (stmt.property == "CHARSET") {
+    session->charset = ToUpper(stmt.value);
+    return Status::OK();
+  }
+  return Status::NotSupported("SET SESSION ", stmt.property,
+                              " is not supported");
+}
+
+}  // namespace hyperq::emulation

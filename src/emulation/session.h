@@ -1,0 +1,36 @@
+// Session-command emulation: HELP SESSION / HELP TABLE and SET SESSION are
+// informational/vendor commands answered entirely by the virtualization
+// layer from its own state — zero statements reach the target.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "sql/ast.h"
+#include "types/datum.h"
+
+namespace hyperq::emulation {
+
+/// \brief A mid-tier-produced rowset (never touched the target database).
+struct LocalResult {
+  struct Column {
+    std::string name;
+    SqlType type;
+  };
+  std::vector<Column> columns;
+  std::vector<std::vector<Datum>> rows;
+};
+
+/// \brief Answers HELP SESSION / HELP TABLE / HELP DATABASE.
+Result<LocalResult> AnswerHelp(const sql::HelpStatement& stmt,
+                               const SessionInfo& session,
+                               const Catalog& catalog);
+
+/// \brief Applies SET SESSION to the session state.
+Status ApplySetSession(const sql::SetSessionStatement& stmt,
+                       SessionInfo* session);
+
+}  // namespace hyperq::emulation

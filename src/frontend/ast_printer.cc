@@ -1,0 +1,382 @@
+#include "frontend/ast_printer.h"
+
+#include <sstream>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace hyperq::frontend {
+
+using sql::Expr;
+using sql::ExprKind;
+using sql::QueryBlock;
+using sql::SelectStmt;
+using sql::TableRef;
+
+namespace {
+
+struct Node {
+  std::string label;
+  std::vector<Node> children;
+};
+
+Node BuildExpr(const Expr& e);
+Node BuildQuery(const SelectStmt& stmt);
+
+const char* CmpName(sql::BinaryOp op) {
+  switch (op) {
+    case sql::BinaryOp::kEq:
+      return "EQ";
+    case sql::BinaryOp::kNe:
+      return "NE";
+    case sql::BinaryOp::kLt:
+      return "LT";
+    case sql::BinaryOp::kLe:
+      return "LTE";
+    case sql::BinaryOp::kGt:
+      return "GT";
+    case sql::BinaryOp::kGe:
+      return "GTE";
+    default:
+      return "?";
+  }
+}
+
+std::string InlineExpr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kIdent:
+      return ToUpper(Join(e.name_parts, "."));
+    case ExprKind::kConst:
+      return e.value.ToString();
+    default:
+      return "<expr>";
+  }
+}
+
+Node BuildExpr(const Expr& e) {
+  Node n;
+  switch (e.kind) {
+    case ExprKind::kIdent:
+      // Identifier resolution is dialect-specific: a vendor node.
+      n.label = "td_ident(" + ToUpper(Join(e.name_parts, ".")) + ")";
+      return n;
+    case ExprKind::kConst:
+      n.label = "ansi_const(" + e.value.ToString() + ")";
+      return n;
+    case ExprKind::kStar:
+      n.label = "ansi_star";
+      return n;
+    case ExprKind::kParam:
+      n.label = "td_param(:" +
+                (e.name_parts.empty() ? "?" : e.name_parts[0]) + ")";
+      return n;
+    case ExprKind::kUnary:
+      n.label = e.uop == sql::UnaryOp::kNot ? "ansi_boolexpr(NOT)"
+                                            : "ansi_arith(NEG)";
+      break;
+    case ExprKind::kBinary: {
+      using B = sql::BinaryOp;
+      if (e.bop == B::kAnd || e.bop == B::kOr) {
+        n.label = std::string("ansi_boolexpr(") +
+                  (e.bop == B::kAnd ? "AND" : "OR") + ")";
+      } else if (sql::IsComparisonOp(e.bop)) {
+        n.label = std::string("ansi_cmp(") + CmpName(e.bop) + ")";
+      } else {
+        n.label = std::string("ansi_arith(") + sql::BinaryOpName(e.bop) + ")";
+      }
+      break;
+    }
+    case ExprKind::kFunc:
+      n.label = "ansi_func(" + ToUpper(e.func_name) + ")";
+      break;
+    case ExprKind::kCast:
+      n.label = "ansi_cast(" + e.cast_type.ToString() + ")";
+      break;
+    case ExprKind::kCase:
+      n.label = "ansi_case";
+      if (e.case_operand) n.children.push_back(BuildExpr(*e.case_operand));
+      for (const auto& [w, t] : e.when_then) {
+        Node when{"ansi_when", {}};
+        when.children.push_back(BuildExpr(*w));
+        when.children.push_back(BuildExpr(*t));
+        n.children.push_back(std::move(when));
+      }
+      if (e.else_expr) {
+        Node els{"ansi_else", {}};
+        els.children.push_back(BuildExpr(*e.else_expr));
+        n.children.push_back(std::move(els));
+      }
+      return n;
+    case ExprKind::kWindow: {
+      if (e.td_ordered_analytic) {
+        // td_rank(AMOUNT, DESC) per Figure 4.
+        std::string detail;
+        for (const auto& o : e.window.order_by) {
+          if (!detail.empty()) detail += ", ";
+          detail += InlineExpr(*o.expr);
+          detail += o.descending ? ", DESC" : ", ASC";
+        }
+        n.label = "td_" + ToLower(e.func_name) + "(" + detail + ")";
+        return n;
+      }
+      n.label = "ansi_window(" + ToUpper(e.func_name) + ")";
+      for (const auto& a : e.children) n.children.push_back(BuildExpr(*a));
+      for (const auto& p : e.window.partition_by) {
+        Node pn{"ansi_partition", {}};
+        pn.children.push_back(BuildExpr(*p));
+        n.children.push_back(std::move(pn));
+      }
+      for (const auto& o : e.window.order_by) {
+        Node on{o.descending ? "ansi_order(DESC)" : "ansi_order(ASC)", {}};
+        on.children.push_back(BuildExpr(*o.expr));
+        n.children.push_back(std::move(on));
+      }
+      return n;
+    }
+    case ExprKind::kScalarSubq:
+      n.label = "ansi_subq(SCALAR)";
+      n.children.push_back(BuildQuery(*e.subquery));
+      return n;
+    case ExprKind::kExistsSubq:
+      n.label = "ansi_subq(EXISTS)";
+      n.children.push_back(BuildQuery(*e.subquery));
+      return n;
+    case ExprKind::kQuantified: {
+      // ansi_subq(ANY, GT, [GROSS, NET]) per Figure 4.
+      std::string cols;
+      if (e.subquery->block) {
+        for (const auto& item : e.subquery->block->select_list) {
+          if (!cols.empty()) cols += ", ";
+          cols += item.is_star ? "*"
+                               : (item.alias.empty() && item.expr
+                                      ? InlineExpr(*item.expr)
+                                      : ToUpper(item.alias));
+        }
+      }
+      n.label = std::string("ansi_subq(") +
+                (e.quantifier == sql::SubqQuantifier::kAny ? "ANY" : "ALL") +
+                ", " + CmpName(e.quant_cmp) + ", [" + cols + "])";
+      n.children.push_back(BuildQuery(*e.subquery));
+      Node list{"ansi_list", {}};
+      for (const auto& c : e.children) list.children.push_back(BuildExpr(*c));
+      n.children.push_back(std::move(list));
+      return n;
+    }
+    case ExprKind::kInPred:
+      n.label = e.negated ? "ansi_not_in" : "ansi_in";
+      if (e.subquery) {
+        for (const auto& c : e.children) n.children.push_back(BuildExpr(*c));
+        n.children.push_back(BuildQuery(*e.subquery));
+        return n;
+      }
+      break;
+    case ExprKind::kBetween:
+      n.label = e.negated ? "ansi_not_between" : "ansi_between";
+      break;
+    case ExprKind::kIsNull:
+      n.label = e.negated ? "ansi_is_not_null" : "ansi_is_null";
+      break;
+    case ExprKind::kLike:
+      n.label = e.negated ? "ansi_not_like" : "ansi_like";
+      break;
+    case ExprKind::kExtract:
+      n.label = "ansi_extract(" + e.func_name + ")";
+      break;
+  }
+  for (const auto& c : e.children) {
+    if (c) n.children.push_back(BuildExpr(*c));
+  }
+  return n;
+}
+
+Node BuildTableRef(const TableRef& ref) {
+  switch (ref.kind) {
+    case TableRef::Kind::kBaseTable: {
+      Node n{"ansi_get(" + ToUpper(ref.table_name) +
+                 (ref.alias.empty() ? "" : " '" + ToUpper(ref.alias) + "'") +
+                 ")",
+             {}};
+      return n;
+    }
+    case TableRef::Kind::kDerived: {
+      Node n{"ansi_derived(" + ToUpper(ref.alias) + ")", {}};
+      n.children.push_back(BuildQuery(*ref.derived));
+      return n;
+    }
+    case TableRef::Kind::kJoin: {
+      const char* jt = ref.join_type == sql::JoinType::kInner   ? "INNER"
+                       : ref.join_type == sql::JoinType::kLeft  ? "LEFT"
+                       : ref.join_type == sql::JoinType::kRight ? "RIGHT"
+                       : ref.join_type == sql::JoinType::kFull  ? "FULL"
+                                                                : "CROSS";
+      Node n{std::string("ansi_join(") + jt + ")", {}};
+      n.children.push_back(BuildTableRef(*ref.left));
+      n.children.push_back(BuildTableRef(*ref.right));
+      if (ref.join_condition) {
+        n.children.push_back(BuildExpr(*ref.join_condition));
+      }
+      return n;
+    }
+  }
+  return {"?", {}};
+}
+
+// True when the block is SELECT * FROM <single base table> with no other
+// clauses — Figure 4 elides such subqueries to a bare ansi_get node.
+bool IsTrivialScan(const SelectStmt& stmt) {
+  if (!stmt.block || !stmt.with.empty() || !stmt.order_by.empty() ||
+      stmt.limit >= 0) {
+    return false;
+  }
+  const QueryBlock& b = *stmt.block;
+  return b.from.size() == 1 &&
+         b.from[0]->kind == TableRef::Kind::kBaseTable && !b.where &&
+         b.group_by.empty() && !b.having && !b.qualify && !b.distinct;
+}
+
+Node BuildQuery(const SelectStmt& stmt) {
+  if (stmt.set_op != sql::SetOpKind::kNone) {
+    const char* name = stmt.set_op == sql::SetOpKind::kUnion      ? "UNION"
+                       : stmt.set_op == sql::SetOpKind::kUnionAll ? "UNION ALL"
+                       : stmt.set_op == sql::SetOpKind::kIntersect
+                           ? "INTERSECT"
+                           : "EXCEPT";
+    Node n{std::string("ansi_setop(") + name + ")", {}};
+    n.children.push_back(BuildQuery(*stmt.set_left));
+    n.children.push_back(BuildQuery(*stmt.set_right));
+    return n;
+  }
+  if (IsTrivialScan(stmt)) {
+    return BuildTableRef(*stmt.block->from[0]);
+  }
+  const QueryBlock& b = *stmt.block;
+
+  Node select{"ansi_select", {}};
+  if (!stmt.with.empty()) {
+    Node with{stmt.with_recursive ? "td_with_recursive" : "ansi_with", {}};
+    for (const auto& cte : stmt.with) {
+      Node c{"ansi_cte(" + ToUpper(cte.name) + ")", {}};
+      c.children.push_back(BuildQuery(*cte.query));
+      with.children.push_back(std::move(c));
+    }
+    select.children.push_back(std::move(with));
+  }
+  // Select list (elided for a bare star, matching Figure 4).
+  bool bare_star = b.select_list.size() == 1 && b.select_list[0].is_star &&
+                   b.select_list[0].star_qualifier.empty();
+  if (!bare_star) {
+    Node list{"ansi_selectlist", {}};
+    for (const auto& item : b.select_list) {
+      if (item.is_star) {
+        list.children.push_back({"ansi_star(" +
+                                     ToUpper(item.star_qualifier) + ")",
+                                 {}});
+        continue;
+      }
+      if (!item.alias.empty()) {
+        Node alias{"ansi_as(" + ToUpper(item.alias) + ")", {}};
+        alias.children.push_back(BuildExpr(*item.expr));
+        list.children.push_back(std::move(alias));
+      } else {
+        list.children.push_back(BuildExpr(*item.expr));
+      }
+    }
+    select.children.push_back(std::move(list));
+  }
+  for (const auto& f : b.from) select.children.push_back(BuildTableRef(*f));
+  if (b.where) select.children.push_back(BuildExpr(*b.where));
+  if (!b.group_by.empty()) {
+    const char* kind = b.group_by.kind == sql::GroupByKind::kRollup ? "ROLLUP"
+                       : b.group_by.kind == sql::GroupByKind::kCube
+                           ? "CUBE"
+                           : b.group_by.kind ==
+                                     sql::GroupByKind::kGroupingSets
+                                 ? "GROUPING SETS"
+                                 : "";
+    Node g{std::string("ansi_groupby") +
+               (*kind ? "(" + std::string(kind) + ")" : ""),
+           {}};
+    for (const auto& item : b.group_by.items) {
+      g.children.push_back(BuildExpr(*item));
+    }
+    select.children.push_back(std::move(g));
+  }
+  if (b.having) {
+    Node h{"ansi_having", {}};
+    h.children.push_back(BuildExpr(*b.having));
+    select.children.push_back(std::move(h));
+  }
+
+  Node root = std::move(select);
+  if (b.qualify) {
+    // Figure 4: td_qualify wraps the select and carries the predicate.
+    Node q{"td_qualify", {}};
+    q.children.push_back(std::move(root));
+    q.children.push_back(BuildExpr(*b.qualify));
+    root = std::move(q);
+  }
+  if (!stmt.order_by.empty()) {
+    Node o{"ansi_orderby", {}};
+    o.children.push_back(std::move(root));
+    for (const auto& item : stmt.order_by) {
+      Node io{item.descending ? "ansi_order(DESC)" : "ansi_order(ASC)", {}};
+      io.children.push_back(BuildExpr(*item.expr));
+      o.children.push_back(std::move(io));
+    }
+    root = std::move(o);
+  }
+  if (b.top_n >= 0) {
+    Node t{"td_top(" + std::to_string(b.top_n) +
+               (b.top_with_ties ? ", WITH TIES" : "") + ")",
+           {}};
+    t.children.push_back(std::move(root));
+    root = std::move(t);
+  }
+  return root;
+}
+
+void Render(const Node& node, const std::string& prefix, bool last,
+            std::ostringstream& out) {
+  out << prefix << (last ? "+-" : "|-") << node.label << "\n";
+  std::string child_prefix = prefix + (last ? "" : "| ");
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    Render(node.children[i], child_prefix, i + 1 == node.children.size(), out);
+  }
+}
+
+std::string RenderTree(const Node& root) {
+  std::ostringstream out;
+  Render(root, "", true, out);
+  return out.str();
+}
+
+}  // namespace
+
+std::string AstToTreeString(const sql::SelectStmt& stmt) {
+  return RenderTree(BuildQuery(stmt));
+}
+
+std::string AstToTreeString(const sql::Statement& stmt) {
+  switch (stmt.kind) {
+    case sql::StmtKind::kSelect:
+      return AstToTreeString(*stmt.As<sql::SelectStatement>()->query);
+    case sql::StmtKind::kInsert: {
+      Node n{"td_insert(" +
+                 ToUpper(stmt.As<sql::InsertStatement>()->table) + ")",
+             {}};
+      return RenderTree(n);
+    }
+    case sql::StmtKind::kMerge: {
+      Node n{"td_merge(" + ToUpper(stmt.As<sql::MergeStatement>()->target) +
+                 ")",
+             {}};
+      return RenderTree(n);
+    }
+    default: {
+      Node n{"stmt(" + std::to_string(static_cast<int>(stmt.kind)) + ")", {}};
+      return RenderTree(n);
+    }
+  }
+}
+
+}  // namespace hyperq::frontend

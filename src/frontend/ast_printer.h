@@ -1,0 +1,20 @@
+// AST dumps in the paper's Figure 4 style: a tree of generic `ansi_*` parse
+// nodes for standard constructs mixed with vendor-specific `td_*` nodes for
+// Teradata extensions (QUALIFY, argument-ordered RANK, dialect-resolved
+// identifiers).
+
+#pragma once
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace hyperq::frontend {
+
+/// \brief Renders the AST of a statement in the Figure 4 dump format.
+std::string AstToTreeString(const sql::Statement& stmt);
+
+/// \brief Renders a query expression's AST.
+std::string AstToTreeString(const sql::SelectStmt& stmt);
+
+}  // namespace hyperq::frontend

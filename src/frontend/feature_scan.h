@@ -1,0 +1,21 @@
+// Token-level detection of Translation-class features (paper §2.1).
+//
+// Translation rewrites are "highly localized; many can be even addressed
+// with textual substitution" — correspondingly they are detectable from the
+// token stream alone, before parsing. The binder/transformer/emulation
+// layers record the Transformation- and Emulation-class features.
+
+#pragma once
+
+#include <string>
+
+#include "common/features.h"
+#include "common/result.h"
+
+namespace hyperq::frontend {
+
+/// \brief Scans SQL-A text and records the Translation-class tracked
+/// features it uses into `features`.
+Status ScanTranslationFeatures(const std::string& sql, FeatureSet* features);
+
+}  // namespace hyperq::frontend

@@ -1,0 +1,99 @@
+#include "protocol/client.h"
+
+namespace hyperq::protocol {
+
+Status TdwpClient::Connect(uint16_t port) {
+  HQ_ASSIGN_OR_RETURN(sock_, Socket::ConnectLocal(port));
+  return Status::OK();
+}
+
+Status TdwpClient::Logon(const std::string& user, const std::string& password,
+                         const std::string& default_database) {
+  LogonRequest req;
+  req.user = user;
+  req.password = password;
+  req.default_database = default_database;
+  Frame f{MessageKind::kLogonRequest, 0, Encode(req)};
+  HQ_RETURN_IF_ERROR(sock_.WriteFrame(f));
+  HQ_ASSIGN_OR_RETURN(Frame resp, sock_.ReadFrame());
+  if (resp.kind == MessageKind::kError) {
+    HQ_ASSIGN_OR_RETURN(ErrorMessage err, DecodeError(resp.payload));
+    return Status::ProtocolError("logon failed: ", err.message);
+  }
+  if (resp.kind != MessageKind::kLogonResponse) {
+    return Status::ProtocolError("unexpected logon reply");
+  }
+  HQ_ASSIGN_OR_RETURN(LogonResponse lr, DecodeLogonResponse(resp.payload));
+  if (!lr.ok) {
+    return Status::ProtocolError("logon rejected: ", lr.message);
+  }
+  session_id_ = lr.session_id;
+  return Status::OK();
+}
+
+Result<ClientResult> TdwpClient::Run(const std::string& sql) {
+  RunRequest req;
+  req.sql = sql;
+  Frame f{MessageKind::kRunRequest, 0, Encode(req)};
+  HQ_RETURN_IF_ERROR(sock_.WriteFrame(f));
+
+  ClientResult out;
+  uint64_t announced_rows = 0;
+  bool have_header = false;
+  while (true) {
+    HQ_ASSIGN_OR_RETURN(Frame frame, sock_.ReadFrame());
+    switch (frame.kind) {
+      case MessageKind::kError: {
+        HQ_ASSIGN_OR_RETURN(ErrorMessage err, DecodeError(frame.payload));
+        return Status::ExecutionError(err.message);
+      }
+      case MessageKind::kResultHeader: {
+        HQ_ASSIGN_OR_RETURN(ResultHeader header,
+                            DecodeResultHeader(frame.payload));
+        out.columns = std::move(header.columns);
+        announced_rows = header.total_rows;
+        have_header = true;
+        break;
+      }
+      case MessageKind::kRecordBatch: {
+        if (!have_header) {
+          return Status::ProtocolError("record batch before result header");
+        }
+        BufferReader in(frame.payload);
+        HQ_ASSIGN_OR_RETURN(uint32_t nrows, in.GetU32());
+        for (uint32_t i = 0; i < nrows; ++i) {
+          HQ_ASSIGN_OR_RETURN(std::vector<Datum> row,
+                              DecodeRecord(out.columns, &in));
+          out.rows.push_back(std::move(row));
+        }
+        break;
+      }
+      case MessageKind::kSuccess: {
+        HQ_ASSIGN_OR_RETURN(SuccessMessage s, DecodeSuccess(frame.payload));
+        out.activity_count = s.activity_count;
+        out.tag = std::move(s.tag);
+        out.translation_micros = s.translation_micros;
+        out.execution_micros = s.execution_micros;
+        out.conversion_micros = s.conversion_micros;
+        if (have_header && out.rows.size() != announced_rows) {
+          return Status::ProtocolError(
+              "row count mismatch: header announced ", announced_rows,
+              " rows, received ", out.rows.size());
+        }
+        return out;
+      }
+      default:
+        return Status::ProtocolError("unexpected message kind during RUN");
+    }
+  }
+}
+
+void TdwpClient::Goodbye() {
+  if (sock_.valid()) {
+    Frame f{MessageKind::kGoodbye, 0, {}};
+    (void)sock_.WriteFrame(f);
+    sock_.Close();
+  }
+}
+
+}  // namespace hyperq::protocol

@@ -1,0 +1,121 @@
+#include "protocol/server.h"
+
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace hyperq::protocol {
+
+TdwpServer::TdwpServer(RequestHandler* handler) : handler_(handler) {}
+
+TdwpServer::~TdwpServer() { Stop(); }
+
+Status TdwpServer::Start(uint16_t port) {
+  HQ_ASSIGN_OR_RETURN(listener_, ListenSocket::BindLocal(port));
+  running_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TdwpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  listener_.Interrupt();
+  listener_.Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard<std::mutex> lock(workers_mutex_);
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+void TdwpServer::AcceptLoop() {
+  while (running_) {
+    auto conn = listener_.Accept();
+    if (!conn.ok()) {
+      if (running_) {
+        HQ_LOG(kWarn) << "tdwp accept failed: " << conn.status();
+      }
+      return;
+    }
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers_.emplace_back(
+        [this, sock = std::move(conn).value()]() mutable {
+          ServeConnection(std::move(sock));
+        });
+  }
+}
+
+void TdwpServer::ServeConnection(Socket conn) {
+  uint32_t session_id = 0;
+  bool logged_on = false;
+  auto send_error = [&](const Status& status) {
+    ErrorMessage err;
+    err.code = static_cast<uint32_t>(status.code());
+    err.message = status.ToString();
+    Frame f{MessageKind::kError, 0, Encode(err)};
+    (void)conn.WriteFrame(f);
+  };
+
+  while (running_) {
+    auto frame = conn.ReadFrame();
+    if (!frame.ok()) break;  // disconnect
+
+    switch (frame->kind) {
+      case MessageKind::kLogonRequest: {
+        auto req = DecodeLogonRequest(frame->payload);
+        if (!req.ok()) {
+          send_error(req.status());
+          break;
+        }
+        auto resp = handler_->Logon(*req);
+        if (!resp.ok()) {
+          send_error(resp.status());
+          break;
+        }
+        session_id = resp->session_id;
+        logged_on = resp->ok;
+        Frame f{MessageKind::kLogonResponse, 0, Encode(*resp)};
+        if (!conn.WriteFrame(f).ok()) return;
+        break;
+      }
+      case MessageKind::kRunRequest: {
+        if (!logged_on) {
+          send_error(Status::ProtocolError("RUN before LOGON"));
+          break;
+        }
+        auto req = DecodeRunRequest(frame->payload);
+        if (!req.ok()) {
+          send_error(req.status());
+          break;
+        }
+        auto resp = handler_->Run(session_id, req->sql);
+        if (!resp.ok()) {
+          send_error(resp.status());
+          break;
+        }
+        if (resp->has_rowset) {
+          Frame h{MessageKind::kResultHeader, 0, Encode(resp->header)};
+          if (!conn.WriteFrame(h).ok()) return;
+          for (const auto& batch : resp->batches) {
+            Frame b{MessageKind::kRecordBatch, 0, batch};
+            if (!conn.WriteFrame(b).ok()) return;
+          }
+        }
+        Frame s{MessageKind::kSuccess, 0, Encode(resp->success)};
+        if (!conn.WriteFrame(s).ok()) return;
+        break;
+      }
+      case MessageKind::kGoodbye:
+        if (logged_on) handler_->Logoff(session_id);
+        return;
+      default:
+        send_error(Status::ProtocolError("unexpected message kind ",
+                                         static_cast<int>(frame->kind)));
+        break;
+    }
+  }
+  if (logged_on) handler_->Logoff(session_id);
+}
+
+}  // namespace hyperq::protocol

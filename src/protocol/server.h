@@ -1,0 +1,68 @@
+// The Protocol Handler's server side (paper §4.1): accepts tdwp
+// connections, performs the logon handshake, and relays query requests to a
+// RequestHandler (implemented by service::HyperQService).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "protocol/socket.h"
+#include "protocol/tdwp.h"
+
+namespace hyperq::protocol {
+
+/// \brief One complete wire response: header + encoded record batches +
+/// success message (or just a success/error for command statements).
+struct WireResponse {
+  bool has_rowset = false;
+  ResultHeader header;
+  /// Encoded record runs; each element is the payload of one RecordBatch
+  /// frame (u32 row count + records).
+  std::vector<std::vector<uint8_t>> batches;
+  SuccessMessage success;
+};
+
+/// \brief Server callbacks. Implementations must be thread-safe: each
+/// connection is served from its own thread.
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+
+  virtual Result<LogonResponse> Logon(const LogonRequest& request) = 0;
+  virtual void Logoff(uint32_t session_id) = 0;
+  virtual Result<WireResponse> Run(uint32_t session_id,
+                                   const std::string& sql) = 0;
+};
+
+/// \brief tdwp TCP server; one thread per connection.
+class TdwpServer {
+ public:
+  explicit TdwpServer(RequestHandler* handler);
+  ~TdwpServer();
+
+  /// \brief Binds 127.0.0.1:`port` (0 = ephemeral) and starts accepting.
+  Status Start(uint16_t port = 0);
+  void Stop();
+
+  uint16_t port() const { return listener_.port(); }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(Socket conn);
+
+  RequestHandler* handler_;
+  ListenSocket listener_;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex workers_mutex_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace hyperq::protocol

@@ -1,0 +1,154 @@
+#include "protocol/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hyperq::protocol {
+
+Socket::~Socket() { Close(); }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> Socket::ConnectLocal(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError("socket(): ", std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IoError("connect(127.0.0.1:", port,
+                           "): ", std::strerror(err));
+  }
+  return Socket(fd);
+}
+
+Status Socket::WriteAll(const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("send(): ", std::strerror(errno));
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status Socket::ReadExactly(void* data, size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    ssize_t r = ::recv(fd_, p, n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("recv(): ", std::strerror(errno));
+    }
+    if (r == 0) {
+      return Status::IoError("connection closed by peer");
+    }
+    p += r;
+    n -= static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status Socket::WriteFrame(const Frame& frame) {
+  std::vector<uint8_t> bytes = EncodeFrame(frame);
+  return WriteAll(bytes.data(), bytes.size());
+}
+
+Result<Frame> Socket::ReadFrame() {
+  uint8_t header[8];
+  HQ_RETURN_IF_ERROR(ReadExactly(header, sizeof(header)));
+  Frame frame;
+  frame.kind = static_cast<MessageKind>(header[0]);
+  frame.flags = header[1];
+  uint32_t len;
+  std::memcpy(&len, header + 4, 4);
+  if (len > (256u << 20)) {
+    return Status::ProtocolError("oversized frame (", len, " bytes)");
+  }
+  frame.payload.resize(len);
+  if (len > 0) {
+    HQ_RETURN_IF_ERROR(ReadExactly(frame.payload.data(), len));
+  }
+  return frame;
+}
+
+Result<ListenSocket> ListenSocket::BindLocal(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError("socket(): ", std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IoError("bind(): ", std::strerror(err));
+  }
+  if (::listen(fd, 64) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IoError("listen(): ", std::strerror(err));
+  }
+  socklen_t alen = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &alen);
+  ListenSocket ls;
+  ls.sock_ = Socket(fd);
+  ls.port_ = ntohs(addr.sin_port);
+  return ls;
+}
+
+void ListenSocket::Interrupt() {
+  if (!sock_.valid()) return;
+  ::shutdown(sock_.fd(), SHUT_RDWR);
+  // Some kernels leave accept() blocked after shutdown on a listening
+  // socket; a self-connection guarantees a wake-up.
+  auto dummy = Socket::ConnectLocal(port_);
+  (void)dummy;
+}
+
+Result<Socket> ListenSocket::Accept() {
+  int fd = ::accept(sock_.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    return Status::IoError("accept(): ", std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+}  // namespace hyperq::protocol

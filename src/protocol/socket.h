@@ -1,0 +1,60 @@
+// Thin RAII TCP socket wrapper plus tdwp frame I/O.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "protocol/tdwp.h"
+
+namespace hyperq::protocol {
+
+/// \brief Owns a socket fd; movable, closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  /// \brief Connects to 127.0.0.1:`port`.
+  static Result<Socket> ConnectLocal(uint16_t port);
+
+  Status WriteAll(const void* data, size_t n);
+  Status ReadExactly(void* data, size_t n);
+
+  /// \brief Writes one framed message.
+  Status WriteFrame(const Frame& frame);
+  /// \brief Reads one framed message (blocking).
+  Result<Frame> ReadFrame();
+
+ private:
+  int fd_ = -1;
+};
+
+/// \brief Listening socket bound to 127.0.0.1 (port 0 = ephemeral).
+class ListenSocket {
+ public:
+  static Result<ListenSocket> BindLocal(uint16_t port);
+  Result<Socket> Accept();
+  uint16_t port() const { return port_; }
+  void Close() { sock_.Close(); }
+  /// \brief Wakes a thread blocked in Accept() (shutdown + self-connect).
+  void Interrupt();
+  bool valid() const { return sock_.valid(); }
+
+ private:
+  Socket sock_;
+  uint16_t port_ = 0;
+};
+
+}  // namespace hyperq::protocol

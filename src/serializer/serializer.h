@@ -1,0 +1,71 @@
+// The Serializer (paper §4.4): synthesizes target-dialect SQL text from an
+// XTRA expression.
+//
+// Each target database has its own Serializer configuration; all share one
+// interface (XTRA in, SQL out). Serialization walks the XTRA tree,
+// assembling one SELECT block per "stack" of compatible operators and
+// falling back to derived tables whenever SQL's single-block structure
+// cannot express the stack (e.g. filtering on window results).
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "transform/backend_profile.h"
+#include "xtra/xtra.h"
+
+namespace hyperq::serializer {
+
+/// \brief XTRA → SQL-B text for one target profile.
+///
+/// The serializer assumes capability-dependent rewrites already ran
+/// (transform::Stage::kSerialization); encountering a construct the target
+/// cannot express (e.g. a recursive CTE wrapper) is an error, not a silent
+/// downgrade.
+class Serializer {
+ public:
+  explicit Serializer(const transform::BackendProfile& profile);
+
+  /// \brief Renders a full statement (query or DML).
+  Result<std::string> Serialize(const xtra::Op& plan) const;
+
+  const transform::BackendProfile& profile() const { return profile_; }
+
+ private:
+  /// Maps col id -> SQL text that evaluates it in the current scope.
+  using NameMap = std::map<int, std::string>;
+
+  struct Rendered {
+    std::string sql;             // complete SELECT text
+    bool bare_table = false;     // FROM can use the name directly
+    std::string table;           // when bare_table
+    std::vector<xtra::ColumnInfo> cols;  // outputs with emitted names
+  };
+
+  Result<Rendered> RenderQuery(const xtra::Op& op, const NameMap& outer,
+                               int* alias_counter) const;
+  Result<std::string> RenderFromItem(const xtra::Op& op, const NameMap& outer,
+                                     NameMap* scope,
+                                     int* alias_counter) const;
+  Result<std::string> RenderExpr(const xtra::Expr& e, const NameMap& scope,
+                                 int* alias_counter) const;
+  Result<std::string> RenderWindowCall(const xtra::WindowItem& item,
+                                       const NameMap& scope,
+                                       int* alias_counter) const;
+  Result<std::string> RenderAggCall(const xtra::AggItem& item,
+                                    const NameMap& scope,
+                                    int* alias_counter) const;
+
+  Result<std::string> RenderInsert(const xtra::Op& op) const;
+  Result<std::string> RenderUpdate(const xtra::Op& op) const;
+  Result<std::string> RenderDelete(const xtra::Op& op) const;
+
+  static std::string QuoteIdent(const std::string& name);
+  static std::string RenderLiteral(const Datum& v);
+
+  transform::BackendProfile profile_;
+};
+
+}  // namespace hyperq::serializer

@@ -1,0 +1,805 @@
+#include "service/hyperq_service.h"
+
+#include "common/stopwatch.h"
+#include "common/str_util.h"
+#include "emulation/macro.h"
+#include "emulation/merge.h"
+#include "frontend/feature_scan.h"
+
+namespace hyperq::service {
+
+using backend::BackendResult;
+using sql::StmtKind;
+
+HyperQService::HyperQService(vdb::Engine* engine, ServiceOptions options)
+    : engine_(engine),
+      options_(std::move(options)),
+      transformer_(options_.profile),
+      serializer_(options_.profile),
+      frontend_dialect_(sql::Dialect::Teradata()) {}
+
+HyperQService::~HyperQService() = default;
+
+Result<uint32_t> HyperQService::OpenSession(
+    const std::string& user, const std::string& default_database) {
+  auto session = std::make_unique<Session>();
+  session->id = next_session_.fetch_add(1);
+  session->info.user = user.empty() ? "dbc" : user;
+  session->info.session_id = static_cast<int>(session->id);
+  if (!default_database.empty()) {
+    session->info.default_database = default_database;
+  }
+  session->connector = std::make_unique<backend::BackendConnector>(
+      engine_, options_.connector);
+  uint32_t id = session->id;
+  std::lock_guard<std::mutex> lock(mutex_);
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+void HyperQService::CloseSession(uint32_t session_id) {
+  std::unique_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) return;
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // Volatile tables are session-scoped: drop them on logoff.
+  for (const std::string& table : session->volatile_tables) {
+    (void)session->connector->Execute("DROP TABLE IF EXISTS " + table);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (catalog_.HasTable(table)) (void)catalog_.DropTable(table);
+  }
+}
+
+Result<HyperQService::Session*> HyperQService::GetSession(uint32_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::InvalidArgument("unknown session ", id);
+  }
+  return it->second.get();
+}
+
+WorkloadFeatureStats HyperQService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void HyperQService::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = WorkloadFeatureStats();
+}
+
+// ---------------------------------------------------------------------------
+// Local result packaging
+// ---------------------------------------------------------------------------
+
+BackendResult HyperQService::PackageLocal(
+    const emulation::LocalResult& local) {
+  BackendResult out;
+  for (const auto& col : local.columns) {
+    out.columns.push_back({col.name, col.type});
+  }
+  out.store = std::make_shared<backend::ResultStore>();
+  backend::TdfWriter writer(out.columns);
+  for (const auto& row : local.rows) {
+    (void)writer.AddRow(row);
+  }
+  size_t n = writer.row_count();
+  (void)out.store->Append(writer.Finish(), n);
+  out.command_tag = "HELP";
+  return out;
+}
+
+BackendResult HyperQService::CommandResult(const std::string& tag,
+                                           int64_t activity) {
+  BackendResult out;
+  out.command_tag = tag;
+  out.affected_rows = activity;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Submission
+// ---------------------------------------------------------------------------
+
+Result<QueryOutcome> HyperQService::Submit(uint32_t session_id,
+                                           const std::string& sql_a) {
+  HQ_ASSIGN_OR_RETURN(Session * session, GetSession(session_id));
+  HQ_ASSIGN_OR_RETURN(QueryOutcome outcome,
+                      SubmitInternal(session, sql_a, 0));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.AddQuery(outcome.features);
+  }
+  return outcome;
+}
+
+Result<QueryOutcome> HyperQService::SubmitInternal(Session* session,
+                                                   const std::string& sql_a,
+                                                   int depth) {
+  if (depth > 8) {
+    return Status::ExecutionError("statement expansion too deep (macro "
+                                  "recursion?)");
+  }
+  Stopwatch translation;
+  FeatureSet features;
+  HQ_RETURN_IF_ERROR(
+      frontend::ScanTranslationFeatures(sql_a, &features));
+  HQ_ASSIGN_OR_RETURN(sql::StatementPtr stmt,
+                      sql::ParseStatement(sql_a, frontend_dialect_));
+  double parse_micros = translation.ElapsedMicros();
+  HQ_ASSIGN_OR_RETURN(
+      QueryOutcome outcome,
+      ExecuteStatement(session, *stmt, sql_a, std::move(features), depth));
+  outcome.timing.translation_micros += parse_micros;
+  return outcome;
+}
+
+Result<QueryOutcome> HyperQService::ExecuteStatement(
+    Session* session, const sql::Statement& stmt, const std::string& sql_a,
+    FeatureSet features, int depth) {
+  switch (stmt.kind) {
+    case StmtKind::kSelect:
+    case StmtKind::kInsert:
+    case StmtKind::kUpdate:
+    case StmtKind::kDelete:
+      return RunPipeline(session, stmt, std::move(features));
+
+    case StmtKind::kCreateTable:
+      return HandleCreateTable(session,
+                               *stmt.As<sql::CreateTableStatement>(),
+                               std::move(features));
+    case StmtKind::kDropTable:
+      return HandleDropTable(session, *stmt.As<sql::DropTableStatement>(),
+                             std::move(features));
+
+    case StmtKind::kCreateView:
+    case StmtKind::kReplaceView: {
+      const auto* cv = stmt.As<sql::CreateViewStatement>();
+      ViewDef view;
+      view.name = Catalog::NormalizeName(cv->view);
+      view.column_names = cv->columns;
+      view.definition_sql = cv->query_sql;
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stmt.kind == StmtKind::kReplaceView && catalog_.HasView(cv->view)) {
+        HQ_RETURN_IF_ERROR(catalog_.DropView(cv->view));
+      }
+      HQ_RETURN_IF_ERROR(catalog_.CreateView(std::move(view)));
+      QueryOutcome out;
+      out.result = CommandResult("CREATE VIEW");
+      out.features = std::move(features);
+      return out;
+    }
+    case StmtKind::kDropView: {
+      std::lock_guard<std::mutex> lock(mutex_);
+      HQ_RETURN_IF_ERROR(
+          catalog_.DropView(stmt.As<sql::DropViewStatement>()->view));
+      QueryOutcome out;
+      out.result = CommandResult("DROP VIEW");
+      out.features = std::move(features);
+      return out;
+    }
+
+    case StmtKind::kCreateMacro: {
+      const auto* cm = stmt.As<sql::CreateMacroStatement>();
+      MacroDef macro;
+      macro.name = Catalog::NormalizeName(cm->macro);
+      for (const auto& p : cm->params) {
+        macro.params.push_back(
+            {p.name, p.type, p.default_literal, p.has_default});
+      }
+      macro.body_statements = cm->body_statements;
+      features.Record(Feature::kMacros);
+      std::lock_guard<std::mutex> lock(mutex_);
+      HQ_RETURN_IF_ERROR(catalog_.CreateMacro(std::move(macro)));
+      QueryOutcome out;
+      out.result = CommandResult("CREATE MACRO");
+      out.features = std::move(features);
+      return out;
+    }
+    case StmtKind::kDropMacro: {
+      features.Record(Feature::kMacros);
+      std::lock_guard<std::mutex> lock(mutex_);
+      HQ_RETURN_IF_ERROR(
+          catalog_.DropMacro(stmt.As<sql::DropMacroStatement>()->macro));
+      QueryOutcome out;
+      out.result = CommandResult("DROP MACRO");
+      out.features = std::move(features);
+      return out;
+    }
+
+    case StmtKind::kExecMacro: {
+      const auto* exec = stmt.As<sql::ExecMacroStatement>();
+      features.Record(Feature::kMacros);
+      const MacroDef* macro;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        HQ_ASSIGN_OR_RETURN(macro, catalog_.GetMacro(exec->macro));
+      }
+      HQ_ASSIGN_OR_RETURN(std::vector<std::string> statements,
+                          emulation::ExpandMacro(*macro, *exec));
+      QueryOutcome combined;
+      combined.features = std::move(features);
+      int64_t total_activity = 0;
+      for (const std::string& body_sql : statements) {
+        HQ_ASSIGN_OR_RETURN(QueryOutcome one,
+                            SubmitInternal(session, body_sql, depth + 1));
+        total_activity += one.result.affected_rows;
+        combined.timing.translation_micros += one.timing.translation_micros;
+        combined.timing.execution_micros += one.timing.execution_micros;
+        combined.features.Merge(one.features);
+        combined.backend_sql.insert(combined.backend_sql.end(),
+                                    one.backend_sql.begin(),
+                                    one.backend_sql.end());
+        combined.result = std::move(one.result);
+      }
+      combined.result.affected_rows = total_activity;
+      return combined;
+    }
+
+    case StmtKind::kMerge: {
+      features.Record(Feature::kMerge);
+      HQ_ASSIGN_OR_RETURN(
+          std::vector<sql::StatementPtr> parts,
+          emulation::LowerMerge(*stmt.As<sql::MergeStatement>()));
+      QueryOutcome combined;
+      combined.features = std::move(features);
+      int64_t total_activity = 0;
+      for (const auto& part : parts) {
+        HQ_ASSIGN_OR_RETURN(QueryOutcome one,
+                            RunPipeline(session, *part, FeatureSet()));
+        total_activity += one.result.affected_rows;
+        combined.timing.translation_micros += one.timing.translation_micros;
+        combined.timing.execution_micros += one.timing.execution_micros;
+        combined.features.Merge(one.features);
+        combined.backend_sql.insert(combined.backend_sql.end(),
+                                    one.backend_sql.begin(),
+                                    one.backend_sql.end());
+        combined.result = std::move(one.result);
+      }
+      combined.result.affected_rows = total_activity;
+      combined.result.command_tag = "MERGE";
+      return combined;
+    }
+
+    case StmtKind::kHelp: {
+      features.Record(Feature::kSessionCommands);
+      emulation::LocalResult local;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        HQ_ASSIGN_OR_RETURN(local,
+                            emulation::AnswerHelp(
+                                *stmt.As<sql::HelpStatement>(),
+                                session->info, catalog_));
+      }
+      QueryOutcome out;
+      out.result = PackageLocal(local);
+      out.features = std::move(features);
+      return out;
+    }
+    case StmtKind::kSetSession: {
+      features.Record(Feature::kSessionCommands);
+      HQ_RETURN_IF_ERROR(emulation::ApplySetSession(
+          *stmt.As<sql::SetSessionStatement>(), &session->info));
+      QueryOutcome out;
+      out.result = CommandResult("SET SESSION");
+      out.features = std::move(features);
+      return out;
+    }
+
+    case StmtKind::kCollectStats: {
+      // "Statements in SQL-A need to be translated into zero, one, or more
+      // terms": physical-design statements translate to zero statements.
+      features.Record(Feature::kStatsElimination);
+      QueryOutcome out;
+      out.result = CommandResult("COLLECT STATISTICS");
+      out.features = std::move(features);
+      return out;
+    }
+
+    case StmtKind::kBeginTxn:
+      features.Record(Feature::kTxnShorthand);
+      ++session->txn_depth;
+      {
+        QueryOutcome out;
+        out.result = CommandResult("BEGIN TRANSACTION");
+        out.features = std::move(features);
+        return out;
+      }
+    case StmtKind::kEndTxn:
+      features.Record(Feature::kTxnShorthand);
+      if (session->txn_depth > 0) --session->txn_depth;
+      {
+        QueryOutcome out;
+        out.result = CommandResult("END TRANSACTION");
+        out.features = std::move(features);
+        return out;
+      }
+    case StmtKind::kCommit:
+    case StmtKind::kRollback: {
+      QueryOutcome out;
+      out.result = CommandResult(stmt.kind == StmtKind::kCommit ? "COMMIT"
+                                                                : "ROLLBACK");
+      out.features = std::move(features);
+      return out;
+    }
+  }
+  (void)sql_a;
+  return Status::Internal("unhandled statement kind in service");
+}
+
+// ---------------------------------------------------------------------------
+// Query/DML pipeline
+// ---------------------------------------------------------------------------
+
+Result<QueryOutcome> HyperQService::RunPipeline(Session* session,
+                                                const sql::Statement& stmt,
+                                                FeatureSet features) {
+  Stopwatch translation;
+  xtra::OpPtr plan;
+  binder::Binder binder(&catalog_, frontend_dialect_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);  // catalog reads
+    HQ_ASSIGN_OR_RETURN(plan, binder.BindStatement(stmt));
+  }
+  features.Merge(binder.features());
+
+  binder::ColIdGenerator ids;
+  for (int i = 0; i < 1000000; ++i) ids.Next();  // fresh id space for rules
+  HQ_RETURN_IF_ERROR(transformer_.Run(transform::Stage::kBinding, &plan,
+                                      &ids, &features, &catalog_));
+
+  QueryOutcome out;
+
+  // Recursive queries need mid-tier emulation rather than serialization.
+  if (plan->kind == xtra::OpKind::kRecursiveCte) {
+    HQ_RETURN_IF_ERROR(transformer_.Run(transform::Stage::kSerialization,
+                                        &plan, &ids, &features, &catalog_));
+    out.timing.translation_micros += translation.ElapsedMicros();
+    Stopwatch execution;
+    emulation::RecursionDriver driver(&serializer_,
+                                      session->connector.get());
+    HQ_ASSIGN_OR_RETURN(out.result, driver.Execute(*plan));
+    out.timing.execution_micros = execution.ElapsedMicros();
+    out.features = std::move(features);
+    return out;
+  }
+
+  HQ_RETURN_IF_ERROR(transformer_.Run(transform::Stage::kSerialization,
+                                      &plan, &ids, &features, &catalog_));
+  if (plan->kind == xtra::OpKind::kInsert) {
+    HQ_RETURN_IF_ERROR(ExpandPeriodInsert(plan.get(), &features));
+  }
+  HQ_ASSIGN_OR_RETURN(std::string sql_b, serializer_.Serialize(*plan));
+  out.timing.translation_micros += translation.ElapsedMicros();
+  out.backend_sql.push_back(sql_b);
+
+  Stopwatch execution;
+  HQ_ASSIGN_OR_RETURN(out.result, session->connector->Execute(sql_b));
+  out.timing.execution_micros = execution.ElapsedMicros();
+  out.features = std::move(features);
+  return out;
+}
+
+Status HyperQService::ExpandPeriodInsert(xtra::Op* insert_op,
+                                         FeatureSet* features) {
+  const TableDef* table;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!catalog_.HasTable(insert_op->target_table)) return Status::OK();
+    HQ_ASSIGN_OR_RETURN(table, catalog_.GetTable(insert_op->target_table));
+  }
+  // Find PERIOD columns in the insert list.
+  std::vector<size_t> period_positions;
+  for (size_t i = 0; i < insert_op->target_columns.size(); ++i) {
+    int idx = table->FindColumn(insert_op->target_columns[i]);
+    if (idx >= 0 &&
+        table->columns[idx].type.kind == TypeKind::kPeriodDate) {
+      period_positions.push_back(i);
+    }
+  }
+  if (period_positions.empty()) return Status::OK();
+  features->Record(Feature::kPeriodType);
+  if (insert_op->children[0]->kind != xtra::OpKind::kValues) {
+    return Status::NotSupported(
+        "INSERT ... SELECT into PERIOD columns is not supported; PERIOD "
+        "columns are emulated as two DATE columns");
+  }
+  // Expand columns back-to-front to keep earlier positions stable.
+  for (auto it = period_positions.rbegin(); it != period_positions.rend();
+       ++it) {
+    size_t pos = *it;
+    std::string name = insert_op->target_columns[pos];
+    insert_op->target_columns[pos] = name + "_BEGIN";
+    insert_op->target_columns.insert(
+        insert_op->target_columns.begin() + pos + 1, name + "_END");
+    for (auto& row : insert_op->children[0]->rows) {
+      xtra::ExprPtr value = std::move(row[pos]);
+      xtra::ExprPtr begin_e, end_e;
+      if (value->kind == xtra::ExprKind::kFunc &&
+          value->func_name == "PERIOD") {
+        begin_e = std::move(value->children[0]);
+        end_e = std::move(value->children[1]);
+      } else if (value->kind == xtra::ExprKind::kConst &&
+                 value->value.is_period()) {
+        auto p = value->value.period_val();
+        begin_e = xtra::Const(Datum::Date(p.begin_days), SqlType::Date());
+        end_e = xtra::Const(Datum::Date(p.end_days), SqlType::Date());
+      } else if (value->kind == xtra::ExprKind::kConst &&
+                 value->value.is_null()) {
+        begin_e = xtra::Const(Datum::Null(), SqlType::Date());
+        end_e = xtra::Const(Datum::Null(), SqlType::Date());
+      } else {
+        return Status::NotSupported(
+            "PERIOD column values must be PERIOD(d1, d2) constructors");
+      }
+      row[pos] = std::move(begin_e);
+      row.insert(row.begin() + pos + 1, std::move(end_e));
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// DDL translation
+// ---------------------------------------------------------------------------
+
+namespace {
+// Renders a column default expression for the DTM catalog.
+Result<std::string> RenderDefault(const sql::Expr& e) {
+  if (e.kind == sql::ExprKind::kFunc) {
+    return ToUpper(e.func_name);  // niladic: CURRENT_DATE etc.
+  }
+  return emulation::RenderConstExpr(e);
+}
+
+bool IsConstantDefault(const sql::Expr& e) {
+  return e.kind == sql::ExprKind::kConst ||
+         (e.kind == sql::ExprKind::kUnary &&
+          e.uop == sql::UnaryOp::kNeg &&
+          e.children[0]->kind == sql::ExprKind::kConst);
+}
+}  // namespace
+
+Result<QueryOutcome> HyperQService::HandleCreateTable(
+    Session* session, const sql::CreateTableStatement& ct,
+    FeatureSet features) {
+  if (ct.as_select) {
+    // CREATE TABLE AS: emulate as CREATE TABLE + INSERT ... SELECT.
+    binder::Binder binder(&catalog_, frontend_dialect_);
+    xtra::OpPtr plan;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      HQ_ASSIGN_OR_RETURN(plan, binder.BindSelect(*ct.as_select));
+    }
+    features.Merge(binder.features());
+    // Register the table shape, then funnel the data through the pipeline.
+    TableDef def;
+    def.name = Catalog::NormalizeName(ct.table);
+    std::string ddl = "CREATE TABLE " + def.name + " (";
+    for (size_t i = 0; i < plan->output.size(); ++i) {
+      ColumnDef col;
+      col.name = ToUpper(plan->output[i].name);
+      col.type = plan->output[i].type;
+      if (col.type.kind == TypeKind::kNull) col.type = SqlType::Varchar(0);
+      if (i > 0) ddl += ", ";
+      ddl += col.name + " " + col.type.ToString();
+      def.columns.push_back(std::move(col));
+    }
+    ddl += ")";
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      HQ_RETURN_IF_ERROR(catalog_.CreateTable(def));
+    }
+    QueryOutcome out;
+    Stopwatch execution;
+    auto ddl_result = session->connector->Execute(ddl);
+    if (!ddl_result.ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      (void)catalog_.DropTable(def.name);
+      return ddl_result.status();
+    }
+    out.backend_sql.push_back(ddl);
+    if (ct.with_data) {
+      binder::ColIdGenerator ids;
+      for (int i = 0; i < 1000000; ++i) ids.Next();
+      HQ_RETURN_IF_ERROR(transformer_.Run(transform::Stage::kBinding, &plan,
+                                          &ids, &features, &catalog_));
+      HQ_RETURN_IF_ERROR(transformer_.Run(transform::Stage::kSerialization,
+                                          &plan, &ids, &features, &catalog_));
+      HQ_ASSIGN_OR_RETURN(std::string select_sql,
+                          serializer_.Serialize(*plan));
+      std::string insert_sql =
+          "INSERT INTO " + def.name + " " + select_sql;
+      out.backend_sql.push_back(insert_sql);
+      HQ_ASSIGN_OR_RETURN(out.result,
+                          session->connector->Execute(insert_sql));
+    } else {
+      out.result = CommandResult("CREATE TABLE");
+    }
+    out.timing.execution_micros = execution.ElapsedMicros();
+    out.result.command_tag = "CREATE TABLE";
+    out.features = std::move(features);
+    return out;
+  }
+
+  TableDef def;
+  def.name = Catalog::NormalizeName(ct.table);
+  def.semantics =
+      ct.set_semantics ? TableSemantics::kSet : TableSemantics::kMultiset;
+  def.is_global_temporary = ct.global_temporary || ct.volatile_table;
+  if (ct.set_semantics) features.Record(Feature::kSetSemantics);
+  if (def.is_global_temporary) features.Record(Feature::kTemporaryTables);
+
+  std::string ddl = "CREATE TABLE " + def.name + " (";
+  bool first = true;
+  for (const auto& c : ct.columns) {
+    ColumnDef col;
+    col.name = ToUpper(c.name);
+    col.type = c.type;
+    col.nullable = !c.not_null;
+    if (c.not_case_specific) {
+      col.props.case_insensitive = true;
+      features.Record(Feature::kColumnProperties);
+    }
+    if (c.default_expr) {
+      HQ_ASSIGN_OR_RETURN(col.props.default_expr,
+                          RenderDefault(*c.default_expr));
+      col.props.has_default = true;
+      if (!IsConstantDefault(*c.default_expr)) {
+        features.Record(Feature::kColumnProperties);
+      }
+    }
+    auto emit = [&](const std::string& name, const SqlType& type,
+                    bool not_null) {
+      if (!first) ddl += ", ";
+      first = false;
+      ddl += name + " " + type.ToString();
+      if (not_null) ddl += " NOT NULL";
+    };
+    if (c.type.kind == TypeKind::kPeriodDate) {
+      // PERIOD has no target equivalent: two DATE columns + DTM metadata
+      // (paper §2.2.2 "Assumed Independence").
+      features.Record(Feature::kPeriodType);
+      emit(col.name + "_BEGIN", SqlType::Date(), c.not_null);
+      emit(col.name + "_END", SqlType::Date(), c.not_null);
+    } else {
+      emit(col.name, c.type, c.not_null);
+    }
+    def.columns.push_back(std::move(col));
+  }
+  ddl += ")";
+  // PRIMARY INDEX is physical design: not portable, intentionally dropped
+  // (paper Appendix A, Schema Conversion).
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    HQ_RETURN_IF_ERROR(catalog_.CreateTable(def));
+  }
+  Stopwatch execution;
+  auto exec_result = session->connector->Execute(ddl);
+  if (!exec_result.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    (void)catalog_.DropTable(def.name);
+    return exec_result.status();
+  }
+  if (ct.volatile_table) {
+    session->volatile_tables.push_back(def.name);
+  }
+  QueryOutcome out;
+  out.backend_sql.push_back(ddl);
+  out.result = std::move(exec_result).value();
+  out.result.command_tag = "CREATE TABLE";
+  out.timing.execution_micros = execution.ElapsedMicros();
+  out.features = std::move(features);
+  return out;
+}
+
+Result<QueryOutcome> HyperQService::HandleDropTable(
+    Session* session, const sql::DropTableStatement& dt,
+    FeatureSet features) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (catalog_.HasTable(dt.table)) {
+      HQ_RETURN_IF_ERROR(catalog_.DropTable(dt.table));
+    } else if (!dt.if_exists) {
+      return Status::CatalogError("table '", dt.table, "' does not exist");
+    }
+  }
+  Stopwatch execution;
+  std::string ddl = "DROP TABLE " +
+                    std::string(dt.if_exists ? "IF EXISTS " : "") +
+                    Catalog::NormalizeName(dt.table);
+  HQ_ASSIGN_OR_RETURN(BackendResult result,
+                      session->connector->Execute(ddl));
+  QueryOutcome out;
+  out.backend_sql.push_back(ddl);
+  out.result = std::move(result);
+  out.result.command_tag = "DROP TABLE";
+  out.timing.execution_micros = execution.ElapsedMicros();
+  out.features = std::move(features);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Script submission with single-row DML batching (paper §4.3)
+// ---------------------------------------------------------------------------
+
+Result<QueryOutcome> HyperQService::SubmitScript(uint32_t session_id,
+                                                 const std::string& script) {
+  HQ_ASSIGN_OR_RETURN(std::vector<std::string> statements,
+                      sql::SplitStatements(script));
+  HQ_ASSIGN_OR_RETURN(Session * session, GetSession(session_id));
+
+  // Batch runs of single-row INSERT ... VALUES into the same table.
+  std::vector<std::string> batched;
+  size_t i = 0;
+  while (i < statements.size()) {
+    const std::string& stmt = statements[i];
+    auto parsed = sql::ParseStatement(stmt, frontend_dialect_);
+    bool single_row_insert =
+        options_.batch_single_row_dml && parsed.ok() &&
+        (*parsed)->kind == StmtKind::kInsert &&
+        (*parsed)->As<sql::InsertStatement>()->values_rows.size() == 1 &&
+        (*parsed)->As<sql::InsertStatement>()->source == nullptr;
+    if (!single_row_insert) {
+      batched.push_back(stmt);
+      ++i;
+      continue;
+    }
+    // Extend the run while the statements share the prefix up to VALUES.
+    auto prefix_of = [](const std::string& s) -> std::string {
+      auto pos = ToUpper(s).find("VALUES");
+      return pos == std::string::npos ? s : ToUpper(s.substr(0, pos));
+    };
+    std::string prefix = prefix_of(stmt);
+    std::string merged = stmt;
+    size_t j = i + 1;
+    while (j < statements.size()) {
+      const std::string& next = statements[j];
+      if (prefix_of(next) != prefix) break;
+      auto next_parsed = sql::ParseStatement(next, frontend_dialect_);
+      if (!next_parsed.ok() ||
+          (*next_parsed)->kind != StmtKind::kInsert ||
+          (*next_parsed)->As<sql::InsertStatement>()->values_rows.size() !=
+              1) {
+        break;
+      }
+      auto vpos = ToUpper(next).find("VALUES");
+      merged += ", " + std::string(Trim(next.substr(vpos + 6)));
+      ++j;
+    }
+    batched.push_back(std::move(merged));
+    i = j;
+  }
+
+  QueryOutcome last;
+  for (const std::string& stmt : batched) {
+    HQ_ASSIGN_OR_RETURN(last, SubmitInternal(session, stmt, 0));
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.AddQuery(last.features);
+  }
+  return last;
+}
+
+Result<std::vector<std::string>> HyperQService::Translate(
+    const std::string& sql_a, FeatureSet* features) {
+  FeatureSet local;
+  FeatureSet* fs = features != nullptr ? features : &local;
+  HQ_RETURN_IF_ERROR(frontend::ScanTranslationFeatures(sql_a, fs));
+  HQ_ASSIGN_OR_RETURN(sql::StatementPtr stmt,
+                      sql::ParseStatement(sql_a, frontend_dialect_));
+  std::vector<std::string> out;
+  switch (stmt->kind) {
+    case StmtKind::kSelect:
+    case StmtKind::kInsert:
+    case StmtKind::kUpdate:
+    case StmtKind::kDelete: {
+      binder::Binder binder(&catalog_, frontend_dialect_);
+      xtra::OpPtr plan;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        HQ_ASSIGN_OR_RETURN(plan, binder.BindStatement(*stmt));
+      }
+      fs->Merge(binder.features());
+      binder::ColIdGenerator ids;
+      for (int i = 0; i < 1000000; ++i) ids.Next();
+      HQ_RETURN_IF_ERROR(transformer_.Run(transform::Stage::kBinding, &plan,
+                                          &ids, fs, &catalog_));
+      if (plan->kind == xtra::OpKind::kRecursiveCte) {
+        out.push_back("-- recursive query: emulated via temp tables");
+        return out;
+      }
+      HQ_RETURN_IF_ERROR(transformer_.Run(transform::Stage::kSerialization,
+                                          &plan, &ids, fs, &catalog_));
+      HQ_ASSIGN_OR_RETURN(std::string sql_b, serializer_.Serialize(*plan));
+      out.push_back(std::move(sql_b));
+      return out;
+    }
+    case StmtKind::kMerge: {
+      fs->Record(Feature::kMerge);
+      HQ_ASSIGN_OR_RETURN(
+          std::vector<sql::StatementPtr> parts,
+          emulation::LowerMerge(*stmt->As<sql::MergeStatement>()));
+      for (const auto& part : parts) {
+        binder::Binder binder(&catalog_, frontend_dialect_);
+        xtra::OpPtr plan;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          HQ_ASSIGN_OR_RETURN(plan, binder.BindStatement(*part));
+        }
+        fs->Merge(binder.features());
+        binder::ColIdGenerator ids;
+        for (int i = 0; i < 1000000; ++i) ids.Next();
+        HQ_RETURN_IF_ERROR(transformer_.Run(transform::Stage::kBinding,
+                                            &plan, &ids, fs, &catalog_));
+        HQ_RETURN_IF_ERROR(transformer_.Run(transform::Stage::kSerialization,
+                                            &plan, &ids, fs, &catalog_));
+        HQ_ASSIGN_OR_RETURN(std::string sql_b, serializer_.Serialize(*plan));
+        out.push_back(std::move(sql_b));
+      }
+      return out;
+    }
+    case StmtKind::kExecMacro:
+      fs->Record(Feature::kMacros);
+      return out;
+    case StmtKind::kHelp:
+    case StmtKind::kSetSession:
+      fs->Record(Feature::kSessionCommands);
+      return out;
+    case StmtKind::kCollectStats:
+      fs->Record(Feature::kStatsElimination);
+      return out;
+    default:
+      return out;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// protocol::RequestHandler
+// ---------------------------------------------------------------------------
+
+Result<protocol::LogonResponse> HyperQService::Logon(
+    const protocol::LogonRequest& request) {
+  HQ_ASSIGN_OR_RETURN(uint32_t id,
+                      OpenSession(request.user, request.default_database));
+  protocol::LogonResponse resp;
+  resp.ok = true;
+  resp.session_id = id;
+  resp.message = "session established";
+  return resp;
+}
+
+void HyperQService::Logoff(uint32_t session_id) { CloseSession(session_id); }
+
+Result<protocol::WireResponse> HyperQService::Run(uint32_t session_id,
+                                                  const std::string& sql) {
+  HQ_ASSIGN_OR_RETURN(QueryOutcome outcome, Submit(session_id, sql));
+
+  protocol::WireResponse resp;
+  resp.success.activity_count =
+      static_cast<uint64_t>(outcome.result.affected_rows);
+  resp.success.tag = outcome.result.command_tag;
+  resp.success.translation_micros = outcome.timing.translation_micros;
+  resp.success.execution_micros = outcome.timing.execution_micros;
+
+  if (outcome.result.is_rowset()) {
+    Stopwatch conversion;
+    convert::ResultConverter converter(options_.convert_parallelism);
+    HQ_ASSIGN_OR_RETURN(convert::ConversionResult converted,
+                        converter.Convert(outcome.result));
+    resp.success.conversion_micros = conversion.ElapsedMicros();
+    resp.has_rowset = true;
+    resp.header.columns = std::move(converted.columns);
+    resp.header.total_rows = converted.total_rows;
+    resp.batches = std::move(converted.batches);
+    resp.success.activity_count = converted.total_rows;
+  }
+  return resp;
+}
+
+}  // namespace hyperq::service

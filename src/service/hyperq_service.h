@@ -1,0 +1,155 @@
+// HyperQService — the Gateway Manager (paper Figure 3): owns sessions, runs
+// the full translation pipeline, drives emulation, keeps the DTM catalog in
+// sync with the target, and implements the tdwp RequestHandler so the proxy
+// server can expose everything over the wire.
+//
+// Per-request pipeline (mirroring the architecture diagram):
+//   Protocol Handler -> [this] Parser -> Binder -> Transformer (binding
+//   stage) -> Transformer (serialization stage, per target profile) ->
+//   Serializer -> ODBC-Server analog (BackendConnector) -> TDF ->
+//   Result Converter -> Protocol Handler
+//
+// Instrumentation: every Submit records the tracked-feature footprint
+// (Figure 8) and a translation/execution time breakdown (Figure 9).
+
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "backend/connector.h"
+#include "binder/binder.h"
+#include "catalog/catalog.h"
+#include "common/features.h"
+#include "common/result.h"
+#include "convert/result_converter.h"
+#include "emulation/recursion.h"
+#include "emulation/session.h"
+#include "protocol/server.h"
+#include "serializer/serializer.h"
+#include "sql/parser.h"
+#include "transform/transformer.h"
+#include "vdb/engine.h"
+
+namespace hyperq::service {
+
+/// \brief Per-request time decomposition (Figure 9 categories).
+struct TimingBreakdown {
+  double translation_micros = 0;  // parse + bind + transform + serialize
+  double execution_micros = 0;    // target database time
+  double conversion_micros = 0;   // TDF -> frontend binary (filled by the
+                                  // protocol layer / benchmarks)
+};
+
+/// \brief Result of one submitted SQL-A request.
+struct QueryOutcome {
+  backend::BackendResult result;
+  TimingBreakdown timing;
+  FeatureSet features;
+  std::vector<std::string> backend_sql;  // statements sent to the target
+};
+
+struct ServiceOptions {
+  transform::BackendProfile profile = transform::BackendProfile::Vdb();
+  backend::ConnectorOptions connector;
+  int convert_parallelism = 2;
+  bool batch_single_row_dml = true;  // §4.3 performance transformation
+};
+
+class HyperQService : public protocol::RequestHandler {
+ public:
+  HyperQService(vdb::Engine* engine, ServiceOptions options = {});
+  ~HyperQService() override;
+
+  // --- Library API -----------------------------------------------------
+  Result<uint32_t> OpenSession(const std::string& user,
+                               const std::string& default_database = "");
+  void CloseSession(uint32_t session_id);
+
+  /// \brief Translates and executes one SQL-A statement.
+  Result<QueryOutcome> Submit(uint32_t session_id, const std::string& sql_a);
+
+  /// \brief Executes a ';'-separated SQL-A script; consecutive single-row
+  /// INSERTs into the same table are batched into multi-row statements
+  /// (paper §4.3). Returns the last statement's outcome.
+  Result<QueryOutcome> SubmitScript(uint32_t session_id,
+                                    const std::string& script);
+
+  /// \brief Translation without execution: returns the SQL-B text(s) the
+  /// statement would produce. Used by the workload study and tests.
+  Result<std::vector<std::string>> Translate(const std::string& sql_a,
+                                             FeatureSet* features);
+
+  Catalog* catalog() { return &catalog_; }
+  const transform::BackendProfile& profile() const {
+    return options_.profile;
+  }
+
+  /// Aggregated per-query feature statistics (Figure 8).
+  WorkloadFeatureStats stats() const;
+  void ResetStats();
+
+  // --- protocol::RequestHandler ----------------------------------------
+  Result<protocol::LogonResponse> Logon(
+      const protocol::LogonRequest& request) override;
+  void Logoff(uint32_t session_id) override;
+  Result<protocol::WireResponse> Run(uint32_t session_id,
+                                     const std::string& sql) override;
+
+ private:
+  struct Session {
+    uint32_t id;
+    SessionInfo info;
+    std::unique_ptr<backend::BackendConnector> connector;
+    std::vector<std::string> volatile_tables;
+    int txn_depth = 0;
+  };
+
+  Result<Session*> GetSession(uint32_t id);
+
+  Result<QueryOutcome> SubmitInternal(Session* session,
+                                      const std::string& sql_a, int depth);
+  Result<QueryOutcome> ExecuteStatement(Session* session,
+                                        const sql::Statement& stmt,
+                                        const std::string& sql_a,
+                                        FeatureSet features, int depth);
+
+  // Query/DML path: bind -> transform -> serialize -> execute.
+  Result<QueryOutcome> RunPipeline(Session* session,
+                                   const sql::Statement& stmt,
+                                   FeatureSet features);
+
+  // DDL translation (schema sync between DTM catalog and the target).
+  Result<QueryOutcome> HandleCreateTable(Session* session,
+                                         const sql::CreateTableStatement& ct,
+                                         FeatureSet features);
+  Result<QueryOutcome> HandleDropTable(Session* session,
+                                       const sql::DropTableStatement& dt,
+                                       FeatureSet features);
+
+  // Expands PERIOD columns of an INSERT plan into begin/end pairs.
+  Status ExpandPeriodInsert(xtra::Op* insert_op, FeatureSet* features);
+
+  static backend::BackendResult PackageLocal(
+      const emulation::LocalResult& local);
+  static backend::BackendResult CommandResult(const std::string& tag,
+                                              int64_t activity = 0);
+
+  vdb::Engine* engine_;
+  ServiceOptions options_;
+  Catalog catalog_;
+  transform::Transformer transformer_;
+  serializer::Serializer serializer_;
+  sql::Dialect frontend_dialect_;
+
+  mutable std::mutex mutex_;
+  std::map<uint32_t, std::unique_ptr<Session>> sessions_;
+  std::atomic<uint32_t> next_session_{1};
+  WorkloadFeatureStats stats_;
+};
+
+}  // namespace hyperq::service

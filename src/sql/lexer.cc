@@ -1,0 +1,289 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace hyperq::sql {
+
+bool Token::IsKeyword(const char* kw) const {
+  return kind == TokenKind::kIdent && upper == kw;
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$' ||
+         c == '#';
+}
+bool IsIdentCont(char c) {
+  return IsIdentStart(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+class LexerImpl {
+ public:
+  explicit LexerImpl(const std::string& sql) : sql_(sql) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) break;
+      HQ_ASSIGN_OR_RETURN(Token tok, Lex());
+      tok.end_offset = pos_;
+      out.push_back(std::move(tok));
+    }
+    Token eof;
+    eof.kind = TokenKind::kEof;
+    eof.line = line_;
+    eof.column = column_;
+    eof.begin_offset = pos_;
+    eof.end_offset = pos_;
+    out.push_back(std::move(eof));
+    return out;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= sql_.size(); }
+  char Cur() const { return sql_[pos_]; }
+  char LookAhead(size_t n = 1) const {
+    return pos_ + n < sql_.size() ? sql_[pos_ + n] : '\0';
+  }
+  void Advance() {
+    if (sql_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Cur();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '-' && LookAhead() == '-') {
+        while (!AtEnd() && Cur() != '\n') Advance();
+      } else if (c == '/' && LookAhead() == '*') {
+        Advance();
+        Advance();
+        while (!AtEnd() && !(Cur() == '*' && LookAhead() == '/')) Advance();
+        if (!AtEnd()) {
+          Advance();
+          Advance();
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token Start(TokenKind kind) {
+    Token t;
+    t.kind = kind;
+    t.line = line_;
+    t.column = column_;
+    t.begin_offset = pos_;
+    return t;
+  }
+
+  Result<Token> Lex() {
+    char c = Cur();
+    if (IsIdentStart(c)) return LexIdent();
+    if (std::isdigit(static_cast<unsigned char>(c))) return LexNumber();
+    if (c == '.' && std::isdigit(static_cast<unsigned char>(LookAhead()))) {
+      return LexNumber();
+    }
+    if (c == '\'') return LexString();
+    if (c == '"') return LexQuotedIdent();
+    if (c == ':') return LexParam();
+    return LexOperator();
+  }
+
+  Result<Token> LexIdent() {
+    Token t = Start(TokenKind::kIdent);
+    while (!AtEnd() && IsIdentCont(Cur())) {
+      t.text += Cur();
+      Advance();
+    }
+    t.upper = ToUpper(t.text);
+    return t;
+  }
+
+  Result<Token> LexNumber() {
+    Token t = Start(TokenKind::kInteger);
+    bool saw_dot = false, saw_exp = false;
+    while (!AtEnd()) {
+      char c = Cur();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        t.text += c;
+        Advance();
+      } else if (c == '.' && !saw_dot && !saw_exp) {
+        saw_dot = true;
+        t.text += c;
+        Advance();
+      } else if ((c == 'e' || c == 'E') && !saw_exp &&
+                 (std::isdigit(static_cast<unsigned char>(LookAhead())) ||
+                  ((LookAhead() == '+' || LookAhead() == '-') &&
+                   std::isdigit(static_cast<unsigned char>(LookAhead(2)))))) {
+        saw_exp = true;
+        t.text += c;
+        Advance();
+        if (Cur() == '+' || Cur() == '-') {
+          t.text += Cur();
+          Advance();
+        }
+      } else {
+        break;
+      }
+    }
+    t.kind = saw_exp ? TokenKind::kFloat
+                     : (saw_dot ? TokenKind::kDecimal : TokenKind::kInteger);
+    return t;
+  }
+
+  Result<Token> LexString() {
+    Token t = Start(TokenKind::kString);
+    Advance();  // opening quote
+    while (true) {
+      if (AtEnd()) {
+        return Status::SyntaxError("unterminated string literal at line ",
+                                   t.line);
+      }
+      char c = Cur();
+      if (c == '\'') {
+        if (LookAhead() == '\'') {  // '' escape
+          t.text += '\'';
+          Advance();
+          Advance();
+        } else {
+          Advance();
+          break;
+        }
+      } else {
+        t.text += c;
+        Advance();
+      }
+    }
+    return t;
+  }
+
+  Result<Token> LexQuotedIdent() {
+    Token t = Start(TokenKind::kQuotedIdent);
+    Advance();
+    while (true) {
+      if (AtEnd()) {
+        return Status::SyntaxError("unterminated quoted identifier at line ",
+                                   t.line);
+      }
+      char c = Cur();
+      if (c == '"') {
+        if (LookAhead() == '"') {
+          t.text += '"';
+          Advance();
+          Advance();
+        } else {
+          Advance();
+          break;
+        }
+      } else {
+        t.text += c;
+        Advance();
+      }
+    }
+    t.upper = ToUpper(t.text);
+    return t;
+  }
+
+  Result<Token> LexParam() {
+    Token t = Start(TokenKind::kParam);
+    Advance();  // ':'
+    if (AtEnd() || !IsIdentStart(Cur())) {
+      return Status::SyntaxError("expected parameter name after ':' at line ",
+                                 t.line);
+    }
+    while (!AtEnd() && IsIdentCont(Cur())) {
+      t.text += Cur();
+      Advance();
+    }
+    t.upper = ToUpper(t.text);
+    return t;
+  }
+
+  Result<Token> LexOperator() {
+    Token t = Start(TokenKind::kOperator);
+    static const char* kTwoChar[] = {"<=", ">=", "<>", "!=", "||", "**", "^="};
+    char c = Cur();
+    char n = LookAhead();
+    for (const char* op : kTwoChar) {
+      if (c == op[0] && n == op[1]) {
+        t.text = op;
+        t.upper = op;
+        Advance();
+        Advance();
+        return t;
+      }
+    }
+    static const std::string kSingle = "+-*/%(),.;=<>?[]";
+    if (kSingle.find(c) == std::string::npos) {
+      return Status::SyntaxError("unexpected character '", std::string(1, c),
+                                 "' at line ", line_, " column ", column_);
+    }
+    t.text = std::string(1, c);
+    t.upper = t.text;
+    Advance();
+    return t;
+  }
+
+  const std::string& sql_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  return LexerImpl(sql).Run();
+}
+
+bool TokenStream::ConsumeKeyword(const char* kw) {
+  if (Peek().IsKeyword(kw)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+bool TokenStream::ConsumeOp(const char* op) {
+  if (Peek().IsOp(op)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+Status TokenStream::ExpectKeyword(const char* kw) {
+  if (!ConsumeKeyword(kw)) {
+    return ErrorHere(std::string("expected keyword ") + kw);
+  }
+  return Status::OK();
+}
+
+Status TokenStream::ExpectOp(const char* op) {
+  if (!ConsumeOp(op)) {
+    return ErrorHere(std::string("expected '") + op + "'");
+  }
+  return Status::OK();
+}
+
+Status TokenStream::ErrorHere(const std::string& what) const {
+  const Token& t = Peek();
+  std::string got = t.kind == TokenKind::kEof ? "end of input" : t.text;
+  return Status::SyntaxError(what, ", got '", got, "' at line ", t.line,
+                             " column ", t.column);
+}
+
+}  // namespace hyperq::sql

@@ -1,0 +1,106 @@
+#include "transform/backend_profile.h"
+
+namespace hyperq::transform {
+
+BackendProfile BackendProfile::Vdb() {
+  BackendProfile p;
+  p.name = "vdb";
+  // The embedded engine is a deliberately plain ANSI target: every vendor
+  // construct must be rewritten or emulated, which exercises the full
+  // Hyper-Q pipeline.
+  p.supports_quantified_subquery = true;
+  p.supports_derived_col_aliases = true;
+  p.supports_ordinal_group_by = false;
+  p.nulls_sort_low = false;  // vdb sorts NULLs high (Postgres-style)
+  return p;
+}
+
+std::vector<BackendProfile> BackendProfile::CloudFleet() {
+  // Five simulated cloud data warehouses with heterogeneous capabilities;
+  // percentages across this fleet reproduce the shape of Figure 2.
+  std::vector<BackendProfile> fleet;
+
+  BackendProfile a;
+  a.name = "cloud-dw-a";  // mature MPP warehouse
+  a.supports_derived_col_aliases = true;
+  a.supports_quantified_subquery = true;
+  a.supports_grouping_sets = true;
+  a.supports_recursive_cte = true;
+  a.supports_merge = true;
+  a.supports_ordinal_group_by = true;
+  a.supports_stored_procedures = true;
+  a.supports_global_temp_tables = true;
+  fleet.push_back(a);
+
+  BackendProfile b;
+  b.name = "cloud-dw-b";  // columnar analytics service
+  b.supports_derived_col_aliases = false;
+  b.supports_quantified_subquery = false;
+  b.supports_grouping_sets = true;
+  b.supports_ordinal_group_by = true;
+  b.supports_updatable_views = true;
+  fleet.push_back(b);
+
+  BackendProfile c;
+  c.name = "cloud-dw-c";  // serverless query engine
+  c.supports_derived_col_aliases = false;
+  c.supports_quantified_subquery = false;
+  c.supports_grouping_sets = true;
+  c.supports_ordinal_group_by = true;
+  c.supports_recursive_cte = false;
+  c.supports_merge = true;
+  fleet.push_back(c);
+
+  BackendProfile d;
+  d.name = "cloud-dw-d";  // elastic warehouse
+  d.supports_derived_col_aliases = true;
+  d.supports_quantified_subquery = true;
+  d.supports_grouping_sets = true;
+  d.supports_recursive_cte = true;
+  d.supports_merge = true;
+  d.supports_ordinal_group_by = true;
+  d.supports_stored_procedures = true;
+  d.supports_qualify = true;  // the one cloud system that adopted QUALIFY
+  fleet.push_back(d);
+
+  BackendProfile e;
+  e.name = "cloud-dw-e";  // managed cluster warehouse
+  e.supports_derived_col_aliases = false;
+  e.supports_quantified_subquery = true;
+  e.supports_grouping_sets = false;
+  e.supports_ordinal_group_by = true;
+  e.supports_global_temp_tables = true;
+  fleet.push_back(e);
+
+  return fleet;
+}
+
+BackendProfile BackendProfile::TeradataSource() {
+  BackendProfile p;
+  p.name = "teradata-source";
+  p.supports_qualify = true;
+  p.supports_implicit_join = true;
+  p.supports_named_expr_reuse = true;
+  p.supports_derived_col_aliases = true;
+  p.supports_vector_subquery = true;
+  p.supports_quantified_subquery = true;
+  p.supports_grouping_sets = true;
+  p.supports_top_with_ties = true;
+  p.supports_recursive_cte = true;
+  p.supports_merge = true;
+  p.supports_macros = true;
+  p.supports_ordinal_group_by = true;
+  p.supports_date_int_comparison = true;
+  p.supports_date_arithmetic = true;
+  p.supports_set_tables = true;
+  p.supports_global_temp_tables = true;
+  p.supports_period_type = true;
+  p.supports_updatable_views = true;
+  p.supports_stored_procedures = true;
+  p.supports_case_insensitive_columns = true;
+  p.supports_nonconstant_defaults = true;
+  p.nulls_sort_low = true;
+  return p;
+}
+
+}  // namespace hyperq::transform

@@ -1,0 +1,62 @@
+// Capability profiles of target database systems.
+//
+// A BackendProfile drives which serialization-stage transformations fire
+// (paper §5.3: "This transformation is system specific, since it is designed
+// to match the capabilities of a particular target database system") and
+// powers the Figure 2 support-matrix reproduction.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hyperq::transform {
+
+/// \brief Feature switches of a target system (SQL-B side).
+struct BackendProfile {
+  std::string name;
+
+  // Query surface.
+  bool supports_qualify = false;
+  bool supports_implicit_join = false;
+  bool supports_named_expr_reuse = false;     // chained projections
+  bool supports_derived_col_aliases = true;   // (SELECT ...) t (a, b)
+  bool supports_vector_subquery = false;      // (a,b) > ANY (...)
+  bool supports_quantified_subquery = true;   // scalar ANY/ALL
+  bool supports_grouping_sets = false;        // ROLLUP/CUBE/GROUPING SETS
+  bool supports_top_with_ties = false;
+  bool supports_recursive_cte = false;
+  bool supports_merge = false;
+  bool supports_macros = false;
+  bool supports_ordinal_group_by = true;
+  bool supports_date_int_comparison = false;  // Teradata-only
+  bool supports_date_arithmetic = false;      // DATE + n as day arithmetic
+  bool supports_update_from = true;
+
+  // Schema surface.
+  bool supports_set_tables = false;
+  bool supports_global_temp_tables = false;
+  bool supports_period_type = false;
+  bool supports_updatable_views = false;
+  bool supports_stored_procedures = false;
+  bool supports_case_insensitive_columns = false;
+  bool supports_nonconstant_defaults = false;
+
+  // Sorting semantics: true when the target, like Teradata, places NULLs
+  // first in ascending order by default. Targets that differ need explicit
+  // NULLS FIRST/LAST injected (the paper's silent-correctness class).
+  bool nulls_sort_low = false;
+
+  /// \brief The embedded vdb engine (the default target in this repo).
+  static BackendProfile Vdb();
+
+  /// \brief Simulated cloud data warehouse profiles for the Figure 2 study.
+  /// Five systems with deliberately heterogeneous feature sets.
+  static std::vector<BackendProfile> CloudFleet();
+
+  /// \brief The Teradata-ish source system itself (everything on), used by
+  /// the feature-matrix bench as the reference row.
+  static BackendProfile TeradataSource();
+};
+
+}  // namespace hyperq::transform

@@ -1,0 +1,90 @@
+// The Transformer (paper §4.3): a fixed-point driver over pluggable
+// transformation rules.
+//
+// Rules fire in two stages, mirroring the paper's placement guidelines
+// (§5): *binding-stage* rules are backend-independent normalizations (e.g.
+// comp_date_to_int) applied right after algebrization; *serialization-stage*
+// rules adapt the XTRA tree to one target's capabilities (e.g.
+// vector_subq_to_exists) and run immediately before the Serializer.
+//
+// The driver keeps a map from operator kind to the rules interested in it
+// and re-runs the rule set until a fixed point: the output of one rule may
+// be a valid input to another (cascading).
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "binder/binder.h"
+#include "catalog/catalog.h"
+#include "common/features.h"
+#include "common/result.h"
+#include "transform/backend_profile.h"
+#include "xtra/xtra.h"
+
+namespace hyperq::transform {
+
+enum class Stage : uint8_t { kBinding, kSerialization };
+
+/// \brief Mutable state shared by rules during one Run().
+struct TransformContext {
+  const Catalog* catalog = nullptr;
+  binder::ColIdGenerator* ids = nullptr;
+  FeatureSet* features = nullptr;  // tracked-feature instrumentation
+  const BackendProfile* profile = nullptr;
+  bool changed = false;  // set by rules that rewrote something
+};
+
+/// \brief One transformation. Rules are stateless and shared across
+/// databases and requests (paper: "plug-able components").
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual const char* name() const = 0;
+  virtual Stage stage() const = 0;
+
+  /// Operator kinds this rule wants to see (the paper's operator →
+  /// transformation map); empty = all operators.
+  virtual std::vector<xtra::OpKind> Triggers() const = 0;
+
+  /// \brief Rewrites *op in place if the rule applies; sets ctx->changed.
+  virtual Status Apply(xtra::OpPtr* op, TransformContext* ctx) = 0;
+};
+
+/// \brief Runs rules to a fixed point over an XTRA tree (including subquery
+/// plans inside expressions).
+class Transformer {
+ public:
+  /// Builds the standard rule set for a target profile.
+  explicit Transformer(const BackendProfile& profile);
+
+  /// \brief Applies all rules of `stage` until no rule changes the tree.
+  Status Run(Stage stage, xtra::OpPtr* plan, binder::ColIdGenerator* ids,
+             FeatureSet* features, const Catalog* catalog = nullptr) const;
+
+  const BackendProfile& profile() const { return profile_; }
+
+  /// Names of registered rules (used by tests and the feature matrix).
+  std::vector<std::string> RuleNames(Stage stage) const;
+
+ private:
+  Status RunOnce(Stage stage, xtra::OpPtr* op, TransformContext* ctx) const;
+
+  BackendProfile profile_;
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+/// \brief Applies `fn` to every expression slot of the operator tree,
+/// including expressions inside subquery plans. `fn` may replace the
+/// pointed-to expression.
+void MutateExprs(xtra::Op* op,
+                 const std::function<void(xtra::ExprPtr*)>& fn);
+
+/// \brief Applies `fn` to an expression tree top-down (and into subplans).
+void MutateExprTree(xtra::ExprPtr* e,
+                    const std::function<void(xtra::ExprPtr*)>& fn);
+
+}  // namespace hyperq::transform

@@ -1,0 +1,60 @@
+// Calendar date arithmetic and the Teradata integer date encoding.
+//
+// Dates are stored as int32 days since the Unix epoch (1970-01-01).
+// Teradata's legacy encoding — the one Example 2 of the paper exploits with
+// `SALES_DATE > 1140101` — is (year - 1900) * 10000 + month * 100 + day;
+// 1140101 therefore means 2014-01-01.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace hyperq {
+
+/// \brief Days since 1970-01-01 for a civil date (proleptic Gregorian).
+int32_t DaysFromCivil(int year, int month, int day);
+
+/// \brief Inverse of DaysFromCivil.
+void CivilFromDays(int32_t days, int* year, int* month, int* day);
+
+/// \brief True if (year, month, day) is a real calendar date.
+bool IsValidCivil(int year, int month, int day);
+
+/// \brief Teradata integer encoding of a date value.
+int64_t DateToTeradataInt(int32_t days);
+
+/// \brief Decodes a Teradata date integer; fails on non-dates.
+Result<int32_t> TeradataIntToDate(int64_t encoded);
+
+/// \brief Parses 'YYYY-MM-DD' (also accepts 'YYYY/MM/DD').
+Result<int32_t> ParseDate(const std::string& text);
+
+/// \brief Formats as 'YYYY-MM-DD'.
+std::string FormatDate(int32_t days);
+
+/// \brief Parses 'YYYY-MM-DD[ HH:MM:SS[.ffffff]]' to micros since epoch.
+Result<int64_t> ParseTimestamp(const std::string& text);
+
+/// \brief Formats micros since epoch as 'YYYY-MM-DD HH:MM:SS.ffffff'
+/// (fractional part omitted when zero).
+std::string FormatTimestamp(int64_t micros);
+
+/// \brief Parses 'HH:MM:SS[.ffffff]' to micros since midnight.
+Result<int64_t> ParseTime(const std::string& text);
+
+/// \brief Formats micros since midnight as 'HH:MM:SS[.ffffff]'.
+std::string FormatTime(int64_t micros);
+
+/// EXTRACT field helpers.
+int ExtractYear(int32_t days);
+int ExtractMonth(int32_t days);
+int ExtractDay(int32_t days);
+
+/// \brief Adds `months` calendar months, clamping the day-of-month (ANSI
+/// ADD_MONTHS semantics).
+int32_t AddMonths(int32_t days, int months);
+
+}  // namespace hyperq

@@ -1,0 +1,264 @@
+#include "types/datum.h"
+
+#include <cmath>
+#include <functional>
+
+#include "types/date.h"
+
+namespace hyperq {
+
+namespace {
+// Strips trailing blanks for CHAR-style comparison semantics.
+std::string_view RTrim(const std::string& s) {
+  size_t e = s.size();
+  while (e > 0 && s[e - 1] == ' ') --e;
+  return std::string_view(s.data(), e);
+}
+}  // namespace
+
+double Datum::AsDouble() const {
+  if (is_int()) return static_cast<double>(int_val());
+  if (is_double()) return double_val();
+  if (is_decimal()) return decimal_val().ToDouble();
+  return std::nan("");
+}
+
+int64_t Datum::AsInt() const {
+  if (is_int()) return int_val();
+  if (is_double()) return static_cast<int64_t>(double_val());
+  if (is_decimal()) return decimal_val().Rescale(0).value;
+  if (is_bool()) return bool_val() ? 1 : 0;
+  return 0;
+}
+
+Result<int> Datum::Compare(const Datum& a, const Datum& b) {
+  if (a.is_null() || b.is_null()) {
+    return Status::Internal("Compare called on NULL datum");
+  }
+  auto cmp3 = [](auto x, auto y) { return x < y ? -1 : (x > y ? 1 : 0); };
+
+  if (a.is_bool() && b.is_bool()) {
+    return cmp3(a.bool_val(), b.bool_val());
+  }
+  if (a.is_numeric() && b.is_numeric()) {
+    if (a.is_int() && b.is_int()) return cmp3(a.int_val(), b.int_val());
+    if (a.is_decimal() && b.is_decimal()) {
+      return Decimal::Compare(a.decimal_val(), b.decimal_val());
+    }
+    if (a.is_decimal() && b.is_int()) {
+      return Decimal::Compare(a.decimal_val(), Decimal{b.int_val(), 0});
+    }
+    if (a.is_int() && b.is_decimal()) {
+      return Decimal::Compare(Decimal{a.int_val(), 0}, b.decimal_val());
+    }
+    return cmp3(a.AsDouble(), b.AsDouble());
+  }
+  if (a.is_string() && b.is_string()) {
+    int c = RTrim(a.string_val()).compare(RTrim(b.string_val()));
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (a.is_date() && b.is_date()) return cmp3(a.date_val(), b.date_val());
+  if (a.is_time() && b.is_time()) return cmp3(a.time_val(), b.time_val());
+  if (a.is_timestamp() && b.is_timestamp()) {
+    return cmp3(a.timestamp_val(), b.timestamp_val());
+  }
+  // DATE vs TIMESTAMP: widen date to midnight timestamp.
+  if (a.is_date() && b.is_timestamp()) {
+    return cmp3(static_cast<int64_t>(a.date_val()) * 86400000000LL,
+                b.timestamp_val());
+  }
+  if (a.is_timestamp() && b.is_date()) {
+    return cmp3(a.timestamp_val(),
+                static_cast<int64_t>(b.date_val()) * 86400000000LL);
+  }
+  if (a.is_interval() && b.is_interval()) {
+    return cmp3(a.interval_val(), b.interval_val());
+  }
+  if (a.is_period() && b.is_period()) {
+    auto pa = a.period_val(), pb = b.period_val();
+    if (pa.begin_days != pb.begin_days) {
+      return cmp3(pa.begin_days, pb.begin_days);
+    }
+    return cmp3(pa.end_days, pb.end_days);
+  }
+  return Status::ExecutionError("cannot compare incompatible datums '",
+                                a.ToString(), "' and '", b.ToString(), "'");
+}
+
+bool Datum::GroupEquals(const Datum& a, const Datum& b) {
+  if (a.is_null() || b.is_null()) return a.is_null() && b.is_null();
+  auto r = Compare(a, b);
+  return r.ok() && *r == 0;
+}
+
+size_t Datum::Hash() const {
+  if (is_null()) return 0x9e3779b97f4a7c15ULL;
+  if (is_bool()) return std::hash<bool>{}(bool_val());
+  // Numeric kinds must hash consistently with cross-kind GroupEquals: an
+  // integer-valued decimal hashes like the integer.
+  if (is_int()) return std::hash<int64_t>{}(int_val());
+  if (is_decimal()) {
+    const Decimal& d = decimal_val();
+    if (d.value % Pow10(d.scale) == 0) {
+      return std::hash<int64_t>{}(d.Rescale(0).value);
+    }
+    return std::hash<double>{}(d.ToDouble());
+  }
+  if (is_double()) {
+    double v = double_val();
+    if (v == static_cast<double>(static_cast<int64_t>(v))) {
+      return std::hash<int64_t>{}(static_cast<int64_t>(v));
+    }
+    return std::hash<double>{}(v);
+  }
+  if (is_string()) {
+    return std::hash<std::string_view>{}(RTrim(string_val()));
+  }
+  if (is_date()) return std::hash<int64_t>{}(date_val());
+  if (is_time()) return std::hash<int64_t>{}(time_val());
+  if (is_timestamp()) return std::hash<int64_t>{}(timestamp_val());
+  if (is_interval()) return std::hash<int64_t>{}(interval_val());
+  if (is_period()) {
+    auto p = period_val();
+    return std::hash<int64_t>{}((static_cast<int64_t>(p.begin_days) << 32) ^
+                                p.end_days);
+  }
+  return 0;
+}
+
+Result<Datum> Datum::CastTo(const SqlType& type) const {
+  if (is_null()) return Null();
+  switch (type.kind) {
+    case TypeKind::kBool:
+      if (is_bool()) return *this;
+      if (is_int()) return Bool(int_val() != 0);
+      break;
+    case TypeKind::kSmallInt:
+    case TypeKind::kInt:
+    case TypeKind::kBigInt:
+      if (is_numeric() || is_bool()) return Int(AsInt());
+      if (is_string()) {
+        try {
+          return Int(std::stoll(string_val()));
+        } catch (...) {
+          return Status::ExecutionError("cannot cast '", string_val(),
+                                        "' to integer");
+        }
+      }
+      // Teradata legacy: DATE casts to its integer encoding.
+      if (is_date()) return Int(DateToTeradataInt(date_val()));
+      break;
+    case TypeKind::kDecimal: {
+      if (is_decimal()) {
+        return MakeDecimal(decimal_val().Rescale(type.scale));
+      }
+      if (is_int()) {
+        return MakeDecimal(Decimal{int_val(), 0}.Rescale(type.scale));
+      }
+      if (is_double()) {
+        return MakeDecimal(Decimal{
+            static_cast<int64_t>(std::llround(double_val() *
+                                              Pow10(type.scale))),
+            type.scale});
+      }
+      if (is_string()) {
+        HQ_ASSIGN_OR_RETURN(Decimal d, Decimal::Parse(string_val()));
+        return MakeDecimal(d.Rescale(type.scale));
+      }
+      break;
+    }
+    case TypeKind::kDouble:
+      if (is_numeric()) return MakeDouble(AsDouble());
+      if (is_string()) {
+        try {
+          return MakeDouble(std::stod(string_val()));
+        } catch (...) {
+          return Status::ExecutionError("cannot cast '", string_val(),
+                                        "' to double");
+        }
+      }
+      break;
+    case TypeKind::kChar:
+    case TypeKind::kVarchar: {
+      std::string s = is_string() ? string_val() : ToString();
+      if (type.length > 0 && static_cast<int32_t>(s.size()) > type.length) {
+        s.resize(type.length);
+      }
+      if (type.kind == TypeKind::kChar && type.length > 0) {
+        s.resize(type.length, ' ');
+      }
+      return String(std::move(s));
+    }
+    case TypeKind::kDate:
+      if (is_date()) return *this;
+      if (is_string()) {
+        HQ_ASSIGN_OR_RETURN(int32_t days, ParseDate(string_val()));
+        return Date(days);
+      }
+      if (is_timestamp()) {
+        int64_t micros = timestamp_val();
+        int64_t days = micros / 86400000000LL;
+        if (micros < 0 && micros % 86400000000LL != 0) --days;
+        return Date(static_cast<int32_t>(days));
+      }
+      if (is_int()) {
+        HQ_ASSIGN_OR_RETURN(int32_t days, TeradataIntToDate(int_val()));
+        return Date(days);
+      }
+      break;
+    case TypeKind::kTime:
+      if (is_time()) return *this;
+      if (is_string()) {
+        HQ_ASSIGN_OR_RETURN(int64_t micros, ParseTime(string_val()));
+        return Time(micros);
+      }
+      break;
+    case TypeKind::kTimestamp:
+      if (is_timestamp()) return *this;
+      if (is_date()) {
+        return Timestamp(static_cast<int64_t>(date_val()) * 86400000000LL);
+      }
+      if (is_string()) {
+        HQ_ASSIGN_OR_RETURN(int64_t micros, ParseTimestamp(string_val()));
+        return Timestamp(micros);
+      }
+      break;
+    case TypeKind::kInterval:
+      if (is_interval()) return *this;
+      break;
+    case TypeKind::kPeriodDate:
+      if (is_period()) return *this;
+      break;
+    case TypeKind::kNull:
+      return *this;
+  }
+  return Status::ExecutionError("cannot cast ", ToString(), " to ",
+                                type.ToString());
+}
+
+std::string Datum::ToString(bool teradata_style) const {
+  if (is_null()) return teradata_style ? "?" : "NULL";
+  if (is_bool()) return bool_val() ? "true" : "false";
+  if (is_int()) return std::to_string(int_val());
+  if (is_double()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", double_val());
+    return buf;
+  }
+  if (is_decimal()) return decimal_val().ToString();
+  if (is_string()) return string_val();
+  if (is_date()) return FormatDate(date_val());
+  if (is_time()) return FormatTime(time_val());
+  if (is_timestamp()) return FormatTimestamp(timestamp_val());
+  if (is_interval()) {
+    return "INTERVAL " + std::to_string(interval_val()) + " MICROSECONDS";
+  }
+  if (is_period()) {
+    auto p = period_val();
+    return "PERIOD(" + FormatDate(p.begin_days) + ", " +
+           FormatDate(p.end_days) + ")";
+  }
+  return "?";
+}
+
+}  // namespace hyperq

@@ -1,0 +1,138 @@
+// Datum: the runtime value representation used by the vdb executor, the TDF
+// codec, and the wire-protocol row encoders.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "types/decimal.h"
+#include "types/type.h"
+
+namespace hyperq {
+
+/// Distinct wrappers keep temporal kinds apart inside the variant.
+struct DateVal {
+  int32_t days;  // since 1970-01-01
+  bool operator==(const DateVal&) const = default;
+};
+struct TimeVal {
+  int64_t micros;  // since midnight
+  bool operator==(const TimeVal&) const = default;
+};
+struct TimestampVal {
+  int64_t micros;  // since epoch
+  bool operator==(const TimestampVal&) const = default;
+};
+struct IntervalVal {
+  int64_t micros;
+  bool operator==(const IntervalVal&) const = default;
+};
+/// Teradata PERIOD(DATE): half-open [begin, end).
+struct PeriodDateVal {
+  int32_t begin_days;
+  int32_t end_days;
+  bool operator==(const PeriodDateVal&) const = default;
+};
+
+/// \brief A single SQL value: NULL or one of the supported runtime kinds.
+///
+/// Integer SQL types (SMALLINT/INT/BIGINT) all map to int64 at runtime; the
+/// logical type travels separately in row descriptors.
+class Datum {
+ public:
+  Datum() : repr_(std::monostate{}) {}  // NULL
+
+  static Datum Null() { return Datum(); }
+  static Datum Bool(bool v) { return Datum(Repr(v)); }
+  static Datum Int(int64_t v) { return Datum(Repr(v)); }
+  static Datum MakeDouble(double v) { return Datum(Repr(v)); }
+  static Datum MakeDecimal(Decimal v) { return Datum(Repr(v)); }
+  static Datum String(std::string v) { return Datum(Repr(std::move(v))); }
+  static Datum Date(int32_t days) { return Datum(Repr(DateVal{days})); }
+  static Datum Time(int64_t micros) { return Datum(Repr(TimeVal{micros})); }
+  static Datum Timestamp(int64_t micros) {
+    return Datum(Repr(TimestampVal{micros}));
+  }
+  static Datum Interval(int64_t micros) {
+    return Datum(Repr(IntervalVal{micros}));
+  }
+  static Datum Period(int32_t begin, int32_t end) {
+    return Datum(Repr(PeriodDateVal{begin, end}));
+  }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_bool() const { return std::holds_alternative<bool>(repr_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_decimal() const { return std::holds_alternative<Decimal>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+  bool is_date() const { return std::holds_alternative<DateVal>(repr_); }
+  bool is_time() const { return std::holds_alternative<TimeVal>(repr_); }
+  bool is_timestamp() const {
+    return std::holds_alternative<TimestampVal>(repr_);
+  }
+  bool is_interval() const {
+    return std::holds_alternative<IntervalVal>(repr_);
+  }
+  bool is_period() const {
+    return std::holds_alternative<PeriodDateVal>(repr_);
+  }
+  bool is_numeric() const { return is_int() || is_double() || is_decimal(); }
+
+  bool bool_val() const { return std::get<bool>(repr_); }
+  int64_t int_val() const { return std::get<int64_t>(repr_); }
+  double double_val() const { return std::get<double>(repr_); }
+  const Decimal& decimal_val() const { return std::get<Decimal>(repr_); }
+  const std::string& string_val() const {
+    return std::get<std::string>(repr_);
+  }
+  int32_t date_val() const { return std::get<DateVal>(repr_).days; }
+  int64_t time_val() const { return std::get<TimeVal>(repr_).micros; }
+  int64_t timestamp_val() const {
+    return std::get<TimestampVal>(repr_).micros;
+  }
+  int64_t interval_val() const { return std::get<IntervalVal>(repr_).micros; }
+  PeriodDateVal period_val() const {
+    return std::get<PeriodDateVal>(repr_);
+  }
+
+  /// \brief Any numeric kind as double (int/decimal converted).
+  double AsDouble() const;
+  /// \brief Any integer-valued kind as int64 (decimal truncated).
+  int64_t AsInt() const;
+
+  /// \brief Three-way comparison with numeric/temporal coercion.
+  ///
+  /// NULLs are not comparable here (callers implement SQL's three-valued
+  /// logic); comparing a NULL, or incompatible kinds, is an error.
+  static Result<int> Compare(const Datum& a, const Datum& b);
+
+  /// \brief Equality for grouping/dedup: NULL == NULL, otherwise Compare==0;
+  /// incompatible kinds are simply unequal.
+  static bool GroupEquals(const Datum& a, const Datum& b);
+
+  /// \brief Hash consistent with GroupEquals.
+  size_t Hash() const;
+
+  /// \brief Casts to a target logical type (implicit-cast semantics).
+  Result<Datum> CastTo(const SqlType& type) const;
+
+  /// \brief Display rendering (what a CLI would print); NULL renders as "?"
+  /// in the Teradata tradition when `teradata_style`, else "NULL".
+  std::string ToString(bool teradata_style = false) const;
+
+  bool operator==(const Datum& o) const { return GroupEquals(*this, o); }
+
+ private:
+  using Repr = std::variant<std::monostate, bool, int64_t, double, Decimal,
+                            std::string, DateVal, TimeVal, TimestampVal,
+                            IntervalVal, PeriodDateVal>;
+  explicit Datum(Repr r) : repr_(std::move(r)) {}
+
+  Repr repr_;
+};
+
+}  // namespace hyperq

@@ -1,0 +1,105 @@
+#include "types/decimal.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace hyperq {
+
+int64_t Pow10(int32_t n) {
+  int64_t v = 1;
+  for (int32_t i = 0; i < n; ++i) v *= 10;
+  return v;
+}
+
+double Decimal::ToDouble() const {
+  return static_cast<double>(value) / static_cast<double>(Pow10(scale));
+}
+
+Decimal Decimal::Rescale(int32_t new_scale) const {
+  if (new_scale == scale) return *this;
+  if (new_scale > scale) {
+    return {value * Pow10(new_scale - scale), new_scale};
+  }
+  return {value / Pow10(scale - new_scale), new_scale};
+}
+
+std::string Decimal::ToString() const {
+  if (scale == 0) return std::to_string(value);
+  int64_t p = Pow10(scale);
+  int64_t whole = value / p;
+  int64_t frac = value % p;
+  bool neg = value < 0;
+  if (frac < 0) frac = -frac;
+  std::string frac_str = std::to_string(frac);
+  frac_str.insert(0, static_cast<size_t>(scale) - frac_str.size(), '0');
+  std::string out;
+  if (neg && whole == 0) out += '-';
+  out += std::to_string(whole);
+  out += '.';
+  out += frac_str;
+  return out;
+}
+
+Result<Decimal> Decimal::Parse(const std::string& text) {
+  bool neg = false;
+  size_t i = 0;
+  if (i < text.size() && (text[i] == '+' || text[i] == '-')) {
+    neg = text[i] == '-';
+    ++i;
+  }
+  int64_t value = 0;
+  int32_t scale = 0;
+  bool saw_digit = false, saw_dot = false;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '.') {
+      if (saw_dot) return Status::InvalidArgument("bad decimal '", text, "'");
+      saw_dot = true;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      value = value * 10 + (c - '0');
+      if (saw_dot) ++scale;
+      saw_digit = true;
+    } else {
+      return Status::InvalidArgument("bad decimal '", text, "'");
+    }
+  }
+  if (!saw_digit) return Status::InvalidArgument("bad decimal '", text, "'");
+  return Decimal{neg ? -value : value, scale};
+}
+
+Decimal Decimal::Add(const Decimal& a, const Decimal& b) {
+  int32_t s = std::max(a.scale, b.scale);
+  return {a.Rescale(s).value + b.Rescale(s).value, s};
+}
+
+Decimal Decimal::Sub(const Decimal& a, const Decimal& b) {
+  int32_t s = std::max(a.scale, b.scale);
+  return {a.Rescale(s).value - b.Rescale(s).value, s};
+}
+
+Decimal Decimal::Mul(const Decimal& a, const Decimal& b) {
+  __int128 prod = static_cast<__int128>(a.value) * b.value;
+  int32_t s = a.scale + b.scale;
+  while (s > kMaxScale) {
+    prod /= 10;
+    --s;
+  }
+  // Clamp into int64 range (saturating; overflow beyond this is a data issue
+  // the engine reports at aggregation level).
+  while (prod > INT64_MAX || prod < INT64_MIN) {
+    prod /= 10;
+    --s;
+  }
+  return {static_cast<int64_t>(prod), s};
+}
+
+int Decimal::Compare(const Decimal& a, const Decimal& b) {
+  int32_t s = std::max(a.scale, b.scale);
+  __int128 va = static_cast<__int128>(a.value) * Pow10(s - a.scale);
+  __int128 vb = static_cast<__int128>(b.value) * Pow10(s - b.scale);
+  if (va < vb) return -1;
+  if (va > vb) return 1;
+  return 0;
+}
+
+}  // namespace hyperq

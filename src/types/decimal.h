@@ -1,0 +1,42 @@
+// Fixed-point DECIMAL runtime representation: 64-bit unscaled value plus a
+// scale (number of fractional digits). Intermediate multiplies go through
+// __int128 so TPC-H style price arithmetic does not overflow.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace hyperq {
+
+struct Decimal {
+  int64_t value = 0;  // unscaled: real value = value / 10^scale
+  int32_t scale = 0;
+
+  double ToDouble() const;
+
+  /// \brief Returns the same numeric value at a different scale (truncating
+  /// toward zero when reducing scale).
+  Decimal Rescale(int32_t new_scale) const;
+
+  /// \brief Renders with exactly `scale` fractional digits, e.g. "12.50".
+  std::string ToString() const;
+
+  /// \brief Parses "123", "-1.25", ".5". Scale is taken from the literal.
+  static Result<Decimal> Parse(const std::string& text);
+
+  static Decimal Add(const Decimal& a, const Decimal& b);
+  static Decimal Sub(const Decimal& a, const Decimal& b);
+  /// Product scale is a.scale + b.scale clamped to kMaxScale.
+  static Decimal Mul(const Decimal& a, const Decimal& b);
+  /// Three-way compare after aligning scales.
+  static int Compare(const Decimal& a, const Decimal& b);
+
+  static constexpr int32_t kMaxScale = 12;
+};
+
+int64_t Pow10(int32_t n);
+
+}  // namespace hyperq

@@ -1,0 +1,146 @@
+#include "types/type.h"
+
+#include <algorithm>
+
+namespace hyperq {
+
+const char* TypeKindName(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kNull:
+      return "NULL";
+    case TypeKind::kBool:
+      return "BOOLEAN";
+    case TypeKind::kSmallInt:
+      return "SMALLINT";
+    case TypeKind::kInt:
+      return "INTEGER";
+    case TypeKind::kBigInt:
+      return "BIGINT";
+    case TypeKind::kDecimal:
+      return "DECIMAL";
+    case TypeKind::kDouble:
+      return "DOUBLE PRECISION";
+    case TypeKind::kChar:
+      return "CHAR";
+    case TypeKind::kVarchar:
+      return "VARCHAR";
+    case TypeKind::kDate:
+      return "DATE";
+    case TypeKind::kTime:
+      return "TIME";
+    case TypeKind::kTimestamp:
+      return "TIMESTAMP";
+    case TypeKind::kInterval:
+      return "INTERVAL";
+    case TypeKind::kPeriodDate:
+      return "PERIOD(DATE)";
+  }
+  return "?";
+}
+
+std::string SqlType::ToString() const {
+  switch (kind) {
+    case TypeKind::kDecimal:
+      return "DECIMAL(" + std::to_string(precision) + "," +
+             std::to_string(scale) + ")";
+    case TypeKind::kChar:
+      return "CHAR(" + std::to_string(length) + ")";
+    case TypeKind::kVarchar:
+      return length > 0 ? "VARCHAR(" + std::to_string(length) + ")"
+                        : "VARCHAR";
+    default:
+      return TypeKindName(kind);
+  }
+}
+
+namespace {
+// Numeric promotion rank: wider rank wins.
+int NumericRank(TypeKind k) {
+  switch (k) {
+    case TypeKind::kSmallInt:
+      return 1;
+    case TypeKind::kInt:
+      return 2;
+    case TypeKind::kBigInt:
+      return 3;
+    case TypeKind::kDecimal:
+      return 4;
+    case TypeKind::kDouble:
+      return 5;
+    default:
+      return 0;
+  }
+}
+}  // namespace
+
+SqlType CommonSuperType(const SqlType& a, const SqlType& b) {
+  if (a.kind == TypeKind::kNull) return b;
+  if (b.kind == TypeKind::kNull) return a;
+  if (a == b) return a;
+  if (a.IsNumeric() && b.IsNumeric()) {
+    int ra = NumericRank(a.kind), rb = NumericRank(b.kind);
+    if (a.kind == TypeKind::kDecimal && b.kind == TypeKind::kDecimal) {
+      return SqlType::Decimal(std::max(a.precision, b.precision),
+                              std::max(a.scale, b.scale));
+    }
+    const SqlType& wider = ra >= rb ? a : b;
+    if (wider.kind == TypeKind::kDecimal) return wider;
+    return wider;
+  }
+  if (a.IsString() && b.IsString()) {
+    // CHAR vs VARCHAR unify to VARCHAR of the max length.
+    int32_t len = (a.length == 0 || b.length == 0)
+                      ? 0
+                      : std::max(a.length, b.length);
+    return SqlType::Varchar(len);
+  }
+  if (a.kind == b.kind) return a;
+  // DATE vs TIMESTAMP widen to TIMESTAMP.
+  if ((a.kind == TypeKind::kDate && b.kind == TypeKind::kTimestamp) ||
+      (b.kind == TypeKind::kDate && a.kind == TypeKind::kTimestamp)) {
+    return SqlType::Timestamp();
+  }
+  return SqlType::Null();  // incompatible
+}
+
+SqlType ArithmeticResultType(const SqlType& a, const SqlType& b, char op) {
+  // DATE +/- integer yields DATE (day arithmetic); DATE - DATE yields INT.
+  if (a.kind == TypeKind::kDate && b.IsInteger() && (op == '+' || op == '-')) {
+    return SqlType::Date();
+  }
+  if (b.kind == TypeKind::kDate && a.IsInteger() && op == '+') {
+    return SqlType::Date();
+  }
+  if (a.kind == TypeKind::kDate && b.kind == TypeKind::kDate && op == '-') {
+    return SqlType::Int();
+  }
+  if (!a.IsNumeric() || !b.IsNumeric()) return SqlType::Null();
+  if (a.kind == TypeKind::kDouble || b.kind == TypeKind::kDouble ||
+      op == '/') {
+    // Division always produces an approximate result in our runtime model.
+    return SqlType::Double();
+  }
+  if (a.kind == TypeKind::kDecimal || b.kind == TypeKind::kDecimal) {
+    int32_t sa = a.kind == TypeKind::kDecimal ? a.scale : 0;
+    int32_t sb = b.kind == TypeKind::kDecimal ? b.scale : 0;
+    int32_t scale = op == '*' ? std::min(sa + sb, 8) : std::max(sa, sb);
+    return SqlType::Decimal(18, scale);
+  }
+  // Pure integer arithmetic widens to the wider operand.
+  return NumericRank(a.kind) >= NumericRank(b.kind) ? a : b;
+}
+
+bool CanImplicitCast(const SqlType& from, const SqlType& to) {
+  if (from.kind == TypeKind::kNull) return true;
+  if (from.kind == to.kind) return true;
+  if (from.IsNumeric() && to.IsNumeric()) return true;
+  if (from.IsString() && to.IsString()) return true;
+  if (from.kind == TypeKind::kDate && to.kind == TypeKind::kTimestamp) {
+    return true;
+  }
+  // Strings parse to dates/timestamps implicitly in both dialects we model.
+  if (from.IsString() && to.IsDateTime()) return true;
+  return false;
+}
+
+}  // namespace hyperq

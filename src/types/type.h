@@ -1,0 +1,112 @@
+// Logical SQL type system shared by the frontend (Teradata-ish dialect),
+// the XTRA algebra, and the target engine (vdb).
+//
+// DATE deserves a note: Teradata historically stores DATE as an INTEGER
+// encoded (year-1900)*10000 + month*100 + day, which is why the dialect
+// allows DATE<->INT comparison and arithmetic. We model DATE as a proper
+// calendar date (days since 1970-01-01) and reproduce the Teradata behaviour
+// through explicit rewrites (see binder/rewrites and types/date.h).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hyperq {
+
+/// Kind discriminator for logical SQL types.
+enum class TypeKind : uint8_t {
+  kNull = 0,   // the type of a bare NULL literal before coercion
+  kBool,
+  kSmallInt,   // 16-bit
+  kInt,        // 32-bit
+  kBigInt,     // 64-bit
+  kDecimal,    // fixed point, 64-bit unscaled value + scale
+  kDouble,     // FLOAT / DOUBLE PRECISION
+  kChar,       // fixed-length, blank-padded
+  kVarchar,
+  kDate,
+  kTime,       // microseconds since midnight
+  kTimestamp,  // microseconds since 1970-01-01 00:00:00
+  kInterval,   // day-time interval stored as microseconds
+  kPeriodDate, // Teradata PERIOD(DATE): [begin, end) pair of dates
+};
+
+const char* TypeKindName(TypeKind kind);
+
+/// \brief A logical SQL type: kind plus parameters (length for CHAR/VARCHAR,
+/// precision/scale for DECIMAL).
+struct SqlType {
+  TypeKind kind = TypeKind::kNull;
+  int32_t length = 0;     // CHAR/VARCHAR max length; 0 = unbounded
+  int32_t precision = 0;  // DECIMAL total digits
+  int32_t scale = 0;      // DECIMAL fractional digits
+
+  static SqlType Null() { return {TypeKind::kNull, 0, 0, 0}; }
+  static SqlType Bool() { return {TypeKind::kBool, 0, 0, 0}; }
+  static SqlType SmallInt() { return {TypeKind::kSmallInt, 0, 0, 0}; }
+  static SqlType Int() { return {TypeKind::kInt, 0, 0, 0}; }
+  static SqlType BigInt() { return {TypeKind::kBigInt, 0, 0, 0}; }
+  static SqlType Decimal(int32_t precision, int32_t scale) {
+    return {TypeKind::kDecimal, 0, precision, scale};
+  }
+  static SqlType Double() { return {TypeKind::kDouble, 0, 0, 0}; }
+  static SqlType Char(int32_t length) {
+    return {TypeKind::kChar, length, 0, 0};
+  }
+  static SqlType Varchar(int32_t length = 0) {
+    return {TypeKind::kVarchar, length, 0, 0};
+  }
+  static SqlType Date() { return {TypeKind::kDate, 0, 0, 0}; }
+  static SqlType Time() { return {TypeKind::kTime, 0, 0, 0}; }
+  static SqlType Timestamp() { return {TypeKind::kTimestamp, 0, 0, 0}; }
+  static SqlType Interval() { return {TypeKind::kInterval, 0, 0, 0}; }
+  static SqlType PeriodDate() { return {TypeKind::kPeriodDate, 0, 0, 0}; }
+
+  bool operator==(const SqlType& o) const {
+    return kind == o.kind && length == o.length && precision == o.precision &&
+           scale == o.scale;
+  }
+  bool operator!=(const SqlType& o) const { return !(*this == o); }
+
+  bool IsNumeric() const {
+    switch (kind) {
+      case TypeKind::kSmallInt:
+      case TypeKind::kInt:
+      case TypeKind::kBigInt:
+      case TypeKind::kDecimal:
+      case TypeKind::kDouble:
+        return true;
+      default:
+        return false;
+    }
+  }
+  bool IsInteger() const {
+    return kind == TypeKind::kSmallInt || kind == TypeKind::kInt ||
+           kind == TypeKind::kBigInt;
+  }
+  bool IsString() const {
+    return kind == TypeKind::kChar || kind == TypeKind::kVarchar;
+  }
+  bool IsDateTime() const {
+    return kind == TypeKind::kDate || kind == TypeKind::kTime ||
+           kind == TypeKind::kTimestamp;
+  }
+
+  /// \brief SQL-ish rendering, e.g. "DECIMAL(15,2)", "VARCHAR(25)".
+  std::string ToString() const;
+};
+
+/// \brief Least common supertype for comparisons and set operations; returns
+/// kNull kind if the pair is incompatible.
+SqlType CommonSuperType(const SqlType& a, const SqlType& b);
+
+/// \brief Result type of arithmetic op between numeric types (Teradata-style
+/// promotion: decimal dominates integer, double dominates all).
+SqlType ArithmeticResultType(const SqlType& a, const SqlType& b,
+                             char op /* '+','-','*','/' */);
+
+/// \brief True if a value of `from` can be implicitly coerced to `to`.
+bool CanImplicitCast(const SqlType& from, const SqlType& to);
+
+}  // namespace hyperq

@@ -1,0 +1,1546 @@
+#include "vdb/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/str_util.h"
+#include "types/date.h"
+
+namespace hyperq::vdb {
+
+using xtra::ColumnInfo;
+using xtra::Expr;
+using xtra::ExprKind;
+using xtra::Op;
+using xtra::OpKind;
+
+namespace {
+
+// Hash/equality for rows, consistent with Datum::GroupEquals.
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    size_t h = 0x345678;
+    for (const Datum& d : row) h = h * 1000003 ^ d.Hash();
+    return h;
+  }
+};
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!Datum::GroupEquals(a[i], b[i])) return false;
+    }
+    return true;
+  }
+};
+
+struct DatumHash {
+  size_t operator()(const Datum& d) const { return d.Hash(); }
+};
+struct DatumEq {
+  bool operator()(const Datum& a, const Datum& b) const {
+    return Datum::GroupEquals(a, b);
+  }
+};
+
+// SQL LIKE matcher with optional escape character.
+bool LikeMatch(const std::string& value, const std::string& pattern,
+               char escape, bool has_escape) {
+  size_t vi = 0, pi = 0;
+  // Recursive matcher with backtracking on '%'.
+  std::function<bool(size_t, size_t)> match = [&](size_t v, size_t p) -> bool {
+    while (p < pattern.size()) {
+      char pc = pattern[p];
+      if (has_escape && pc == escape && p + 1 < pattern.size()) {
+        if (v >= value.size() || value[v] != pattern[p + 1]) return false;
+        ++v;
+        p += 2;
+        continue;
+      }
+      if (pc == '%') {
+        // Collapse consecutive %.
+        while (p < pattern.size() && pattern[p] == '%') ++p;
+        if (p == pattern.size()) return true;
+        for (size_t k = v; k <= value.size(); ++k) {
+          if (match(k, p)) return true;
+        }
+        return false;
+      }
+      if (pc == '_') {
+        if (v >= value.size()) return false;
+        ++v;
+        ++p;
+        continue;
+      }
+      if (v >= value.size() || value[v] != pc) return false;
+      ++v;
+      ++p;
+    }
+    return v == value.size();
+  };
+  (void)vi;
+  (void)pi;
+  return match(0, 0);
+}
+
+/// Aggregate accumulator shared by hash aggregation and window frames.
+class Accumulator {
+ public:
+  Accumulator(const std::string& func, bool distinct)
+      : func_(func), distinct_(distinct) {}
+
+  Status Add(const Datum& v) {
+    if (func_ == "COUNT" && v.is_null()) return Status::OK();
+    if (v.is_null()) return Status::OK();  // SQL aggregates skip NULLs
+    if (distinct_) {
+      if (seen_.count(v)) return Status::OK();
+      seen_.insert(v);
+    }
+    ++count_;
+    if (func_ == "COUNT") return Status::OK();
+    if (func_ == "MIN" || func_ == "MAX") {
+      if (best_.is_null()) {
+        best_ = v;
+        return Status::OK();
+      }
+      HQ_ASSIGN_OR_RETURN(int c, Datum::Compare(v, best_));
+      if ((func_ == "MIN" && c < 0) || (func_ == "MAX" && c > 0)) best_ = v;
+      return Status::OK();
+    }
+    // SUM / AVG.
+    if (v.is_decimal()) {
+      dec_sum_ = Decimal::Add(dec_sum_, v.decimal_val());
+      saw_decimal_ = true;
+    } else if (v.is_int()) {
+      int_sum_ += v.int_val();
+    } else if (v.is_double()) {
+      dbl_sum_ += v.double_val();
+      saw_double_ = true;
+    } else {
+      return Status::ExecutionError("cannot ", func_, " non-numeric value ",
+                                    v.ToString());
+    }
+    return Status::OK();
+  }
+
+  Status AddCountRow() {  // COUNT(*)
+    ++count_;
+    return Status::OK();
+  }
+
+  Datum Finish() const {
+    if (func_ == "COUNT") return Datum::Int(count_);
+    if (count_ == 0) return Datum::Null();
+    if (func_ == "MIN" || func_ == "MAX") return best_;
+    if (func_ == "AVG") return Datum::MakeDouble(TotalAsDouble() / count_);
+    // SUM.
+    if (saw_double_) return Datum::MakeDouble(TotalAsDouble());
+    if (saw_decimal_) {
+      Decimal total = dec_sum_;
+      if (int_sum_ != 0) total = Decimal::Add(total, Decimal{int_sum_, 0});
+      return Datum::MakeDecimal(total);
+    }
+    return Datum::Int(int_sum_);
+  }
+
+ private:
+  double TotalAsDouble() const {
+    return dbl_sum_ + static_cast<double>(int_sum_) + dec_sum_.ToDouble();
+  }
+
+  std::string func_;
+  bool distinct_;
+  std::unordered_set<Datum, DatumHash, DatumEq> seen_;
+  int64_t count_ = 0;
+  Datum best_;
+  int64_t int_sum_ = 0;
+  double dbl_sum_ = 0;
+  Decimal dec_sum_{0, 0};
+  bool saw_decimal_ = false;
+  bool saw_double_ = false;
+};
+
+}  // namespace
+
+int CompareForSort(const Datum& a, const Datum& b, bool descending,
+                   bool nulls_first) {
+  bool an = a.is_null(), bn = b.is_null();
+  if (an && bn) return 0;
+  if (an) return nulls_first ? -1 : 1;
+  if (bn) return nulls_first ? 1 : -1;
+  auto r = Datum::Compare(a, b);
+  int c = r.ok() ? *r : 0;
+  return descending ? -c : c;
+}
+
+
+size_t Executor::VecHashT::operator()(const std::vector<Datum>& v) const {
+  size_t h = 0x345678;
+  for (const Datum& d : v) h = h * 1000003 ^ d.Hash();
+  return h;
+}
+
+bool Executor::VecEqT::operator()(const std::vector<Datum>& a,
+                                  const std::vector<Datum>& b) const {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!Datum::GroupEquals(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+namespace {
+// Gathers every column id produced anywhere inside an operator subtree.
+void CollectProducedIds(const xtra::Op& op, std::unordered_set<int>* out) {
+  for (const auto& c : op.output) out->insert(c.id);
+  for (const auto& p : op.projections) out->insert(p.out_id);
+  for (const auto& w : op.windows) out->insert(w.out_id);
+  for (const auto& a : op.aggregates) out->insert(a.out_id);
+  for (int id : op.target_col_ids) out->insert(id);
+  for (const auto& child : op.children) CollectProducedIds(*child, out);
+  // Subplans inside expressions also produce ids usable only inside them,
+  // but including them is harmless for the correlation check.
+  xtra::VisitExprs(op, [&](const xtra::Expr& e) {
+    if (e.subplan) CollectProducedIds(*e.subplan, out);
+    return true;
+  });
+}
+
+// Column ids referenced inside the subtree that are not produced by it.
+std::vector<int> CollectOuterRefs(const xtra::Op& op) {
+  std::unordered_set<int> produced;
+  CollectProducedIds(op, &produced);
+  std::unordered_set<int> outer;
+  xtra::VisitExprs(op, [&](const xtra::Expr& e) {
+    if (e.kind == xtra::ExprKind::kColRef && !produced.count(e.col_id)) {
+      outer.insert(e.col_id);
+    }
+    return true;
+  });
+  return std::vector<int>(outer.begin(), outer.end());
+}
+}  // namespace
+
+bool Executor::IsCorrelationFree(const xtra::Op& op) {
+  return CollectOuterRefs(op).empty();
+}
+
+// ---------------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------------
+
+Result<Relation> Executor::Execute(const xtra::Op& op) { return Exec(op); }
+
+Result<Relation> Executor::Exec(const Op& op) {
+  // Correlation-free subtrees re-executed inside subqueries are cached.
+  if (!outer_.empty()) {
+    auto hit = relation_cache_.find(&op);
+    if (hit != relation_cache_.end()) return *hit->second;
+    auto cf = correlation_free_.find(&op);
+    bool free = cf != correlation_free_.end() ? cf->second
+                                              : IsCorrelationFree(op);
+    if (cf == correlation_free_.end()) correlation_free_[&op] = free;
+    if (free && op.kind != OpKind::kGet) {
+      HQ_ASSIGN_OR_RETURN(Relation rel, ExecDispatch(op));
+      auto shared = std::make_shared<Relation>(std::move(rel));
+      relation_cache_[&op] = shared;
+      return *shared;
+    }
+  }
+  return ExecDispatch(op);
+}
+
+Result<Relation> Executor::ExecDispatch(const Op& op) {
+  switch (op.kind) {
+    case OpKind::kGet:
+      return ExecGet(op);
+    case OpKind::kValues:
+      return ExecValues(op);
+    case OpKind::kSelect:
+      return ExecSelect(op);
+    case OpKind::kProject:
+      return ExecProject(op);
+    case OpKind::kWindow:
+      return ExecWindow(op);
+    case OpKind::kAggregate:
+      return ExecAggregate(op);
+    case OpKind::kJoin:
+      return ExecJoin(op);
+    case OpKind::kSetOp:
+      return ExecSetOp(op);
+    case OpKind::kSort:
+      return ExecSort(op);
+    case OpKind::kLimit:
+      return ExecLimit(op);
+    case OpKind::kCteRef:
+    case OpKind::kRecursiveCte:
+      return Status::NotSupported(
+          "vdb does not support recursive queries natively");
+    case OpKind::kInsert:
+    case OpKind::kUpdate:
+    case OpKind::kDelete:
+      return Status::Internal("DML plan passed to query executor");
+  }
+  return Status::Internal("unknown operator kind");
+}
+
+Result<Relation> Executor::ExecGet(const Op& op) {
+  HQ_ASSIGN_OR_RETURN(const Table* table, storage_->GetTable(op.table_name));
+  if (table->columns.size() != op.output.size()) {
+    return Status::ExecutionError("table '", op.table_name, "' has ",
+                                  table->columns.size(),
+                                  " columns but the plan expects ",
+                                  op.output.size());
+  }
+  Relation rel;
+  rel.cols = op.output;
+  rel.BuildLayout();
+  rel.rows = table->rows;  // snapshot copy
+  return rel;
+}
+
+Result<Relation> Executor::ExecValues(const Op& op) {
+  Relation rel;
+  rel.cols = op.output;
+  rel.BuildLayout();
+  Relation empty;
+  Row empty_row;
+  for (const auto& row : op.rows) {
+    Row out;
+    for (const auto& e : row) {
+      HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*e, empty.layout, empty_row));
+      out.push_back(std::move(v));
+    }
+    rel.rows.push_back(std::move(out));
+  }
+  return rel;
+}
+
+namespace {
+void SplitConjuncts(const xtra::Expr* e, std::vector<const xtra::Expr*>* out) {
+  if (e->kind == xtra::ExprKind::kBool &&
+      e->boolk == xtra::BoolKind::kAnd) {
+    for (const auto& c : e->children) SplitConjuncts(c.get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+bool ExprRefsOnly(const xtra::Expr& e,
+                  const std::function<bool(int)>& allowed, bool* any_ref) {
+  if (e.kind == xtra::ExprKind::kColRef) {
+    *any_ref = true;
+    return allowed(e.col_id);
+  }
+  if (e.subplan) return false;  // keep it simple: no nested subqueries
+  for (const auto& c : e.children) {
+    if (c && !ExprRefsOnly(*c, allowed, any_ref)) return false;
+  }
+  for (const auto& [w, t] : e.when_then) {
+    if (!ExprRefsOnly(*w, allowed, any_ref) ||
+        !ExprRefsOnly(*t, allowed, any_ref)) {
+      return false;
+    }
+  }
+  if (e.else_expr && !ExprRefsOnly(*e.else_expr, allowed, any_ref)) {
+    return false;
+  }
+  return true;
+}
+}  // namespace
+
+Result<Relation> Executor::ExecSelect(const Op& op) {
+  // Correlated fast path: Select over Get with an equality between a table
+  // column and an outer-only expression uses a (cached) hash index instead
+  // of scanning the whole table per outer row.
+  if (!outer_.empty() && op.children[0]->kind == OpKind::kGet &&
+      op.predicate != nullptr) {
+    auto it = select_indexes_.find(&op);
+    if (it == select_indexes_.end()) {
+      auto idx = std::make_unique<SelectIndex>();
+      HQ_ASSIGN_OR_RETURN(Relation base, ExecGet(*op.children[0]));
+      idx->base = std::make_shared<Relation>(std::move(base));
+      std::vector<const Expr*> conjuncts;
+      SplitConjuncts(op.predicate.get(), &conjuncts);
+      for (const Expr* c : conjuncts) {
+        if (c->kind != ExprKind::kComp || c->comp != xtra::CompKind::kEq) {
+          continue;
+        }
+        for (int side = 0; side < 2 && idx->key_slot < 0; ++side) {
+          const Expr& a = *c->children[side];
+          const Expr& b = *c->children[1 - side];
+          if (a.kind != ExprKind::kColRef) continue;
+          auto slot = idx->base->layout.find(a.col_id);
+          if (slot == idx->base->layout.end()) continue;
+          bool any_ref = false;
+          bool outer_only = ExprRefsOnly(
+              b, [&](int id) { return !idx->base->layout.count(id); },
+              &any_ref);
+          if (outer_only && any_ref) {
+            idx->key_slot = slot->second;
+            idx->outer_key = &b;
+          }
+        }
+        if (idx->key_slot >= 0) break;
+      }
+      if (idx->key_slot >= 0) {
+        for (const Row& row : idx->base->rows) {
+          const Datum& key = row[idx->key_slot];
+          if (!key.is_null()) idx->buckets[key].push_back(&row);
+        }
+      }
+      it = select_indexes_.emplace(&op, std::move(idx)).first;
+    }
+    SelectIndex& idx = *it->second;
+    if (idx.key_slot >= 0) {
+      Relation rel;
+      rel.cols = idx.base->cols;
+      rel.layout = idx.base->layout;
+      static const std::map<int, int> kEmptyLayout;
+      static const Row kEmptyRow;
+      HQ_ASSIGN_OR_RETURN(Datum key,
+                          EvalExpr(*idx.outer_key, kEmptyLayout, kEmptyRow));
+      if (!key.is_null()) {
+        auto bucket = idx.buckets.find(key);
+        if (bucket != idx.buckets.end()) {
+          for (const Row* row : bucket->second) {
+            HQ_ASSIGN_OR_RETURN(
+                bool keep, EvalPredicate(*op.predicate, rel.layout, *row));
+            if (keep) rel.rows.push_back(*row);
+          }
+        }
+      }
+      return rel;
+    }
+  }
+  HQ_ASSIGN_OR_RETURN(Relation child, Exec(*op.children[0]));
+  Relation rel;
+  rel.cols = child.cols;
+  rel.layout = child.layout;
+  for (auto& row : child.rows) {
+    HQ_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*op.predicate, child.layout,
+                                                 row));
+    if (keep) rel.rows.push_back(std::move(row));
+  }
+  return rel;
+}
+
+Result<Relation> Executor::ExecProject(const Op& op) {
+  HQ_ASSIGN_OR_RETURN(Relation child, Exec(*op.children[0]));
+  Relation rel;
+  rel.cols = op.output;
+  rel.BuildLayout();
+  for (const auto& row : child.rows) {
+    Row out;
+    out.reserve(op.projections.size());
+    for (const auto& item : op.projections) {
+      HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*item.expr, child.layout, row));
+      out.push_back(std::move(v));
+    }
+    rel.rows.push_back(std::move(out));
+  }
+  if (op.project_distinct) {
+    std::unordered_set<Row, RowHash, RowEq> seen;
+    std::vector<Row> dedup;
+    for (auto& row : rel.rows) {
+      if (seen.insert(row).second) dedup.push_back(std::move(row));
+    }
+    rel.rows = std::move(dedup);
+  }
+  return rel;
+}
+
+Result<Relation> Executor::ExecWindow(const Op& op) {
+  HQ_ASSIGN_OR_RETURN(Relation child, Exec(*op.children[0]));
+  Relation rel;
+  rel.cols = op.output;
+  rel.BuildLayout();
+  size_t n = child.rows.size();
+
+  // Start from child rows; append one column per window item.
+  std::vector<Row> rows = std::move(child.rows);
+  for (const auto& item : op.windows) {
+    // Partition.
+    std::unordered_map<Row, std::vector<size_t>, RowHash, RowEq> parts;
+    for (size_t i = 0; i < n; ++i) {
+      Row key;
+      for (const auto& p : item.partition_by) {
+        HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*p, child.layout, rows[i]));
+        key.push_back(std::move(v));
+      }
+      parts[key].push_back(i);
+    }
+    std::vector<Datum> results(n);
+    for (auto& [key, idxs] : parts) {
+      // Order within the partition.
+      std::vector<std::vector<Datum>> sort_keys(idxs.size());
+      if (!item.order_by.empty()) {
+        for (size_t k = 0; k < idxs.size(); ++k) {
+          for (const auto& o : item.order_by) {
+            HQ_ASSIGN_OR_RETURN(Datum v,
+                                EvalExpr(*o.expr, child.layout,
+                                         rows[idxs[k]]));
+            sort_keys[k].push_back(std::move(v));
+          }
+        }
+        std::vector<size_t> order(idxs.size());
+        for (size_t k = 0; k < order.size(); ++k) order[k] = k;
+        std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+          for (size_t j = 0; j < item.order_by.size(); ++j) {
+            bool nf = item.order_by[j].nulls_first.value_or(
+                item.order_by[j].descending);  // vdb default: NULLs high
+            int c = CompareForSort(sort_keys[a][j], sort_keys[b][j],
+                                   item.order_by[j].descending, nf);
+            if (c != 0) return c < 0;
+          }
+          return false;
+        });
+        std::vector<size_t> reordered(idxs.size());
+        std::vector<std::vector<Datum>> rk(idxs.size());
+        for (size_t k = 0; k < order.size(); ++k) {
+          reordered[k] = idxs[order[k]];
+          rk[k] = std::move(sort_keys[order[k]]);
+        }
+        idxs = std::move(reordered);
+        sort_keys = std::move(rk);
+      }
+
+      auto peers_equal = [&](size_t a, size_t b) {
+        for (size_t j = 0; j < item.order_by.size(); ++j) {
+          if (!Datum::GroupEquals(sort_keys[a][j], sort_keys[b][j])) {
+            return false;
+          }
+        }
+        return true;
+      };
+
+      if (item.func == "ROW_NUMBER") {
+        for (size_t k = 0; k < idxs.size(); ++k) {
+          results[idxs[k]] = Datum::Int(static_cast<int64_t>(k) + 1);
+        }
+      } else if (item.func == "RANK" || item.func == "DENSE_RANK") {
+        int64_t rank = 0, dense = 0;
+        for (size_t k = 0; k < idxs.size(); ++k) {
+          if (k == 0 || !peers_equal(k, k - 1)) {
+            rank = static_cast<int64_t>(k) + 1;
+            ++dense;
+          }
+          results[idxs[k]] =
+              Datum::Int(item.func == "RANK" ? rank : dense);
+        }
+      } else {
+        // Aggregate window function.
+        if (item.order_by.empty()) {
+          // Whole-partition aggregate.
+          Accumulator acc(item.func, false);
+          for (size_t k = 0; k < idxs.size(); ++k) {
+            if (item.args.empty()) {
+              HQ_RETURN_IF_ERROR(acc.AddCountRow());
+            } else {
+              HQ_ASSIGN_OR_RETURN(
+                  Datum v, EvalExpr(*item.args[0], child.layout,
+                                    rows[idxs[k]]));
+              HQ_RETURN_IF_ERROR(acc.Add(v));
+            }
+          }
+          Datum v = acc.Finish();
+          for (size_t k = 0; k < idxs.size(); ++k) results[idxs[k]] = v;
+        } else {
+          // Running aggregate over peer groups (RANGE UNBOUNDED PRECEDING).
+          Accumulator acc(item.func, false);
+          size_t k = 0;
+          while (k < idxs.size()) {
+            size_t peer_end = k;
+            while (peer_end < idxs.size() && peers_equal(peer_end, k)) {
+              ++peer_end;
+            }
+            for (size_t j = k; j < peer_end; ++j) {
+              if (item.args.empty()) {
+                HQ_RETURN_IF_ERROR(acc.AddCountRow());
+              } else {
+                HQ_ASSIGN_OR_RETURN(
+                    Datum v, EvalExpr(*item.args[0], child.layout,
+                                      rows[idxs[j]]));
+                HQ_RETURN_IF_ERROR(acc.Add(v));
+              }
+            }
+            Datum v = acc.Finish();
+            for (size_t j = k; j < peer_end; ++j) results[idxs[j]] = v;
+            k = peer_end;
+          }
+        }
+      }
+    }
+    for (size_t i = 0; i < n; ++i) rows[i].push_back(std::move(results[i]));
+    // The next item may reference this one positionally via layout; extend
+    // the child layout accordingly.
+    child.layout[item.out_id] = static_cast<int>(rows.empty()
+                                                     ? child.cols.size()
+                                                     : rows[0].size() - 1);
+    child.cols.push_back({item.out_id, item.name, item.type});
+  }
+  rel.rows = std::move(rows);
+  return rel;
+}
+
+Result<Relation> Executor::ExecAggregate(const Op& op) {
+  HQ_ASSIGN_OR_RETURN(Relation child, Exec(*op.children[0]));
+  Relation rel;
+  rel.cols = op.output;
+  rel.BuildLayout();
+
+  struct GroupState {
+    Row key;
+    std::vector<Accumulator> accs;
+  };
+  std::unordered_map<Row, GroupState, RowHash, RowEq> groups;
+  std::vector<const Row*> group_order;  // deterministic output order
+
+  std::vector<Row> key_storage;
+  for (const auto& row : child.rows) {
+    Row key;
+    for (const auto& g : op.group_by) {
+      HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*g, child.layout, row));
+      key.push_back(std::move(v));
+    }
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      GroupState state;
+      state.key = key;
+      for (const auto& a : op.aggregates) {
+        state.accs.emplace_back(a.func, a.distinct);
+      }
+      it = groups.emplace(std::move(key), std::move(state)).first;
+      group_order.push_back(&it->first);
+    }
+    for (size_t i = 0; i < op.aggregates.size(); ++i) {
+      const auto& a = op.aggregates[i];
+      if (a.arg == nullptr) {
+        HQ_RETURN_IF_ERROR(it->second.accs[i].AddCountRow());
+      } else {
+        HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*a.arg, child.layout, row));
+        HQ_RETURN_IF_ERROR(it->second.accs[i].Add(v));
+      }
+    }
+  }
+
+  if (groups.empty() && op.group_by.empty()) {
+    // Global aggregate over empty input: one row of neutral values.
+    Row out;
+    for (const auto& a : op.aggregates) {
+      out.push_back(a.func == "COUNT" ? Datum::Int(0) : Datum::Null());
+    }
+    rel.rows.push_back(std::move(out));
+    return rel;
+  }
+
+  for (const Row* key : group_order) {
+    auto& state = groups.find(*key)->second;
+    Row out;
+    out.reserve(op.output.size());
+    for (const Datum& k : state.key) out.push_back(k);
+    for (const auto& acc : state.accs) out.push_back(acc.Finish());
+    rel.rows.push_back(std::move(out));
+  }
+  return rel;
+}
+
+Result<Relation> Executor::ExecJoin(const Op& op) {
+  HQ_ASSIGN_OR_RETURN(Relation left, Exec(*op.children[0]));
+  HQ_ASSIGN_OR_RETURN(Relation right, Exec(*op.children[1]));
+  Relation rel;
+  rel.cols = op.output;
+  rel.BuildLayout();
+
+  // Combined layout for the predicate.
+  std::map<int, int> combined = left.layout;
+  for (const auto& [id, idx] : right.layout) {
+    combined[id] = idx + static_cast<int>(left.cols.size());
+  }
+
+  auto combine = [&](const Row& l, const Row& r) {
+    Row out;
+    out.reserve(l.size() + r.size());
+    out.insert(out.end(), l.begin(), l.end());
+    out.insert(out.end(), r.begin(), r.end());
+    return out;
+  };
+  Row null_left(left.cols.size());
+  Row null_right(right.cols.size());
+
+  bool need_right_match = op.join_kind == xtra::JoinKind::kRight ||
+                          op.join_kind == xtra::JoinKind::kFull;
+  std::vector<bool> right_matched(right.rows.size(), false);
+
+  // Hash-join fast path: extract equi-conjuncts whose sides bind entirely
+  // to one input each.
+  std::vector<const Expr*> left_keys, right_keys;
+  if (op.join_kind != xtra::JoinKind::kCross && op.predicate != nullptr) {
+    std::vector<const Expr*> conjuncts;
+    SplitConjuncts(op.predicate.get(), &conjuncts);
+    for (const Expr* c : conjuncts) {
+      if (c->kind != ExprKind::kComp || c->comp != xtra::CompKind::kEq) {
+        continue;
+      }
+      for (int side = 0; side < 2; ++side) {
+        const Expr& a = *c->children[side];
+        const Expr& b = *c->children[1 - side];
+        bool a_ref = false, b_ref = false;
+        bool a_left = ExprRefsOnly(
+            a, [&](int id) { return left.layout.count(id) > 0; }, &a_ref);
+        bool b_right = ExprRefsOnly(
+            b, [&](int id) { return right.layout.count(id) > 0; }, &b_ref);
+        if (a_left && b_right && a_ref && b_ref) {
+          left_keys.push_back(&a);
+          right_keys.push_back(&b);
+          break;
+        }
+      }
+    }
+  }
+
+  if (!left_keys.empty()) {
+    std::unordered_map<std::vector<Datum>, std::vector<size_t>, VecHashT,
+                       VecEqT>
+        table;
+    for (size_t ri = 0; ri < right.rows.size(); ++ri) {
+      std::vector<Datum> key;
+      bool null_key = false;
+      for (const Expr* k : right_keys) {
+        HQ_ASSIGN_OR_RETURN(Datum v,
+                            EvalExpr(*k, right.layout, right.rows[ri]));
+        if (v.is_null()) null_key = true;
+        key.push_back(std::move(v));
+      }
+      if (!null_key) table[std::move(key)].push_back(ri);
+    }
+    for (const auto& lrow : left.rows) {
+      bool matched = false;
+      std::vector<Datum> key;
+      bool null_key = false;
+      for (const Expr* k : left_keys) {
+        HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*k, left.layout, lrow));
+        if (v.is_null()) null_key = true;
+        key.push_back(std::move(v));
+      }
+      if (!null_key) {
+        auto bucket = table.find(key);
+        if (bucket != table.end()) {
+          for (size_t ri : bucket->second) {
+            Row candidate = combine(lrow, right.rows[ri]);
+            HQ_ASSIGN_OR_RETURN(
+                bool keep, EvalPredicate(*op.predicate, combined, candidate));
+            if (keep) {
+              matched = true;
+              if (need_right_match) right_matched[ri] = true;
+              rel.rows.push_back(std::move(candidate));
+            }
+          }
+        }
+      }
+      if (!matched && (op.join_kind == xtra::JoinKind::kLeft ||
+                       op.join_kind == xtra::JoinKind::kFull)) {
+        rel.rows.push_back(combine(lrow, null_right));
+      }
+    }
+    if (need_right_match) {
+      for (size_t ri = 0; ri < right.rows.size(); ++ri) {
+        if (!right_matched[ri]) {
+          rel.rows.push_back(combine(null_left, right.rows[ri]));
+        }
+      }
+    }
+    return rel;
+  }
+
+  for (const auto& lrow : left.rows) {
+    bool matched = false;
+    for (size_t ri = 0; ri < right.rows.size(); ++ri) {
+      Row candidate = combine(lrow, right.rows[ri]);
+      bool keep = true;
+      if (op.join_kind != xtra::JoinKind::kCross && op.predicate) {
+        HQ_ASSIGN_OR_RETURN(keep,
+                            EvalPredicate(*op.predicate, combined, candidate));
+      }
+      if (keep) {
+        matched = true;
+        if (need_right_match) right_matched[ri] = true;
+        rel.rows.push_back(std::move(candidate));
+      }
+    }
+    if (!matched && (op.join_kind == xtra::JoinKind::kLeft ||
+                     op.join_kind == xtra::JoinKind::kFull)) {
+      rel.rows.push_back(combine(lrow, null_right));
+    }
+  }
+  if (need_right_match) {
+    for (size_t ri = 0; ri < right.rows.size(); ++ri) {
+      if (!right_matched[ri]) {
+        rel.rows.push_back(combine(null_left, right.rows[ri]));
+      }
+    }
+  }
+  return rel;
+}
+
+Result<Relation> Executor::ExecSetOp(const Op& op) {
+  HQ_ASSIGN_OR_RETURN(Relation left, Exec(*op.children[0]));
+  HQ_ASSIGN_OR_RETURN(Relation right, Exec(*op.children[1]));
+  if (left.cols.size() != right.cols.size()) {
+    return Status::ExecutionError("set operation column count mismatch");
+  }
+  Relation rel;
+  rel.cols = op.output;
+  rel.BuildLayout();
+  switch (op.setop_kind) {
+    case xtra::SetOpKind::kUnionAll:
+      rel.rows = std::move(left.rows);
+      for (auto& r : right.rows) rel.rows.push_back(std::move(r));
+      break;
+    case xtra::SetOpKind::kUnion: {
+      std::unordered_set<Row, RowHash, RowEq> seen;
+      for (auto* src : {&left.rows, &right.rows}) {
+        for (auto& r : *src) {
+          if (seen.insert(r).second) rel.rows.push_back(std::move(r));
+        }
+      }
+      break;
+    }
+    case xtra::SetOpKind::kIntersect: {
+      std::unordered_set<Row, RowHash, RowEq> right_set(right.rows.begin(),
+                                                        right.rows.end());
+      std::unordered_set<Row, RowHash, RowEq> emitted;
+      for (auto& r : left.rows) {
+        if (right_set.count(r) && emitted.insert(r).second) {
+          rel.rows.push_back(std::move(r));
+        }
+      }
+      break;
+    }
+    case xtra::SetOpKind::kExcept: {
+      std::unordered_set<Row, RowHash, RowEq> right_set(right.rows.begin(),
+                                                        right.rows.end());
+      std::unordered_set<Row, RowHash, RowEq> emitted;
+      for (auto& r : left.rows) {
+        if (!right_set.count(r) && emitted.insert(r).second) {
+          rel.rows.push_back(std::move(r));
+        }
+      }
+      break;
+    }
+  }
+  return rel;
+}
+
+Result<Relation> Executor::ExecSort(const Op& op) {
+  HQ_ASSIGN_OR_RETURN(Relation child, Exec(*op.children[0]));
+  // Precompute sort keys.
+  std::vector<std::pair<std::vector<Datum>, Row>> keyed;
+  keyed.reserve(child.rows.size());
+  for (auto& row : child.rows) {
+    std::vector<Datum> keys;
+    for (const auto& item : op.sort_items) {
+      HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*item.expr, child.layout, row));
+      keys.push_back(std::move(v));
+    }
+    keyed.emplace_back(std::move(keys), std::move(row));
+  }
+  std::stable_sort(keyed.begin(), keyed.end(), [&](const auto& a,
+                                                   const auto& b) {
+    for (size_t i = 0; i < op.sort_items.size(); ++i) {
+      bool nf = op.sort_items[i].nulls_first.value_or(
+          op.sort_items[i].descending);  // vdb default: NULLs high
+      int c = CompareForSort(a.first[i], b.first[i],
+                             op.sort_items[i].descending, nf);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  });
+  Relation rel;
+  rel.cols = child.cols;
+  rel.layout = child.layout;
+  for (auto& [keys, row] : keyed) rel.rows.push_back(std::move(row));
+  return rel;
+}
+
+Result<Relation> Executor::ExecLimit(const Op& op) {
+  HQ_ASSIGN_OR_RETURN(Relation child, Exec(*op.children[0]));
+  if (op.limit_count >= 0 &&
+      child.rows.size() > static_cast<size_t>(op.limit_count)) {
+    child.rows.resize(op.limit_count);
+  }
+  return child;
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+Result<int64_t> Executor::ExecuteDml(const Op& op) {
+  HQ_ASSIGN_OR_RETURN(Table* table, storage_->GetTable(op.target_table));
+  switch (op.kind) {
+    case OpKind::kInsert: {
+      HQ_ASSIGN_OR_RETURN(Relation src, Exec(*op.children[0]));
+      // Map insert columns to table slots.
+      std::vector<int> slots;
+      if (op.target_columns.empty()) {
+        for (size_t i = 0; i < table->columns.size(); ++i) {
+          slots.push_back(static_cast<int>(i));
+        }
+      } else {
+        for (const auto& name : op.target_columns) {
+          int idx = table->FindColumn(name);
+          if (idx < 0) {
+            return Status::ExecutionError("column '", name,
+                                          "' does not exist in table '",
+                                          op.target_table, "'");
+          }
+          slots.push_back(idx);
+        }
+      }
+      if (!src.rows.empty() && src.rows[0].size() != slots.size()) {
+        return Status::ExecutionError("INSERT source arity mismatch");
+      }
+      for (const auto& in : src.rows) {
+        Row out(table->columns.size());
+        for (size_t i = 0; i < slots.size(); ++i) {
+          HQ_ASSIGN_OR_RETURN(Datum v,
+                              in[i].CastTo(table->columns[slots[i]].type));
+          out[slots[i]] = std::move(v);
+        }
+        for (size_t i = 0; i < table->columns.size(); ++i) {
+          if (table->columns[i].not_null && out[i].is_null()) {
+            return Status::ExecutionError("NULL value in NOT NULL column '",
+                                          table->columns[i].name, "'");
+          }
+        }
+        table->rows.push_back(std::move(out));
+      }
+      return static_cast<int64_t>(src.rows.size());
+    }
+    case OpKind::kUpdate: {
+      // Layout: target col ids map onto table slots.
+      std::map<int, int> layout;
+      for (size_t i = 0; i < op.target_col_ids.size(); ++i) {
+        layout[op.target_col_ids[i]] = static_cast<int>(i);
+      }
+      std::vector<int> assign_slots;
+      for (const auto& [name, e] : op.assignments) {
+        int idx = table->FindColumn(name);
+        if (idx < 0) {
+          return Status::ExecutionError("column '", name, "' does not exist");
+        }
+        assign_slots.push_back(idx);
+      }
+      int64_t affected = 0;
+      for (auto& row : table->rows) {
+        bool hit = true;
+        if (op.predicate) {
+          HQ_ASSIGN_OR_RETURN(hit, EvalPredicate(*op.predicate, layout, row));
+        }
+        if (!hit) continue;
+        Row updated = row;
+        for (size_t i = 0; i < op.assignments.size(); ++i) {
+          HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*op.assignments[i].second,
+                                                layout, row));
+          HQ_ASSIGN_OR_RETURN(
+              Datum cast, v.CastTo(table->columns[assign_slots[i]].type));
+          updated[assign_slots[i]] = std::move(cast);
+        }
+        row = std::move(updated);
+        ++affected;
+      }
+      return affected;
+    }
+    case OpKind::kDelete: {
+      std::map<int, int> layout;
+      for (size_t i = 0; i < op.target_col_ids.size(); ++i) {
+        layout[op.target_col_ids[i]] = static_cast<int>(i);
+      }
+      std::vector<Row> kept;
+      int64_t affected = 0;
+      for (auto& row : table->rows) {
+        bool hit = true;
+        if (op.predicate) {
+          HQ_ASSIGN_OR_RETURN(hit, EvalPredicate(*op.predicate, layout, row));
+        }
+        if (hit) {
+          ++affected;
+        } else {
+          kept.push_back(std::move(row));
+        }
+      }
+      table->rows = std::move(kept);
+      return affected;
+    }
+    default:
+      return Status::Internal("not a DML operator");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar evaluation
+// ---------------------------------------------------------------------------
+
+Result<Datum> Executor::Eval(const Expr& e, const Relation& rel,
+                             const Row& row) {
+  return EvalExpr(e, rel.layout, row);
+}
+
+Result<bool> Executor::EvalPredicate(const Expr& e,
+                                     const std::map<int, int>& layout,
+                                     const Row& row) {
+  HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(e, layout, row));
+  return !v.is_null() && v.is_bool() && v.bool_val();
+}
+
+Result<Datum> Executor::EvalExpr(const Expr& e,
+                                 const std::map<int, int>& layout,
+                                 const Row& row) {
+  switch (e.kind) {
+    case ExprKind::kColRef: {
+      auto it = layout.find(e.col_id);
+      if (it != layout.end()) return row[it->second];
+      // Correlated reference: walk outer scopes innermost-first.
+      for (auto rit = outer_.rbegin(); rit != outer_.rend(); ++rit) {
+        auto oit = rit->layout->find(e.col_id);
+        if (oit != rit->layout->end()) return (*rit->row)[oit->second];
+      }
+      return Status::ExecutionError("unresolved column id ", e.col_id, " ('",
+                                    e.col_name, "') at execution");
+    }
+    case ExprKind::kConst:
+      return e.value;
+    case ExprKind::kArith:
+      return EvalArith(e, layout, row);
+    case ExprKind::kComp: {
+      HQ_ASSIGN_OR_RETURN(Datum l, EvalExpr(*e.children[0], layout, row));
+      HQ_ASSIGN_OR_RETURN(Datum r, EvalExpr(*e.children[1], layout, row));
+      if (l.is_null() || r.is_null()) return Datum::Null();
+      HQ_ASSIGN_OR_RETURN(int c, Datum::Compare(l, r));
+      switch (e.comp) {
+        case xtra::CompKind::kEq:
+          return Datum::Bool(c == 0);
+        case xtra::CompKind::kNe:
+          return Datum::Bool(c != 0);
+        case xtra::CompKind::kLt:
+          return Datum::Bool(c < 0);
+        case xtra::CompKind::kLe:
+          return Datum::Bool(c <= 0);
+        case xtra::CompKind::kGt:
+          return Datum::Bool(c > 0);
+        case xtra::CompKind::kGe:
+          return Datum::Bool(c >= 0);
+      }
+      return Status::Internal("bad comparison");
+    }
+    case ExprKind::kBool: {
+      // Kleene three-valued AND/OR.
+      bool saw_null = false;
+      bool is_and = e.boolk == xtra::BoolKind::kAnd;
+      for (const auto& c : e.children) {
+        HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*c, layout, row));
+        if (v.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        bool b = v.bool_val();
+        if (is_and && !b) return Datum::Bool(false);
+        if (!is_and && b) return Datum::Bool(true);
+      }
+      if (saw_null) return Datum::Null();
+      return Datum::Bool(is_and);
+    }
+    case ExprKind::kNot: {
+      HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*e.children[0], layout, row));
+      if (v.is_null()) return Datum::Null();
+      return Datum::Bool(!v.bool_val());
+    }
+    case ExprKind::kFunc:
+      return EvalFunc(e, layout, row);
+    case ExprKind::kAgg:
+      return Status::ExecutionError(
+          "aggregate evaluated outside an Aggregate operator");
+    case ExprKind::kCast: {
+      HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*e.children[0], layout, row));
+      return v.CastTo(e.type);
+    }
+    case ExprKind::kCase: {
+      for (const auto& [w, t] : e.when_then) {
+        HQ_ASSIGN_OR_RETURN(Datum cond, EvalExpr(*w, layout, row));
+        if (!cond.is_null() && cond.is_bool() && cond.bool_val()) {
+          return EvalExpr(*t, layout, row);
+        }
+      }
+      if (e.else_expr) return EvalExpr(*e.else_expr, layout, row);
+      return Datum::Null();
+    }
+    case ExprKind::kIsNull: {
+      HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*e.children[0], layout, row));
+      return Datum::Bool(e.negated ? !v.is_null() : v.is_null());
+    }
+    case ExprKind::kLike: {
+      HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*e.children[0], layout, row));
+      HQ_ASSIGN_OR_RETURN(Datum p, EvalExpr(*e.children[1], layout, row));
+      if (v.is_null() || p.is_null()) return Datum::Null();
+      char escape = '\0';
+      bool has_escape = false;
+      if (e.children.size() > 2) {
+        HQ_ASSIGN_OR_RETURN(Datum esc, EvalExpr(*e.children[2], layout, row));
+        if (!esc.is_null() && !esc.string_val().empty()) {
+          escape = esc.string_val()[0];
+          has_escape = true;
+        }
+      }
+      bool m = LikeMatch(v.string_val(), p.string_val(), escape, has_escape);
+      return Datum::Bool(e.negated ? !m : m);
+    }
+    case ExprKind::kInList: {
+      HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*e.children[0], layout, row));
+      if (v.is_null()) return Datum::Null();
+      bool saw_null = false;
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        HQ_ASSIGN_OR_RETURN(Datum item, EvalExpr(*e.children[i], layout, row));
+        if (item.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        HQ_ASSIGN_OR_RETURN(int c, Datum::Compare(v, item));
+        if (c == 0) return Datum::Bool(!e.negated);
+      }
+      if (saw_null) return Datum::Null();
+      return Datum::Bool(e.negated);
+    }
+    case ExprKind::kExtract: {
+      HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*e.children[0], layout, row));
+      if (v.is_null()) return Datum::Null();
+      int32_t days;
+      int64_t micros_of_day = 0;
+      if (v.is_date()) {
+        days = v.date_val();
+      } else if (v.is_timestamp()) {
+        int64_t micros = v.timestamp_val();
+        days = static_cast<int32_t>(micros / 86400000000LL);
+        micros_of_day = micros % 86400000000LL;
+        if (micros_of_day < 0) {
+          micros_of_day += 86400000000LL;
+          --days;
+        }
+      } else if (v.is_time()) {
+        days = 0;
+        micros_of_day = v.time_val();
+      } else {
+        return Status::ExecutionError("EXTRACT from non-temporal value");
+      }
+      const std::string& f = e.func_name;
+      if (f == "YEAR") return Datum::Int(ExtractYear(days));
+      if (f == "MONTH") return Datum::Int(ExtractMonth(days));
+      if (f == "DAY") return Datum::Int(ExtractDay(days));
+      if (f == "HOUR") return Datum::Int(micros_of_day / 3600000000LL);
+      if (f == "MINUTE") return Datum::Int((micros_of_day / 60000000LL) % 60);
+      if (f == "SECOND") return Datum::Int((micros_of_day / 1000000LL) % 60);
+      return Status::ExecutionError("unknown EXTRACT field ", f);
+    }
+    case ExprKind::kSubqScalar:
+    case ExprKind::kSubqExists:
+    case ExprKind::kSubqIn:
+    case ExprKind::kSubqQuantified:
+      return EvalSubquery(e, layout, row);
+  }
+  return Status::Internal("unhandled expression kind at execution");
+}
+
+Result<Datum> Executor::EvalArith(const Expr& e,
+                                  const std::map<int, int>& layout,
+                                  const Row& row) {
+  HQ_ASSIGN_OR_RETURN(Datum l, EvalExpr(*e.children[0], layout, row));
+  HQ_ASSIGN_OR_RETURN(Datum r, EvalExpr(*e.children[1], layout, row));
+  if (l.is_null() || r.is_null()) return Datum::Null();
+
+  using AK = xtra::ArithKind;
+  if (e.arith == AK::kConcat) {
+    HQ_ASSIGN_OR_RETURN(Datum ls, l.CastTo(SqlType::Varchar(0)));
+    HQ_ASSIGN_OR_RETURN(Datum rs, r.CastTo(SqlType::Varchar(0)));
+    return Datum::String(ls.string_val() + rs.string_val());
+  }
+  // Temporal arithmetic.
+  if (l.is_date() || r.is_date()) {
+    if (l.is_date() && r.is_date() && e.arith == AK::kSub) {
+      return Datum::Int(static_cast<int64_t>(l.date_val()) - r.date_val());
+    }
+    if (l.is_date() && r.is_interval()) {
+      int64_t days = r.interval_val() / 86400000000LL;
+      return Datum::Date(l.date_val() +
+                         static_cast<int32_t>(e.arith == AK::kSub ? -days
+                                                                  : days));
+    }
+    if (l.is_date() && r.is_numeric()) {
+      int64_t days = r.AsInt();
+      if (e.arith == AK::kAdd) {
+        return Datum::Date(l.date_val() + static_cast<int32_t>(days));
+      }
+      if (e.arith == AK::kSub) {
+        return Datum::Date(l.date_val() - static_cast<int32_t>(days));
+      }
+    }
+    if (r.is_date() && l.is_numeric() && e.arith == AK::kAdd) {
+      return Datum::Date(r.date_val() + static_cast<int32_t>(l.AsInt()));
+    }
+    return Status::ExecutionError("invalid date arithmetic");
+  }
+  if (l.is_timestamp() && r.is_interval()) {
+    int64_t delta = e.arith == AK::kSub ? -r.interval_val() : r.interval_val();
+    return Datum::Timestamp(l.timestamp_val() + delta);
+  }
+  if (!l.is_numeric() || !r.is_numeric()) {
+    return Status::ExecutionError("non-numeric operands for arithmetic: ",
+                                  l.ToString(), " ",
+                                  ArithKindName(e.arith), " ", r.ToString());
+  }
+  switch (e.arith) {
+    case AK::kAdd:
+    case AK::kSub:
+    case AK::kMul: {
+      if (l.is_double() || r.is_double()) {
+        double a = l.AsDouble(), b = r.AsDouble();
+        double v = e.arith == AK::kAdd   ? a + b
+                   : e.arith == AK::kSub ? a - b
+                                         : a * b;
+        return Datum::MakeDouble(v);
+      }
+      if (l.is_decimal() || r.is_decimal()) {
+        Decimal a = l.is_decimal() ? l.decimal_val() : Decimal{l.int_val(), 0};
+        Decimal b = r.is_decimal() ? r.decimal_val() : Decimal{r.int_val(), 0};
+        Decimal v = e.arith == AK::kAdd   ? Decimal::Add(a, b)
+                    : e.arith == AK::kSub ? Decimal::Sub(a, b)
+                                          : Decimal::Mul(a, b);
+        return Datum::MakeDecimal(v);
+      }
+      int64_t a = l.int_val(), b = r.int_val();
+      int64_t v = e.arith == AK::kAdd   ? a + b
+                  : e.arith == AK::kSub ? a - b
+                                        : a * b;
+      return Datum::Int(v);
+    }
+    case AK::kDiv: {
+      double b = r.AsDouble();
+      if (b == 0) return Status::ExecutionError("division by zero");
+      return Datum::MakeDouble(l.AsDouble() / b);
+    }
+    case AK::kMod: {
+      int64_t b = r.AsInt();
+      if (b == 0) return Status::ExecutionError("MOD by zero");
+      return Datum::Int(l.AsInt() % b);
+    }
+    case AK::kConcat:
+      break;
+  }
+  return Status::Internal("bad arithmetic kind");
+}
+
+Result<Datum> Executor::EvalFunc(const Expr& e,
+                                 const std::map<int, int>& layout,
+                                 const Row& row) {
+  const std::string& f = e.func_name;
+  std::vector<Datum> args;
+  for (const auto& c : e.children) {
+    HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*c, layout, row));
+    args.push_back(std::move(v));
+  }
+  auto null_if_any_null = [&]() {
+    for (const auto& a : args) {
+      if (a.is_null()) return true;
+    }
+    return false;
+  };
+
+  if (f == "COALESCE") {
+    for (const auto& a : args) {
+      if (!a.is_null()) return a;
+    }
+    return Datum::Null();
+  }
+  if (f == "NULLIF") {
+    if (args[0].is_null()) return Datum::Null();
+    if (args[1].is_null()) return args[0];
+    HQ_ASSIGN_OR_RETURN(int c, Datum::Compare(args[0], args[1]));
+    return c == 0 ? Datum::Null() : args[0];
+  }
+  if (f == "CURRENT_DATE") {
+    return Datum::Date(19000);  // deterministic "today" (2022-01-08)
+  }
+  if (f == "CURRENT_TIME") return Datum::Time(43200000000LL);
+  if (f == "CURRENT_TIMESTAMP") {
+    return Datum::Timestamp(19000LL * 86400000000LL + 43200000000LL);
+  }
+  if (null_if_any_null()) return Datum::Null();
+
+  if (f == "LENGTH") {
+    HQ_ASSIGN_OR_RETURN(Datum s, args[0].CastTo(SqlType::Varchar(0)));
+    // CHAR semantics: trailing blanks do not count.
+    const std::string& str = s.string_val();
+    size_t end = str.size();
+    while (end > 0 && str[end - 1] == ' ') --end;
+    return Datum::Int(static_cast<int64_t>(end));
+  }
+  if (f == "UPPER") return Datum::String(ToUpper(args[0].string_val()));
+  if (f == "LOWER") return Datum::String(ToLower(args[0].string_val()));
+  if (f == "TRIM" || f == "LTRIM" || f == "RTRIM") {
+    std::string chars = args.size() > 1 ? args[1].string_val() : " ";
+    std::string s = args[0].string_val();
+    auto in_set = [&](char c) { return chars.find(c) != std::string::npos; };
+    size_t b = 0, e2 = s.size();
+    if (f != "RTRIM") {
+      while (b < e2 && in_set(s[b])) ++b;
+    }
+    if (f != "LTRIM") {
+      while (e2 > b && in_set(s[e2 - 1])) --e2;
+    }
+    return Datum::String(s.substr(b, e2 - b));
+  }
+  if (f == "SUBSTR") {
+    const std::string& s = args[0].string_val();
+    int64_t start = args[1].AsInt();
+    int64_t len = args.size() > 2 ? args[2].AsInt()
+                                  : static_cast<int64_t>(s.size()) + 1;
+    // SQL 1-based positions; nonpositive start extends the window left.
+    int64_t begin = start - 1;
+    int64_t end = begin + len;
+    if (begin < 0) begin = 0;
+    if (end < begin) end = begin;
+    if (begin >= static_cast<int64_t>(s.size())) return Datum::String("");
+    if (end > static_cast<int64_t>(s.size())) {
+      end = static_cast<int64_t>(s.size());
+    }
+    return Datum::String(s.substr(begin, end - begin));
+  }
+  if (f == "POSITION") {
+    auto pos = args[1].string_val().find(args[0].string_val());
+    return Datum::Int(pos == std::string::npos
+                          ? 0
+                          : static_cast<int64_t>(pos) + 1);
+  }
+  if (f == "ABS") {
+    if (args[0].is_int()) return Datum::Int(std::llabs(args[0].int_val()));
+    if (args[0].is_decimal()) {
+      Decimal d = args[0].decimal_val();
+      d.value = d.value < 0 ? -d.value : d.value;
+      return Datum::MakeDecimal(d);
+    }
+    return Datum::MakeDouble(std::fabs(args[0].AsDouble()));
+  }
+  if (f == "$NEG") {
+    if (args[0].is_int()) return Datum::Int(-args[0].int_val());
+    if (args[0].is_decimal()) {
+      Decimal d = args[0].decimal_val();
+      d.value = -d.value;
+      return Datum::MakeDecimal(d);
+    }
+    if (args[0].is_interval()) return Datum::Interval(-args[0].interval_val());
+    return Datum::MakeDouble(-args[0].AsDouble());
+  }
+  if (f == "ROUND") {
+    double scale = args.size() > 1 ? Pow10(static_cast<int32_t>(
+                                         args[1].AsInt()))
+                                   : 1;
+    return Datum::MakeDouble(std::round(args[0].AsDouble() * scale) / scale);
+  }
+  if (f == "FLOOR") return Datum::MakeDouble(std::floor(args[0].AsDouble()));
+  if (f == "CEIL") return Datum::MakeDouble(std::ceil(args[0].AsDouble()));
+  if (f == "SQRT") return Datum::MakeDouble(std::sqrt(args[0].AsDouble()));
+  if (f == "EXP") return Datum::MakeDouble(std::exp(args[0].AsDouble()));
+  if (f == "LN") {
+    if (args[0].AsDouble() <= 0) {
+      return Status::ExecutionError("LN of non-positive value");
+    }
+    return Datum::MakeDouble(std::log(args[0].AsDouble()));
+  }
+  if (f == "MOD") {
+    int64_t b = args[1].AsInt();
+    if (b == 0) return Status::ExecutionError("MOD by zero");
+    return Datum::Int(args[0].AsInt() % b);
+  }
+  if (f == "ADD_MONTHS") {
+    HQ_ASSIGN_OR_RETURN(Datum d, args[0].CastTo(SqlType::Date()));
+    return Datum::Date(AddMonths(d.date_val(),
+                                 static_cast<int>(args[1].AsInt())));
+  }
+  if (f == "DATE_ADD_DAYS") {
+    HQ_ASSIGN_OR_RETURN(Datum d, args[0].CastTo(SqlType::Date()));
+    return Datum::Date(d.date_val() + static_cast<int32_t>(args[1].AsInt()));
+  }
+  if (f == "DATE_DIFF_DAYS") {
+    HQ_ASSIGN_OR_RETURN(Datum a, args[0].CastTo(SqlType::Date()));
+    HQ_ASSIGN_OR_RETURN(Datum b, args[1].CastTo(SqlType::Date()));
+    return Datum::Int(static_cast<int64_t>(a.date_val()) - b.date_val());
+  }
+  if (f == "USER") return Datum::String("vdb");
+  if (f == "DATABASE" || f == "SESSION") return Datum::String("vdb");
+  return Status::ExecutionError("vdb: unknown function '", f, "'");
+}
+
+Result<Datum> Executor::EvalSubquery(const Expr& e,
+                                     const std::map<int, int>& layout,
+                                     const Row& row) {
+  // Memoize by the outer values the subquery actually reads (plus the row
+  // expressions on the comparison side): correlated subqueries typically
+  // repeat a small set of keys across many outer rows.
+  auto info_it = subq_info_.find(&e);
+  if (info_it == subq_info_.end()) {
+    auto info = std::make_unique<SubqInfo>();
+    info->outer_ids = CollectOuterRefs(*e.subplan);
+    std::sort(info->outer_ids.begin(), info->outer_ids.end());
+    info_it = subq_info_.emplace(&e, std::move(info)).first;
+  }
+  SubqInfo& info = *info_it->second;
+  std::vector<Datum> memo_key;
+  bool memoizable = true;
+  for (int id : info.outer_ids) {
+    auto v = ResolveColRef(id, layout, row, "");
+    if (!v.ok()) {
+      memoizable = false;
+      break;
+    }
+    memo_key.push_back(std::move(v).value());
+  }
+  if (memoizable) {
+    for (const auto& c : e.children) {
+      auto v = EvalExpr(*c, layout, row);
+      if (!v.ok()) {
+        memoizable = false;
+        break;
+      }
+      memo_key.push_back(std::move(v).value());
+    }
+  }
+  if (memoizable) {
+    auto hit = info.memo.find(memo_key);
+    if (hit != info.memo.end()) return hit->second;
+  }
+  HQ_ASSIGN_OR_RETURN(Datum result, EvalSubqueryUncached(e, layout, row));
+  if (memoizable) info.memo.emplace(std::move(memo_key), result);
+  return result;
+}
+
+Result<Datum> Executor::ResolveColRef(int col_id,
+                                      const std::map<int, int>& layout,
+                                      const Row& row,
+                                      const std::string& name) {
+  auto it = layout.find(col_id);
+  if (it != layout.end()) return row[it->second];
+  for (auto rit = outer_.rbegin(); rit != outer_.rend(); ++rit) {
+    auto oit = rit->layout->find(col_id);
+    if (oit != rit->layout->end()) return (*rit->row)[oit->second];
+  }
+  return Status::ExecutionError("unresolved column id ", col_id, " ('", name,
+                                "') at execution");
+}
+
+Result<Datum> Executor::EvalSubqueryUncached(const Expr& e,
+                                             const std::map<int, int>& layout,
+                                             const Row& row) {
+  outer_.push_back({&layout, &row});
+  auto result = Exec(*e.subplan);
+  outer_.pop_back();
+  HQ_RETURN_IF_ERROR(result.status());
+  Relation& rel = result.value();
+
+  switch (e.kind) {
+    case ExprKind::kSubqScalar: {
+      if (rel.rows.empty()) return Datum::Null();
+      if (rel.rows.size() > 1) {
+        return Status::ExecutionError(
+            "scalar subquery returned more than one row");
+      }
+      return rel.rows[0][0];
+    }
+    case ExprKind::kSubqExists: {
+      bool exists = !rel.rows.empty();
+      return Datum::Bool(e.negated ? !exists : exists);
+    }
+    case ExprKind::kSubqIn: {
+      HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*e.children[0], layout, row));
+      if (v.is_null()) return Datum::Null();
+      bool saw_null = false;
+      for (const auto& r : rel.rows) {
+        if (r[0].is_null()) {
+          saw_null = true;
+          continue;
+        }
+        HQ_ASSIGN_OR_RETURN(int c, Datum::Compare(v, r[0]));
+        if (c == 0) return Datum::Bool(!e.negated);
+      }
+      if (saw_null) return Datum::Null();
+      return Datum::Bool(e.negated);
+    }
+    case ExprKind::kSubqQuantified: {
+      // Scalar ANY/ALL (vector comparisons were rewritten upstream; vdb
+      // evaluates them anyway for completeness using lexicographic order).
+      std::vector<Datum> vals;
+      for (const auto& c : e.children) {
+        HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*c, layout, row));
+        vals.push_back(std::move(v));
+      }
+      bool is_any = e.quantifier == xtra::Quantifier::kAny;
+      bool saw_null = false;
+      bool any_true = false, all_true = true;
+      for (const auto& r : rel.rows) {
+        bool row_null = false;
+        int cmp = 0;
+        for (size_t i = 0; i < vals.size(); ++i) {
+          if (vals[i].is_null() || r[i].is_null()) {
+            row_null = true;
+            break;
+          }
+          HQ_ASSIGN_OR_RETURN(int c, Datum::Compare(vals[i], r[i]));
+          if (c != 0) {
+            cmp = c;
+            break;
+          }
+        }
+        if (row_null) {
+          saw_null = true;
+          continue;
+        }
+        bool ok;
+        switch (e.quant_cmp) {
+          case xtra::CompKind::kEq:
+            ok = cmp == 0;
+            break;
+          case xtra::CompKind::kNe:
+            ok = cmp != 0;
+            break;
+          case xtra::CompKind::kLt:
+            ok = cmp < 0;
+            break;
+          case xtra::CompKind::kLe:
+            ok = cmp <= 0;
+            break;
+          case xtra::CompKind::kGt:
+            ok = cmp > 0;
+            break;
+          default:
+            ok = cmp >= 0;
+            break;
+        }
+        any_true |= ok;
+        all_true &= ok;
+      }
+      if (is_any) {
+        if (any_true) return Datum::Bool(true);
+        if (saw_null) return Datum::Null();
+        return Datum::Bool(false);
+      }
+      if (rel.rows.empty()) return Datum::Bool(true);
+      if (!all_true) return Datum::Bool(false);
+      if (saw_null) return Datum::Null();
+      return Datum::Bool(true);
+    }
+    default:
+      return Status::Internal("not a subquery expression");
+  }
+}
+
+}  // namespace hyperq::vdb

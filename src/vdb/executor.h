@@ -1,0 +1,142 @@
+// Volcano-ish interpreter executing XTRA plans against vdb storage.
+//
+// Operators materialize their results (the evaluation workloads fit in
+// memory at benchmark scale); scalar evaluation is a tree-walking
+// interpreter over Datum with SQL three-valued logic. Correlated subqueries
+// execute their subplans per outer row through an outer-scope chain.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "vdb/storage.h"
+#include "xtra/xtra.h"
+
+namespace hyperq::vdb {
+
+/// \brief A materialized intermediate result.
+struct Relation {
+  std::vector<xtra::ColumnInfo> cols;
+  std::map<int, int> layout;  // col id -> slot index
+  std::vector<Row> rows;
+
+  void BuildLayout() {
+    layout.clear();
+    for (size_t i = 0; i < cols.size(); ++i) {
+      layout[cols[i].id] = static_cast<int>(i);
+    }
+  }
+};
+
+/// \brief Executes plans; holds the storage reference and the correlation
+/// stack for subquery evaluation.
+class Executor {
+ public:
+  explicit Executor(Storage* storage) : storage_(storage) {}
+
+  /// \brief Runs a query plan and returns the result relation.
+  Result<Relation> Execute(const xtra::Op& op);
+
+  /// \brief Runs a DML plan; returns the number of affected rows.
+  Result<int64_t> ExecuteDml(const xtra::Op& op);
+
+  /// \brief Evaluates a scalar expression against one row (exposed for
+  /// tests and the emulation layer's constant evaluation).
+  Result<Datum> Eval(const xtra::Expr& e, const Relation& rel,
+                     const Row& row);
+
+ private:
+  struct OuterScope {
+    const std::map<int, int>* layout;
+    const Row* row;
+  };
+
+  Result<Relation> Exec(const xtra::Op& op);
+  Result<Relation> ExecDispatch(const xtra::Op& op);
+  Result<Relation> ExecGet(const xtra::Op& op);
+  Result<Relation> ExecValues(const xtra::Op& op);
+  Result<Relation> ExecSelect(const xtra::Op& op);
+  Result<Relation> ExecProject(const xtra::Op& op);
+  Result<Relation> ExecWindow(const xtra::Op& op);
+  Result<Relation> ExecAggregate(const xtra::Op& op);
+  Result<Relation> ExecJoin(const xtra::Op& op);
+  Result<Relation> ExecSetOp(const xtra::Op& op);
+  Result<Relation> ExecSort(const xtra::Op& op);
+  Result<Relation> ExecLimit(const xtra::Op& op);
+
+  Result<Datum> EvalExpr(const xtra::Expr& e, const std::map<int, int>& layout,
+                         const Row& row);
+  Result<Datum> EvalFunc(const xtra::Expr& e, const std::map<int, int>& layout,
+                         const Row& row);
+  Result<Datum> EvalArith(const xtra::Expr& e,
+                          const std::map<int, int>& layout, const Row& row);
+  Result<Datum> EvalSubquery(const xtra::Expr& e,
+                             const std::map<int, int>& layout, const Row& row);
+  Result<Datum> EvalSubqueryUncached(const xtra::Expr& e,
+                                     const std::map<int, int>& layout,
+                                     const Row& row);
+
+  /// Truth test for predicates: NULL counts as false.
+  Result<bool> EvalPredicate(const xtra::Expr& e,
+                             const std::map<int, int>& layout, const Row& row);
+
+  /// True when every column reference below `op` is produced inside it
+  /// (no correlation) — such subtrees can be cached across re-executions.
+  static bool IsCorrelationFree(const xtra::Op& op);
+
+  Storage* storage_;
+  std::vector<OuterScope> outer_;
+
+  // --- Subquery acceleration -------------------------------------------
+  // Correlated subqueries re-execute per outer row; three caches keep that
+  // tractable: (1) whole-result memoization keyed on the referenced outer
+  // values, (2) relation caching for correlation-free subtrees, and
+  // (3) hash indexes for Select-over-Get with an equality against an outer
+  // value.
+  struct VecHashT {
+    size_t operator()(const std::vector<Datum>& v) const;
+  };
+  struct VecEqT {
+    bool operator()(const std::vector<Datum>& a,
+                    const std::vector<Datum>& b) const;
+  };
+  struct SubqInfo {
+    std::vector<int> outer_ids;  // outer column ids the subplan reads
+    std::unordered_map<std::vector<Datum>, Datum, VecHashT, VecEqT> memo;
+  };
+  struct DatumHashT {
+    size_t operator()(const Datum& d) const { return d.Hash(); }
+  };
+  struct DatumEqT {
+    bool operator()(const Datum& a, const Datum& b) const {
+      return Datum::GroupEquals(a, b);
+    }
+  };
+  struct SelectIndex {
+    int key_slot = -1;                      // slot in the Get output
+    const xtra::Expr* outer_key = nullptr;  // outer-only key expression
+    std::unordered_map<Datum, std::vector<const Row*>, DatumHashT, DatumEqT>
+        buckets;
+    std::shared_ptr<Relation> base;  // owns the indexed rows
+  };
+
+  Result<Datum> ResolveColRef(int col_id, const std::map<int, int>& layout,
+                              const Row& row, const std::string& name);
+
+  std::map<const xtra::Expr*, std::unique_ptr<SubqInfo>> subq_info_;
+  std::map<const xtra::Op*, std::unique_ptr<SelectIndex>> select_indexes_;
+  std::map<const xtra::Op*, std::shared_ptr<Relation>> relation_cache_;
+  std::map<const xtra::Op*, bool> correlation_free_;
+};
+
+/// \brief Ordering comparator used by Sort, Window and merge logic.
+/// Returns <0, 0, >0 in final output order; `nulls_first` follows SQL
+/// NULLS FIRST/LAST semantics (vdb default: NULLs sort high).
+int CompareForSort(const Datum& a, const Datum& b, bool descending,
+                   bool nulls_first);
+
+}  // namespace hyperq::vdb

@@ -1,0 +1,27 @@
+// vdb plan optimizer: predicate pushdown and greedy equi-join ordering.
+//
+// Hyper-Q serializes comma-style FROM lists as cross joins with the original
+// WHERE on top, which is also how TPC-H queries are written. Executing that
+// literally would materialize cross products, so the target engine — like
+// any real warehouse — normalizes Select-over-cross-join trees:
+//
+//   * single-relation conjuncts are pushed onto their relation,
+//   * equi-conjuncts convert cross joins into inner hash joins, ordered
+//     greedily by connectivity,
+//   * everything else (subqueries, multi-relation residuals) stays in a
+//     filter above the join tree.
+//
+// Conjuncts referencing correlation (column ids produced outside the tree)
+// are pushed to the single relation that binds their local side, preserving
+// the executor's indexed-selection fast path.
+
+#pragma once
+
+#include "xtra/xtra.h"
+
+namespace hyperq::vdb {
+
+/// \brief Rewrites the plan in place (also inside subquery plans).
+void OptimizePlan(xtra::OpPtr* plan);
+
+}  // namespace hyperq::vdb

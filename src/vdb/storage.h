@@ -1,0 +1,56 @@
+// In-memory storage of the vdb target engine: plain row-oriented tables.
+//
+// vdb stands in for the commercial cloud data warehouse of the paper's
+// evaluation (see DESIGN.md, substitution table). Its storage layer is
+// deliberately simple — correctness and a realistic execution-cost profile
+// matter here, not raw scan speed.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/datum.h"
+#include "types/type.h"
+
+namespace hyperq::vdb {
+
+using Row = std::vector<Datum>;
+
+struct TableColumn {
+  std::string name;
+  SqlType type;
+  bool not_null = false;
+};
+
+/// \brief One stored table. Row access is guarded by the engine-level lock
+/// (vdb serializes DML; concurrent reads share snapshots by copy).
+struct Table {
+  std::string name;
+  std::vector<TableColumn> columns;
+  std::vector<Row> rows;
+
+  int FindColumn(const std::string& col_name) const;
+};
+
+/// \brief Name → table registry (case-insensitive).
+class Storage {
+ public:
+  Status CreateTable(const std::string& name,
+                     std::vector<TableColumn> columns);
+  Status DropTable(const std::string& name, bool if_exists);
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+ private:
+  static std::string Key(const std::string& name);
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace hyperq::vdb

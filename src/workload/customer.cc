@@ -1,0 +1,266 @@
+#include "workload/customer.h"
+
+#include <cmath>
+
+namespace hyperq::workload {
+
+CustomerProfile CustomerProfile::Customer1Health() {
+  CustomerProfile p;
+  p.name = "Customer 1";
+  p.sector = "Health";
+  p.total_queries = 39731;
+  p.distinct_queries = 3778;
+  // Figure 8a: 55.6% (5/9) translation, 77.8% (7/9) transformation,
+  // 33.3% (3/9) emulation features observed.
+  p.translation_features = {0, 1, 5, 6, 7};        // SEL, INS, CHARS,
+                                                   // ZEROIFNULL, TOP
+  p.transformation_features = {0, 1, 2, 3, 5, 6, 8};
+  p.emulation_features = {1, 3, 5};                // recursion, DML on
+                                                   // views, column props
+  // Figure 8b.
+  p.translation_fraction = 0.014;
+  p.transformation_fraction = 0.336;
+  p.emulation_fraction = 0.002;
+  return p;
+}
+
+CustomerProfile CustomerProfile::Customer2Telco() {
+  CustomerProfile p;
+  p.name = "Customer 2";
+  p.sector = "Telco";
+  p.total_queries = 192753;
+  p.distinct_queries = 10446;
+  // Figure 8a: 22.2% (2/9), 66.7% (6/9), 33.3% (3/9).
+  p.translation_features = {0, 8};                 // SEL, COLLECT STATS
+  p.transformation_features = {1, 2, 3, 5, 6, 7};
+  p.emulation_features = {0, 4, 6};                // macros, session
+                                                   // commands, SET tables
+  // Figure 8b: the Telco customer wrapped its business logic in macros,
+  // hence the dominant emulation share.
+  p.translation_fraction = 0.002;
+  p.transformation_fraction = 0.040;
+  p.emulation_fraction = 0.791;
+  return p;
+}
+
+Status SetUpCustomerSchema(service::HyperQService* service,
+                           uint32_t session_id) {
+  const char* ddl[] = {
+      "CREATE TABLE T_PAT (ID INTEGER, NAME VARCHAR(40) NOT CASESPECIFIC, "
+      "SCORE INTEGER, VISIT_DATE DATE, REGION INTEGER)",
+      "CREATE TABLE T_CLAIM (ID INTEGER, PAT_ID INTEGER, AMOUNT "
+      "DECIMAL(12,2), NET DECIMAL(12,2), CLAIM_DATE DATE)",
+      "CREATE SET TABLE SETT (K INTEGER, V INTEGER)",
+      "CREATE GLOBAL TEMPORARY TABLE GTT_WORK (K INTEGER, V INTEGER)",
+      "CREATE TABLE T_COVER (ID INTEGER, SPAN PERIOD(DATE))",
+      "CREATE VIEW V_PAT AS SELECT ID, NAME, SCORE FROM T_PAT",
+      "CREATE MACRO M_REPORT (LIM DECIMAL(12,2)) AS "
+      "(SELECT COUNT(*) AS N FROM T_CLAIM WHERE AMOUNT > :LIM;)",
+  };
+  for (const char* stmt : ddl) {
+    auto r = service->Submit(session_id, stmt);
+    HQ_RETURN_IF_ERROR(r.status());
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Builds one distinct query exercising the given tracked feature; `v`
+// varies literals so every query text is distinct.
+WorkloadQuery MakeFeatureQuery(RewriteClass cls, int idx, int64_t v) {
+  WorkloadQuery q;
+  std::string n = std::to_string(v);
+  auto feature = static_cast<Feature>(static_cast<int>(cls) *
+                                          kFeaturesPerClass +
+                                      idx);
+  q.intended.Record(feature);
+  switch (feature) {
+    case Feature::kSelAbbrev:
+      q.sql = "SEL ID, SCORE FROM T_PAT WHERE ID > " + n;
+      break;
+    case Feature::kInsAbbrev:
+      q.sql = "INS INTO T_CLAIM VALUES (" + n + ", 1, 10.00, 9.00, DATE "
+              "'2014-01-02')";
+      break;
+    case Feature::kUpdAbbrev:
+      q.sql = "UPD T_PAT SET SCORE = " + n + " WHERE ID = " + n;
+      break;
+    case Feature::kDelAbbrev:
+      q.sql = "DEL FROM T_CLAIM WHERE ID = " + n;
+      break;
+    case Feature::kTxnShorthand:
+      q.sql = "BT";
+      break;
+    case Feature::kBuiltinRename:
+      q.sql = "SELECT ID FROM T_PAT WHERE CHARS(NAME) > " + n;
+      break;
+    case Feature::kNullFuncs:
+      q.sql = "SELECT ZEROIFNULL(SCORE) + " + n + " FROM T_PAT";
+      break;
+    case Feature::kTopToLimit:
+      q.sql = "SELECT TOP " + std::to_string(1 + v % 50) +
+              " ID FROM T_PAT ORDER BY SCORE DESC";
+      break;
+    case Feature::kStatsElimination:
+      q.sql = "COLLECT STATISTICS ON T_PAT COLUMN (SCORE)";
+      break;
+    case Feature::kQualify:
+      q.sql = "SELECT ID FROM T_PAT QUALIFY RANK() OVER (ORDER BY SCORE "
+              "DESC) <= " + n;
+      break;
+    case Feature::kImplicitJoin:
+      q.sql = "SELECT T_PAT.ID FROM T_PAT WHERE T_PAT.ID = "
+              "T_CLAIM.PAT_ID AND T_CLAIM.AMOUNT > " + n;
+      break;
+    case Feature::kChainedProjections:
+      q.sql = "SELECT SCORE AS BASE, BASE + " + n + " AS ADJ FROM T_PAT";
+      break;
+    case Feature::kOrdinalGroupBy:
+      q.sql = "SELECT REGION, COUNT(*) FROM T_PAT WHERE ID > " + n +
+              " GROUP BY 1";
+      break;
+    case Feature::kGroupingExtensions:
+      q.sql = "SELECT REGION, SCORE, COUNT(*) FROM T_PAT WHERE ID > " + n +
+              " GROUP BY ROLLUP(REGION, SCORE)";
+      break;
+    case Feature::kDateArithmetic:
+      q.sql = "SELECT ID FROM T_PAT WHERE VISIT_DATE > DATE '2014-01-01' + " +
+              std::to_string(1 + v % 300);
+      break;
+    case Feature::kDateIntComparison:
+      q.sql = "SELECT ID FROM T_PAT WHERE VISIT_DATE > " +
+              std::to_string(1140101 + v % 300);
+      break;
+    case Feature::kVectorSubquery:
+      q.sql = "SELECT ID FROM T_CLAIM WHERE (AMOUNT, NET) > ANY (SELECT "
+              "AMOUNT, NET FROM T_CLAIM WHERE ID < " + n + ")";
+      break;
+    case Feature::kOrderedAnalytics:
+      q.sql = "SELECT ID FROM T_PAT QUALIFY RANK(SCORE DESC) <= " + n;
+      q.intended.Record(Feature::kQualify);
+      break;
+    case Feature::kMacros:
+      q.sql = "EXEC M_REPORT(" + std::to_string(v % 1000) + ".50)";
+      break;
+    case Feature::kRecursiveQuery:
+      q.sql = "WITH RECURSIVE R (ID) AS (SELECT ID FROM T_PAT WHERE ID = " +
+              n +
+              " UNION ALL SELECT T_PAT.ID FROM T_PAT, R WHERE T_PAT.ID = "
+              "R.ID + 1 AND T_PAT.ID < " + n + " + 3) SELECT ID FROM R";
+      break;
+    case Feature::kMerge:
+      q.sql = "MERGE INTO SETT USING T_PAT ON SETT.K = T_PAT.ID WHEN "
+              "MATCHED THEN UPDATE SET V = " + n +
+              " WHEN NOT MATCHED THEN INSERT (K, V) VALUES (T_PAT.ID, " + n +
+              ")";
+      break;
+    case Feature::kDmlOnViews:
+      q.sql = "UPDATE V_PAT SET SCORE = " + n + " WHERE ID = " + n;
+      break;
+    case Feature::kSessionCommands:
+      q.sql = (v % 2 == 0) ? "HELP SESSION"
+                           : "SET SESSION DATABASE DB_" + n;
+      break;
+    case Feature::kColumnProperties:
+      q.sql = "SELECT ID FROM T_PAT WHERE NAME = 'case" + n + "'";
+      break;
+    case Feature::kSetSemantics:
+      q.sql = "INSERT INTO SETT VALUES (" + n + ", " + n + ")";
+      break;
+    case Feature::kTemporaryTables:
+      q.sql = "SELECT K, V FROM GTT_WORK WHERE K > " + n;
+      break;
+    case Feature::kPeriodType:
+      q.sql = "SELECT ID FROM T_COVER WHERE BEGIN(SPAN) > DATE "
+              "'2014-01-01' AND ID > " + n;
+      break;
+    default:
+      q.sql = "SELECT " + n;
+      break;
+  }
+  return q;
+}
+
+WorkloadQuery MakePlainQuery(int64_t v) {
+  WorkloadQuery q;
+  switch (v % 4) {
+    case 0:
+      q.sql = "SELECT ID, SCORE FROM T_PAT WHERE SCORE > " +
+              std::to_string(v);
+      break;
+    case 1:
+      q.sql = "SELECT PAT_ID, SUM(AMOUNT) AS TOTAL FROM T_CLAIM WHERE ID > " +
+              std::to_string(v) + " GROUP BY PAT_ID";
+      break;
+    case 2:
+      q.sql = "SELECT COUNT(*) FROM T_PAT WHERE REGION = " +
+              std::to_string(v % 50);
+      break;
+    default:
+      q.sql = "SELECT P.ID, C.AMOUNT FROM T_PAT P INNER JOIN T_CLAIM C ON "
+              "P.ID = C.PAT_ID WHERE C.AMOUNT > " + std::to_string(v);
+      break;
+  }
+  return q;
+}
+
+}  // namespace
+
+std::vector<WorkloadQuery> SynthesizeWorkload(const CustomerProfile& profile,
+                                              double scale, uint64_t seed) {
+  int64_t distinct = std::max<int64_t>(
+      50, static_cast<int64_t>(std::llround(profile.distinct_queries * scale)));
+  int64_t total = std::max<int64_t>(
+      distinct,
+      static_cast<int64_t>(std::llround(profile.total_queries * scale)));
+
+  auto count_for = [&](double fraction) {
+    return static_cast<int64_t>(std::llround(fraction * distinct));
+  };
+  int64_t n_translation = count_for(profile.translation_fraction);
+  int64_t n_transformation = count_for(profile.transformation_fraction);
+  int64_t n_emulation = count_for(profile.emulation_fraction);
+
+  std::vector<WorkloadQuery> out;
+  out.reserve(distinct);
+  int64_t v = static_cast<int64_t>(seed);
+
+  auto emit_class = [&](RewriteClass cls, const std::vector<int>& features,
+                        int64_t count) {
+    for (int64_t i = 0; i < count; ++i) {
+      int idx = features[i % features.size()];
+      // Guarantee every listed feature appears at least once even for tiny
+      // class fractions.
+      out.push_back(MakeFeatureQuery(cls, idx, ++v));
+    }
+  };
+  emit_class(RewriteClass::kTranslation, profile.translation_features,
+             std::max<int64_t>(
+                 n_translation,
+                 static_cast<int64_t>(profile.translation_features.size())));
+  emit_class(RewriteClass::kTransformation, profile.transformation_features,
+             std::max<int64_t>(
+                 n_transformation,
+                 static_cast<int64_t>(
+                     profile.transformation_features.size())));
+  emit_class(RewriteClass::kEmulation, profile.emulation_features,
+             std::max<int64_t>(
+                 n_emulation,
+                 static_cast<int64_t>(profile.emulation_features.size())));
+
+  while (static_cast<int64_t>(out.size()) < distinct) {
+    out.push_back(MakePlainQuery(++v));
+  }
+
+  // Spread Table 1 replay counts over the distinct queries.
+  int64_t base = total / distinct;
+  int64_t remainder = total - base * distinct;
+  for (auto& q : out) q.replay_count = base;
+  for (int64_t i = 0; i < remainder; ++i) {
+    ++out[i % out.size()].replay_count;
+  }
+  return out;
+}
+
+}  // namespace hyperq::workload

@@ -1,0 +1,6 @@
+// placeholder translation unit; replaced as the module is implemented
+namespace hyperq {
+namespace workload_detail {
+int anchor;
+}
+}

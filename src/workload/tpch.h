@@ -1,0 +1,47 @@
+// TPC-H workload for the Figure 9 experiments: a dbgen-style deterministic
+// data generator, schema DDL in the source dialect, and the 22 benchmark
+// queries hand-ported to the Teradata-ish frontend dialect (SEL, TOP, date
+// arithmetic, EXTRACT, ordinal-free grouping).
+//
+// The paper ran 1TB (SF 1000) on a 2-node cloud cluster; vdb is an embedded
+// interpreter, so the default scale factor is small. Figure 9 reports
+// relative overhead, which is scale-robust on the translation side (per
+// statement text) and dominated by execution on the data side.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "service/hyperq_service.h"
+#include "vdb/engine.h"
+
+namespace hyperq::workload {
+
+struct TpchOptions {
+  double scale_factor = 0.01;
+  uint64_t seed = 19620718;
+};
+
+/// \brief The 8 CREATE TABLE statements in the source (SQL-A) dialect.
+std::vector<std::string> TpchSchemaSqlA();
+
+/// \brief The 22 TPC-H queries in the source dialect, index 0 = Q1.
+const std::vector<std::string>& TpchQueries();
+
+/// \brief Creates the schema through Hyper-Q (exercising DDL translation)
+/// and bulk-loads generated data directly into the target engine's storage
+/// (stand-in for the offline content transfer of paper Appendix A.2).
+Status LoadTpch(service::HyperQService* service, uint32_t session_id,
+                vdb::Engine* engine, const TpchOptions& options = {});
+
+/// \brief Row counts per table for a scale factor (introspection/tests).
+struct TpchCardinalities {
+  int64_t region, nation, supplier, part, partsupp, customer, orders,
+      lineitem;
+};
+TpchCardinalities CardinalitiesFor(double scale_factor);
+
+}  // namespace hyperq::workload

@@ -1,0 +1,355 @@
+// Tree dumps in the paper's Figure 5/6 style. Whitespace is normalized
+// relative to the paper (the original mixes "arith (+)" and "arith(-)"); the
+// golden tests in tests/ assert this canonical form.
+
+#include <functional>
+#include <sstream>
+
+#include "xtra/xtra.h"
+
+namespace hyperq::xtra {
+
+namespace {
+
+// A printable tree node: label + children, built from ops and exprs.
+struct Node {
+  std::string label;
+  std::vector<Node> children;
+};
+
+std::string ExprInline(const Expr& e);
+
+// Renders simple expressions inline for labels like window(RANK, DESC, X).
+std::string ExprInline(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kColRef:
+      return e.col_name;
+    case ExprKind::kConst:
+      return e.value.ToString();
+    case ExprKind::kArith:
+      return ExprInline(*e.children[0]) + " " + ArithKindName(e.arith) + " " +
+             ExprInline(*e.children[1]);
+    case ExprKind::kFunc: {
+      std::string out = e.func_name + "(";
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ExprInline(*e.children[i]);
+      }
+      return out + ")";
+    }
+    default:
+      return "<expr>";
+  }
+}
+
+Node BuildExpr(const Expr& e);
+Node BuildOp(const Op& op);
+
+Node BuildExpr(const Expr& e) {
+  Node n;
+  switch (e.kind) {
+    case ExprKind::kColRef:
+      n.label = "ident(" + e.col_name + ")";
+      return n;
+    case ExprKind::kConst:
+      n.label = "const(" + e.value.ToString() + ")";
+      return n;
+    case ExprKind::kArith: {
+      n.label = std::string("arith(") + ArithKindName(e.arith) + ")";
+      // Left-nested chains of the same additive operator print n-ary,
+      // matching the paper's arith(+) with three children (Figure 5).
+      if (e.arith == ArithKind::kAdd || e.arith == ArithKind::kMul) {
+        std::vector<const Expr*> flat;
+        std::function<void(const Expr&)> flatten = [&](const Expr& x) {
+          if (x.kind == ExprKind::kArith && x.arith == e.arith) {
+            flatten(*x.children[0]);
+            flatten(*x.children[1]);
+          } else {
+            flat.push_back(&x);
+          }
+        };
+        flatten(e);
+        if (flat.size() > 2) {
+          for (const Expr* c : flat) n.children.push_back(BuildExpr(*c));
+          return n;
+        }
+      }
+      break;
+    }
+    case ExprKind::kComp:
+      n.label = std::string("comp(") + CompKindName(e.comp) + ")";
+      break;
+    case ExprKind::kBool:
+      n.label = std::string("boolexpr(") +
+                (e.boolk == BoolKind::kAnd ? "AND" : "OR") + ")";
+      break;
+    case ExprKind::kNot:
+      n.label = "boolexpr(NOT)";
+      break;
+    case ExprKind::kFunc:
+      n.label = "func(" + e.func_name + ")";
+      break;
+    case ExprKind::kAgg:
+      n.label = "agg(" + e.func_name + (e.distinct_arg ? ", DISTINCT" : "") +
+                ")";
+      break;
+    case ExprKind::kCast:
+      n.label = "cast(" + e.type.ToString() + ")";
+      break;
+    case ExprKind::kCase:
+      n.label = "case";
+      for (const auto& [w, t] : e.when_then) {
+        Node when{"when", {}};
+        when.children.push_back(BuildExpr(*w));
+        when.children.push_back(BuildExpr(*t));
+        n.children.push_back(std::move(when));
+      }
+      if (e.else_expr) {
+        Node els{"else", {}};
+        els.children.push_back(BuildExpr(*e.else_expr));
+        n.children.push_back(std::move(els));
+      }
+      return n;
+    case ExprKind::kIsNull:
+      n.label = e.negated ? "is_not_null" : "is_null";
+      break;
+    case ExprKind::kLike:
+      n.label = e.negated ? "not_like" : "like";
+      break;
+    case ExprKind::kInList:
+      n.label = e.negated ? "not_in" : "in";
+      break;
+    case ExprKind::kExtract: {
+      // Matches the paper's extract(DAY, SALES_DATE) inline form when the
+      // operand is simple.
+      const Expr& arg = *e.children[0];
+      if (arg.kind == ExprKind::kColRef || arg.kind == ExprKind::kConst) {
+        n.label = "extract(" + e.func_name + ", " + ExprInline(arg) + ")";
+        return n;
+      }
+      n.label = "extract(" + e.func_name + ")";
+      break;
+    }
+    case ExprKind::kSubqScalar:
+      n.label = "subq(SCALAR)";
+      n.children.push_back(BuildOp(*e.subplan));
+      return n;
+    case ExprKind::kSubqExists:
+      n.label = e.negated ? "subq(NOT EXISTS)" : "subq(EXISTS)";
+      n.children.push_back(BuildOp(*e.subplan));
+      return n;
+    case ExprKind::kSubqIn:
+      n.label = e.negated ? "subq(NOT IN)" : "subq(IN)";
+      n.children.push_back(BuildOp(*e.subplan));
+      if (!e.children.empty()) {
+        Node list{"list", {}};
+        for (const auto& c : e.children) list.children.push_back(BuildExpr(*c));
+        n.children.push_back(std::move(list));
+      }
+      return n;
+    case ExprKind::kSubqQuantified: {
+      // subq(ANY, GT, [GROSS, NET]) per Figure 5.
+      std::string cols = "[";
+      for (size_t i = 0; i < e.subplan->output.size(); ++i) {
+        if (i > 0) cols += ", ";
+        cols += e.subplan->output[i].name;
+      }
+      cols += "]";
+      n.label = std::string("subq(") +
+                (e.quantifier == Quantifier::kAny ? "ANY" : "ALL") + ", " +
+                CompKindName(e.quant_cmp) + ", " + cols + ")";
+      n.children.push_back(BuildOp(*e.subplan));
+      Node list{"list", {}};
+      for (const auto& c : e.children) list.children.push_back(BuildExpr(*c));
+      n.children.push_back(std::move(list));
+      return n;
+    }
+  }
+  for (const auto& c : e.children) {
+    if (c) n.children.push_back(BuildExpr(*c));
+  }
+  return n;
+}
+
+Node BuildOp(const Op& op) {
+  Node n;
+  switch (op.kind) {
+    case OpKind::kGet:
+      n.label = "get(" + op.table_name +
+                (op.alias.empty() || op.alias == op.table_name
+                     ? ""
+                     : " '" + op.alias + "'") +
+                ")";
+      return n;
+    case OpKind::kValues:
+      n.label = "values(" + std::to_string(op.rows.size()) + " rows)";
+      return n;
+    case OpKind::kSelect:
+      n.label = "select";
+      n.children.push_back(BuildOp(*op.children[0]));
+      if (op.predicate) n.children.push_back(BuildExpr(*op.predicate));
+      return n;
+    case OpKind::kProject: {
+      // Pass-through projections (bare column remaps) are elided, matching
+      // the paper's dumps where the subquery body prints as a bare get.
+      bool pass_through = !op.projections.empty() && !op.project_distinct;
+      for (const auto& p : op.projections) {
+        if (p.expr->kind != ExprKind::kColRef ||
+            p.expr->col_id != p.out_id) {
+          pass_through = false;
+        }
+      }
+      if (pass_through) return BuildOp(*op.children[0]);
+      bool all_const = !op.projections.empty();
+      for (const auto& p : op.projections) {
+        if (p.expr->kind != ExprKind::kConst) all_const = false;
+      }
+      if (all_const) {
+        // Paper Figure 6: "remap consts: (1)".
+        std::string vals;
+        for (size_t i = 0; i < op.projections.size(); ++i) {
+          if (i > 0) vals += ", ";
+          vals += op.projections[i].expr->value.ToString();
+        }
+        n.label = "remap consts: (" + vals + ")";
+        n.children.push_back(BuildOp(*op.children[0]));
+        return n;
+      }
+      n.label = "project";
+      n.children.push_back(BuildOp(*op.children[0]));
+      for (const auto& p : op.projections) {
+        n.children.push_back(BuildExpr(*p.expr));
+      }
+      return n;
+    }
+    case OpKind::kWindow: {
+      // window(RANK, DESC, AMOUNT) per Figure 5.
+      std::string detail;
+      for (const auto& w : op.windows) {
+        if (!detail.empty()) detail += "; ";
+        detail += w.func;
+        for (const auto& a : w.args) detail += ", " + ExprInline(*a);
+        for (const auto& o : w.order_by) {
+          detail += std::string(", ") + (o.descending ? "DESC" : "ASC") +
+                    ", " + ExprInline(*o.expr);
+        }
+        if (!w.partition_by.empty()) {
+          detail += ", PARTITION:";
+          for (const auto& p : w.partition_by) {
+            detail += " " + ExprInline(*p);
+          }
+        }
+      }
+      n.label = "window(" + detail + ")";
+      n.children.push_back(BuildOp(*op.children[0]));
+      return n;
+    }
+    case OpKind::kAggregate: {
+      std::string groups;
+      for (size_t i = 0; i < op.group_by.size(); ++i) {
+        if (i > 0) groups += ", ";
+        groups += ExprInline(*op.group_by[i]);
+      }
+      n.label = "aggregate(" + groups + ")";
+      n.children.push_back(BuildOp(*op.children[0]));
+      for (const auto& a : op.aggregates) {
+        Node agg{"agg(" + a.func + (a.distinct ? ", DISTINCT" : "") + ")", {}};
+        if (a.arg) agg.children.push_back(BuildExpr(*a.arg));
+        n.children.push_back(std::move(agg));
+      }
+      return n;
+    }
+    case OpKind::kJoin: {
+      const char* name = op.join_kind == JoinKind::kInner   ? "INNER"
+                         : op.join_kind == JoinKind::kLeft  ? "LEFT"
+                         : op.join_kind == JoinKind::kRight ? "RIGHT"
+                         : op.join_kind == JoinKind::kFull  ? "FULL"
+                                                            : "CROSS";
+      n.label = std::string("join(") + name + ")";
+      n.children.push_back(BuildOp(*op.children[0]));
+      n.children.push_back(BuildOp(*op.children[1]));
+      if (op.predicate) n.children.push_back(BuildExpr(*op.predicate));
+      return n;
+    }
+    case OpKind::kSetOp: {
+      const char* name = op.setop_kind == SetOpKind::kUnion      ? "UNION"
+                         : op.setop_kind == SetOpKind::kUnionAll ? "UNION ALL"
+                         : op.setop_kind == SetOpKind::kIntersect
+                             ? "INTERSECT"
+                             : "EXCEPT";
+      n.label = std::string("setop(") + name + ")";
+      for (const auto& c : op.children) n.children.push_back(BuildOp(*c));
+      return n;
+    }
+    case OpKind::kSort: {
+      std::string detail;
+      for (size_t i = 0; i < op.sort_items.size(); ++i) {
+        if (i > 0) detail += ", ";
+        detail += ExprInline(*op.sort_items[i].expr);
+        detail += op.sort_items[i].descending ? " DESC" : " ASC";
+      }
+      n.label = "sort(" + detail + ")";
+      n.children.push_back(BuildOp(*op.children[0]));
+      return n;
+    }
+    case OpKind::kLimit:
+      n.label = "limit(" + std::to_string(op.limit_count) +
+                (op.with_ties ? ", WITH TIES" : "") + ")";
+      n.children.push_back(BuildOp(*op.children[0]));
+      return n;
+    case OpKind::kCteRef:
+      n.label = "cte_ref(" + op.cte_name + ")";
+      return n;
+    case OpKind::kRecursiveCte:
+      n.label = "recursive_cte(" + op.cte_name + ")";
+      for (const auto& c : op.children) n.children.push_back(BuildOp(*c));
+      return n;
+    case OpKind::kInsert:
+      n.label = "insert(" + op.target_table + ")";
+      n.children.push_back(BuildOp(*op.children[0]));
+      return n;
+    case OpKind::kUpdate:
+      n.label = "update(" + op.target_table + ")";
+      for (const auto& [c, e] : op.assignments) {
+        Node set{"set(" + c + ")", {}};
+        set.children.push_back(BuildExpr(*e));
+        n.children.push_back(std::move(set));
+      }
+      if (op.predicate) n.children.push_back(BuildExpr(*op.predicate));
+      return n;
+    case OpKind::kDelete:
+      n.label = "delete(" + op.target_table + ")";
+      if (op.predicate) n.children.push_back(BuildExpr(*op.predicate));
+      return n;
+  }
+  n.label = "?";
+  return n;
+}
+
+// Paper layout: a node is printed as prefix + ("+-" last / "|-" otherwise) +
+// label; children of a *last* node keep the same prefix, children of a
+// non-last node extend it with "| ".
+void Render(const Node& node, const std::string& prefix, bool last,
+            std::ostringstream& out) {
+  out << prefix << (last ? "+-" : "|-") << node.label << "\n";
+  std::string child_prefix = prefix + (last ? "" : "| ");
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    Render(node.children[i], child_prefix, i + 1 == node.children.size(), out);
+  }
+}
+
+}  // namespace
+
+std::string ToTreeString(const Op& op) {
+  std::ostringstream out;
+  Render(BuildOp(op), "", true, out);
+  return out.str();
+}
+
+std::string ToTreeString(const Expr& expr) {
+  std::ostringstream out;
+  Render(BuildExpr(expr), "", true, out);
+  return out.str();
+}
+
+}  // namespace hyperq::xtra

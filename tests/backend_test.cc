@@ -1,0 +1,151 @@
+// TDF codec, ResultStore spill behaviour, and the backend connector.
+
+#include <gtest/gtest.h>
+
+#include "backend/connector.h"
+#include "backend/result_store.h"
+#include "backend/tdf.h"
+#include "vdb/engine.h"
+
+namespace hyperq::backend {
+namespace {
+
+TEST(TdfTest, RoundTripAllKinds) {
+  std::vector<TdfColumn> schema = {
+      {"I", SqlType::Int()},          {"D", SqlType::Decimal(10, 2)},
+      {"F", SqlType::Double()},       {"S", SqlType::Varchar(20)},
+      {"DT", SqlType::Date()},        {"TS", SqlType::Timestamp()},
+      {"B", SqlType::Bool()},         {"P", SqlType::PeriodDate()},
+  };
+  TdfWriter writer(schema);
+  std::vector<Datum> row1 = {
+      Datum::Int(42),         Datum::MakeDecimal(Decimal{1250, 2}),
+      Datum::MakeDouble(2.5), Datum::String("hello"),
+      Datum::Date(16071),     Datum::Timestamp(123456789),
+      Datum::Bool(true),      Datum::Period(100, 200)};
+  std::vector<Datum> row2(8, Datum::Null());
+  ASSERT_TRUE(writer.AddRow(row1).ok());
+  ASSERT_TRUE(writer.AddRow(row2).ok());
+  auto bytes = writer.Finish();
+
+  auto reader = TdfReader::Open(std::move(bytes));
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_EQ(reader->schema().size(), 8u);
+  EXPECT_EQ(reader->row_count(), 2u);
+  auto rows = reader->ReadAll();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0].int_val(), 42);
+  EXPECT_EQ((*rows)[0][1].decimal_val().ToString(), "12.50");
+  EXPECT_EQ((*rows)[0][3].string_val(), "hello");
+  EXPECT_EQ((*rows)[0][7].period_val().end_days, 200);
+  for (const auto& v : (*rows)[1]) EXPECT_TRUE(v.is_null());
+}
+
+TEST(TdfTest, CoercesRuntimeKindToSchema) {
+  // Integer-valued datum in a DECIMAL column must encode as decimal.
+  TdfWriter writer({{"D", SqlType::Decimal(10, 2)}});
+  ASSERT_TRUE(writer.AddRow({Datum::Int(3)}).ok());
+  auto reader = TdfReader::Open(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  auto rows = reader->ReadAll();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0].decimal_val().ToString(), "3.00");
+}
+
+TEST(TdfTest, ArityMismatchRejected) {
+  TdfWriter writer({{"A", SqlType::Int()}});
+  EXPECT_FALSE(writer.AddRow({Datum::Int(1), Datum::Int(2)}).ok());
+}
+
+TEST(TdfTest, MalformedBytesRejected) {
+  EXPECT_FALSE(TdfReader::Open({1, 2, 3, 4}).ok());
+  std::vector<uint8_t> truncated = {0x54, 0x44, 0x46, 0x31, 0xFF, 0xFF};
+  EXPECT_FALSE(TdfReader::Open(std::move(truncated)).ok());
+}
+
+TEST(ResultStoreTest, KeepsSmallResultsInMemory) {
+  ResultStore store(1 << 20);
+  ASSERT_TRUE(store.Append(std::vector<uint8_t>(1000, 7), 10).ok());
+  ASSERT_TRUE(store.Append(std::vector<uint8_t>(1000, 8), 10).ok());
+  EXPECT_EQ(store.total_rows(), 20);
+  EXPECT_EQ(store.spilled_batches(), 0u);
+  int seen = 0;
+  ASSERT_TRUE(store
+                  .Scan([&](const std::vector<uint8_t>& b) {
+                    EXPECT_EQ(b.size(), 1000u);
+                    ++seen;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(ResultStoreTest, SpillsPastBudgetAndReadsBack) {
+  ResultStore store(/*memory_budget_bytes=*/2048);
+  std::vector<std::vector<uint8_t>> batches;
+  for (int i = 0; i < 5; ++i) {
+    batches.emplace_back(1024, static_cast<uint8_t>(i));
+    ASSERT_TRUE(store.Append(batches.back(), 100).ok());
+  }
+  EXPECT_GT(store.spilled_batches(), 0u);
+  EXPECT_LE(store.memory_bytes(), 2048u);
+  // Scan preserves append order and exact bytes, spilled or not — twice.
+  for (int pass = 0; pass < 2; ++pass) {
+    size_t i = 0;
+    ASSERT_TRUE(store
+                    .Scan([&](const std::vector<uint8_t>& b) {
+                      EXPECT_EQ(b, batches[i]);
+                      ++i;
+                      return Status::OK();
+                    })
+                    .ok());
+    EXPECT_EQ(i, batches.size());
+  }
+  EXPECT_EQ(store.total_rows(), 500);
+}
+
+TEST(ConnectorTest, PackagesRowsetsIntoBatches) {
+  vdb::Engine engine;
+  ASSERT_TRUE(engine.ExecuteScript("CREATE TABLE t (a INTEGER)").ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(engine
+                    .Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                             ")")
+                    .ok());
+  }
+  ConnectorOptions opts;
+  opts.batch_rows = 2;  // force multiple TDF batches
+  BackendConnector connector(&engine, opts);
+  auto result = connector.Execute("SELECT a FROM t ORDER BY a");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->is_rowset());
+  EXPECT_EQ(result->store->total_rows(), 5);
+  EXPECT_EQ(result->store->batch_count(), 3u);  // 2 + 2 + 1
+  auto rows = result->DecodeRows();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 5u);
+  EXPECT_EQ((*rows)[4][0].int_val(), 4);
+}
+
+TEST(ConnectorTest, CommandResultsHaveNoStore) {
+  vdb::Engine engine;
+  BackendConnector connector(&engine);
+  auto result = connector.Execute("CREATE TABLE t (a INTEGER)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->is_rowset());
+  EXPECT_EQ(result->command_tag, "CREATE TABLE");
+  auto dml = connector.Execute("INSERT INTO t VALUES (1), (2)");
+  ASSERT_TRUE(dml.ok());
+  EXPECT_EQ(dml->affected_rows, 2);
+}
+
+TEST(ConnectorTest, ErrorsPropagate) {
+  vdb::Engine engine;
+  BackendConnector connector(&engine);
+  EXPECT_FALSE(connector.Execute("SELECT * FROM missing").ok());
+  EXPECT_FALSE(connector.Execute("NOT SQL AT ALL").ok());
+}
+
+}  // namespace
+}  // namespace hyperq::backend

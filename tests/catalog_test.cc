@@ -1,0 +1,98 @@
+// DTM catalog tests: registry semantics, name normalization, extended
+// column properties.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace hyperq {
+namespace {
+
+TableDef SimpleTable(const std::string& name) {
+  TableDef t;
+  t.name = name;
+  t.columns = {{"A", SqlType::Int(), true, {}}};
+  return t;
+}
+
+TEST(CatalogTest, CaseInsensitiveAndQualifiedLookup) {
+  Catalog c;
+  ASSERT_TRUE(c.CreateTable(SimpleTable("Orders")).ok());
+  EXPECT_TRUE(c.HasTable("ORDERS"));
+  EXPECT_TRUE(c.HasTable("orders"));
+  EXPECT_TRUE(c.HasTable("prod_db.Orders"));  // qualifier ignored
+  auto t = c.GetTable("oRdErS");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->name, "Orders");
+}
+
+TEST(CatalogTest, DuplicateAndMissingErrors) {
+  Catalog c;
+  ASSERT_TRUE(c.CreateTable(SimpleTable("T")).ok());
+  EXPECT_TRUE(c.CreateTable(SimpleTable("t")).IsCatalogError());
+  EXPECT_TRUE(c.GetTable("MISSING").status().IsCatalogError());
+  EXPECT_TRUE(c.DropTable("MISSING").IsCatalogError());
+  EXPECT_TRUE(c.DropTable("T").ok());
+  EXPECT_FALSE(c.HasTable("T"));
+}
+
+TEST(CatalogTest, ViewsShareNamespaceWithTables) {
+  Catalog c;
+  ASSERT_TRUE(c.CreateTable(SimpleTable("X")).ok());
+  ViewDef v;
+  v.name = "X";
+  v.definition_sql = "SELECT 1";
+  EXPECT_TRUE(c.CreateView(v).IsCatalogError());
+  v.name = "VX";
+  EXPECT_TRUE(c.CreateView(v).ok());
+  EXPECT_TRUE(c.CreateTable(SimpleTable("VX")).IsCatalogError());
+}
+
+TEST(CatalogTest, MacroRegistry) {
+  Catalog c;
+  MacroDef m;
+  m.name = "M1";
+  m.body_statements = {"SELECT 1"};
+  ASSERT_TRUE(c.CreateMacro(m).ok());
+  EXPECT_TRUE(c.HasMacro("m1"));
+  auto got = c.GetMacro("M1");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->body_statements.size(), 1u);
+  EXPECT_TRUE(c.DropMacro("M1").ok());
+  EXPECT_TRUE(c.DropMacro("M1").IsCatalogError());
+}
+
+TEST(CatalogTest, FindColumnIsCaseInsensitive) {
+  TableDef t = SimpleTable("T");
+  t.columns.push_back({"LongName", SqlType::Varchar(5), true, {}});
+  EXPECT_EQ(t.FindColumn("longname"), 1);
+  EXPECT_EQ(t.FindColumn("A"), 0);
+  EXPECT_EQ(t.FindColumn("nope"), -1);
+}
+
+TEST(CatalogTest, ExtendedColumnProperties) {
+  TableDef t = SimpleTable("T");
+  ColumnDef c{"CI", SqlType::Varchar(10), true, {}};
+  c.props.case_insensitive = true;
+  c.props.has_default = true;
+  c.props.default_expr = "CURRENT_DATE";
+  t.columns.push_back(c);
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable(t).ok());
+  auto got = cat.GetTable("T");
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE((*got)->columns[1].props.case_insensitive);
+  EXPECT_EQ((*got)->columns[1].props.default_expr, "CURRENT_DATE");
+}
+
+TEST(CatalogTest, NameListings) {
+  Catalog c;
+  ASSERT_TRUE(c.CreateTable(SimpleTable("B")).ok());
+  ASSERT_TRUE(c.CreateTable(SimpleTable("A")).ok());
+  auto names = c.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "A");  // sorted by normalized key
+}
+
+}  // namespace
+}  // namespace hyperq

@@ -1,0 +1,202 @@
+// Emulation-layer units: macro expansion, MERGE lowering, CteRef
+// replacement, HELP/session answering.
+
+#include <gtest/gtest.h>
+
+#include "emulation/macro.h"
+#include "emulation/merge.h"
+#include "emulation/recursion.h"
+#include "emulation/session.h"
+#include "sql/parser.h"
+
+namespace hyperq::emulation {
+namespace {
+
+MacroDef MakeMacro() {
+  MacroDef m;
+  m.name = "M";
+  m.params = {{"LIM", SqlType::Decimal(10, 2), "", false},
+              {"TAG", SqlType::Varchar(8), "'dflt'", true}};
+  m.body_statements = {"SELECT * FROM t WHERE amt > :LIM AND tag = :TAG",
+                       "UPDATE t SET tag = :TAG WHERE amt > :LIM"};
+  return m;
+}
+
+sql::ExecMacroStatement ParseExec(const std::string& text) {
+  auto stmt = sql::ParseStatement(text, sql::Dialect::Teradata());
+  EXPECT_TRUE(stmt.ok());
+  auto* exec = (*stmt)->As<sql::ExecMacroStatement>();
+  sql::ExecMacroStatement out;
+  out.macro = exec->macro;
+  out.positional_args = std::move(exec->positional_args);
+  out.named_args = std::move(exec->named_args);
+  return out;
+}
+
+TEST(MacroTest, PositionalSubstitution) {
+  auto exec = ParseExec("EXEC M (10.50, 'x')");
+  auto out = ExpandMacro(MakeMacro(), exec);
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_EQ((*out)[0],
+            "SELECT * FROM t WHERE amt > 10.50 AND tag = 'x'");
+  EXPECT_EQ((*out)[1], "UPDATE t SET tag = 'x' WHERE amt > 10.50");
+}
+
+TEST(MacroTest, DefaultsFillMissingParameters) {
+  auto exec = ParseExec("EXEC M (1.00)");
+  auto out = ExpandMacro(MakeMacro(), exec);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE((*out)[0].find("tag = 'dflt'"), std::string::npos);
+}
+
+TEST(MacroTest, NamedArgumentsAndErrors) {
+  auto named = ParseExec("EXEC M (TAG = 'n', LIM = 2.00)");
+  auto out = ExpandMacro(MakeMacro(), named);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE((*out)[0].find("amt > 2.00"), std::string::npos);
+
+  // Missing required parameter.
+  EXPECT_FALSE(ExpandMacro(MakeMacro(), ParseExec("EXEC M")).ok());
+  // Too many positional arguments.
+  EXPECT_FALSE(
+      ExpandMacro(MakeMacro(), ParseExec("EXEC M (1, 'a', 2)")).ok());
+  // Unknown named parameter.
+  EXPECT_FALSE(
+      ExpandMacro(MakeMacro(), ParseExec("EXEC M (NOPE = 1)")).ok());
+}
+
+TEST(MacroTest, StringArgumentsAreQuotedSafely) {
+  MacroDef m;
+  m.name = "Q";
+  m.params = {{"S", SqlType::Varchar(20), "", false}};
+  m.body_statements = {"SELECT :S"};
+  auto out = ExpandMacro(m, ParseExec("EXEC Q ('it''s')"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)[0], "SELECT 'it''s'");  // escaping preserved
+}
+
+TEST(MacroTest, NegativeNumberAndDateLiterals) {
+  MacroDef m;
+  m.name = "N";
+  m.params = {{"X", SqlType::Int(), "", false},
+              {"D", SqlType::Date(), "", false}};
+  m.body_statements = {"SELECT :X, :D"};
+  auto out = ExpandMacro(m, ParseExec("EXEC N (-5, DATE '2014-01-01')"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)[0], "SELECT -5, DATE '2014-01-01'");
+}
+
+TEST(MergeTest, ProducesUpdateThenInsert) {
+  auto stmt = sql::ParseStatement(
+      "MERGE INTO tgt USING src S ON tgt.k = S.k "
+      "WHEN MATCHED THEN UPDATE SET v = S.v, w = 0 "
+      "WHEN NOT MATCHED THEN INSERT (k, v) VALUES (S.k, S.v)",
+      sql::Dialect::Teradata());
+  ASSERT_TRUE(stmt.ok());
+  auto parts = LowerMerge(*(*stmt)->As<sql::MergeStatement>());
+  ASSERT_TRUE(parts.ok()) << parts.status();
+  ASSERT_EQ(parts->size(), 2u);
+  EXPECT_EQ((*parts)[0]->kind, sql::StmtKind::kUpdate);
+  EXPECT_EQ((*parts)[1]->kind, sql::StmtKind::kInsert);
+
+  const auto* upd = (*parts)[0]->As<sql::UpdateStatement>();
+  // Source-referencing assignment became a scalar subquery; the constant
+  // one stayed inline.
+  EXPECT_EQ(upd->assignments[0].second->kind, sql::ExprKind::kScalarSubq);
+  EXPECT_EQ(upd->assignments[1].second->kind, sql::ExprKind::kConst);
+  ASSERT_NE(upd->where, nullptr);
+  EXPECT_EQ(upd->where->kind, sql::ExprKind::kExistsSubq);
+
+  const auto* ins = (*parts)[1]->As<sql::InsertStatement>();
+  ASSERT_NE(ins->source, nullptr);
+  // NOT EXISTS anti-join against the target.
+  const auto& where = ins->source->block->where;
+  ASSERT_NE(where, nullptr);
+  EXPECT_EQ(where->kind, sql::ExprKind::kUnary);
+}
+
+TEST(MergeTest, UpdateOnlyAndInsertOnlyVariants) {
+  auto upd_only = sql::ParseStatement(
+      "MERGE INTO t USING s ON t.k = s.k WHEN MATCHED THEN UPDATE SET v = 1",
+      sql::Dialect::Teradata());
+  ASSERT_TRUE(upd_only.ok());
+  auto parts = LowerMerge(*(*upd_only)->As<sql::MergeStatement>());
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts->size(), 1u);
+  EXPECT_EQ((*parts)[0]->kind, sql::StmtKind::kUpdate);
+
+  auto ins_only = sql::ParseStatement(
+      "MERGE INTO t USING s ON t.k = s.k WHEN NOT MATCHED THEN INSERT (k) "
+      "VALUES (s.k)",
+      sql::Dialect::Teradata());
+  ASSERT_TRUE(ins_only.ok());
+  auto parts2 = LowerMerge(*(*ins_only)->As<sql::MergeStatement>());
+  ASSERT_TRUE(parts2.ok());
+  EXPECT_EQ(parts2->size(), 1u);
+  EXPECT_EQ((*parts2)[0]->kind, sql::StmtKind::kInsert);
+}
+
+TEST(RecursionTest, ReplaceCteRefsPreservesColumnIds) {
+  auto ref = std::make_unique<xtra::Op>(xtra::OpKind::kCteRef);
+  ref->cte_name = "REPORTS";
+  ref->output = {{7, "EMPNO", SqlType::Int()}, {8, "MGRNO", SqlType::Int()}};
+  auto select = xtra::Select(std::move(ref),
+                             xtra::Comp(xtra::CompKind::kGt,
+                                        xtra::ColRef(7, "EMPNO",
+                                                     SqlType::Int()),
+                                        xtra::IntConst(0)));
+  auto replaced = ReplaceCteRefs(*select, "reports", "HQ_WT_X");
+  ASSERT_EQ(replaced->children[0]->kind, xtra::OpKind::kGet);
+  EXPECT_EQ(replaced->children[0]->table_name, "HQ_WT_X");
+  ASSERT_EQ(replaced->children[0]->output.size(), 2u);
+  EXPECT_EQ(replaced->children[0]->output[0].id, 7);  // ids preserved
+}
+
+TEST(RecursionTest, NonMatchingCteNamesUntouched) {
+  auto ref = std::make_unique<xtra::Op>(xtra::OpKind::kCteRef);
+  ref->cte_name = "OTHER";
+  ref->output = {{1, "A", SqlType::Int()}};
+  auto replaced = ReplaceCteRefs(*ref, "REPORTS", "WT");
+  EXPECT_EQ(replaced->kind, xtra::OpKind::kCteRef);
+}
+
+TEST(SessionTest, HelpTableListsColumns) {
+  Catalog catalog;
+  TableDef t;
+  t.name = "T";
+  ColumnDef c1{"A", SqlType::Int(), false, {}};
+  ColumnDef c2{"B", SqlType::Varchar(10), true, {}};
+  c2.props.case_insensitive = true;
+  t.columns = {c1, c2};
+  ASSERT_TRUE(catalog.CreateTable(t).ok());
+
+  sql::HelpStatement help;
+  help.topic = sql::HelpStatement::Topic::kTable;
+  help.object = "T";
+  SessionInfo session;
+  auto out = AnswerHelp(help, session, catalog);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->rows.size(), 2u);
+  EXPECT_EQ(out->rows[0][0].string_val(), "A");
+  EXPECT_EQ(out->rows[0][2].string_val(), "N");  // not nullable
+  EXPECT_EQ(out->rows[1][3].string_val(), "N");  // case-insensitive
+}
+
+TEST(SessionTest, SetSessionUpdatesState) {
+  SessionInfo session;
+  sql::SetSessionStatement stmt;
+  stmt.property = "DATABASE";
+  stmt.value = "PROD";
+  ASSERT_TRUE(ApplySetSession(stmt, &session).ok());
+  EXPECT_EQ(session.default_database, "PROD");
+  stmt.property = "CHARSET";
+  stmt.value = "utf8";
+  ASSERT_TRUE(ApplySetSession(stmt, &session).ok());
+  EXPECT_EQ(session.charset, "UTF8");
+  stmt.property = "BOGUS";
+  EXPECT_TRUE(ApplySetSession(stmt, &session).IsNotSupported());
+}
+
+}  // namespace
+}  // namespace hyperq::emulation

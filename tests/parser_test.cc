@@ -1,0 +1,323 @@
+// Parser tests: dialect gating between SQL-A (Teradata-ish) and SQL-B
+// (ANSI-ish), plus structural checks on the harder constructs.
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace hyperq::sql {
+namespace {
+
+StatementPtr ParseTd(const std::string& text) {
+  auto r = ParseStatement(text, Dialect::Teradata());
+  EXPECT_TRUE(r.ok()) << text << "\n" << r.status();
+  return r.ok() ? std::move(r).value() : nullptr;
+}
+
+Status TdError(const std::string& text) {
+  auto r = ParseStatement(text, Dialect::Teradata());
+  EXPECT_FALSE(r.ok()) << text;
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Status AnsiError(const std::string& text) {
+  auto r = ParseStatement(text, Dialect::Ansi());
+  EXPECT_FALSE(r.ok()) << text << " unexpectedly parsed in ANSI dialect";
+  return r.ok() ? Status::OK() : r.status();
+}
+
+TEST(ParserTest, SelAbbreviationTeradataOnly) {
+  auto stmt = ParseTd("SEL a FROM t");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->kind, StmtKind::kSelect);
+  AnsiError("SEL a FROM t");
+}
+
+TEST(ParserTest, QualifyTeradataOnly) {
+  auto stmt = ParseTd("SELECT a FROM t QUALIFY RANK() OVER (ORDER BY a) < 3");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_NE(stmt->As<SelectStatement>()->query->block->qualify, nullptr);
+  AnsiError("SELECT a FROM t QUALIFY RANK() OVER (ORDER BY a) < 3");
+}
+
+TEST(ParserTest, LaxClauseOrderExample1) {
+  // Paper Example 1: ORDER BY precedes WHERE.
+  auto stmt = ParseTd(
+      "SEL PRODUCT_NAME, SALES AS SALES_BASE, SALES_BASE + 100 AS "
+      "SALES_OFFSET FROM PRODUCT QUALIFY 10 < SUM(SALES) OVER (PARTITION "
+      "BY STORE) ORDER BY STORE, PRODUCT_NAME WHERE CHARS(PRODUCT_NAME) > "
+      "4");
+  ASSERT_NE(stmt, nullptr);
+  const auto* sel = stmt->As<SelectStatement>();
+  EXPECT_NE(sel->query->block->where, nullptr);
+  EXPECT_NE(sel->query->block->qualify, nullptr);
+  EXPECT_EQ(sel->query->order_by.size(), 2u);
+  AnsiError("SELECT a FROM t ORDER BY a WHERE a > 1");
+}
+
+TEST(ParserTest, TdOrderedRank) {
+  auto stmt = ParseTd("SEL * FROM t QUALIFY RANK(AMOUNT DESC) <= 10");
+  const auto& qualify = stmt->As<SelectStatement>()->query->block->qualify;
+  ASSERT_NE(qualify, nullptr);
+  const Expr* rank = qualify->children[0].get();
+  ASSERT_EQ(rank->kind, ExprKind::kWindow);
+  EXPECT_TRUE(rank->td_ordered_analytic);
+  ASSERT_EQ(rank->window.order_by.size(), 1u);
+  EXPECT_TRUE(rank->window.order_by[0].descending);
+}
+
+TEST(ParserTest, VectorSubqueryTeradataOnly) {
+  auto stmt = ParseTd(
+      "SEL * FROM s WHERE (a, b) > ANY (SEL g, n FROM h)");
+  const auto& where = stmt->As<SelectStatement>()->query->block->where;
+  ASSERT_EQ(where->kind, ExprKind::kQuantified);
+  EXPECT_EQ(where->children.size(), 2u);
+  EXPECT_EQ(where->quantifier, SubqQuantifier::kAny);
+  AnsiError("SELECT * FROM s WHERE (a, b) > ANY (SELECT g, n FROM h)");
+}
+
+TEST(ParserTest, ScalarQuantifiedAllowedInAnsi) {
+  auto r = ParseStatement("SELECT * FROM s WHERE a > ANY (SELECT g FROM h)",
+                          Dialect::Ansi());
+  EXPECT_TRUE(r.ok()) << r.status();
+}
+
+TEST(ParserTest, TopWithTies) {
+  auto stmt = ParseTd("SEL TOP 10 WITH TIES a FROM t ORDER BY a");
+  const auto* block = stmt->As<SelectStatement>()->query->block.get();
+  EXPECT_EQ(block->top_n, 10);
+  EXPECT_TRUE(block->top_with_ties);
+  AnsiError("SELECT TOP 10 a FROM t");
+}
+
+TEST(ParserTest, LimitAnsiOnly) {
+  auto r = ParseStatement("SELECT a FROM t LIMIT 5", Dialect::Ansi());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->As<SelectStatement>()->query->limit, 5);
+  // Teradata dialect has TOP, not LIMIT.
+  EXPECT_FALSE(
+      ParseStatement("SELECT a FROM t LIMIT 5", Dialect::Teradata()).ok());
+}
+
+TEST(ParserTest, RecursiveCteShape) {
+  auto stmt = ParseTd(
+      "WITH RECURSIVE r (a) AS (SELECT a FROM t UNION ALL SELECT a + 1 "
+      "FROM r WHERE a < 5) SELECT a FROM r");
+  const auto* sel = stmt->As<SelectStatement>();
+  EXPECT_TRUE(sel->query->with_recursive);
+  ASSERT_EQ(sel->query->with.size(), 1u);
+  EXPECT_EQ(sel->query->with[0].column_names.size(), 1u);
+  EXPECT_EQ(sel->query->with[0].query->set_op, SetOpKind::kUnionAll);
+  AnsiError(
+      "WITH RECURSIVE r (a) AS (SELECT 1 UNION ALL SELECT a + 1 FROM r) "
+      "SELECT a FROM r");
+}
+
+TEST(ParserTest, SetOperations) {
+  auto stmt = ParseTd("SEL a FROM t UNION SEL b FROM u INTERSECT SEL c "
+                      "FROM v");
+  const auto* q = stmt->As<SelectStatement>()->query.get();
+  EXPECT_EQ(q->set_op, SetOpKind::kIntersect);  // left-assoc chain
+  EXPECT_EQ(q->set_left->set_op, SetOpKind::kUnion);
+}
+
+TEST(ParserTest, GroupByVariants) {
+  auto plain = ParseTd("SEL a, COUNT(*) FROM t GROUP BY a");
+  EXPECT_EQ(plain->As<SelectStatement>()->query->block->group_by.kind,
+            GroupByKind::kPlain);
+  auto rollup = ParseTd("SEL a, b FROM t GROUP BY ROLLUP(a, b)");
+  EXPECT_EQ(rollup->As<SelectStatement>()->query->block->group_by.kind,
+            GroupByKind::kRollup);
+  auto cube = ParseTd("SEL a, b FROM t GROUP BY CUBE(a, b)");
+  EXPECT_EQ(cube->As<SelectStatement>()->query->block->group_by.kind,
+            GroupByKind::kCube);
+  auto sets = ParseTd(
+      "SEL a, b FROM t GROUP BY GROUPING SETS((a, b), (a), ())");
+  EXPECT_EQ(sets->As<SelectStatement>()->query->block->group_by.sets.size(),
+            3u);
+  // In the ANSI dialect ROLLUP is no keyword: it parses as a plain
+  // function call and is rejected later by the binder ("unknown function"),
+  // like a real target would report it.
+  auto ansi = ParseStatement("SELECT a FROM t GROUP BY ROLLUP(a)",
+                             Dialect::Ansi());
+  ASSERT_TRUE(ansi.ok());
+  EXPECT_EQ((*ansi)->As<SelectStatement>()->query->block->group_by.kind,
+            GroupByKind::kPlain);
+}
+
+TEST(ParserTest, MergeStatement) {
+  auto stmt = ParseTd(
+      "MERGE INTO t USING s ON t.k = s.k WHEN MATCHED THEN UPDATE SET v = "
+      "s.v WHEN NOT MATCHED THEN INSERT (k, v) VALUES (s.k, s.v)");
+  const auto* merge = stmt->As<MergeStatement>();
+  EXPECT_TRUE(merge->has_matched_update);
+  EXPECT_TRUE(merge->has_not_matched_insert);
+  EXPECT_EQ(merge->insert_columns.size(), 2u);
+  AnsiError("MERGE INTO t USING s ON t.k = s.k WHEN MATCHED THEN UPDATE "
+            "SET v = 1");
+}
+
+TEST(ParserTest, CreateMacroCapturesRawBody) {
+  auto stmt = ParseTd(
+      "CREATE MACRO m (x INTEGER, y VARCHAR(8) DEFAULT 'hi') AS "
+      "(SELECT :x; UPDATE t SET a = :y;)");
+  const auto* macro = stmt->As<CreateMacroStatement>();
+  ASSERT_EQ(macro->params.size(), 2u);
+  EXPECT_TRUE(macro->params[1].has_default);
+  EXPECT_EQ(macro->params[1].default_literal, "'hi'");
+  ASSERT_EQ(macro->body_statements.size(), 2u);
+  EXPECT_EQ(macro->body_statements[0], "SELECT :x");
+  EXPECT_EQ(macro->body_statements[1], "UPDATE t SET a = :y");
+}
+
+TEST(ParserTest, ExecMacroPositionalAndNamed) {
+  auto stmt = ParseTd("EXEC m (1, y = 'v')");
+  const auto* exec = stmt->As<ExecMacroStatement>();
+  EXPECT_EQ(exec->positional_args.size(), 1u);
+  ASSERT_EQ(exec->named_args.size(), 1u);
+  EXPECT_EQ(exec->named_args[0].first, "Y");
+}
+
+TEST(ParserTest, CreateTableTeradataAttributes) {
+  auto stmt = ParseTd(
+      "CREATE SET TABLE t (a INTEGER NOT NULL, b VARCHAR(10) NOT "
+      "CASESPECIFIC, c DATE DEFAULT CURRENT_DATE, p PERIOD(DATE)) "
+      "PRIMARY INDEX (a)");
+  const auto* ct = stmt->As<CreateTableStatement>();
+  EXPECT_TRUE(ct->set_semantics);
+  ASSERT_EQ(ct->columns.size(), 4u);
+  EXPECT_TRUE(ct->columns[0].not_null);
+  EXPECT_TRUE(ct->columns[1].not_case_specific);
+  EXPECT_NE(ct->columns[2].default_expr, nullptr);
+  EXPECT_EQ(ct->columns[3].type.kind, TypeKind::kPeriodDate);
+  EXPECT_EQ(ct->primary_index.size(), 1u);
+  AnsiError("CREATE SET TABLE t (a INTEGER)");
+  AnsiError("CREATE TABLE t (p PERIOD(DATE))");
+}
+
+TEST(ParserTest, InsertForms) {
+  auto full = ParseTd("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  EXPECT_EQ(full->As<InsertStatement>()->values_rows.size(), 2u);
+  auto shorthand = ParseTd("INS t (1, 'x')");  // Teradata bare-values form
+  EXPECT_EQ(shorthand->As<InsertStatement>()->values_rows.size(), 1u);
+  auto select_src = ParseTd("INS INTO t SELECT a, b FROM u");
+  EXPECT_NE(select_src->As<InsertStatement>()->source, nullptr);
+}
+
+TEST(ParserTest, DeleteAllShorthand) {
+  auto stmt = ParseTd("DEL t ALL");
+  EXPECT_EQ(stmt->As<DeleteStatement>()->where, nullptr);
+}
+
+TEST(ParserTest, HelpAndCollectTeradataOnly) {
+  EXPECT_EQ(ParseTd("HELP SESSION")->kind, StmtKind::kHelp);
+  EXPECT_EQ(ParseTd("HELP TABLE t")->As<HelpStatement>()->object, "t");
+  EXPECT_EQ(ParseTd("COLLECT STATISTICS ON t COLUMN (a, b)")
+                ->As<CollectStatsStatement>()
+                ->columns.size(),
+            2u);
+  AnsiError("HELP SESSION");
+  AnsiError("COLLECT STATISTICS ON t COLUMN a");
+}
+
+TEST(ParserTest, TransactionShorthand) {
+  EXPECT_EQ(ParseTd("BT")->kind, StmtKind::kBeginTxn);
+  EXPECT_EQ(ParseTd("ET")->kind, StmtKind::kEndTxn);
+  EXPECT_EQ(ParseTd("COMMIT WORK")->kind, StmtKind::kCommit);
+  AnsiError("BT");
+}
+
+TEST(ParserTest, CaseExpressions) {
+  auto stmt = ParseTd(
+      "SEL CASE WHEN a > 1 THEN 'big' ELSE 'small' END, "
+      "CASE b WHEN 1 THEN 'one' END FROM t");
+  const auto& items = stmt->As<SelectStatement>()->query->block->select_list;
+  EXPECT_EQ(items[0].expr->kind, ExprKind::kCase);
+  EXPECT_NE(items[1].expr->case_operand, nullptr);
+}
+
+TEST(ParserTest, SpecialFunctionSyntax) {
+  auto stmt = ParseTd(
+      "SEL EXTRACT(YEAR FROM d), TRIM(LEADING '0' FROM s), "
+      "SUBSTRING(s FROM 2 FOR 3), POSITION('x' IN s), CAST(a AS "
+      "DECIMAL(10,2)) FROM t");
+  const auto& items = stmt->As<SelectStatement>()->query->block->select_list;
+  EXPECT_EQ(items[0].expr->kind, ExprKind::kExtract);
+  EXPECT_EQ(items[0].expr->func_name, "YEAR");
+  EXPECT_EQ(items[1].expr->func_name, "LTRIM");
+  EXPECT_EQ(items[2].expr->func_name, "SUBSTR");
+  EXPECT_EQ(items[2].expr->children.size(), 3u);
+  EXPECT_EQ(items[3].expr->func_name, "POSITION");
+  EXPECT_EQ(items[4].expr->kind, ExprKind::kCast);
+  EXPECT_EQ(items[4].expr->cast_type.scale, 2);
+}
+
+TEST(ParserTest, TypedLiterals) {
+  auto stmt = ParseTd(
+      "SEL DATE '2014-01-01', TIME '12:30:00', TIMESTAMP '2014-01-01 "
+      "12:30:00' FROM t");
+  const auto& items = stmt->As<SelectStatement>()->query->block->select_list;
+  EXPECT_TRUE(items[0].expr->value.is_date());
+  EXPECT_TRUE(items[1].expr->value.is_time());
+  EXPECT_TRUE(items[2].expr->value.is_timestamp());
+}
+
+TEST(ParserTest, IntervalLiterals) {
+  auto stmt = ParseTd("SEL d + INTERVAL '3' DAY, d + INTERVAL '2' MONTH "
+                      "FROM t");
+  const auto& items = stmt->As<SelectStatement>()->query->block->select_list;
+  EXPECT_EQ(items[0].expr->kind, ExprKind::kBinary);
+  // Month intervals arrive as the internal months marker.
+  EXPECT_EQ(items[1].expr->children[1]->func_name, "$INTERVAL_MONTHS");
+}
+
+TEST(ParserTest, JoinTree) {
+  auto stmt = ParseTd(
+      "SEL * FROM a INNER JOIN b ON a.x = b.x LEFT OUTER JOIN c ON b.y = "
+      "c.y CROSS JOIN d");
+  const auto& from = stmt->As<SelectStatement>()->query->block->from;
+  ASSERT_EQ(from.size(), 1u);
+  EXPECT_EQ(from[0]->kind, TableRef::Kind::kJoin);
+  EXPECT_EQ(from[0]->join_type, JoinType::kCross);
+  EXPECT_EQ(from[0]->left->join_type, JoinType::kLeft);
+}
+
+TEST(ParserTest, DerivedTableWithColumnAliases) {
+  auto stmt = ParseTd(
+      "SEL c_count FROM (SEL k, COUNT(*) FROM t GROUP BY k) AS d (k, "
+      "c_count)");
+  const auto& from = stmt->As<SelectStatement>()->query->block->from;
+  EXPECT_EQ(from[0]->kind, TableRef::Kind::kDerived);
+  EXPECT_EQ(from[0]->column_aliases.size(), 2u);
+}
+
+TEST(ParserTest, NotVariants) {
+  auto stmt = ParseTd(
+      "SEL * FROM t WHERE a NOT IN (1, 2) AND b NOT LIKE 'x%' AND c NOT "
+      "BETWEEN 1 AND 5 AND d IS NOT NULL");
+  EXPECT_NE(stmt, nullptr);
+}
+
+TEST(ParserTest, SplitStatementsRespectsQuotes) {
+  auto parts = SplitStatements("SELECT 'a;b'; SELECT 2;\n SELECT 3");
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 3u);
+  EXPECT_EQ((*parts)[0], "SELECT 'a;b'");
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  TdError("SELECT a FROM t extra_token ,");
+}
+
+TEST(ParserTest, TypeNameParsing) {
+  auto t = ParseTypeName("DECIMAL(15,2)", Dialect::Teradata());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->precision, 15);
+  auto p = ParseTypeName("PERIOD(DATE)", Dialect::Teradata());
+  EXPECT_TRUE(p.ok());
+  EXPECT_FALSE(ParseTypeName("PERIOD(DATE)", Dialect::Ansi()).ok());
+  EXPECT_FALSE(ParseTypeName("FROB", Dialect::Ansi()).ok());
+}
+
+}  // namespace
+}  // namespace hyperq::sql

@@ -1,0 +1,3 @@
+#include <gtest/gtest.h>
+#include "common/status.h"
+TEST(Smoke, StatusOk) { EXPECT_TRUE(hyperq::Status::OK().ok()); }

@@ -1,0 +1,245 @@
+// Transformer rule tests: each rule fires exactly when its target profile
+// lacks the feature, cascades compose, and the fixed point terminates.
+
+#include <gtest/gtest.h>
+
+#include "binder/binder.h"
+#include "serializer/serializer.h"
+#include "sql/parser.h"
+#include "transform/transformer.h"
+
+namespace hyperq::transform {
+namespace {
+
+class TransformerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableDef t;
+    t.name = "T";
+    t.columns = {{"A", SqlType::Int(), true, {}},
+                 {"B", SqlType::Int(), true, {}},
+                 {"D", SqlType::Date(), true, {}},
+                 {"V", SqlType::Decimal(10, 2), true, {}}};
+    ASSERT_TRUE(catalog_.CreateTable(t).ok());
+    TableDef s;
+    s.name = "S";
+    s.columns = {{"X", SqlType::Int(), true, {}},
+                 {"Y", SqlType::Int(), true, {}}};
+    ASSERT_TRUE(catalog_.CreateTable(s).ok());
+    TableDef st;
+    st.name = "SETT";
+    st.semantics = TableSemantics::kSet;
+    st.columns = {{"K", SqlType::Int(), true, {}}};
+    ASSERT_TRUE(catalog_.CreateTable(st).ok());
+  }
+
+  Result<xtra::OpPtr> Bind(const std::string& sql) {
+    HQ_ASSIGN_OR_RETURN(sql::StatementPtr stmt,
+                        sql::ParseStatement(sql, sql::Dialect::Teradata()));
+    binder::Binder binder(&catalog_, sql::Dialect::Teradata());
+    return binder.BindStatement(*stmt);
+  }
+
+  Result<std::string> TransformAndSerialize(const std::string& sql,
+                                            const BackendProfile& profile) {
+    HQ_ASSIGN_OR_RETURN(xtra::OpPtr plan, Bind(sql));
+    Transformer xf(profile);
+    binder::ColIdGenerator ids;
+    for (int i = 0; i < 100000; ++i) ids.Next();
+    HQ_RETURN_IF_ERROR(
+        xf.Run(Stage::kBinding, &plan, &ids, &features_, &catalog_));
+    HQ_RETURN_IF_ERROR(
+        xf.Run(Stage::kSerialization, &plan, &ids, &features_, &catalog_));
+    serializer::Serializer ser(profile);
+    return ser.Serialize(*plan);
+  }
+
+  Catalog catalog_;
+  FeatureSet features_;
+};
+
+TEST_F(TransformerTest, CompDateToIntFiresOnBothSides) {
+  auto sql = TransformAndSerialize("SEL A FROM T WHERE D > 1140101",
+                                   BackendProfile::Vdb());
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  EXPECT_NE(sql->find("EXTRACT(YEAR FROM"), std::string::npos);
+  auto flipped = TransformAndSerialize("SEL A FROM T WHERE 1140101 < D",
+                                       BackendProfile::Vdb());
+  ASSERT_TRUE(flipped.ok());
+  EXPECT_NE(flipped->find("EXTRACT(YEAR FROM"), std::string::npos);
+  EXPECT_TRUE(features_.Has(Feature::kDateIntComparison));
+}
+
+TEST_F(TransformerTest, CompDateToIntLeavesDateDateAlone) {
+  auto sql = TransformAndSerialize("SEL A FROM T WHERE D > DATE '2014-01-01'",
+                                   BackendProfile::Vdb());
+  ASSERT_TRUE(sql.ok());
+  EXPECT_EQ(sql->find("EXTRACT"), std::string::npos) << *sql;
+}
+
+TEST_F(TransformerTest, VectorSubqSkippedWhenTargetSupportsIt) {
+  BackendProfile rich = BackendProfile::Vdb();
+  rich.supports_vector_subquery = true;
+  auto sql = TransformAndSerialize(
+      "SEL A FROM T WHERE (A, B) > ANY (SEL X, Y FROM S)", rich);
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  EXPECT_NE(sql->find("> ANY ("), std::string::npos) << *sql;
+  EXPECT_EQ(sql->find("EXISTS"), std::string::npos) << *sql;
+}
+
+TEST_F(TransformerTest, VectorSubqAllBecomesNotExists) {
+  auto sql = TransformAndSerialize(
+      "SEL A FROM T WHERE (A, B) > ALL (SEL X, Y FROM S)",
+      BackendProfile::Vdb());
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  EXPECT_NE(sql->find("NOT EXISTS"), std::string::npos) << *sql;
+  EXPECT_NE(sql->find("NOT ("), std::string::npos) << *sql;
+}
+
+TEST_F(TransformerTest, VectorEqualityBecomesConjunction) {
+  auto sql = TransformAndSerialize(
+      "SEL A FROM T WHERE (A, B) = ANY (SEL X, Y FROM S)",
+      BackendProfile::Vdb());
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  EXPECT_NE(sql->find("EXISTS"), std::string::npos);
+  EXPECT_NE(sql->find("AND"), std::string::npos);
+  EXPECT_EQ(sql->find(" OR "), std::string::npos) << *sql;
+}
+
+TEST_F(TransformerTest, ThreeElementVectorLexicographic) {
+  TableDef w;
+  w.name = "W3";
+  w.columns = {{"P", SqlType::Int(), true, {}},
+               {"Q", SqlType::Int(), true, {}},
+               {"R", SqlType::Int(), true, {}}};
+  ASSERT_TRUE(catalog_.CreateTable(w).ok());
+  auto sql = TransformAndSerialize(
+      "SEL A FROM T WHERE (A, B, A) >= ANY (SEL P, Q, R FROM W3)",
+      BackendProfile::Vdb());
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  // Lexicographic: strict > on prefixes, >= only on the last position.
+  EXPECT_NE(sql->find(">="), std::string::npos);
+  size_t first_or = sql->find(" OR ");
+  ASSERT_NE(first_or, std::string::npos);
+  EXPECT_NE(sql->find(" OR ", first_or + 1), std::string::npos);
+}
+
+TEST_F(TransformerTest, GroupingSetsExpandToUnionAll) {
+  auto sql = TransformAndSerialize(
+      "SEL A, B, COUNT(*) FROM T GROUP BY ROLLUP(A, B)",
+      BackendProfile::Vdb());
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  // ROLLUP(A,B) = 3 sets -> 2 UNION ALLs; NULL fills removed columns.
+  size_t first = sql->find("UNION ALL");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(sql->find("UNION ALL", first + 1), std::string::npos);
+  EXPECT_NE(sql->find("NULL"), std::string::npos);
+}
+
+TEST_F(TransformerTest, GroupingSetsKeptWhenSupported) {
+  BackendProfile rich = BackendProfile::Vdb();
+  rich.supports_grouping_sets = true;
+  auto bound = Bind("SEL A, COUNT(*) FROM T GROUP BY ROLLUP(A)");
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  xtra::OpPtr plan = std::move(bound).value();
+  Transformer xf(rich);
+  binder::ColIdGenerator ids;
+  ASSERT_TRUE(
+      xf.Run(Stage::kSerialization, &plan, &ids, &features_, &catalog_)
+          .ok());
+  // The aggregate keeps its grouping sets (no union expansion).
+  const xtra::Op* agg = plan.get();
+  while (agg != nullptr && agg->kind != xtra::OpKind::kAggregate) {
+    agg = agg->children.empty() ? nullptr : agg->children[0].get();
+  }
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->grouping_sets.size(), 2u);
+}
+
+TEST_F(TransformerTest, DateArithToFunctions) {
+  auto sql = TransformAndSerialize("SEL D + 30, D - 7, D - D FROM T",
+                                   BackendProfile::Vdb());
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  EXPECT_NE(sql->find("DATE_ADD_DAYS("), std::string::npos);
+  EXPECT_NE(sql->find("DATE_DIFF_DAYS("), std::string::npos);
+  EXPECT_NE(sql->find("(- 7)"), std::string::npos);
+}
+
+TEST_F(TransformerTest, IntervalArithmetic) {
+  auto sql = TransformAndSerialize(
+      "SEL A FROM T WHERE D < DATE '2014-01-01' + INTERVAL '1' YEAR",
+      BackendProfile::Vdb());
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  // Year intervals use ADD_MONTHS (calendar-aware) from the binder.
+  EXPECT_NE(sql->find("ADD_MONTHS("), std::string::npos) << *sql;
+}
+
+TEST_F(TransformerTest, TopWithTiesBecomesRankFilter) {
+  auto sql = TransformAndSerialize(
+      "SEL TOP 3 WITH TIES A FROM T ORDER BY V DESC",
+      BackendProfile::Vdb());
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  EXPECT_NE(sql->find("RANK() OVER"), std::string::npos) << *sql;
+  EXPECT_NE(sql->find("<= 3"), std::string::npos) << *sql;
+  EXPECT_EQ(sql->find("LIMIT"), std::string::npos) << *sql;
+}
+
+TEST_F(TransformerTest, PlainTopStaysLimit) {
+  auto sql = TransformAndSerialize("SEL TOP 3 A FROM T ORDER BY V",
+                                   BackendProfile::Vdb());
+  ASSERT_TRUE(sql.ok());
+  EXPECT_NE(sql->find("LIMIT 3"), std::string::npos);
+  EXPECT_EQ(sql->find("RANK"), std::string::npos);
+}
+
+TEST_F(TransformerTest, SetTableInsertGetsExceptGuard) {
+  auto sql = TransformAndSerialize("INS INTO SETT VALUES (1)",
+                                   BackendProfile::Vdb());
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  EXPECT_NE(sql->find("EXCEPT"), std::string::npos) << *sql;
+  // Plain MULTISET tables are untouched.
+  auto plain = TransformAndSerialize("INS INTO T (A) VALUES (1)",
+                                     BackendProfile::Vdb());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->find("EXCEPT"), std::string::npos);
+}
+
+TEST_F(TransformerTest, ExplicitNullOrderingInjected) {
+  auto sql = TransformAndSerialize("SEL A FROM T ORDER BY A, V DESC",
+                                   BackendProfile::Vdb());
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  // Teradata semantics made explicit: NULLs low.
+  EXPECT_NE(sql->find("A NULLS FIRST"), std::string::npos) << *sql;
+  EXPECT_NE(sql->find("DESC NULLS LAST"), std::string::npos) << *sql;
+  // A target that already sorts NULLs low needs nothing.
+  BackendProfile td_like = BackendProfile::Vdb();
+  td_like.nulls_sort_low = true;
+  auto same = TransformAndSerialize("SEL A FROM T ORDER BY A", td_like);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(same->find("NULLS"), std::string::npos) << *same;
+}
+
+TEST_F(TransformerTest, CascadeQualifyPlusVectorSubquery) {
+  // QUALIFY lowering (binder) produces a window + filter whose inner WHERE
+  // still holds a vector subquery for the transformer to rewrite: the
+  // output of one rewrite is valid input to the next (paper §4.3).
+  auto sql = TransformAndSerialize(
+      "SEL A FROM T WHERE (A, B) > ANY (SEL X, Y FROM S) "
+      "QUALIFY RANK(V DESC) <= 5",
+      BackendProfile::Vdb());
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  EXPECT_NE(sql->find("EXISTS"), std::string::npos);
+  EXPECT_NE(sql->find("RANK() OVER"), std::string::npos);
+}
+
+TEST_F(TransformerTest, RuleRegistryStages) {
+  Transformer xf(BackendProfile::Vdb());
+  auto binding = xf.RuleNames(Stage::kBinding);
+  ASSERT_EQ(binding.size(), 1u);
+  EXPECT_EQ(binding[0], "comp_date_to_int");
+  auto serialization = xf.RuleNames(Stage::kSerialization);
+  EXPECT_GE(serialization.size(), 6u);
+}
+
+}  // namespace
+}  // namespace hyperq::transform

@@ -1,0 +1,173 @@
+// XTRA algebra unit tests: builders, cloning, structural equality,
+// visitors and the tree printer.
+
+#include <gtest/gtest.h>
+
+#include "xtra/xtra.h"
+
+namespace hyperq::xtra {
+namespace {
+
+TEST(XtraExprTest, BuildersDeriveTypes) {
+  auto add = Arith(ArithKind::kAdd, IntConst(1), IntConst(2));
+  EXPECT_EQ(add->type.kind, TypeKind::kInt);
+  auto div = Arith(ArithKind::kDiv, IntConst(1), IntConst(2));
+  EXPECT_EQ(div->type.kind, TypeKind::kDouble);
+  auto cmp = Comp(CompKind::kLt, IntConst(1), IntConst(2));
+  EXPECT_EQ(cmp->type.kind, TypeKind::kBool);
+  auto cat = Arith(ArithKind::kConcat, StrConst("a"), StrConst("b"));
+  EXPECT_EQ(cat->type.kind, TypeKind::kVarchar);
+}
+
+TEST(XtraExprTest, ConjoinShapes) {
+  EXPECT_EQ(Conjoin({}), nullptr);
+  std::vector<ExprPtr> one;
+  one.push_back(IntConst(1));
+  auto single = Conjoin(std::move(one));
+  EXPECT_EQ(single->kind, ExprKind::kConst);
+  std::vector<ExprPtr> two;
+  two.push_back(Comp(CompKind::kEq, IntConst(1), IntConst(1)));
+  two.push_back(Comp(CompKind::kEq, IntConst(2), IntConst(2)));
+  auto both = Conjoin(std::move(two));
+  ASSERT_EQ(both->kind, ExprKind::kBool);
+  EXPECT_EQ(both->boolk, BoolKind::kAnd);
+  EXPECT_EQ(both->children.size(), 2u);
+}
+
+TEST(XtraExprTest, CompKindHelpers) {
+  EXPECT_EQ(NegateComp(CompKind::kLt), CompKind::kGe);
+  EXPECT_EQ(NegateComp(CompKind::kEq), CompKind::kNe);
+  EXPECT_EQ(SwapComp(CompKind::kLt), CompKind::kGt);
+  EXPECT_EQ(SwapComp(CompKind::kEq), CompKind::kEq);
+  EXPECT_STREQ(CompKindSql(CompKind::kLe), "<=");
+  EXPECT_STREQ(CompKindName(CompKind::kLe), "LTE");
+}
+
+TEST(XtraExprTest, CloneIsDeepAndEqual) {
+  auto e = Comp(CompKind::kGt,
+                Arith(ArithKind::kMul, ColRef(1, "A", SqlType::Int()),
+                      IntConst(3)),
+                IntConst(10));
+  auto c = e->Clone();
+  EXPECT_TRUE(ExprEquals(*e, *c));
+  // Mutating the clone does not affect the original.
+  c->children[1]->value = Datum::Int(11);
+  EXPECT_FALSE(ExprEquals(*e, *c));
+}
+
+TEST(XtraExprTest, ExprEqualsDiscriminates) {
+  EXPECT_TRUE(ExprEquals(*IntConst(5), *IntConst(5)));
+  EXPECT_FALSE(ExprEquals(*IntConst(5), *IntConst(6)));
+  EXPECT_TRUE(ExprEquals(*ColRef(3, "X", SqlType::Int()),
+                         *ColRef(3, "Y", SqlType::Int())));  // id decides
+  EXPECT_FALSE(ExprEquals(*ColRef(3, "X", SqlType::Int()),
+                          *ColRef(4, "X", SqlType::Int())));
+  // Subquery expressions never compare equal.
+  auto subq = std::make_unique<Expr>(ExprKind::kSubqExists);
+  subq->subplan = Get("T", {{1, "A", SqlType::Int()}});
+  EXPECT_FALSE(ExprEquals(*subq, *subq->Clone()));
+}
+
+TEST(XtraOpTest, CloneClonesSubplans) {
+  auto get = Get("T", {{1, "A", SqlType::Int()}}, "t1");
+  auto exists = std::make_unique<Expr>(ExprKind::kSubqExists);
+  exists->subplan = Get("S", {{2, "B", SqlType::Int()}});
+  exists->type = SqlType::Bool();
+  auto select = Select(std::move(get), std::move(exists));
+  auto clone = select->Clone();
+  EXPECT_EQ(clone->kind, OpKind::kSelect);
+  EXPECT_NE(clone->predicate->subplan.get(),
+            select->predicate->subplan.get());
+  EXPECT_EQ(clone->predicate->subplan->table_name, "S");
+  EXPECT_EQ(clone->output.size(), 1u);
+}
+
+TEST(XtraOpTest, FindOutput) {
+  auto get = Get("T", {{1, "A", SqlType::Int()}, {2, "B", SqlType::Date()}});
+  EXPECT_NE(get->FindOutput(2), nullptr);
+  EXPECT_EQ(get->FindOutput(2)->name, "B");
+  EXPECT_EQ(get->FindOutput(9), nullptr);
+}
+
+TEST(XtraOpTest, VisitExprsReachesSubplans) {
+  auto inner = Get("S", {{5, "X", SqlType::Int()}});
+  auto subq = std::make_unique<Expr>(ExprKind::kSubqScalar);
+  subq->subplan = Select(std::move(inner),
+                         Comp(CompKind::kEq, ColRef(5, "X", SqlType::Int()),
+                              IntConst(7)));
+  subq->type = SqlType::Int();
+  auto plan = Select(Get("T", {{1, "A", SqlType::Int()}}),
+                     Comp(CompKind::kGt, ColRef(1, "A", SqlType::Int()),
+                          std::move(subq)));
+  int consts = 0;
+  VisitExprs(*plan, [&](const Expr& e) {
+    if (e.kind == ExprKind::kConst) ++consts;
+    return true;
+  });
+  EXPECT_EQ(consts, 1);  // the 7 inside the subplan
+  // Early termination works.
+  int seen = 0;
+  VisitExprs(*plan, [&](const Expr&) {
+    ++seen;
+    return false;
+  });
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(XtraPrinterTest, BasicShapes) {
+  auto plan = Select(Get("SALES", {{1, "AMOUNT", SqlType::Int()}}),
+                     Comp(CompKind::kGt,
+                          ColRef(1, "AMOUNT", SqlType::Int()),
+                          IntConst(10)));
+  EXPECT_EQ(ToTreeString(*plan),
+            "+-select\n"
+            "|-get(SALES)\n"
+            "+-comp(GT)\n"
+            "|-ident(AMOUNT)\n"
+            "+-const(10)\n");
+}
+
+TEST(XtraPrinterTest, GetAliasRendering) {
+  auto aliased = Get("SALES_HISTORY", {}, "S2");
+  EXPECT_EQ(ToTreeString(*aliased), "+-get(SALES_HISTORY 'S2')\n");
+  auto plain = Get("SALES", {});
+  EXPECT_EQ(ToTreeString(*plain), "+-get(SALES)\n");
+}
+
+TEST(XtraPrinterTest, RemapConstsLabel) {
+  std::vector<ProjectItem> items;
+  ProjectItem one;
+  one.expr = IntConst(1);
+  one.out_id = 9;
+  one.name = "ONE";
+  items.push_back(std::move(one));
+  auto remap = Project(Get("H", {}), std::move(items));
+  EXPECT_EQ(ToTreeString(*remap),
+            "+-remap consts: (1)\n"
+            "+-get(H)\n");
+}
+
+TEST(XtraPrinterTest, AdditiveChainsFlatten) {
+  // ((a + b) + c) prints as one arith(+) with three children (Figure 5).
+  auto sum = Arith(ArithKind::kAdd,
+                   Arith(ArithKind::kAdd, IntConst(1), IntConst(2)),
+                   IntConst(3));
+  EXPECT_EQ(ToTreeString(*sum),
+            "+-arith(+)\n"
+            "|-const(1)\n"
+            "|-const(2)\n"
+            "+-const(3)\n");
+  // Mixed operators do not flatten.
+  auto mixed = Arith(ArithKind::kAdd,
+                     Arith(ArithKind::kMul, IntConst(1), IntConst(2)),
+                     IntConst(3));
+  EXPECT_EQ(ToTreeString(*mixed),
+            "+-arith(+)\n"
+            "|-arith(*)\n"
+            "| |-const(1)\n"
+            "| +-const(2)\n"
+            "+-const(3)\n");
+}
+
+}  // namespace
+}  // namespace hyperq::xtra
