@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feature_matrix.dir/bench_feature_matrix.cc.o"
+  "CMakeFiles/bench_feature_matrix.dir/bench_feature_matrix.cc.o.d"
+  "bench_feature_matrix"
+  "bench_feature_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feature_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

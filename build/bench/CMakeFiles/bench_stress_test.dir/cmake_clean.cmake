@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stress_test.dir/bench_stress_test.cc.o"
+  "CMakeFiles/bench_stress_test.dir/bench_stress_test.cc.o.d"
+  "bench_stress_test"
+  "bench_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

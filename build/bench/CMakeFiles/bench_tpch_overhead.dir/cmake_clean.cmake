@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpch_overhead.dir/bench_tpch_overhead.cc.o"
+  "CMakeFiles/bench_tpch_overhead.dir/bench_tpch_overhead.cc.o.d"
+  "bench_tpch_overhead"
+  "bench_tpch_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpch_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

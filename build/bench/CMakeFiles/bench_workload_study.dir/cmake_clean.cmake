@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workload_study.dir/bench_workload_study.cc.o"
+  "CMakeFiles/bench_workload_study.dir/bench_workload_study.cc.o.d"
+  "bench_workload_study"
+  "bench_workload_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workload_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

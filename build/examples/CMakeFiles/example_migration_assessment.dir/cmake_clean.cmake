@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_migration_assessment.dir/migration_assessment.cpp.o"
+  "CMakeFiles/example_migration_assessment.dir/migration_assessment.cpp.o.d"
+  "example_migration_assessment"
+  "example_migration_assessment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_migration_assessment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

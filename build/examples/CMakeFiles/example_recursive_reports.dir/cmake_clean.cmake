@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_recursive_reports.dir/recursive_reports.cpp.o"
+  "CMakeFiles/example_recursive_reports.dir/recursive_reports.cpp.o.d"
+  "example_recursive_reports"
+  "example_recursive_reports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_recursive_reports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_replatform_proxy.dir/replatform_proxy.cpp.o"
+  "CMakeFiles/example_replatform_proxy.dir/replatform_proxy.cpp.o.d"
+  "example_replatform_proxy"
+  "example_replatform_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_replatform_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

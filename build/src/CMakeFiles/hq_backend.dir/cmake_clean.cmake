@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_backend.dir/backend/connector.cc.o"
+  "CMakeFiles/hq_backend.dir/backend/connector.cc.o.d"
+  "CMakeFiles/hq_backend.dir/backend/result_store.cc.o"
+  "CMakeFiles/hq_backend.dir/backend/result_store.cc.o.d"
+  "CMakeFiles/hq_backend.dir/backend/tdf.cc.o"
+  "CMakeFiles/hq_backend.dir/backend/tdf.cc.o.d"
+  "libhq_backend.a"
+  "libhq_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

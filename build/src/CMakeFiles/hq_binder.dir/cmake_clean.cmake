@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_binder.dir/binder/binder.cc.o"
+  "CMakeFiles/hq_binder.dir/binder/binder.cc.o.d"
+  "libhq_binder.a"
+  "libhq_binder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_binder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

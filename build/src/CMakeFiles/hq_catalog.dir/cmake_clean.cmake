@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_catalog.dir/catalog/catalog.cc.o"
+  "CMakeFiles/hq_catalog.dir/catalog/catalog.cc.o.d"
+  "libhq_catalog.a"
+  "libhq_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_common.dir/common/features.cc.o"
+  "CMakeFiles/hq_common.dir/common/features.cc.o.d"
+  "CMakeFiles/hq_common.dir/common/logging.cc.o"
+  "CMakeFiles/hq_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/hq_common.dir/common/status.cc.o"
+  "CMakeFiles/hq_common.dir/common/status.cc.o.d"
+  "CMakeFiles/hq_common.dir/common/str_util.cc.o"
+  "CMakeFiles/hq_common.dir/common/str_util.cc.o.d"
+  "libhq_common.a"
+  "libhq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

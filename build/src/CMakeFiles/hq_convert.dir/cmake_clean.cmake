@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_convert.dir/convert/result_converter.cc.o"
+  "CMakeFiles/hq_convert.dir/convert/result_converter.cc.o.d"
+  "libhq_convert.a"
+  "libhq_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

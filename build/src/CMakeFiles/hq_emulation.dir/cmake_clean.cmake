@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_emulation.dir/emulation/macro.cc.o"
+  "CMakeFiles/hq_emulation.dir/emulation/macro.cc.o.d"
+  "CMakeFiles/hq_emulation.dir/emulation/merge.cc.o"
+  "CMakeFiles/hq_emulation.dir/emulation/merge.cc.o.d"
+  "CMakeFiles/hq_emulation.dir/emulation/recursion.cc.o"
+  "CMakeFiles/hq_emulation.dir/emulation/recursion.cc.o.d"
+  "CMakeFiles/hq_emulation.dir/emulation/session.cc.o"
+  "CMakeFiles/hq_emulation.dir/emulation/session.cc.o.d"
+  "libhq_emulation.a"
+  "libhq_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_frontend.dir/frontend/ast_printer.cc.o"
+  "CMakeFiles/hq_frontend.dir/frontend/ast_printer.cc.o.d"
+  "CMakeFiles/hq_frontend.dir/frontend/feature_scan.cc.o"
+  "CMakeFiles/hq_frontend.dir/frontend/feature_scan.cc.o.d"
+  "libhq_frontend.a"
+  "libhq_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/client.cc" "src/CMakeFiles/hq_protocol.dir/protocol/client.cc.o" "gcc" "src/CMakeFiles/hq_protocol.dir/protocol/client.cc.o.d"
+  "/root/repo/src/protocol/server.cc" "src/CMakeFiles/hq_protocol.dir/protocol/server.cc.o" "gcc" "src/CMakeFiles/hq_protocol.dir/protocol/server.cc.o.d"
+  "/root/repo/src/protocol/socket.cc" "src/CMakeFiles/hq_protocol.dir/protocol/socket.cc.o" "gcc" "src/CMakeFiles/hq_protocol.dir/protocol/socket.cc.o.d"
+  "/root/repo/src/protocol/tdwp.cc" "src/CMakeFiles/hq_protocol.dir/protocol/tdwp.cc.o" "gcc" "src/CMakeFiles/hq_protocol.dir/protocol/tdwp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_protocol.dir/protocol/client.cc.o"
+  "CMakeFiles/hq_protocol.dir/protocol/client.cc.o.d"
+  "CMakeFiles/hq_protocol.dir/protocol/server.cc.o"
+  "CMakeFiles/hq_protocol.dir/protocol/server.cc.o.d"
+  "CMakeFiles/hq_protocol.dir/protocol/socket.cc.o"
+  "CMakeFiles/hq_protocol.dir/protocol/socket.cc.o.d"
+  "CMakeFiles/hq_protocol.dir/protocol/tdwp.cc.o"
+  "CMakeFiles/hq_protocol.dir/protocol/tdwp.cc.o.d"
+  "libhq_protocol.a"
+  "libhq_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serializer/serializer.cc" "src/CMakeFiles/hq_serializer.dir/serializer/serializer.cc.o" "gcc" "src/CMakeFiles/hq_serializer.dir/serializer/serializer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hq_xtra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_service.dir/service/hyperq_service.cc.o"
+  "CMakeFiles/hq_service.dir/service/hyperq_service.cc.o.d"
+  "libhq_service.a"
+  "libhq_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

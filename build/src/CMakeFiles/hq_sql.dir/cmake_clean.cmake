@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_sql.dir/sql/ast.cc.o"
+  "CMakeFiles/hq_sql.dir/sql/ast.cc.o.d"
+  "CMakeFiles/hq_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/hq_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/hq_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/hq_sql.dir/sql/parser.cc.o.d"
+  "libhq_sql.a"
+  "libhq_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_transform.dir/transform/backend_profile.cc.o"
+  "CMakeFiles/hq_transform.dir/transform/backend_profile.cc.o.d"
+  "CMakeFiles/hq_transform.dir/transform/transformer.cc.o"
+  "CMakeFiles/hq_transform.dir/transform/transformer.cc.o.d"
+  "libhq_transform.a"
+  "libhq_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

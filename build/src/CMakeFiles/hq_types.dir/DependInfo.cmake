@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/types/date.cc" "src/CMakeFiles/hq_types.dir/types/date.cc.o" "gcc" "src/CMakeFiles/hq_types.dir/types/date.cc.o.d"
+  "/root/repo/src/types/datum.cc" "src/CMakeFiles/hq_types.dir/types/datum.cc.o" "gcc" "src/CMakeFiles/hq_types.dir/types/datum.cc.o.d"
+  "/root/repo/src/types/decimal.cc" "src/CMakeFiles/hq_types.dir/types/decimal.cc.o" "gcc" "src/CMakeFiles/hq_types.dir/types/decimal.cc.o.d"
+  "/root/repo/src/types/type.cc" "src/CMakeFiles/hq_types.dir/types/type.cc.o" "gcc" "src/CMakeFiles/hq_types.dir/types/type.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

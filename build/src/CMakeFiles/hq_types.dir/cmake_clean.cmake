@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_types.dir/types/date.cc.o"
+  "CMakeFiles/hq_types.dir/types/date.cc.o.d"
+  "CMakeFiles/hq_types.dir/types/datum.cc.o"
+  "CMakeFiles/hq_types.dir/types/datum.cc.o.d"
+  "CMakeFiles/hq_types.dir/types/decimal.cc.o"
+  "CMakeFiles/hq_types.dir/types/decimal.cc.o.d"
+  "CMakeFiles/hq_types.dir/types/type.cc.o"
+  "CMakeFiles/hq_types.dir/types/type.cc.o.d"
+  "libhq_types.a"
+  "libhq_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_vdb.dir/vdb/engine.cc.o"
+  "CMakeFiles/hq_vdb.dir/vdb/engine.cc.o.d"
+  "CMakeFiles/hq_vdb.dir/vdb/executor.cc.o"
+  "CMakeFiles/hq_vdb.dir/vdb/executor.cc.o.d"
+  "CMakeFiles/hq_vdb.dir/vdb/optimizer.cc.o"
+  "CMakeFiles/hq_vdb.dir/vdb/optimizer.cc.o.d"
+  "CMakeFiles/hq_vdb.dir/vdb/storage.cc.o"
+  "CMakeFiles/hq_vdb.dir/vdb/storage.cc.o.d"
+  "libhq_vdb.a"
+  "libhq_vdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_vdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

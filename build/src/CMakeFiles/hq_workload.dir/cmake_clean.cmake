@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_workload.dir/workload/customer.cc.o"
+  "CMakeFiles/hq_workload.dir/workload/customer.cc.o.d"
+  "CMakeFiles/hq_workload.dir/workload/placeholder.cc.o"
+  "CMakeFiles/hq_workload.dir/workload/placeholder.cc.o.d"
+  "CMakeFiles/hq_workload.dir/workload/tpch.cc.o"
+  "CMakeFiles/hq_workload.dir/workload/tpch.cc.o.d"
+  "libhq_workload.a"
+  "libhq_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

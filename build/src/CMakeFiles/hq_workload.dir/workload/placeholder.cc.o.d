@@ -1,0 +1,2 @@
+src/CMakeFiles/hq_workload.dir/workload/placeholder.cc.o: \
+ /root/repo/src/workload/placeholder.cc /usr/include/stdc-predef.h

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/backend_test.cc" "tests/CMakeFiles/hyperq_tests.dir/backend_test.cc.o" "gcc" "tests/CMakeFiles/hyperq_tests.dir/backend_test.cc.o.d"
+  "/root/repo/tests/binder_test.cc" "tests/CMakeFiles/hyperq_tests.dir/binder_test.cc.o" "gcc" "tests/CMakeFiles/hyperq_tests.dir/binder_test.cc.o.d"
+  "/root/repo/tests/catalog_test.cc" "tests/CMakeFiles/hyperq_tests.dir/catalog_test.cc.o" "gcc" "tests/CMakeFiles/hyperq_tests.dir/catalog_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/hyperq_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/hyperq_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/convert_test.cc" "tests/CMakeFiles/hyperq_tests.dir/convert_test.cc.o" "gcc" "tests/CMakeFiles/hyperq_tests.dir/convert_test.cc.o.d"
+  "/root/repo/tests/emulation_test.cc" "tests/CMakeFiles/hyperq_tests.dir/emulation_test.cc.o" "gcc" "tests/CMakeFiles/hyperq_tests.dir/emulation_test.cc.o.d"
+  "/root/repo/tests/frontend_test.cc" "tests/CMakeFiles/hyperq_tests.dir/frontend_test.cc.o" "gcc" "tests/CMakeFiles/hyperq_tests.dir/frontend_test.cc.o.d"
+  "/root/repo/tests/golden_test.cc" "tests/CMakeFiles/hyperq_tests.dir/golden_test.cc.o" "gcc" "tests/CMakeFiles/hyperq_tests.dir/golden_test.cc.o.d"
+  "/root/repo/tests/lexer_test.cc" "tests/CMakeFiles/hyperq_tests.dir/lexer_test.cc.o" "gcc" "tests/CMakeFiles/hyperq_tests.dir/lexer_test.cc.o.d"
+  "/root/repo/tests/optimizer_test.cc" "tests/CMakeFiles/hyperq_tests.dir/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/hyperq_tests.dir/optimizer_test.cc.o.d"
+  "/root/repo/tests/parser_test.cc" "tests/CMakeFiles/hyperq_tests.dir/parser_test.cc.o" "gcc" "tests/CMakeFiles/hyperq_tests.dir/parser_test.cc.o.d"
+  "/root/repo/tests/pipeline_test.cc" "tests/CMakeFiles/hyperq_tests.dir/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/hyperq_tests.dir/pipeline_test.cc.o.d"
+  "/root/repo/tests/protocol_test.cc" "tests/CMakeFiles/hyperq_tests.dir/protocol_test.cc.o" "gcc" "tests/CMakeFiles/hyperq_tests.dir/protocol_test.cc.o.d"
+  "/root/repo/tests/serializer_test.cc" "tests/CMakeFiles/hyperq_tests.dir/serializer_test.cc.o" "gcc" "tests/CMakeFiles/hyperq_tests.dir/serializer_test.cc.o.d"
+  "/root/repo/tests/service_extra_test.cc" "tests/CMakeFiles/hyperq_tests.dir/service_extra_test.cc.o" "gcc" "tests/CMakeFiles/hyperq_tests.dir/service_extra_test.cc.o.d"
+  "/root/repo/tests/service_test.cc" "tests/CMakeFiles/hyperq_tests.dir/service_test.cc.o" "gcc" "tests/CMakeFiles/hyperq_tests.dir/service_test.cc.o.d"
+  "/root/repo/tests/smoke_test.cc" "tests/CMakeFiles/hyperq_tests.dir/smoke_test.cc.o" "gcc" "tests/CMakeFiles/hyperq_tests.dir/smoke_test.cc.o.d"
+  "/root/repo/tests/tpch_test.cc" "tests/CMakeFiles/hyperq_tests.dir/tpch_test.cc.o" "gcc" "tests/CMakeFiles/hyperq_tests.dir/tpch_test.cc.o.d"
+  "/root/repo/tests/transformer_test.cc" "tests/CMakeFiles/hyperq_tests.dir/transformer_test.cc.o" "gcc" "tests/CMakeFiles/hyperq_tests.dir/transformer_test.cc.o.d"
+  "/root/repo/tests/types_test.cc" "tests/CMakeFiles/hyperq_tests.dir/types_test.cc.o" "gcc" "tests/CMakeFiles/hyperq_tests.dir/types_test.cc.o.d"
+  "/root/repo/tests/vdb_test.cc" "tests/CMakeFiles/hyperq_tests.dir/vdb_test.cc.o" "gcc" "tests/CMakeFiles/hyperq_tests.dir/vdb_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/hyperq_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/hyperq_tests.dir/workload_test.cc.o.d"
+  "/root/repo/tests/xtra_test.cc" "tests/CMakeFiles/hyperq_tests.dir/xtra_test.cc.o" "gcc" "tests/CMakeFiles/hyperq_tests.dir/xtra_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hq_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_convert.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_emulation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_serializer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_vdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_binder.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_xtra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
