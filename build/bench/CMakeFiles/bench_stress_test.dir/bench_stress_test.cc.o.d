@@ -233,13 +233,13 @@ bench/CMakeFiles/bench_stress_test.dir/bench_stress_test.cc.o: \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/backend/connector.h /root/repo/src/backend/result_store.h \
- /root/repo/src/backend/tdf.h /root/repo/src/vdb/engine.h \
- /root/repo/src/catalog/catalog.h /usr/include/c++/12/optional \
- /root/repo/src/sql/parser.h /root/repo/src/sql/ast.h \
- /root/repo/src/sql/lexer.h /root/repo/src/vdb/executor.h \
- /root/repo/src/vdb/storage.h /root/repo/src/xtra/xtra.h \
- /root/repo/src/binder/binder.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/backend/tdf.h /root/repo/src/common/retry.h \
+ /root/repo/src/vdb/engine.h /root/repo/src/catalog/catalog.h \
+ /usr/include/c++/12/optional /root/repo/src/sql/parser.h \
+ /root/repo/src/sql/ast.h /root/repo/src/sql/lexer.h \
+ /root/repo/src/vdb/executor.h /root/repo/src/vdb/storage.h \
+ /root/repo/src/xtra/xtra.h /root/repo/src/binder/binder.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/common/features.h \
  /usr/include/c++/12/bitset /root/repo/src/convert/result_converter.h \
  /root/repo/src/emulation/recursion.h \

@@ -230,21 +230,22 @@ examples/CMakeFiles/example_recursive_reports.dir/recursive_reports.cpp.o: \
  /root/repo/src/emulation/recursion.h /root/repo/src/backend/connector.h \
  /root/repo/src/backend/result_store.h /root/repo/src/backend/tdf.h \
  /root/repo/src/common/buffer.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h /root/repo/src/vdb/engine.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/vdb/executor.h /root/repo/src/vdb/storage.h \
- /root/repo/src/serializer/serializer.h \
- /root/repo/src/transform/backend_profile.h \
- /root/repo/src/service/hyperq_service.h /usr/include/c++/12/atomic \
- /root/repo/src/convert/result_converter.h /root/repo/src/protocol/tdwp.h \
- /root/repo/src/emulation/session.h /root/repo/src/protocol/server.h \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/common/retry.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/vdb/engine.h /root/repo/src/vdb/executor.h \
+ /root/repo/src/vdb/storage.h /root/repo/src/serializer/serializer.h \
+ /root/repo/src/transform/backend_profile.h \
+ /root/repo/src/service/hyperq_service.h \
+ /root/repo/src/convert/result_converter.h /root/repo/src/protocol/tdwp.h \
+ /root/repo/src/emulation/session.h /root/repo/src/protocol/server.h \
  /root/repo/src/protocol/socket.h /root/repo/src/transform/transformer.h

@@ -220,13 +220,23 @@ src/CMakeFiles/hq_backend.dir/backend/connector.cc.o: \
  /root/repo/src/common/buffer.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/types/datum.h /root/repo/src/types/decimal.h \
- /root/repo/src/types/type.h /root/repo/src/vdb/engine.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /root/repo/src/types/type.h /root/repo/src/common/retry.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/catalog/catalog.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/ctime /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/atomic \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/vdb/engine.h /root/repo/src/catalog/catalog.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
  /root/repo/src/sql/parser.h /root/repo/src/sql/ast.h \
  /root/repo/src/sql/lexer.h /root/repo/src/vdb/executor.h \
- /root/repo/src/vdb/storage.h /root/repo/src/xtra/xtra.h
+ /root/repo/src/vdb/storage.h /root/repo/src/xtra/xtra.h \
+ /root/repo/src/common/fault.h

@@ -8,8 +8,10 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/fault.cc" "src/CMakeFiles/hq_common.dir/common/fault.cc.o" "gcc" "src/CMakeFiles/hq_common.dir/common/fault.cc.o.d"
   "/root/repo/src/common/features.cc" "src/CMakeFiles/hq_common.dir/common/features.cc.o" "gcc" "src/CMakeFiles/hq_common.dir/common/features.cc.o.d"
   "/root/repo/src/common/logging.cc" "src/CMakeFiles/hq_common.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/hq_common.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/retry.cc" "src/CMakeFiles/hq_common.dir/common/retry.cc.o" "gcc" "src/CMakeFiles/hq_common.dir/common/retry.cc.o.d"
   "/root/repo/src/common/status.cc" "src/CMakeFiles/hq_common.dir/common/status.cc.o" "gcc" "src/CMakeFiles/hq_common.dir/common/status.cc.o.d"
   "/root/repo/src/common/str_util.cc" "src/CMakeFiles/hq_common.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/hq_common.dir/common/str_util.cc.o.d"
   )

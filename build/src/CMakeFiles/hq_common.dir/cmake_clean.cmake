@@ -1,8 +1,12 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/hq_common.dir/common/fault.cc.o"
+  "CMakeFiles/hq_common.dir/common/fault.cc.o.d"
   "CMakeFiles/hq_common.dir/common/features.cc.o"
   "CMakeFiles/hq_common.dir/common/features.cc.o.d"
   "CMakeFiles/hq_common.dir/common/logging.cc.o"
   "CMakeFiles/hq_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/hq_common.dir/common/retry.cc.o"
+  "CMakeFiles/hq_common.dir/common/retry.cc.o.d"
   "CMakeFiles/hq_common.dir/common/status.cc.o"
   "CMakeFiles/hq_common.dir/common/status.cc.o.d"
   "CMakeFiles/hq_common.dir/common/str_util.cc.o"

@@ -225,27 +225,27 @@ src/CMakeFiles/hq_service.dir/service/hyperq_service.cc.o: \
  /root/repo/src/common/buffer.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/types/datum.h /root/repo/src/types/decimal.h \
- /root/repo/src/types/type.h /root/repo/src/vdb/engine.h \
- /root/repo/src/catalog/catalog.h /usr/include/c++/12/optional \
- /root/repo/src/sql/parser.h /root/repo/src/sql/ast.h \
- /root/repo/src/sql/lexer.h /root/repo/src/vdb/executor.h \
- /root/repo/src/vdb/storage.h /root/repo/src/xtra/xtra.h \
- /root/repo/src/binder/binder.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/types/type.h /root/repo/src/common/retry.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/vdb/engine.h /root/repo/src/catalog/catalog.h \
+ /usr/include/c++/12/optional /root/repo/src/sql/parser.h \
+ /root/repo/src/sql/ast.h /root/repo/src/sql/lexer.h \
+ /root/repo/src/vdb/executor.h /root/repo/src/vdb/storage.h \
+ /root/repo/src/xtra/xtra.h /root/repo/src/binder/binder.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/common/features.h \
  /usr/include/c++/12/bitset /root/repo/src/convert/result_converter.h \
  /root/repo/src/protocol/tdwp.h /root/repo/src/emulation/recursion.h \
  /root/repo/src/serializer/serializer.h \
  /root/repo/src/transform/backend_profile.h \
  /root/repo/src/emulation/session.h /root/repo/src/protocol/server.h \
- /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
- /usr/include/c++/12/bits/this_thread_sleep.h \
- /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/protocol/socket.h /root/repo/src/transform/transformer.h \
- /root/repo/src/common/stopwatch.h /usr/include/c++/12/chrono \
- /root/repo/src/common/str_util.h /root/repo/src/emulation/macro.h \
- /root/repo/src/emulation/merge.h /root/repo/src/frontend/feature_scan.h
+ /root/repo/src/common/stopwatch.h /root/repo/src/common/str_util.h \
+ /root/repo/src/emulation/macro.h /root/repo/src/emulation/merge.h \
+ /root/repo/src/frontend/feature_scan.h

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault_test.cc" "tests/CMakeFiles/hyperq_fault_tests.dir/fault_test.cc.o" "gcc" "tests/CMakeFiles/hyperq_fault_tests.dir/fault_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hq_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_convert.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_emulation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_serializer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_vdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_binder.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_xtra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

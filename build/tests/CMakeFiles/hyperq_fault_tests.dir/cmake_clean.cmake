@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperq_fault_tests.dir/fault_test.cc.o"
+  "CMakeFiles/hyperq_fault_tests.dir/fault_test.cc.o.d"
+  "hyperq_fault_tests"
+  "hyperq_fault_tests.pdb"
+  "hyperq_fault_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperq_fault_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

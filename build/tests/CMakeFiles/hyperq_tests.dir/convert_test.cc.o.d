@@ -298,9 +298,17 @@ tests/CMakeFiles/hyperq_tests.dir/convert_test.cc.o: \
  /root/repo/src/backend/tdf.h /root/repo/src/common/buffer.h \
  /usr/include/c++/12/cstring /root/repo/src/types/datum.h \
  /root/repo/src/types/decimal.h /root/repo/src/types/type.h \
- /root/repo/src/vdb/engine.h /usr/include/c++/12/mutex \
+ /root/repo/src/common/retry.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/catalog/catalog.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/vdb/engine.h /root/repo/src/catalog/catalog.h \
  /root/repo/src/sql/parser.h /root/repo/src/sql/ast.h \
  /root/repo/src/sql/lexer.h /root/repo/src/vdb/executor.h \
  /root/repo/src/vdb/storage.h /root/repo/src/xtra/xtra.h \

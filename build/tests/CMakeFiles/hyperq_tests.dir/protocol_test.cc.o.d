@@ -293,8 +293,17 @@ tests/CMakeFiles/hyperq_tests.dir/protocol_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/protocol/client.h /root/repo/src/common/result.h \
+ /root/repo/src/common/status.h /root/repo/src/protocol/socket.h \
  /root/repo/src/protocol/tdwp.h /root/repo/src/common/buffer.h \
- /usr/include/c++/12/cstring /root/repo/src/common/result.h \
- /root/repo/src/common/status.h /root/repo/src/types/datum.h \
+ /usr/include/c++/12/cstring /root/repo/src/types/datum.h \
  /root/repo/src/types/decimal.h /root/repo/src/types/type.h \
- /root/repo/src/types/date.h
+ /root/repo/src/protocol/server.h /root/repo/src/types/date.h

@@ -309,7 +309,8 @@ tests/CMakeFiles/hyperq_tests.dir/service_test.cc.o: \
  /root/repo/src/service/hyperq_service.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/backend/connector.h /root/repo/src/backend/result_store.h \
- /root/repo/src/backend/tdf.h /root/repo/src/vdb/engine.h \
+ /root/repo/src/backend/tdf.h /root/repo/src/common/retry.h \
+ /usr/include/c++/12/chrono /root/repo/src/vdb/engine.h \
  /root/repo/src/catalog/catalog.h /root/repo/src/sql/parser.h \
  /root/repo/src/sql/ast.h /root/repo/src/sql/lexer.h \
  /root/repo/src/vdb/executor.h /root/repo/src/vdb/storage.h \

@@ -8,9 +8,15 @@
 // Run: ./build/examples/example_replatform_proxy [port]
 //      (default: an ephemeral port; the example runs a scripted session)
 
+// Fault drills: set HYPERQ_FAULTS to exercise the resilience path, e.g.
+//   HYPERQ_FAULTS="vdb.execute=transient:every=3" [run this example]
+// (syntax in src/common/fault.h; HYPERQ_FAULT_SEED seeds probability-based
+// faults deterministically).
+
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/fault.h"
 #include "protocol/client.h"
 #include "protocol/server.h"
 #include "service/hyperq_service.h"
@@ -20,6 +26,20 @@ using namespace hyperq;
 
 int main(int argc, char** argv) {
   uint16_t port = argc > 1 ? static_cast<uint16_t>(std::atoi(argv[1])) : 0;
+
+  if (const char* seed_env = std::getenv("HYPERQ_FAULT_SEED")) {
+    FaultInjector::Global().SetSeed(std::strtoull(seed_env, nullptr, 10));
+  }
+  if (const char* faults_env = std::getenv("HYPERQ_FAULTS")) {
+    Status st = FaultInjector::Global().Configure(faults_env);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bad HYPERQ_FAULTS: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    for (const std::string& point : FaultInjector::Global().armed_points()) {
+      std::printf("fault injection armed at '%s'\n", point.c_str());
+    }
+  }
 
   vdb::Engine warehouse;
   service::HyperQService hyperq(&warehouse);

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: full build + test suite, plus (optionally) the resilience
+# suite under ASan+UBSan.
+#
+#   scripts/tier1.sh            # standard build + ctest
+#   scripts/tier1.sh --asan     # also build build-asan/ and run `-L faults`
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+cmake -B build -S .
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "${1:-}" == "--asan" ]]; then
+  cmake -B build-asan -S . -DHYPERQ_SANITIZE=address,undefined
+  cmake --build build-asan -j "$jobs"
+  ctest --test-dir build-asan --output-on-failure -L faults -j "$jobs"
+fi

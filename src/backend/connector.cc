@@ -1,5 +1,7 @@
 #include "backend/connector.h"
 
+#include "common/fault.h"
+
 namespace hyperq::backend {
 
 Result<std::vector<std::vector<Datum>>> BackendResult::DecodeRows() const {
@@ -17,18 +19,47 @@ Result<std::vector<std::vector<Datum>>> BackendResult::DecodeRows() const {
 
 BackendConnector::BackendConnector(vdb::Engine* engine,
                                    ConnectorOptions options)
-    : engine_(engine), options_(std::move(options)) {}
+    : engine_(engine),
+      options_(std::move(options)),
+      breaker_(options_.breaker) {}
 
 Result<BackendResult> BackendConnector::Execute(const std::string& sql) {
-  HQ_ASSIGN_OR_RETURN(vdb::QueryResult result, engine_->Execute(sql));
-  return Package(std::move(result));
+  return ExecuteWithRetry(sql, /*is_script=*/false);
 }
 
 Result<BackendResult> BackendConnector::ExecuteScript(
     const std::string& script) {
-  HQ_ASSIGN_OR_RETURN(vdb::QueryResult result,
-                      engine_->ExecuteScript(script));
-  return Package(std::move(result));
+  return ExecuteWithRetry(script, /*is_script=*/true);
+}
+
+Result<BackendResult> BackendConnector::ExecuteWithRetry(
+    const std::string& sql, bool is_script) {
+  // One deadline spans every attempt of this logical request; retrying past
+  // the client's time budget only amplifies load on a struggling backend.
+  Deadline deadline = options_.request_deadline_ms > 0
+                          ? Deadline::After(options_.request_deadline_ms)
+                          : Deadline::Infinite();
+  RetryStats stats;
+  auto attempt = [&]() -> Result<BackendResult> {
+    HQ_FAULT_POINT(faultpoints::kVdbExecute);
+    vdb::QueryResult result;
+    if (is_script) {
+      HQ_ASSIGN_OR_RETURN(result, engine_->ExecuteScript(sql));
+    } else {
+      HQ_ASSIGN_OR_RETURN(result, engine_->Execute(sql));
+    }
+    // Packaging faults (batch pulls, spills) are also retried: they map to
+    // fetch-time failures of a real ODBC driver, and re-execution is the
+    // only way to recover a half-fetched result.
+    return Package(std::move(result));
+  };
+  auto out =
+      RetryCall(options_.retry, deadline, &breaker_, &stats, attempt);
+  if (out.ok()) {
+    out->attempts = stats.attempts;
+    out->retry_backoff_micros = stats.backoff_micros;
+  }
+  return out;
 }
 
 Result<BackendResult> BackendConnector::Package(vdb::QueryResult result) {
@@ -44,6 +75,7 @@ Result<BackendResult> BackendConnector::Package(vdb::QueryResult result) {
                                             options_.spill_dir);
   size_t i = 0;
   while (i < result.rows.size() || result.rows.empty()) {
+    HQ_FAULT_POINT(faultpoints::kConnectorFetchBatch);
     TdfWriter writer(out.columns);
     size_t end = std::min(result.rows.size(), i + options_.batch_rows);
     for (; i < end; ++i) {

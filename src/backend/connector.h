@@ -17,6 +17,7 @@
 #include "backend/result_store.h"
 #include "backend/tdf.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "vdb/engine.h"
 
 namespace hyperq::backend {
@@ -28,6 +29,10 @@ struct BackendResult {
   int64_t affected_rows = 0;
   std::string command_tag;
 
+  // Resilience accounting (surfaced into TimingBreakdown by the service).
+  int attempts = 1;                 // backend tries; >1 means retries fired
+  double retry_backoff_micros = 0;  // wall time spent in retry backoff
+
   bool is_rowset() const { return !columns.empty(); }
 
   /// \brief Decodes all batches back into datum rows (tests/conversion).
@@ -38,10 +43,21 @@ struct ConnectorOptions {
   size_t batch_rows = 1024;            // rows per TDF batch
   size_t store_memory_budget = 16 << 20;
   std::string spill_dir;               // empty = system temp
+
+  /// Transient backend failures (Status::IsRetryable()) are retried under
+  /// this policy; permanent errors surface immediately.
+  RetryPolicy retry;
+  /// One time budget per request, enforced across all retry attempts.
+  /// 0 = no deadline.
+  double request_deadline_ms = 0;
+  /// Consecutive transient failures open the breaker; while open, requests
+  /// fail fast with kUnavailable instead of stacking retries.
+  CircuitBreakerOptions breaker;
 };
 
 /// \brief Submits SQL-B requests to the target engine and packages results.
-/// One connector per session, like one ODBC connection per session.
+/// One connector per session, like one ODBC connection per session. The
+/// connector owns the session's circuit breaker.
 class BackendConnector {
  public:
   explicit BackendConnector(vdb::Engine* engine,
@@ -55,12 +71,16 @@ class BackendConnector {
   Result<BackendResult> ExecuteScript(const std::string& script);
 
   vdb::Engine* engine() { return engine_; }
+  CircuitBreaker* breaker() { return &breaker_; }
 
  private:
+  Result<BackendResult> ExecuteWithRetry(const std::string& sql,
+                                         bool is_script);
   Result<BackendResult> Package(vdb::QueryResult result);
 
   vdb::Engine* engine_;
   ConnectorOptions options_;
+  CircuitBreaker breaker_;
 };
 
 }  // namespace hyperq::backend

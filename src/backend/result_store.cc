@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/fault.h"
+
 namespace hyperq::backend {
 
 namespace {
@@ -25,6 +27,7 @@ Status ResultStore::Append(std::vector<uint8_t> batch, size_t row_count) {
   Slot slot;
   if (memory_bytes_ + batch.size() > memory_budget_ && !batch.empty()) {
     // Spill this batch.
+    HQ_FAULT_POINT(faultpoints::kStoreSpill);
     std::string path = spill_dir_ + "/hyperq_spill_" +
                        std::to_string(g_store_counter.fetch_add(1)) + "_" +
                        std::to_string(next_file_++) + ".tdf";

@@ -1,0 +1,218 @@
+#include "common/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/str_util.h"
+
+namespace hyperq {
+
+namespace {
+
+// SplitMix64: cheap, well-distributed hash for deterministic per-hit
+// pseudo-randomness.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kPermanent:
+      return "permanent";
+    case FaultKind::kLatency:
+      return "latency";
+    case FaultKind::kDisconnect:
+      return "disconnect";
+  }
+  return "unknown";
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_[point] = PointState{std::move(spec), 0, 0};
+  armed_count_.store(static_cast<int>(points_.size()),
+                     std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.erase(point);
+  armed_count_.store(static_cast<int>(points_.size()),
+                     std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::SetSeed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  seed_ = seed;
+}
+
+int64_t FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+int64_t FaultInjector::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> FaultInjector::armed_points() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(points_.size());
+  for (const auto& [name, _] : points_) out.push_back(name);
+  return out;
+}
+
+Status FaultInjector::CheckSlow(const char* point) {
+  FaultSpec to_fire;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = points_.find(point);
+    if (it == points_.end()) return Status::OK();
+    PointState& st = it->second;
+    ++st.hits;
+    const FaultSpec& spec = st.spec;
+    if (st.hits < spec.first_hit) return Status::OK();
+    if (spec.max_fires >= 0 && st.fires >= spec.max_fires) {
+      return Status::OK();
+    }
+    int64_t eligible = st.hits - spec.first_hit;  // 0-based eligible index
+    if (spec.every > 1 && eligible % spec.every != 0) return Status::OK();
+    if (spec.probability < 1.0) {
+      uint64_t r = Mix64(seed_ ^ HashString(it->first) ^
+                         static_cast<uint64_t>(st.hits));
+      double u = static_cast<double>(r >> 11) / 9007199254740992.0;  // 2^53
+      if (u >= spec.probability) return Status::OK();
+    }
+    ++st.fires;
+    to_fire = spec;
+    fire = true;
+  }
+  return fire ? Fire(point, to_fire) : Status::OK();
+}
+
+Status FaultInjector::Fire(const std::string& point, const FaultSpec& spec) {
+  const std::string& msg = spec.message;
+  switch (spec.kind) {
+    case FaultKind::kLatency:
+      std::this_thread::sleep_for(std::chrono::milliseconds(spec.latency_ms));
+      return Status::OK();
+    case FaultKind::kTransient:
+      return Status::Unavailable("injected transient fault at ", point,
+                                 msg.empty() ? "" : ": ", msg);
+    case FaultKind::kDisconnect:
+      return Status::Unavailable("injected connection drop at ", point,
+                                 msg.empty() ? "" : ": ", msg);
+    case FaultKind::kPermanent:
+      return Status::ExecutionError("injected permanent fault at ", point,
+                                    msg.empty() ? "" : ": ", msg);
+  }
+  return Status::Internal("unknown fault kind at ", point);
+}
+
+Status FaultInjector::Configure(const std::string& config) {
+  for (const std::string& entry_raw : Split(config, ';')) {
+    std::string entry(Trim(entry_raw));
+    if (entry.empty()) continue;
+    auto eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault config entry '", entry,
+                                     "' lacks '=' (want point=kind[:...])");
+    }
+    std::string point(Trim(entry.substr(0, eq)));
+    std::string rest(Trim(entry.substr(eq + 1)));
+    std::string kind_str = rest;
+    std::string params;
+    auto colon = rest.find(':');
+    if (colon != std::string::npos) {
+      kind_str = std::string(Trim(rest.substr(0, colon)));
+      params = rest.substr(colon + 1);
+    }
+    FaultSpec spec;
+    if (EqualsIgnoreCase(kind_str, "transient")) {
+      spec.kind = FaultKind::kTransient;
+    } else if (EqualsIgnoreCase(kind_str, "permanent")) {
+      spec.kind = FaultKind::kPermanent;
+    } else if (EqualsIgnoreCase(kind_str, "latency")) {
+      spec.kind = FaultKind::kLatency;
+    } else if (EqualsIgnoreCase(kind_str, "disconnect")) {
+      spec.kind = FaultKind::kDisconnect;
+    } else {
+      return Status::InvalidArgument("unknown fault kind '", kind_str,
+                                     "' for point '", point, "'");
+    }
+    for (const std::string& kv_raw : Split(params, ',')) {
+      std::string kv(Trim(kv_raw));
+      if (kv.empty()) continue;
+      auto kveq = kv.find('=');
+      if (kveq == std::string::npos) {
+        return Status::InvalidArgument("fault param '", kv,
+                                       "' lacks '=' for point '", point, "'");
+      }
+      std::string key(Trim(kv.substr(0, kveq)));
+      std::string value(Trim(kv.substr(kveq + 1)));
+      char* end = nullptr;
+      if (EqualsIgnoreCase(key, "first")) {
+        spec.first_hit = static_cast<int>(std::strtol(value.c_str(), &end, 10));
+      } else if (EqualsIgnoreCase(key, "every")) {
+        spec.every = static_cast<int>(std::strtol(value.c_str(), &end, 10));
+      } else if (EqualsIgnoreCase(key, "max")) {
+        spec.max_fires = static_cast<int>(std::strtol(value.c_str(), &end, 10));
+      } else if (EqualsIgnoreCase(key, "ms")) {
+        spec.latency_ms = static_cast<int>(std::strtol(value.c_str(), &end, 10));
+      } else if (EqualsIgnoreCase(key, "p")) {
+        spec.probability = std::strtod(value.c_str(), &end);
+      } else if (EqualsIgnoreCase(key, "msg")) {
+        spec.message = value;
+      } else {
+        return Status::InvalidArgument("unknown fault param '", key,
+                                       "' for point '", point, "'");
+      }
+      if (end != nullptr && (*end != '\0' || value.empty())) {
+        return Status::InvalidArgument("bad numeric value '", value,
+                                       "' for fault param '", key, "'");
+      }
+    }
+    if (spec.first_hit < 1 || spec.every < 1 || spec.latency_ms < 0 ||
+        spec.probability < 0.0 || spec.probability > 1.0) {
+      return Status::InvalidArgument("out-of-range fault param for point '",
+                                     point, "'");
+    }
+    Arm(point, std::move(spec));
+  }
+  return Status::OK();
+}
+
+}  // namespace hyperq

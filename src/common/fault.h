@@ -1,0 +1,121 @@
+// FaultInjector: deterministic, seedable fault injection at named points.
+//
+// A production mid-tier must keep unmodified clients working when the cloud
+// backend flakes (paper §4.1/§4.5). The injector lets tests — and the proxy
+// CLI via the HYPERQ_FAULTS environment variable — fire transient errors,
+// permanent errors, latency spikes, or connection drops at well-known
+// points in the backend and wire paths, on a deterministic schedule
+// (Nth hit, every Kth hit, bounded fire count, or a seeded probability).
+//
+// Hot-path cost when nothing is armed: one relaxed atomic load.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hyperq {
+
+/// Well-known injection point names. Using the constants (rather than ad-hoc
+/// strings) keeps tests and env-var configs in sync with the code.
+namespace faultpoints {
+inline constexpr const char* kVdbExecute = "vdb.execute";
+inline constexpr const char* kConnectorFetchBatch = "connector.fetch_batch";
+inline constexpr const char* kSocketRead = "socket.read";
+inline constexpr const char* kSocketWrite = "socket.write";
+inline constexpr const char* kStoreSpill = "store.spill";
+}  // namespace faultpoints
+
+enum class FaultKind {
+  kTransient,   // retryable failure -> kUnavailable
+  kPermanent,   // non-retryable failure -> kExecutionError
+  kLatency,     // sleep latency_ms, then let the operation proceed
+  kDisconnect,  // dropped connection -> kUnavailable (peer-reset flavor)
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// \brief When and how a fault fires at an armed point.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kTransient;
+  int first_hit = 1;         // 1-based hit index at which firing starts
+  int every = 1;             // fire on every K-th eligible hit
+  int max_fires = -1;        // stop after this many fires; -1 = unlimited
+  int latency_ms = 0;        // kLatency: injected delay
+  double probability = 1.0;  // <1: fire with seeded pseudo-random chance
+  std::string message;       // optional custom error text
+};
+
+/// \brief Registry of armed injection points. Thread-safe.
+///
+/// The process-wide instance (Global()) is what production code consults via
+/// HQ_FAULT_POINT; tests arm/disarm it and must Reset() when done.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  static FaultInjector& Global();
+
+  /// \brief Arms `point`; replaces any previous spec and zeroes counters.
+  void Arm(const std::string& point, FaultSpec spec);
+  void Disarm(const std::string& point);
+  /// \brief Disarms everything and clears all counters.
+  void Reset();
+
+  /// \brief Seeds the PRNG used for probability-based faults. The fire
+  /// pattern is a pure function of (seed, point, hit index).
+  void SetSeed(uint64_t seed);
+
+  /// \brief Hits observed at an armed point (counted only while armed).
+  int64_t hits(const std::string& point) const;
+  /// \brief Faults actually fired at a point.
+  int64_t fires(const std::string& point) const;
+  std::vector<std::string> armed_points() const;
+
+  /// \brief Parses a config string, e.g. from the HYPERQ_FAULTS env var:
+  ///   point=kind[:key=value[,key=value...]][;point=kind...]
+  /// kinds: transient | permanent | latency | disconnect
+  /// keys:  first (first_hit), every, max (max_fires), ms (latency_ms),
+  ///        p (probability), msg (message)
+  /// Example: "vdb.execute=transient:first=2,max=3;socket.read=latency:ms=20"
+  Status Configure(const std::string& config);
+
+  /// \brief Consults the injector at a named point. Returns OK (after an
+  /// optional injected delay) or the injected error. Near-zero cost when
+  /// nothing is armed anywhere.
+  Status Check(const char* point) {
+    if (armed_count_.load(std::memory_order_relaxed) == 0) {
+      return Status::OK();
+    }
+    return CheckSlow(point);
+  }
+
+ private:
+  struct PointState {
+    FaultSpec spec;
+    int64_t hits = 0;
+    int64_t fires = 0;
+  };
+
+  Status CheckSlow(const char* point);
+  Status Fire(const std::string& point, const FaultSpec& spec);
+
+  std::atomic<int> armed_count_{0};
+  mutable std::mutex mutex_;
+  std::map<std::string, PointState> points_;
+  uint64_t seed_ = 0x9E3779B97F4A7C15ULL;
+};
+
+}  // namespace hyperq
+
+/// Consults the global injector; propagates an injected error to the caller.
+#define HQ_FAULT_POINT(point) \
+  HQ_RETURN_IF_ERROR(::hyperq::FaultInjector::Global().Check(point))

@@ -27,6 +27,11 @@ enum class StatusCode : int {
   kProtocolError,     // malformed wire-protocol traffic
   kIoError,           // socket/file failure
   kInternal,          // invariant violation ("should never happen")
+  // Transient-vs-permanent taxonomy for the resilience layer (see
+  // common/retry.h). These are the codes Status::IsRetryable() keys off.
+  kUnavailable,        // transient: backend/peer unreachable, dropped conn
+  kDeadlineExceeded,   // request deadline or I/O timeout elapsed
+  kResourceExhausted,  // transient: out of capacity (retry after backoff)
 };
 
 /// \brief Returns a stable lower-case name for a status code, e.g.
@@ -77,6 +82,22 @@ class Status {
   bool IsInvalidArgument() const {
     return code() == StatusCode::kInvalidArgument;
   }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+
+  /// \brief True when the failure is transient and the operation may
+  /// succeed if simply tried again (the retry layer's admission test).
+  /// Deadline expiry is deliberately NOT retryable: the time budget is
+  /// gone, so retrying would only pile on load.
+  bool IsRetryable() const {
+    return code() == StatusCode::kUnavailable ||
+           code() == StatusCode::kResourceExhausted;
+  }
 
   /// \brief "ok" or "<code_name>: <message>".
   std::string ToString() const;
@@ -123,6 +144,18 @@ class Status {
   template <typename... Args>
   static Status Internal(Args&&... args) {
     return Make(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Unavailable(Args&&... args) {
+    return Make(StatusCode::kUnavailable, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status DeadlineExceeded(Args&&... args) {
+    return Make(StatusCode::kDeadlineExceeded, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ResourceExhausted(Args&&... args) {
+    return Make(StatusCode::kResourceExhausted, std::forward<Args>(args)...);
   }
 
  private:

@@ -1,12 +1,15 @@
 #include "protocol/server.h"
 
+#include <sys/socket.h>
+
 #include <mutex>
 
 #include "common/logging.h"
 
 namespace hyperq::protocol {
 
-TdwpServer::TdwpServer(RequestHandler* handler) : handler_(handler) {}
+TdwpServer::TdwpServer(RequestHandler* handler, TdwpServerOptions options)
+    : handler_(handler), options_(options) {}
 
 TdwpServer::~TdwpServer() { Stop(); }
 
@@ -23,10 +26,34 @@ void TdwpServer::Stop() {
   listener_.Close();
   if (accept_thread_.joinable()) accept_thread_.join();
   std::lock_guard<std::mutex> lock(workers_mutex_);
-  for (auto& t : workers_) {
-    if (t.joinable()) t.join();
+  // Wake workers blocked mid-read: a client that never says goodbye must
+  // not be able to wedge server shutdown.
+  for (auto& w : workers_) {
+    if (!w.done->load() && w.conn && w.conn->valid()) {
+      ::shutdown(w.conn->fd(), SHUT_RDWR);
+    }
+  }
+  for (auto& w : workers_) {
+    if (w.thread.joinable()) w.thread.join();
   }
   workers_.clear();
+}
+
+size_t TdwpServer::live_workers() const {
+  std::lock_guard<std::mutex> lock(workers_mutex_);
+  return workers_.size();
+}
+
+void TdwpServer::ReapFinishedWorkers() {
+  std::lock_guard<std::mutex> lock(workers_mutex_);
+  for (auto it = workers_.begin(); it != workers_.end();) {
+    if (it->done->load()) {
+      if (it->thread.joinable()) it->thread.join();
+      it = workers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void TdwpServer::AcceptLoop() {
@@ -38,15 +65,45 @@ void TdwpServer::AcceptLoop() {
       }
       return;
     }
+    ReapFinishedWorkers();
+    if (options_.max_connections > 0 &&
+        active_.load() >= options_.max_connections) {
+      // Saturated: answer with a clean error frame rather than accepting
+      // work we cannot serve (or silently dropping the connection).
+      rejected_.fetch_add(1);
+      ErrorMessage err;
+      err.code = static_cast<uint32_t>(StatusCode::kResourceExhausted);
+      err.message = Status::ResourceExhausted(
+                        "server at capacity (", options_.max_connections,
+                        " connections); try again later")
+                        .ToString();
+      Frame f{MessageKind::kError, 0, Encode(err)};
+      Socket refused = std::move(conn).value();
+      (void)refused.SetSendTimeoutMs(1000);
+      (void)refused.WriteFrame(f);
+      continue;  // Socket dtor closes
+    }
+    active_.fetch_add(1);
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    auto sock = std::make_shared<Socket>(std::move(conn).value());
+    Worker w;
+    w.done = done;
+    w.conn = sock;
+    w.thread = std::thread([this, done, sock] {
+      ServeConnection(*sock);
+      // Send FIN so the peer sees EOF now; the fd itself stays allocated
+      // until the worker is reaped, keeping Stop()'s shutdown pass safe
+      // from fd reuse.
+      if (sock->valid()) ::shutdown(sock->fd(), SHUT_RDWR);
+      active_.fetch_sub(1);
+      done->store(true);
+    });
     std::lock_guard<std::mutex> lock(workers_mutex_);
-    workers_.emplace_back(
-        [this, sock = std::move(conn).value()]() mutable {
-          ServeConnection(std::move(sock));
-        });
+    workers_.push_back(std::move(w));
   }
 }
 
-void TdwpServer::ServeConnection(Socket conn) {
+void TdwpServer::ServeConnection(Socket& conn) {
   uint32_t session_id = 0;
   bool logged_on = false;
   auto send_error = [&](const Status& status) {
@@ -56,10 +113,30 @@ void TdwpServer::ServeConnection(Socket conn) {
     Frame f{MessageKind::kError, 0, Encode(err)};
     (void)conn.WriteFrame(f);
   };
+  if (options_.idle_timeout_ms > 0) {
+    (void)conn.SetRecvTimeoutMs(options_.idle_timeout_ms);
+  }
 
-  while (running_) {
+  // All exits flow through the post-loop cleanup so a logged-on session is
+  // never leaked by an early return (no silent thread death).
+  bool serving = true;
+  while (serving && running_) {
     auto frame = conn.ReadFrame();
-    if (!frame.ok()) break;  // disconnect
+    if (!frame.ok()) {
+      const Status& st = frame.status();
+      if (st.IsDeadlineExceeded()) {
+        // Idle connection: tell the client why before reaping it.
+        send_error(Status::DeadlineExceeded("idle connection closed after ",
+                                            options_.idle_timeout_ms, "ms"));
+      } else if (st.IsProtocolError()) {
+        // Malformed traffic (e.g. oversized length prefix): answer with an
+        // error frame, then drop the connection — resynchronizing a binary
+        // stream after garbage is hopeless.
+        send_error(st);
+      }
+      // kUnavailable = peer disconnected (possibly mid-frame): just close.
+      break;
+    }
 
     switch (frame->kind) {
       case MessageKind::kLogonRequest: {
@@ -76,7 +153,7 @@ void TdwpServer::ServeConnection(Socket conn) {
         session_id = resp->session_id;
         logged_on = resp->ok;
         Frame f{MessageKind::kLogonResponse, 0, Encode(*resp)};
-        if (!conn.WriteFrame(f).ok()) return;
+        if (!conn.WriteFrame(f).ok()) serving = false;
         break;
       }
       case MessageKind::kRunRequest: {
@@ -94,21 +171,30 @@ void TdwpServer::ServeConnection(Socket conn) {
           send_error(resp.status());
           break;
         }
+        Status write_status;
         if (resp->has_rowset) {
           Frame h{MessageKind::kResultHeader, 0, Encode(resp->header)};
-          if (!conn.WriteFrame(h).ok()) return;
+          write_status = conn.WriteFrame(h);
           for (const auto& batch : resp->batches) {
+            if (!write_status.ok()) break;
             Frame b{MessageKind::kRecordBatch, 0, batch};
-            if (!conn.WriteFrame(b).ok()) return;
+            write_status = conn.WriteFrame(b);
           }
         }
-        Frame s{MessageKind::kSuccess, 0, Encode(resp->success)};
-        if (!conn.WriteFrame(s).ok()) return;
+        if (write_status.ok()) {
+          Frame s{MessageKind::kSuccess, 0, Encode(resp->success)};
+          write_status = conn.WriteFrame(s);
+        }
+        if (!write_status.ok()) {
+          HQ_LOG(kWarn) << "tdwp session " << session_id
+                        << ": response write failed: " << write_status;
+          serving = false;
+        }
         break;
       }
       case MessageKind::kGoodbye:
-        if (logged_on) handler_->Logoff(session_id);
-        return;
+        serving = false;
+        break;
       default:
         send_error(Status::ProtocolError("unexpected message kind ",
                                          static_cast<int>(frame->kind)));

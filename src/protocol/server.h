@@ -41,10 +41,21 @@ class RequestHandler {
                                    const std::string& sql) = 0;
 };
 
-/// \brief tdwp TCP server; one thread per connection.
+struct TdwpServerOptions {
+  /// Connections served concurrently; further clients get a clean error
+  /// frame (kResourceExhausted) and are disconnected. 0 = unlimited.
+  size_t max_connections = 0;
+  /// A connection idle longer than this between frames is reaped with an
+  /// error frame instead of pinning a thread forever. 0 = no timeout.
+  int idle_timeout_ms = 0;
+};
+
+/// \brief tdwp TCP server; one thread per connection. Finished connection
+/// threads are reaped as the server runs (not only at Stop()).
 class TdwpServer {
  public:
-  explicit TdwpServer(RequestHandler* handler);
+  explicit TdwpServer(RequestHandler* handler,
+                      TdwpServerOptions options = {});
   ~TdwpServer();
 
   /// \brief Binds 127.0.0.1:`port` (0 = ephemeral) and starts accepting.
@@ -53,16 +64,36 @@ class TdwpServer {
 
   uint16_t port() const { return listener_.port(); }
 
+  /// \brief Connections currently being served (observability/tests).
+  size_t active_connections() const { return active_.load(); }
+  /// \brief Connections refused by the max-connections guard.
+  int64_t rejected_connections() const { return rejected_.load(); }
+  /// \brief Worker threads not yet joined (bounded by active connections
+  /// plus a small reaping lag, never by server lifetime).
+  size_t live_workers() const;
+
  private:
+  struct Worker {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+    // Kept alive here (not owned by the thread) so Stop() can shut the
+    // socket down to wake a blocked read; closed when the worker is reaped.
+    std::shared_ptr<Socket> conn;
+  };
+
   void AcceptLoop();
-  void ServeConnection(Socket conn);
+  void ServeConnection(Socket& conn);
+  void ReapFinishedWorkers();
 
   RequestHandler* handler_;
+  TdwpServerOptions options_;
   ListenSocket listener_;
   std::thread accept_thread_;
-  std::vector<std::thread> workers_;
-  std::mutex workers_mutex_;
+  std::vector<Worker> workers_;
+  mutable std::mutex workers_mutex_;
   std::atomic<bool> running_{false};
+  std::atomic<size_t> active_{0};
+  std::atomic<int64_t> rejected_{0};
 };
 
 }  // namespace hyperq::protocol

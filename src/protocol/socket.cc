@@ -9,7 +9,21 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/fault.h"
+
 namespace hyperq::protocol {
+
+namespace {
+Status SetFdTimeout(int fd, int optname, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv)) != 0) {
+    return Status::IoError("setsockopt(timeout): ", std::strerror(errno));
+  }
+  return Status::OK();
+}
+}  // namespace
 
 Socket::~Socket() { Close(); }
 
@@ -49,12 +63,32 @@ Result<Socket> Socket::ConnectLocal(uint16_t port) {
   return Socket(fd);
 }
 
+Status Socket::SetRecvTimeoutMs(int ms) {
+  return SetFdTimeout(fd_, SO_RCVTIMEO, ms);
+}
+
+Status Socket::SetSendTimeoutMs(int ms) {
+  return SetFdTimeout(fd_, SO_SNDTIMEO, ms);
+}
+
 Status Socket::WriteAll(const void* data, size_t n) {
+  HQ_FAULT_POINT(faultpoints::kSocketWrite);
   const char* p = static_cast<const char*>(data);
+  size_t total = n;
   while (n > 0) {
+    // send() may accept fewer bytes than asked (short write): advance and
+    // loop. MSG_NOSIGNAL turns a dead peer into EPIPE instead of SIGPIPE.
     ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("send timed out with ", n, " of ",
+                                        total, " bytes unsent");
+      }
+      if (errno == ECONNRESET || errno == EPIPE) {
+        return Status::Unavailable("connection reset by peer during send (",
+                                   std::strerror(errno), ")");
+      }
       return Status::IoError("send(): ", std::strerror(errno));
     }
     p += w;
@@ -64,15 +98,27 @@ Status Socket::WriteAll(const void* data, size_t n) {
 }
 
 Status Socket::ReadExactly(void* data, size_t n) {
+  HQ_FAULT_POINT(faultpoints::kSocketRead);
   char* p = static_cast<char*>(data);
+  size_t total = n;
   while (n > 0) {
+    // recv() returns whatever is buffered (short read): loop until the
+    // frame-level caller's byte count is satisfied.
     ssize_t r = ::recv(fd_, p, n, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("recv timed out with ", n, " of ",
+                                        total, " bytes outstanding");
+      }
+      if (errno == ECONNRESET) {
+        return Status::Unavailable("connection reset by peer during recv");
+      }
       return Status::IoError("recv(): ", std::strerror(errno));
     }
     if (r == 0) {
-      return Status::IoError("connection closed by peer");
+      return Status::Unavailable("connection closed by peer (", total - n,
+                                 " of ", total, " bytes read)");
     }
     p += r;
     n -= static_cast<size_t>(r);

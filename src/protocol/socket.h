@@ -29,6 +29,14 @@ class Socket {
   /// \brief Connects to 127.0.0.1:`port`.
   static Result<Socket> ConnectLocal(uint16_t port);
 
+  /// \brief Bounds every subsequent recv/send (SO_RCVTIMEO/SO_SNDTIMEO).
+  /// An elapsed timeout surfaces as kDeadlineExceeded. 0 disables.
+  Status SetRecvTimeoutMs(int ms);
+  Status SetSendTimeoutMs(int ms);
+
+  /// Short reads/writes are looped internally; EINTR is retried. A peer
+  /// reset (ECONNRESET/EPIPE) or mid-stream EOF returns kUnavailable —
+  /// retryable at the request layer — rather than a generic I/O error.
   Status WriteAll(const void* data, size_t n);
   Status ReadExactly(void* data, size_t n);
 

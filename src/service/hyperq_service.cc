@@ -94,6 +94,15 @@ BackendResult HyperQService::PackageLocal(
   return out;
 }
 
+namespace {
+// Copies the connector's retry accounting into the outcome's timing
+// breakdown so clients see attempts/backoff next to the Figure 9 split.
+void AbsorbResilienceStats(QueryOutcome* out) {
+  out->timing.execution_attempts += out->result.attempts;
+  out->timing.retry_backoff_micros += out->result.retry_backoff_micros;
+}
+}  // namespace
+
 BackendResult HyperQService::CommandResult(const std::string& tag,
                                            int64_t activity) {
   BackendResult out;
@@ -231,6 +240,9 @@ Result<QueryOutcome> HyperQService::ExecuteStatement(
         total_activity += one.result.affected_rows;
         combined.timing.translation_micros += one.timing.translation_micros;
         combined.timing.execution_micros += one.timing.execution_micros;
+        combined.timing.retry_backoff_micros +=
+            one.timing.retry_backoff_micros;
+        combined.timing.execution_attempts += one.timing.execution_attempts;
         combined.features.Merge(one.features);
         combined.backend_sql.insert(combined.backend_sql.end(),
                                     one.backend_sql.begin(),
@@ -255,6 +267,9 @@ Result<QueryOutcome> HyperQService::ExecuteStatement(
         total_activity += one.result.affected_rows;
         combined.timing.translation_micros += one.timing.translation_micros;
         combined.timing.execution_micros += one.timing.execution_micros;
+        combined.timing.retry_backoff_micros +=
+            one.timing.retry_backoff_micros;
+        combined.timing.execution_attempts += one.timing.execution_attempts;
         combined.features.Merge(one.features);
         combined.backend_sql.insert(combined.backend_sql.end(),
                                     one.backend_sql.begin(),
@@ -365,6 +380,7 @@ Result<QueryOutcome> HyperQService::RunPipeline(Session* session,
                                       session->connector.get());
     HQ_ASSIGN_OR_RETURN(out.result, driver.Execute(*plan));
     out.timing.execution_micros = execution.ElapsedMicros();
+    AbsorbResilienceStats(&out);
     out.features = std::move(features);
     return out;
   }
@@ -381,6 +397,7 @@ Result<QueryOutcome> HyperQService::RunPipeline(Session* session,
   Stopwatch execution;
   HQ_ASSIGN_OR_RETURN(out.result, session->connector->Execute(sql_b));
   out.timing.execution_micros = execution.ElapsedMicros();
+  AbsorbResilienceStats(&out);
   out.features = std::move(features);
   return out;
 }
@@ -522,6 +539,7 @@ Result<QueryOutcome> HyperQService::HandleCreateTable(
       out.result = CommandResult("CREATE TABLE");
     }
     out.timing.execution_micros = execution.ElapsedMicros();
+    AbsorbResilienceStats(&out);
     out.result.command_tag = "CREATE TABLE";
     out.features = std::move(features);
     return out;
@@ -595,6 +613,7 @@ Result<QueryOutcome> HyperQService::HandleCreateTable(
   out.result = std::move(exec_result).value();
   out.result.command_tag = "CREATE TABLE";
   out.timing.execution_micros = execution.ElapsedMicros();
+  AbsorbResilienceStats(&out);
   out.features = std::move(features);
   return out;
 }
@@ -621,6 +640,7 @@ Result<QueryOutcome> HyperQService::HandleDropTable(
   out.result = std::move(result);
   out.result.command_tag = "DROP TABLE";
   out.timing.execution_micros = execution.ElapsedMicros();
+  AbsorbResilienceStats(&out);
   out.features = std::move(features);
   return out;
 }

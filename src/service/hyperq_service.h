@@ -37,12 +37,17 @@
 
 namespace hyperq::service {
 
-/// \brief Per-request time decomposition (Figure 9 categories).
+/// \brief Per-request time decomposition (Figure 9 categories), plus the
+/// resilience layer's accounting: how many backend attempts the request
+/// took and how long it spent waiting in retry backoff (included in
+/// execution_micros, broken out here).
 struct TimingBreakdown {
   double translation_micros = 0;  // parse + bind + transform + serialize
   double execution_micros = 0;    // target database time
   double conversion_micros = 0;   // TDF -> frontend binary (filled by the
                                   // protocol layer / benchmarks)
+  double retry_backoff_micros = 0;  // waiting between retry attempts
+  int execution_attempts = 0;       // total backend tries (0 = no backend)
 };
 
 /// \brief Result of one submitted SQL-A request.

@@ -1,8 +1,15 @@
 // tdwp message codec and record-format tests, including bit-level
-// round-trip properties and the Teradata DATE wire encoding.
+// round-trip properties and the Teradata DATE wire encoding, plus server
+// robustness against malformed/truncated frames and overload.
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
+#include "protocol/client.h"
+#include "protocol/server.h"
+#include "protocol/socket.h"
 #include "protocol/tdwp.h"
 #include "types/date.h"
 
@@ -192,6 +199,206 @@ TEST(FrameTest, HeaderLayout) {
 
 TEST(WireColumnTest, IntervalHasNoWireForm) {
   EXPECT_FALSE(ToWireColumn("I", SqlType::Interval()).ok());
+}
+
+// --- Server robustness ------------------------------------------------------
+
+// Minimal handler so the wire layer is tested without the whole service.
+class StubHandler : public RequestHandler {
+ public:
+  Result<LogonResponse> Logon(const LogonRequest& request) override {
+    LogonResponse resp;
+    resp.ok = true;
+    resp.session_id = ++sessions_;
+    resp.message = "hello " + request.user;
+    return resp;
+  }
+  void Logoff(uint32_t) override { ++logoffs_; }
+  Result<WireResponse> Run(uint32_t, const std::string& sql) override {
+    WireResponse resp;
+    resp.success.tag = "OK";
+    resp.success.activity_count = sql.size();
+    return resp;
+  }
+  uint32_t sessions_ = 0;
+  uint32_t logoffs_ = 0;
+};
+
+// One scripted session proving the server still serves traffic.
+void ExpectServerAlive(uint16_t port) {
+  TdwpClient client;
+  ASSERT_TRUE(client.Connect(port).ok());
+  ASSERT_TRUE(client.Logon("probe", "pw").ok());
+  auto result = client.Run("SELECT X");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->tag, "OK");
+  client.Goodbye();
+}
+
+void WaitForActiveConnections(const TdwpServer& server, size_t want) {
+  for (int i = 0; i < 200 && server.active_connections() != want; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.active_connections(), want);
+}
+
+TEST(ServerRobustnessTest, OversizedLengthPrefixGetsErrorThenClose) {
+  StubHandler handler;
+  TdwpServer server(&handler);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  auto raw = Socket::ConnectLocal(server.port());
+  ASSERT_TRUE(raw.ok());
+  // Header claiming a 1 GiB payload: kind, flags, resv, little-endian len.
+  uint8_t header[8] = {static_cast<uint8_t>(MessageKind::kRunRequest), 0, 0,
+                       0, 0, 0, 0, 0x40};
+  ASSERT_TRUE(raw->WriteAll(header, sizeof(header)).ok());
+  auto reply = raw->ReadFrame();
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->kind, MessageKind::kError);
+  auto err = DecodeError(reply->payload);
+  ASSERT_TRUE(err.ok());
+  EXPECT_NE(err->message.find("oversized"), std::string::npos);
+  // The stream cannot be resynchronized: the server closes it...
+  EXPECT_FALSE(raw->ReadFrame().ok());
+  // ...but keeps serving everyone else.
+  ExpectServerAlive(server.port());
+  server.Stop();
+}
+
+TEST(ServerRobustnessTest, ZeroLengthRunFrameGetsErrorReply) {
+  StubHandler handler;
+  TdwpServer server(&handler);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  auto raw = Socket::ConnectLocal(server.port());
+  ASSERT_TRUE(raw.ok());
+  // A zero-length RUN payload is structurally invalid (no SQL string).
+  Frame empty{MessageKind::kRunRequest, 0, {}};
+  ASSERT_TRUE(raw->WriteFrame(empty).ok());
+  auto reply = raw->ReadFrame();
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->kind, MessageKind::kError);
+  // The connection survives a per-message error: logon still works.
+  Frame logon{MessageKind::kLogonRequest, 0,
+              Encode(LogonRequest{"u", "p", "", "ASCII"})};
+  ASSERT_TRUE(raw->WriteFrame(logon).ok());
+  auto logon_reply = raw->ReadFrame();
+  ASSERT_TRUE(logon_reply.ok());
+  EXPECT_EQ(logon_reply->kind, MessageKind::kLogonResponse);
+  server.Stop();
+}
+
+TEST(ServerRobustnessTest, MidFrameDisconnectClosesCleanly) {
+  StubHandler handler;
+  TdwpServer server(&handler);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  {
+    auto raw = Socket::ConnectLocal(server.port());
+    ASSERT_TRUE(raw.ok());
+    // Half a header, then disappear.
+    uint8_t partial[4] = {static_cast<uint8_t>(MessageKind::kRunRequest), 0,
+                          0, 0};
+    ASSERT_TRUE(raw->WriteAll(partial, sizeof(partial)).ok());
+  }  // socket closes here
+  WaitForActiveConnections(server, 0);
+
+  {
+    // Disconnect mid-payload, after a valid header announcing 64 bytes.
+    auto raw = Socket::ConnectLocal(server.port());
+    ASSERT_TRUE(raw.ok());
+    uint8_t header[8] = {static_cast<uint8_t>(MessageKind::kRunRequest), 0, 0,
+                         0, 64, 0, 0, 0};
+    ASSERT_TRUE(raw->WriteAll(header, sizeof(header)).ok());
+    uint8_t some[10] = {0};
+    ASSERT_TRUE(raw->WriteAll(some, sizeof(some)).ok());
+  }
+  WaitForActiveConnections(server, 0);
+  ExpectServerAlive(server.port());
+  server.Stop();
+}
+
+TEST(ServerRobustnessTest, SaturatedServerSendsCleanErrorFrame) {
+  StubHandler handler;
+  TdwpServerOptions options;
+  options.max_connections = 1;
+  TdwpServer server(&handler, options);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  TdwpClient first;
+  ASSERT_TRUE(first.Connect(server.port()).ok());
+  ASSERT_TRUE(first.Logon("one", "pw").ok());
+  WaitForActiveConnections(server, 1);
+
+  auto second = Socket::ConnectLocal(server.port());
+  ASSERT_TRUE(second.ok());
+  auto reply = second->ReadFrame();
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->kind, MessageKind::kError);
+  auto err = DecodeError(reply->payload);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->code, static_cast<uint32_t>(StatusCode::kResourceExhausted));
+  EXPECT_NE(err->message.find("capacity"), std::string::npos);
+  EXPECT_EQ(server.rejected_connections(), 1);
+
+  // Capacity frees up once the first client leaves.
+  first.Goodbye();
+  WaitForActiveConnections(server, 0);
+  ExpectServerAlive(server.port());
+  server.Stop();
+}
+
+TEST(ServerRobustnessTest, IdleConnectionIsReapedWithErrorFrame) {
+  StubHandler handler;
+  TdwpServerOptions options;
+  options.idle_timeout_ms = 15;
+  TdwpServer server(&handler, options);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  auto raw = Socket::ConnectLocal(server.port());
+  ASSERT_TRUE(raw.ok());
+  Frame logon{MessageKind::kLogonRequest, 0,
+              Encode(LogonRequest{"idle", "pw", "", "ASCII"})};
+  ASSERT_TRUE(raw->WriteFrame(logon).ok());
+  auto logon_reply = raw->ReadFrame();
+  ASSERT_TRUE(logon_reply.ok());
+  EXPECT_EQ(logon_reply->kind, MessageKind::kLogonResponse);
+
+  // Say nothing: the server must reap us instead of pinning a thread.
+  auto reaped = raw->ReadFrame();
+  ASSERT_TRUE(reaped.ok()) << reaped.status();
+  EXPECT_EQ(reaped->kind, MessageKind::kError);
+  auto err = DecodeError(reaped->payload);
+  ASSERT_TRUE(err.ok());
+  EXPECT_NE(err->message.find("idle"), std::string::npos);
+  WaitForActiveConnections(server, 0);
+  EXPECT_EQ(handler.logoffs_, 1u) << "reaped sessions must be logged off";
+  server.Stop();
+}
+
+TEST(ServerRobustnessTest, FinishedWorkersAreReapedWhileRunning) {
+  StubHandler handler;
+  TdwpServer server(&handler);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  for (int i = 0; i < 8; ++i) {
+    TdwpClient client;
+    ASSERT_TRUE(client.Connect(server.port()).ok());
+    ASSERT_TRUE(client.Logon("user", "pw").ok());
+    ASSERT_TRUE(client.Run("Q").ok());
+    client.Goodbye();
+    WaitForActiveConnections(server, 0);
+  }
+  // One more accept gives the server a reaping opportunity; the worker list
+  // must be bounded by live connections, not by connections ever served.
+  ExpectServerAlive(server.port());
+  WaitForActiveConnections(server, 0);
+  { Socket poke = std::move(Socket::ConnectLocal(server.port())).value(); }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_LE(server.live_workers(), 2u);
+  EXPECT_EQ(handler.logoffs_, 9u);
+  server.Stop();
 }
 
 }  // namespace
