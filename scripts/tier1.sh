@@ -3,7 +3,8 @@
 # suite under ASan+UBSan.
 #
 #   scripts/tier1.sh            # standard build + ctest
-#   scripts/tier1.sh --asan     # also build build-asan/ and run `-L faults`
+#   scripts/tier1.sh --asan     # also build build-asan/ and run the
+#                               # `faults` + `failover` suites under it
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,4 +18,5 @@ if [[ "${1:-}" == "--asan" ]]; then
   cmake -B build-asan -S . -DHYPERQ_SANITIZE=address,undefined
   cmake --build build-asan -j "$jobs"
   ctest --test-dir build-asan --output-on-failure -L faults -j "$jobs"
+  ctest --test-dir build-asan --output-on-failure -L failover -j "$jobs"
 fi

@@ -23,6 +23,36 @@ BackendConnector::BackendConnector(vdb::Engine* engine,
       options_(std::move(options)),
       breaker_(options_.breaker) {}
 
+void BackendConnector::NoteSessionTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(tables_mutex_);
+  for (const auto& t : session_tables_) {
+    if (t == name) return;
+  }
+  session_tables_.push_back(name);
+}
+
+void BackendConnector::ForgetSessionTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(tables_mutex_);
+  for (auto it = session_tables_.begin(); it != session_tables_.end(); ++it) {
+    if (*it == name) {
+      session_tables_.erase(it);
+      return;
+    }
+  }
+}
+
+void BackendConnector::OnSessionLost() {
+  losses_.fetch_add(1, std::memory_order_relaxed);
+  session_down_.store(true, std::memory_order_relaxed);
+  // The backend discards session-scoped state with the dying session; the
+  // drops go straight to the engine (the "new" connection's view), not
+  // through the fault-injected request path.
+  std::lock_guard<std::mutex> lock(tables_mutex_);
+  for (const auto& table : session_tables_) {
+    (void)engine_->Execute("DROP TABLE IF EXISTS " + table);
+  }
+}
+
 Result<BackendResult> BackendConnector::Execute(const std::string& sql) {
   return ExecuteWithRetry(sql, /*is_script=*/false);
 }
@@ -41,6 +71,17 @@ Result<BackendResult> BackendConnector::ExecuteWithRetry(
                           : Deadline::Infinite();
   RetryStats stats;
   auto attempt = [&]() -> Result<BackendResult> {
+    // A lost session reconnects transparently at the next attempt; the
+    // epoch bump is what tells the service its journal must be replayed.
+    if (session_down_.exchange(false, std::memory_order_relaxed)) {
+      epoch_.fetch_add(1, std::memory_order_relaxed);
+    }
+    Status lost =
+        FaultInjector::Global().Check(faultpoints::kBackendSessionLost);
+    if (!lost.ok()) {
+      OnSessionLost();
+      return Status::SessionLost("backend session lost: ", lost.message());
+    }
     HQ_FAULT_POINT(faultpoints::kVdbExecute);
     vdb::QueryResult result;
     if (is_script) {

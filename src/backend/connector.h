@@ -9,8 +9,10 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -73,14 +75,43 @@ class BackendConnector {
   vdb::Engine* engine() { return engine_; }
   CircuitBreaker* breaker() { return &breaker_; }
 
+  // --- Backend-session failover (DESIGN.md §6, "Failover & overload") ----
+
+  /// \brief Monotonic identity of the backend session. Starts at 1 and is
+  /// bumped each time the connector transparently re-establishes its
+  /// session after a loss; the service compares this against its recorded
+  /// epoch to know when a journal replay has happened.
+  int64_t connection_epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+  /// \brief Session losses observed (the `backend.session_lost` point).
+  int64_t session_losses() const {
+    return losses_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Registers a session-scoped backend table (volatile table,
+  /// recursion WorkTable). A real warehouse discards these with the dying
+  /// session, so the simulated session loss drops them from the engine;
+  /// the service's journal replay is what brings them back.
+  void NoteSessionTable(const std::string& name);
+  void ForgetSessionTable(const std::string& name);
+
  private:
   Result<BackendResult> ExecuteWithRetry(const std::string& sql,
                                          bool is_script);
   Result<BackendResult> Package(vdb::QueryResult result);
+  /// Simulates the backend killing this session: drops session-scoped
+  /// tables and marks the connection down until the next attempt.
+  void OnSessionLost();
 
   vdb::Engine* engine_;
   ConnectorOptions options_;
   CircuitBreaker breaker_;
+  std::atomic<int64_t> epoch_{1};
+  std::atomic<int64_t> losses_{0};
+  std::atomic<bool> session_down_{false};
+  std::mutex tables_mutex_;
+  std::vector<std::string> session_tables_;
 };
 
 }  // namespace hyperq::backend

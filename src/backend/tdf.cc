@@ -1,11 +1,14 @@
 #include "backend/tdf.h"
 
+#include "common/fault.h"
+
 namespace hyperq::backend {
 
 TdfWriter::TdfWriter(std::vector<TdfColumn> schema)
     : schema_(std::move(schema)) {}
 
 Status TdfWriter::AddRow(const std::vector<Datum>& row) {
+  HQ_FAULT_POINT(faultpoints::kTdfAppend);
   if (row.size() != schema_.size()) {
     return Status::InvalidArgument("TDF row arity ", row.size(),
                                    " does not match schema arity ",

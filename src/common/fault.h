@@ -30,6 +30,16 @@ inline constexpr const char* kConnectorFetchBatch = "connector.fetch_batch";
 inline constexpr const char* kSocketRead = "socket.read";
 inline constexpr const char* kSocketWrite = "socket.write";
 inline constexpr const char* kStoreSpill = "store.spill";
+// Failover/overload points (PR 2). kBackendSessionLost simulates the loss
+// of the backend session itself (not just one call): the connector drops
+// session-scoped state and reports kSessionLost so the service can replay
+// its journal. kServerAdmit fires in the accept path and sheds the
+// arriving connection with a tdwp error frame.
+inline constexpr const char* kBackendSessionLost = "backend.session_lost";
+inline constexpr const char* kServerAdmit = "server.admit";
+// Result-path points: kill a request mid-result-stream.
+inline constexpr const char* kConvertEncodeRow = "convert.encode_row";
+inline constexpr const char* kTdfAppend = "tdf.append";
 }  // namespace faultpoints
 
 enum class FaultKind {

@@ -158,7 +158,9 @@ auto RetryCall(const RetryPolicy& policy, const Deadline& deadline,
       return result;
     }
     if (breaker != nullptr) {
-      if (status.IsRetryable()) {
+      if (status.IsRetryable() || status.IsSessionLost()) {
+        // A lost session is a liveness failure even though it is not
+        // blind-retryable (the journal must be replayed first).
         breaker->OnFailure();
       } else {
         breaker->OnSuccess();  // backend responded: not a liveness failure

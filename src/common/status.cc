@@ -30,6 +30,10 @@ const char* StatusCodeName(StatusCode code) {
       return "deadline_exceeded";
     case StatusCode::kResourceExhausted:
       return "resource_exhausted";
+    case StatusCode::kSessionLost:
+      return "session_lost";
+    case StatusCode::kAborted:
+      return "aborted";
   }
   return "unknown";
 }

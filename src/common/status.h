@@ -32,6 +32,12 @@ enum class StatusCode : int {
   kUnavailable,        // transient: backend/peer unreachable, dropped conn
   kDeadlineExceeded,   // request deadline or I/O timeout elapsed
   kResourceExhausted,  // transient: out of capacity (retry after backoff)
+  // Failover taxonomy (see service layer, "Failover & overload" in
+  // DESIGN.md §6). kSessionLost is deliberately NOT IsRetryable(): a blind
+  // re-execution is wrong until the session journal has been replayed, so
+  // the connector surfaces it to the service instead of retrying in place.
+  kSessionLost,  // backend session/connection died; state must be replayed
+  kAborted,      // statement cannot be transparently re-run (open txn)
 };
 
 /// \brief Returns a stable lower-case name for a status code, e.g.
@@ -89,6 +95,8 @@ class Status {
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
   }
+  bool IsSessionLost() const { return code() == StatusCode::kSessionLost; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
 
   /// \brief True when the failure is transient and the operation may
   /// succeed if simply tried again (the retry layer's admission test).
@@ -156,6 +164,14 @@ class Status {
   template <typename... Args>
   static Status ResourceExhausted(Args&&... args) {
     return Make(StatusCode::kResourceExhausted, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status SessionLost(Args&&... args) {
+    return Make(StatusCode::kSessionLost, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Aborted(Args&&... args) {
+    return Make(StatusCode::kAborted, std::forward<Args>(args)...);
   }
 
  private:

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/fault.h"
+
 namespace hyperq::convert {
 
 ResultConverter::ResultConverter(int parallelism, size_t rows_per_batch)
@@ -38,7 +40,9 @@ Result<ConversionResult> ResultConverter::Convert(
       BufferWriter w;
       w.PutU32(static_cast<uint32_t>(row_end - row_begin));
       for (size_t r = row_begin; r < row_end; ++r) {
-        Status s = protocol::EncodeRecord(out.columns, rows[r], &w);
+        Status s =
+            FaultInjector::Global().Check(faultpoints::kConvertEncodeRow);
+        if (s.ok()) s = protocol::EncodeRecord(out.columns, rows[r], &w);
         if (!s.ok()) {
           statuses[b] = s;
           return;

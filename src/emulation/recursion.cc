@@ -104,10 +104,17 @@ Result<backend::BackendResult> RecursionDriver::Execute(
     (void)connector_->Execute("DROP TABLE IF EXISTS " + wt);
     (void)connector_->Execute("DROP TABLE IF EXISTS " + tt);
     (void)connector_->Execute("DROP TABLE IF EXISTS " + nx);
+    for (const std::string& t : {wt, tt, nx}) {
+      connector_->ForgetSessionTable(t);
+    }
   };
 
   auto run_all = [&]() -> Status {
     for (const std::string& t : {wt, tt, nx}) {
+      // WorkTables are session-scoped on a real backend: a session loss
+      // mid-recursion takes them down, and the service re-runs the whole
+      // statement after replaying its journal.
+      connector_->NoteSessionTable(t);
       HQ_RETURN_IF_ERROR(
           Run("create " + t, "CREATE TABLE " + t + " (" + col_defs + ")",
               trace, nullptr));

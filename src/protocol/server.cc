@@ -2,8 +2,11 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
+#include <chrono>
 #include <mutex>
 
+#include "common/fault.h"
 #include "common/logging.h"
 
 namespace hyperq::protocol {
@@ -16,23 +19,89 @@ TdwpServer::~TdwpServer() { Stop(); }
 Status TdwpServer::Start(uint16_t port) {
   HQ_ASSIGN_OR_RETURN(listener_, ListenSocket::BindLocal(port));
   running_ = true;
+  {
+    std::lock_guard<std::mutex> lock(admit_mutex_);
+    dispatch_running_ = true;
+  }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  dispatch_thread_ = std::thread([this] { DispatchLoop(); });
   return Status::OK();
 }
 
-void TdwpServer::Stop() {
+void TdwpServer::Stop(int drain_deadline_ms) {
   if (!running_.exchange(false)) return;
   listener_.Interrupt();
   listener_.Close();
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::lock_guard<std::mutex> lock(workers_mutex_);
-  // Wake workers blocked mid-read: a client that never says goodbye must
-  // not be able to wedge server shutdown.
-  for (auto& w : workers_) {
-    if (!w.done->load() && w.conn && w.conn->valid()) {
-      ::shutdown(w.conn->fd(), SHUT_RDWR);
+
+  // Stop the dispatcher, then refuse everything still waiting in the
+  // admission queue with a clean frame (it was never handed to a worker).
+  {
+    std::lock_guard<std::mutex> lock(admit_mutex_);
+    dispatch_running_ = false;
+  }
+  admit_cv_.notify_all();
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  std::deque<Socket> leftover;
+  {
+    std::lock_guard<std::mutex> lock(admit_mutex_);
+    leftover.swap(pending_);
+  }
+  for (auto& conn : leftover) {
+    ShedConnection(std::move(conn),
+                   Status::Unavailable("server shutting down"));
+  }
+
+  // Snapshot in-flight workers so drained/force-closed accounting covers
+  // exactly the connections that were live when shutdown began.
+  std::vector<std::shared_ptr<std::atomic<bool>>> inflight;
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    for (auto& w : workers_) {
+      if (w.done->load()) continue;
+      inflight.push_back(w.done);
+      if (drain_deadline_ms > 0 && w.conn && w.conn->valid()) {
+        // Graceful drain: stop reading further requests but keep the write
+        // side open so the request currently running can still answer.
+        ::shutdown(w.conn->fd(), SHUT_RD);
+      }
     }
   }
+  if (drain_deadline_ms > 0) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(drain_deadline_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      bool all_done = true;
+      for (auto& done : inflight) {
+        if (!done->load()) {
+          all_done = false;
+          break;
+        }
+      }
+      if (all_done) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  // Wake (or cut off) whatever is still running: a client that never says
+  // goodbye must not be able to wedge server shutdown.
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    for (auto& w : workers_) {
+      if (!w.done->load() && w.conn && w.conn->valid()) {
+        ::shutdown(w.conn->fd(), SHUT_RDWR);
+      }
+    }
+  }
+  int64_t drained = 0, forced = 0;
+  for (auto& done : inflight) {
+    done->load() ? ++drained : ++forced;
+  }
+  if (drain_deadline_ms > 0) {
+    std::lock_guard<std::mutex> lock(admit_mutex_);
+    stats_.drained += drained;
+    stats_.force_closed += forced;
+  }
+  std::lock_guard<std::mutex> lock(workers_mutex_);
   for (auto& w : workers_) {
     if (w.thread.joinable()) w.thread.join();
   }
@@ -42,6 +111,27 @@ void TdwpServer::Stop() {
 size_t TdwpServer::live_workers() const {
   std::lock_guard<std::mutex> lock(workers_mutex_);
   return workers_.size();
+}
+
+size_t TdwpServer::queued_connections() const {
+  std::lock_guard<std::mutex> lock(admit_mutex_);
+  return pending_.size();
+}
+
+int64_t TdwpServer::rejected_connections() const {
+  std::lock_guard<std::mutex> lock(admit_mutex_);
+  return stats_.shed;
+}
+
+ServerStats TdwpServer::stats() const {
+  std::lock_guard<std::mutex> lock(admit_mutex_);
+  return stats_;
+}
+
+size_t TdwpServer::EffectiveLowWatermark() const {
+  if (options_.queue_low_watermark == 0) return options_.admission_queue_depth;
+  return std::min(options_.queue_low_watermark,
+                  options_.admission_queue_depth);
 }
 
 void TdwpServer::ReapFinishedWorkers() {
@@ -56,56 +146,137 @@ void TdwpServer::ReapFinishedWorkers() {
   }
 }
 
+void TdwpServer::ShedConnection(Socket conn, const Status& reason) {
+  {
+    std::lock_guard<std::mutex> lock(admit_mutex_);
+    ++stats_.shed;
+  }
+  ErrorMessage err;
+  err.code = static_cast<uint32_t>(reason.code());
+  err.message = reason.ToString();
+  Frame f{MessageKind::kError, 0, Encode(err)};
+  (void)conn.SetSendTimeoutMs(1000);
+  (void)conn.WriteFrame(f);
+  // Socket dtor closes.
+}
+
 void TdwpServer::AcceptLoop() {
   while (running_) {
-    auto conn = listener_.Accept();
-    if (!conn.ok()) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) {
       if (running_) {
-        HQ_LOG(kWarn) << "tdwp accept failed: " << conn.status();
+        HQ_LOG(kWarn) << "tdwp accept failed: " << accepted.status();
       }
       return;
     }
-    ReapFinishedWorkers();
-    if (options_.max_connections > 0 &&
-        active_.load() >= options_.max_connections) {
-      // Saturated: answer with a clean error frame rather than accepting
-      // work we cannot serve (or silently dropping the connection).
-      rejected_.fetch_add(1);
-      ErrorMessage err;
-      err.code = static_cast<uint32_t>(StatusCode::kResourceExhausted);
-      err.message = Status::ResourceExhausted(
-                        "server at capacity (", options_.max_connections,
-                        " connections); try again later")
-                        .ToString();
-      Frame f{MessageKind::kError, 0, Encode(err)};
-      Socket refused = std::move(conn).value();
-      (void)refused.SetSendTimeoutMs(1000);
-      (void)refused.WriteFrame(f);
-      continue;  // Socket dtor closes
+    Socket conn = std::move(accepted).value();
+
+    Status admit = FaultInjector::Global().Check(faultpoints::kServerAdmit);
+    if (!admit.ok()) {
+      ShedConnection(std::move(conn), admit);
+      continue;
     }
-    active_.fetch_add(1);
-    auto done = std::make_shared<std::atomic<bool>>(false);
-    auto sock = std::make_shared<Socket>(std::move(conn).value());
-    Worker w;
-    w.done = done;
-    w.conn = sock;
-    w.thread = std::thread([this, done, sock] {
-      ServeConnection(*sock);
-      // Send FIN so the peer sees EOF now; the fd itself stays allocated
-      // until the worker is reaped, keeping Stop()'s shutdown pass safe
-      // from fd reuse.
-      if (sock->valid()) ::shutdown(sock->fd(), SHUT_RDWR);
-      active_.fetch_sub(1);
-      done->store(true);
+
+    bool shed = false;
+    Status reason;
+    {
+      std::lock_guard<std::mutex> lock(admit_mutex_);
+      size_t cap = options_.max_connections;
+      size_t active = active_.load();
+      size_t free_slots =
+          cap == 0 ? SIZE_MAX : (active < cap ? cap - active : 0);
+      if (free_slots == SIZE_MAX || pending_.size() < free_slots) {
+        // A worker slot is free: the dispatcher will pick this up
+        // immediately; it never counts against the queue.
+        pending_.push_back(std::move(conn));
+      } else {
+        size_t waiting = pending_.size() - free_slots;
+        if (shedding_ || waiting >= options_.admission_queue_depth) {
+          // Saturated: answer with a clean error frame rather than
+          // accepting work we cannot serve (or silently dropping the
+          // connection).
+          shed = true;
+          reason = Status::ResourceExhausted(
+              "server at capacity (", cap, " connections, admission queue ",
+              options_.admission_queue_depth, "); try again later");
+        } else {
+          pending_.push_back(std::move(conn));
+          ++waiting;
+          stats_.queued_peak = std::max(stats_.queued_peak,
+                                        static_cast<int64_t>(waiting));
+          if (waiting >= options_.admission_queue_depth) shedding_ = true;
+        }
+      }
+    }
+    if (shed) {
+      ShedConnection(std::move(conn), reason);
+    } else {
+      admit_cv_.notify_all();
+    }
+  }
+}
+
+void TdwpServer::DispatchLoop() {
+  std::unique_lock<std::mutex> lock(admit_mutex_);
+  while (true) {
+    admit_cv_.wait(lock, [&] {
+      return !dispatch_running_ ||
+             (!pending_.empty() &&
+              (options_.max_connections == 0 ||
+               active_.load() < options_.max_connections));
     });
-    std::lock_guard<std::mutex> lock(workers_mutex_);
-    workers_.push_back(std::move(w));
+    if (!dispatch_running_) return;
+    Socket conn = std::move(pending_.front());
+    pending_.pop_front();
+    if (shedding_ && pending_.size() <= EffectiveLowWatermark()) {
+      shedding_ = false;
+    }
+    ++stats_.admitted;
+    active_.fetch_add(1);
+    lock.unlock();
+    SpawnWorker(std::move(conn));
+    lock.lock();
+  }
+}
+
+void TdwpServer::SpawnWorker(Socket conn) {
+  ReapFinishedWorkers();
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  auto sock = std::make_shared<Socket>(std::move(conn));
+  Worker w;
+  w.done = done;
+  w.conn = sock;
+  w.thread = std::thread([this, done, sock] {
+    ServeConnection(*sock);
+    // Send FIN so the peer sees EOF now; the fd itself stays allocated
+    // until the worker is reaped, keeping Stop()'s shutdown pass safe
+    // from fd reuse.
+    if (sock->valid()) ::shutdown(sock->fd(), SHUT_RDWR);
+    {
+      // Decrement under the admission lock so the dispatcher's capacity
+      // check cannot miss the wakeup that follows.
+      std::lock_guard<std::mutex> lock(admit_mutex_);
+      active_.fetch_sub(1);
+    }
+    done->store(true);
+    admit_cv_.notify_all();
+  });
+  std::lock_guard<std::mutex> lock(workers_mutex_);
+  workers_.push_back(std::move(w));
+}
+
+void TdwpServer::ReleaseUserSlot(const std::string& user) {
+  std::lock_guard<std::mutex> lock(admit_mutex_);
+  auto it = user_sessions_.find(user);
+  if (it != user_sessions_.end() && it->second > 0 && --it->second == 0) {
+    user_sessions_.erase(it);
   }
 }
 
 void TdwpServer::ServeConnection(Socket& conn) {
   uint32_t session_id = 0;
   bool logged_on = false;
+  std::string counted_user;  // non-empty: holds a per-user session slot
   auto send_error = [&](const Status& status) {
     ErrorMessage err;
     err.code = static_cast<uint32_t>(status.code());
@@ -145,8 +316,38 @@ void TdwpServer::ServeConnection(Socket& conn) {
           send_error(req.status());
           break;
         }
+        if (!counted_user.empty()) {
+          // Re-logon on the same connection: release the old user's slot.
+          ReleaseUserSlot(counted_user);
+          counted_user.clear();
+        }
+        if (options_.max_sessions_per_user > 0) {
+          bool capped = false;
+          {
+            std::lock_guard<std::mutex> lock(admit_mutex_);
+            size_t& n = user_sessions_[req->user];
+            if (n >= options_.max_sessions_per_user) {
+              capped = true;
+              ++stats_.user_capped_logons;
+            } else {
+              ++n;
+            }
+          }
+          if (capped) {
+            send_error(Status::ResourceExhausted(
+                "too many concurrent sessions for user '", req->user,
+                "' (limit ", options_.max_sessions_per_user,
+                "); try again later"));
+            break;
+          }
+          counted_user = req->user;
+        }
         auto resp = handler_->Logon(*req);
         if (!resp.ok()) {
+          if (!counted_user.empty()) {
+            ReleaseUserSlot(counted_user);
+            counted_user.clear();
+          }
           send_error(resp.status());
           break;
         }
@@ -202,6 +403,7 @@ void TdwpServer::ServeConnection(Socket& conn) {
     }
   }
   if (logged_on) handler_->Logoff(session_id);
+  if (!counted_user.empty()) ReleaseUserSlot(counted_user);
 }
 
 }  // namespace hyperq::protocol

@@ -1,12 +1,19 @@
 // The Protocol Handler's server side (paper §4.1): accepts tdwp
 // connections, performs the logon handshake, and relays query requests to a
 // RequestHandler (implemented by service::HyperQService).
+//
+// Overload protection (DESIGN.md §6): admission control with a bounded
+// queue and high/low watermarks, per-user concurrency caps, load shedding
+// with clean tdwp error frames, and a graceful drain on Stop().
 
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -42,16 +49,40 @@ class RequestHandler {
 };
 
 struct TdwpServerOptions {
-  /// Connections served concurrently; further clients get a clean error
-  /// frame (kResourceExhausted) and are disconnected. 0 = unlimited.
+  /// Connections served concurrently; further clients wait in the
+  /// admission queue (if configured) or get a clean error frame
+  /// (kResourceExhausted) and are disconnected. 0 = unlimited.
   size_t max_connections = 0;
+  /// Accepted connections that may wait for a free slot before the server
+  /// starts shedding. 0 = no queue: at capacity every arrival is shed
+  /// immediately.
+  size_t admission_queue_depth = 0;
+  /// Hysteresis: once the queue fills to `admission_queue_depth` (the high
+  /// watermark) the server sheds until the queue drains to this level.
+  /// 0 = same as the depth, i.e. no hysteresis: shed exactly while full.
+  size_t queue_low_watermark = 0;
+  /// Concurrent logged-on sessions allowed per user name; further logons
+  /// get a kResourceExhausted error frame (the connection stays usable).
+  /// 0 = unlimited.
+  size_t max_sessions_per_user = 0;
   /// A connection idle longer than this between frames is reaped with an
   /// error frame instead of pinning a thread forever. 0 = no timeout.
   int idle_timeout_ms = 0;
 };
 
-/// \brief tdwp TCP server; one thread per connection. Finished connection
-/// threads are reaped as the server runs (not only at Stop()).
+/// \brief Admission/overload counters (observability/tests).
+struct ServerStats {
+  int64_t admitted = 0;      // connections handed to a worker thread
+  int64_t shed = 0;          // connections refused with an error frame
+  int64_t queued_peak = 0;   // deepest admission-queue backlog observed
+  int64_t drained = 0;       // workers that finished within a drain deadline
+  int64_t force_closed = 0;  // workers force-closed at the drain deadline
+  int64_t user_capped_logons = 0;  // logons refused by the per-user cap
+};
+
+/// \brief tdwp TCP server; one thread per connection behind a bounded
+/// admission queue. Finished connection threads are reaped as the server
+/// runs (not only at Stop()).
 class TdwpServer {
  public:
   explicit TdwpServer(RequestHandler* handler,
@@ -60,14 +91,23 @@ class TdwpServer {
 
   /// \brief Binds 127.0.0.1:`port` (0 = ephemeral) and starts accepting.
   Status Start(uint16_t port = 0);
-  void Stop();
+
+  /// \brief Stops the server. With `drain_deadline_ms` > 0 the shutdown is
+  /// graceful: no new connections or requests are admitted, but workers
+  /// get up to the deadline to finish (and answer) the request they are
+  /// currently running; stragglers are then force-closed.
+  void Stop(int drain_deadline_ms = 0);
 
   uint16_t port() const { return listener_.port(); }
 
   /// \brief Connections currently being served (observability/tests).
   size_t active_connections() const { return active_.load(); }
-  /// \brief Connections refused by the max-connections guard.
-  int64_t rejected_connections() const { return rejected_.load(); }
+  /// \brief Connections waiting in the admission queue.
+  size_t queued_connections() const;
+  /// \brief Connections refused by admission control (== stats().shed).
+  int64_t rejected_connections() const;
+  /// \brief Admission/overload counters.
+  ServerStats stats() const;
   /// \brief Worker threads not yet joined (bounded by active connections
   /// plus a small reaping lag, never by server lifetime).
   size_t live_workers() const;
@@ -82,18 +122,33 @@ class TdwpServer {
   };
 
   void AcceptLoop();
+  void DispatchLoop();
+  void SpawnWorker(Socket conn);
   void ServeConnection(Socket& conn);
   void ReapFinishedWorkers();
+  /// Answers `conn` with an error frame for `reason` and drops it.
+  void ShedConnection(Socket conn, const Status& reason);
+  void ReleaseUserSlot(const std::string& user);
+  size_t EffectiveLowWatermark() const;
 
   RequestHandler* handler_;
   TdwpServerOptions options_;
   ListenSocket listener_;
   std::thread accept_thread_;
+  std::thread dispatch_thread_;
   std::vector<Worker> workers_;
   mutable std::mutex workers_mutex_;
   std::atomic<bool> running_{false};
   std::atomic<size_t> active_{0};
-  std::atomic<int64_t> rejected_{0};
+
+  // Admission state: queue, watermark flag, per-user counts, counters.
+  mutable std::mutex admit_mutex_;
+  std::condition_variable admit_cv_;
+  std::deque<Socket> pending_;
+  bool dispatch_running_ = false;
+  bool shedding_ = false;  // high watermark hit; cleared at the low one
+  std::map<std::string, size_t> user_sessions_;
+  ServerStats stats_;
 };
 
 }  // namespace hyperq::protocol

@@ -1,5 +1,7 @@
 #include "service/hyperq_service.h"
 
+#include <algorithm>
+
 #include "common/stopwatch.h"
 #include "common/str_util.h"
 #include "emulation/macro.h"
@@ -31,6 +33,7 @@ Result<uint32_t> HyperQService::OpenSession(
   }
   session->connector = std::make_unique<backend::BackendConnector>(
       engine_, options_.connector);
+  session->backend_epoch = session->connector->connection_epoch();
   uint32_t id = session->id;
   std::lock_guard<std::mutex> lock(mutex_);
   sessions_.emplace(id, std::move(session));
@@ -71,6 +74,138 @@ WorkloadFeatureStats HyperQService::stats() const {
 void HyperQService::ResetStats() {
   std::lock_guard<std::mutex> lock(mutex_);
   stats_ = WorkloadFeatureStats();
+}
+
+ServiceResilienceStats HyperQService::resilience_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resilience_;
+}
+
+size_t HyperQService::journal_size(uint32_t session_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? 0 : it->second->journal.size();
+}
+
+// ---------------------------------------------------------------------------
+// Failover: session journal & replay (DESIGN.md §6, "Failover & overload")
+// ---------------------------------------------------------------------------
+
+void HyperQService::AppendJournal(Session* session, JournalEntry entry) {
+  if (session->journal_overflow) return;
+  if (session->journal.size() >= options_.failover.max_journal_entries) {
+    // Past the cap the journal can no longer reproduce the session: drop it
+    // entirely (a truncated replay would be silently wrong) and degrade
+    // failover to a clean error.
+    session->journal_overflow = true;
+    session->journal.clear();
+    session->journal.shrink_to_fit();
+    return;
+  }
+  session->journal.push_back(std::move(entry));
+}
+
+void HyperQService::CompactJournal(Session* session,
+                                   const std::string& table) {
+  auto& j = session->journal;
+  j.erase(std::remove_if(j.begin(), j.end(),
+                         [&](const JournalEntry& e) {
+                           return !e.table.empty() && e.table == table;
+                         }),
+          j.end());
+}
+
+bool HyperQService::IsVolatileTable(const Session* session,
+                                    const std::string& name) const {
+  for (const auto& t : session->volatile_tables) {
+    if (t == name) return true;
+  }
+  return false;
+}
+
+bool HyperQService::StatementIsNonIdempotent(const sql::Statement& stmt) {
+  switch (stmt.kind) {
+    case StmtKind::kInsert:
+    case StmtKind::kUpdate:
+    case StmtKind::kDelete:
+    case StmtKind::kMerge:
+    case StmtKind::kExecMacro:  // macro bodies may contain DML
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<int> HyperQService::ReplaySessionJournal(Session* session) {
+  if (session->journal_overflow) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++resilience_.journal_overflows;
+    }
+    return Status::Unavailable(
+        "backend session lost and the session journal overflowed (limit ",
+        options_.failover.max_journal_entries,
+        " entries); session state cannot be replayed");
+  }
+  int replayed = 0;
+  for (const auto& entry : session->journal) {
+    if (entry.kind == JournalEntry::Kind::kSetSession) {
+      // Mid-tier state: it survives in the DTM; nothing reaches the target.
+      ++replayed;
+      continue;
+    }
+    auto result = session->connector->Execute(entry.sql);
+    if (!result.ok()) {
+      return result.status().WithContext("session journal replay of '" +
+                                         entry.sql + "'");
+    }
+    ++replayed;
+  }
+  session->backend_epoch = session->connector->connection_epoch();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++resilience_.failovers;
+    resilience_.statements_replayed += replayed;
+  }
+  return replayed;
+}
+
+Result<QueryOutcome> HyperQService::SubmitWithFailover(
+    Session* session, const std::string& sql_a) {
+  auto outcome = SubmitInternal(session, sql_a, 0);
+  if (outcome.ok() || !outcome.status().IsSessionLost()) return outcome;
+  if (!options_.failover.enabled) {
+    return Status::Unavailable("backend session lost (failover disabled): ",
+                               outcome.status().message());
+  }
+
+  // Idempotency fence: a statement with side effects that died inside an
+  // open transaction cannot be transparently re-run — the transaction is
+  // gone with the session, and re-executing DML could double-apply it.
+  // The session itself is still repaired for subsequent statements.
+  bool non_idempotent = false;
+  auto parsed = sql::ParseStatement(sql_a, frontend_dialect_);
+  if (parsed.ok()) non_idempotent = StatementIsNonIdempotent(**parsed);
+  if (session->txn_depth > 0 && non_idempotent) {
+    (void)ReplaySessionJournal(session);  // best-effort session repair
+    session->txn_depth = 0;  // the backend transaction died with the session
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++resilience_.aborted_in_txn;
+    }
+    return Status::Aborted(
+        "backend session lost while a non-idempotent statement was in "
+        "flight inside an open transaction; transaction rolled back — "
+        "resubmit the transaction (", outcome.status().message(), ")");
+  }
+
+  HQ_ASSIGN_OR_RETURN(int replayed, ReplaySessionJournal(session));
+  auto retried = SubmitInternal(session, sql_a, 0);
+  if (retried.ok()) {
+    retried->timing.failovers += 1;
+    retried->timing.journal_replays += replayed;
+  }
+  return retried;
 }
 
 // ---------------------------------------------------------------------------
@@ -119,7 +254,7 @@ Result<QueryOutcome> HyperQService::Submit(uint32_t session_id,
                                            const std::string& sql_a) {
   HQ_ASSIGN_OR_RETURN(Session * session, GetSession(session_id));
   HQ_ASSIGN_OR_RETURN(QueryOutcome outcome,
-                      SubmitInternal(session, sql_a, 0));
+                      SubmitWithFailover(session, sql_a));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stats_.AddQuery(outcome.features);
@@ -300,6 +435,8 @@ Result<QueryOutcome> HyperQService::ExecuteStatement(
       features.Record(Feature::kSessionCommands);
       HQ_RETURN_IF_ERROR(emulation::ApplySetSession(
           *stmt.As<sql::SetSessionStatement>(), &session->info));
+      AppendJournal(session,
+                    {JournalEntry::Kind::kSetSession, sql_a, ""});
       QueryOutcome out;
       out.result = CommandResult("SET SESSION");
       out.features = std::move(features);
@@ -398,6 +535,18 @@ Result<QueryOutcome> HyperQService::RunPipeline(Session* session,
   HQ_ASSIGN_OR_RETURN(out.result, session->connector->Execute(sql_b));
   out.timing.execution_micros = execution.ElapsedMicros();
   AbsorbResilienceStats(&out);
+  // DML against a session-scoped table is part of the replayable session
+  // state: without it a re-established backend session would see the
+  // volatile table empty.
+  if (plan->kind == xtra::OpKind::kInsert ||
+      plan->kind == xtra::OpKind::kUpdate ||
+      plan->kind == xtra::OpKind::kDelete) {
+    std::string target = Catalog::NormalizeName(plan->target_table);
+    if (IsVolatileTable(session, target)) {
+      AppendJournal(session,
+                    {JournalEntry::Kind::kTempTableDml, sql_b, target});
+    }
+  }
   out.features = std::move(features);
   return out;
 }
@@ -607,6 +756,11 @@ Result<QueryOutcome> HyperQService::HandleCreateTable(
   }
   if (ct.volatile_table) {
     session->volatile_tables.push_back(def.name);
+    // Session-scoped on a real backend: record it for failover replay and
+    // tell the connector so a lost session drops its backend shadow.
+    session->connector->NoteSessionTable(def.name);
+    AppendJournal(session,
+                  {JournalEntry::Kind::kTempTableDdl, ddl, def.name});
   }
   QueryOutcome out;
   out.backend_sql.push_back(ddl);
@@ -630,11 +784,18 @@ Result<QueryOutcome> HyperQService::HandleDropTable(
     }
   }
   Stopwatch execution;
+  std::string normalized = Catalog::NormalizeName(dt.table);
   std::string ddl = "DROP TABLE " +
                     std::string(dt.if_exists ? "IF EXISTS " : "") +
-                    Catalog::NormalizeName(dt.table);
+                    normalized;
   HQ_ASSIGN_OR_RETURN(BackendResult result,
                       session->connector->Execute(ddl));
+  if (IsVolatileTable(session, normalized)) {
+    auto& vt = session->volatile_tables;
+    vt.erase(std::remove(vt.begin(), vt.end(), normalized), vt.end());
+    session->connector->ForgetSessionTable(normalized);
+    CompactJournal(session, normalized);
+  }
   QueryOutcome out;
   out.backend_sql.push_back(ddl);
   out.result = std::move(result);
@@ -699,7 +860,7 @@ Result<QueryOutcome> HyperQService::SubmitScript(uint32_t session_id,
 
   QueryOutcome last;
   for (const std::string& stmt : batched) {
-    HQ_ASSIGN_OR_RETURN(last, SubmitInternal(session, stmt, 0));
+    HQ_ASSIGN_OR_RETURN(last, SubmitWithFailover(session, stmt));
     std::lock_guard<std::mutex> lock(mutex_);
     stats_.AddQuery(last.features);
   }
@@ -812,12 +973,18 @@ Result<protocol::WireResponse> HyperQService::Run(uint32_t session_id,
     convert::ResultConverter converter(options_.convert_parallelism);
     HQ_ASSIGN_OR_RETURN(convert::ConversionResult converted,
                         converter.Convert(outcome.result));
-    resp.success.conversion_micros = conversion.ElapsedMicros();
+    outcome.timing.conversion_micros = conversion.ElapsedMicros();
+    resp.success.conversion_micros = outcome.timing.conversion_micros;
     resp.has_rowset = true;
     resp.header.columns = std::move(converted.columns);
     resp.header.total_rows = converted.total_rows;
     resp.batches = std::move(converted.batches);
     resp.success.activity_count = converted.total_rows;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++resilience_.wire_requests;
+    resilience_.wire_conversion_micros += outcome.timing.conversion_micros;
   }
   return resp;
 }

@@ -45,9 +45,12 @@ struct TimingBreakdown {
   double translation_micros = 0;  // parse + bind + transform + serialize
   double execution_micros = 0;    // target database time
   double conversion_micros = 0;   // TDF -> frontend binary (filled by the
-                                  // protocol layer / benchmarks)
+                                  // wire path in Run() and by benchmarks;
+                                  // library Submit() has no conversion)
   double retry_backoff_micros = 0;  // waiting between retry attempts
   int execution_attempts = 0;       // total backend tries (0 = no backend)
+  int failovers = 0;          // backend sessions re-established mid-request
+  int journal_replays = 0;    // journal entries replayed during failover
 };
 
 /// \brief Result of one submitted SQL-A request.
@@ -58,11 +61,34 @@ struct QueryOutcome {
   std::vector<std::string> backend_sql;  // statements sent to the target
 };
 
+/// \brief Backend-session failover knobs (DESIGN.md §6, "Failover &
+/// overload").
+struct FailoverOptions {
+  /// When the backend session dies (kSessionLost), replay the session
+  /// journal and transparently re-run the interrupted statement.
+  bool enabled = true;
+  /// Journal entries kept per session. Past the cap the journal is marked
+  /// overflowed and failover degrades to a clean kUnavailable error.
+  size_t max_journal_entries = 256;
+};
+
 struct ServiceOptions {
   transform::BackendProfile profile = transform::BackendProfile::Vdb();
   backend::ConnectorOptions connector;
   int convert_parallelism = 2;
   bool batch_single_row_dml = true;  // §4.3 performance transformation
+  FailoverOptions failover;
+};
+
+/// \brief Service-wide resilience counters (tests and benches assert on
+/// these next to the per-request TimingBreakdown).
+struct ServiceResilienceStats {
+  int64_t failovers = 0;            // journal replays that succeeded
+  int64_t statements_replayed = 0;  // journal entries re-applied in total
+  int64_t aborted_in_txn = 0;       // kAborted surfaced (non-idempotent+txn)
+  int64_t journal_overflows = 0;    // failovers refused: journal overflowed
+  int64_t wire_requests = 0;        // requests served via Run() (tdwp path)
+  double wire_conversion_micros = 0;  // total Result Converter time on wire
 };
 
 class HyperQService : public protocol::RequestHandler {
@@ -98,6 +124,13 @@ class HyperQService : public protocol::RequestHandler {
   WorkloadFeatureStats stats() const;
   void ResetStats();
 
+  /// Failover/overload counters (DESIGN.md §6).
+  ServiceResilienceStats resilience_stats() const;
+
+  /// \brief Replayable journal entries currently held for a session
+  /// (observability/tests); 0 for unknown sessions.
+  size_t journal_size(uint32_t session_id) const;
+
   // --- protocol::RequestHandler ----------------------------------------
   Result<protocol::LogonResponse> Logon(
       const protocol::LogonRequest& request) override;
@@ -106,15 +139,45 @@ class HyperQService : public protocol::RequestHandler {
                                      const std::string& sql) override;
 
  private:
+  /// One replayable effect of the session on its backend connection.
+  /// Backend kinds carry the exact SQL-B text originally sent; session
+  /// kinds are mid-tier state that survives in the DTM and is only counted
+  /// during replay.
+  struct JournalEntry {
+    enum class Kind {
+      kSetSession,    // SET SESSION ... (mid-tier state; no backend SQL)
+      kTempTableDdl,  // CREATE of a session-scoped (volatile) table
+      kTempTableDml,  // DML against a session-scoped table
+    };
+    Kind kind;
+    std::string sql;    // SQL-B for backend kinds, SQL-A for kSetSession
+    std::string table;  // normalized temp-table name ("" = none)
+  };
+
   struct Session {
     uint32_t id;
     SessionInfo info;
     std::unique_ptr<backend::BackendConnector> connector;
     std::vector<std::string> volatile_tables;
     int txn_depth = 0;
+    std::vector<JournalEntry> journal;
+    bool journal_overflow = false;
+    int64_t backend_epoch = 1;  // last connector epoch we replayed up to
   };
 
   Result<Session*> GetSession(uint32_t id);
+
+  // --- Failover (session journal & replay) -----------------------------
+  Result<QueryOutcome> SubmitWithFailover(Session* session,
+                                          const std::string& sql_a);
+  /// Replays the journal onto the connector's fresh backend session;
+  /// returns the number of entries replayed.
+  Result<int> ReplaySessionJournal(Session* session);
+  void AppendJournal(Session* session, JournalEntry entry);
+  /// Drops every journal entry touching `table` (compaction on DROP).
+  void CompactJournal(Session* session, const std::string& table);
+  static bool StatementIsNonIdempotent(const sql::Statement& stmt);
+  bool IsVolatileTable(const Session* session, const std::string& name) const;
 
   Result<QueryOutcome> SubmitInternal(Session* session,
                                       const std::string& sql_a, int depth);
@@ -155,6 +218,7 @@ class HyperQService : public protocol::RequestHandler {
   std::map<uint32_t, std::unique_ptr<Session>> sessions_;
   std::atomic<uint32_t> next_session_{1};
   WorkloadFeatureStats stats_;
+  ServiceResilienceStats resilience_;
 };
 
 }  // namespace hyperq::service

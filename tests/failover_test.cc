@@ -1,0 +1,729 @@
+// Failover & overload suite (ctest label: failover): backend-session
+// failover with journal replay, idempotency fencing inside transactions,
+// admission control with a bounded queue and watermarks, per-user caps,
+// graceful drain, and result-path fault points — all deterministic (fixed
+// seeds, no sleep over ~400ms) so the claims are provable in CI, including
+// under ASan/UBSan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "backend/connector.h"
+#include "common/fault.h"
+#include "protocol/client.h"
+#include "protocol/server.h"
+#include "service/hyperq_service.h"
+#include "vdb/engine.h"
+
+namespace hyperq {
+namespace {
+
+using protocol::TdwpClient;
+using protocol::TdwpServer;
+using protocol::TdwpServerOptions;
+
+// Every test runs against the pristine global injector.
+class FailoverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global().Reset();
+    FaultInjector::Global().SetSeed(0x5EED);
+  }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+service::ServiceOptions FastOptions() {
+  service::ServiceOptions options;
+  options.connector.retry.max_attempts = 4;
+  options.connector.retry.base_delay_ms = 1;
+  options.connector.retry.max_delay_ms = 2;
+  return options;
+}
+
+// Loses the backend session once, at the `first_hit`-th connector attempt
+// after arming.
+FaultSpec LoseSessionOnce(int first_hit = 1) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kDisconnect;
+  spec.first_hit = first_hit;
+  spec.max_fires = 1;
+  return spec;
+}
+
+template <typename Cond>
+::testing::AssertionResult WaitFor(Cond cond, int timeout_ms = 2000) {
+  for (int i = 0; i < timeout_ms; ++i) {
+    if (cond()) return ::testing::AssertionSuccess();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (cond()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << "condition not met within "
+                                       << timeout_ms << "ms";
+}
+
+// --- Connector: session loss primitives -------------------------------------
+
+TEST_F(FailoverTest, ConnectorBumpsEpochAndDropsSessionTables) {
+  vdb::Engine engine;
+  backend::BackendConnector connector(&engine, FastOptions().connector);
+  ASSERT_TRUE(connector.Execute("CREATE TABLE T1 (A INTEGER)").ok());
+  connector.NoteSessionTable("T1");
+  int64_t epoch0 = connector.connection_epoch();
+
+  FaultInjector::Global().Arm(faultpoints::kBackendSessionLost,
+                              LoseSessionOnce());
+  auto lost = connector.Execute("SELECT * FROM T1");
+  ASSERT_FALSE(lost.ok());
+  // kSessionLost is deliberately NOT retryable: the connector must surface
+  // it so the service can replay the session journal first.
+  EXPECT_TRUE(lost.status().IsSessionLost());
+  EXPECT_FALSE(lost.status().IsRetryable());
+  EXPECT_EQ(connector.session_losses(), 1);
+
+  // The next attempt reconnects (epoch bump); the session-scoped table
+  // died with the old session.
+  auto again = connector.Execute("SELECT * FROM T1");
+  EXPECT_FALSE(again.ok()) << "session table should be gone";
+  EXPECT_EQ(connector.connection_epoch(), epoch0 + 1);
+}
+
+// --- Service: journal & replay ----------------------------------------------
+
+// Acceptance (a): a session with SET SESSION + volatile-table state keeps
+// returning identical results across an injected backend session loss.
+TEST_F(FailoverTest, SessionStateSurvivesInjectedSessionLoss) {
+  auto scenario = [&](bool inject) {
+    FaultInjector::Global().Reset();
+    FaultInjector::Global().SetSeed(0x5EED);
+    vdb::Engine engine;
+    service::HyperQService service(&engine, FastOptions());
+    auto sid = service.OpenSession("tester");
+    EXPECT_TRUE(sid.ok());
+    auto run = [&](const std::string& sql) {
+      auto r = service.Submit(*sid, sql);
+      EXPECT_TRUE(r.ok()) << sql << "\n" << r.status();
+      return r.ok() ? std::move(r).value() : service::QueryOutcome{};
+    };
+    run("CREATE VOLATILE TABLE SCRATCH (A INTEGER)");
+    run("INS INTO SCRATCH VALUES (1)");
+    run("INS INTO SCRATCH VALUES (2)");
+    run("SET SESSION CHARSET 'UTF8'");
+    if (inject) {
+      FaultInjector::Global().Arm(faultpoints::kBackendSessionLost,
+                                  LoseSessionOnce());
+    }
+    auto out = run("SEL * FROM SCRATCH ORDER BY A");
+    if (inject) {
+      EXPECT_EQ(out.timing.failovers, 1);
+      // DDL + 2 DML + SET SESSION were replayed.
+      EXPECT_EQ(out.timing.journal_replays, 4);
+      auto rs = service.resilience_stats();
+      EXPECT_EQ(rs.failovers, 1);
+      EXPECT_EQ(rs.statements_replayed, 4);
+    }
+    auto rows = out.result.DecodeRows();
+    EXPECT_TRUE(rows.ok());
+    std::vector<int64_t> values;
+    for (const auto& row : rows.ok() ? *rows
+                                     : std::vector<std::vector<Datum>>{}) {
+      values.push_back(row[0].int_val());
+    }
+    return values;
+  };
+  auto without_fault = scenario(false);
+  auto with_fault = scenario(true);
+  ASSERT_EQ(without_fault, (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(with_fault, without_fault);
+}
+
+TEST_F(FailoverTest, NonIdempotentDmlInOpenTxnAborts) {
+  vdb::Engine engine;
+  service::HyperQService service(&engine, FastOptions());
+  auto sid = service.OpenSession("tester");
+  ASSERT_TRUE(sid.ok());
+  ASSERT_TRUE(
+      service.Submit(*sid, "CREATE VOLATILE TABLE SCRATCH (A INTEGER)").ok());
+  ASSERT_TRUE(service.Submit(*sid, "INS INTO SCRATCH VALUES (1)").ok());
+  ASSERT_TRUE(service.Submit(*sid, "BT").ok());
+
+  FaultInjector::Global().Arm(faultpoints::kBackendSessionLost,
+                              LoseSessionOnce());
+  auto aborted = service.Submit(*sid, "INS INTO SCRATCH VALUES (2)");
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_TRUE(aborted.status().IsAborted()) << aborted.status();
+  EXPECT_EQ(service.resilience_stats().aborted_in_txn, 1);
+
+  // The session itself was repaired: the volatile table is back with its
+  // pre-transaction contents, and new statements run normally.
+  auto sel = service.Submit(*sid, "SEL * FROM SCRATCH");
+  ASSERT_TRUE(sel.ok()) << sel.status();
+  auto rows = sel->result.DecodeRows();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);  // the aborted INSERT was NOT re-applied
+  EXPECT_TRUE(service.Submit(*sid, "INS INTO SCRATCH VALUES (3)").ok());
+}
+
+TEST_F(FailoverTest, IdempotentSelectInOpenTxnFailsOver) {
+  vdb::Engine engine;
+  service::HyperQService service(&engine, FastOptions());
+  auto sid = service.OpenSession("tester");
+  ASSERT_TRUE(sid.ok());
+  ASSERT_TRUE(
+      service.Submit(*sid, "CREATE VOLATILE TABLE SCRATCH (A INTEGER)").ok());
+  ASSERT_TRUE(service.Submit(*sid, "INS INTO SCRATCH VALUES (1)").ok());
+  ASSERT_TRUE(service.Submit(*sid, "BT").ok());
+
+  FaultInjector::Global().Arm(faultpoints::kBackendSessionLost,
+                              LoseSessionOnce());
+  // SELECT has no side effects: safe to re-run even inside a transaction.
+  auto sel = service.Submit(*sid, "SEL * FROM SCRATCH");
+  ASSERT_TRUE(sel.ok()) << sel.status();
+  EXPECT_EQ(sel->timing.failovers, 1);
+  EXPECT_EQ(service.resilience_stats().aborted_in_txn, 0);
+}
+
+TEST_F(FailoverTest, JournalOverflowDegradesToCleanError) {
+  vdb::Engine engine;
+  auto options = FastOptions();
+  options.failover.max_journal_entries = 2;
+  service::HyperQService service(&engine, options);
+  auto sid = service.OpenSession("tester");
+  ASSERT_TRUE(sid.ok());
+  ASSERT_TRUE(
+      service.Submit(*sid, "CREATE VOLATILE TABLE SCRATCH (A INTEGER)").ok());
+  ASSERT_TRUE(service.Submit(*sid, "INS INTO SCRATCH VALUES (1)").ok());
+  // Third replayable effect: past the cap, the journal can no longer
+  // reproduce the session and is dropped entirely.
+  ASSERT_TRUE(service.Submit(*sid, "INS INTO SCRATCH VALUES (2)").ok());
+  EXPECT_EQ(service.journal_size(*sid), 0u);
+
+  FaultInjector::Global().Arm(faultpoints::kBackendSessionLost,
+                              LoseSessionOnce());
+  auto sel = service.Submit(*sid, "SEL * FROM SCRATCH");
+  ASSERT_FALSE(sel.ok());
+  EXPECT_TRUE(sel.status().IsUnavailable()) << sel.status();
+  EXPECT_NE(sel.status().message().find("overflowed"), std::string::npos)
+      << sel.status();
+  EXPECT_EQ(service.resilience_stats().journal_overflows, 1);
+}
+
+TEST_F(FailoverTest, FailoverDisabledSurfacesCleanUnavailable) {
+  vdb::Engine engine;
+  auto options = FastOptions();
+  options.failover.enabled = false;
+  service::HyperQService service(&engine, options);
+  auto sid = service.OpenSession("tester");
+  ASSERT_TRUE(sid.ok());
+
+  FaultInjector::Global().Arm(faultpoints::kBackendSessionLost,
+                              LoseSessionOnce());
+  auto sel = service.Submit(*sid, "SEL 1");
+  ASSERT_FALSE(sel.ok());
+  EXPECT_TRUE(sel.status().IsUnavailable()) << sel.status();
+  EXPECT_NE(sel.status().message().find("failover disabled"),
+            std::string::npos)
+      << sel.status();
+}
+
+// Recursion emulation runs many backend statements against session-scoped
+// WorkTables; a session loss mid-iteration must replay and re-run cleanly.
+TEST_F(FailoverTest, RecursiveQuerySurvivesSessionLoss) {
+  vdb::Engine engine;
+  service::HyperQService service(&engine, FastOptions());
+  auto sid = service.OpenSession("tester");
+  ASSERT_TRUE(sid.ok());
+  ASSERT_TRUE(
+      service.Submit(*sid, "CREATE TABLE EMP (EMPNO INTEGER, MGRNO INTEGER)")
+          .ok());
+  for (const char* row :
+       {"(1, 7)", "(7, 8)", "(8, 10)", "(9, 10)", "(10, 11)"}) {
+    ASSERT_TRUE(
+        service.Submit(*sid, std::string("INS INTO EMP VALUES ") + row).ok());
+  }
+
+  // Fire in the middle of the WorkTable machinery (3rd backend statement).
+  FaultInjector::Global().Arm(faultpoints::kBackendSessionLost,
+                              LoseSessionOnce(/*first_hit=*/3));
+  auto out = service.Submit(*sid, R"(
+    WITH RECURSIVE REPORTS (EMPNO, MGRNO) AS (
+      SELECT EMPNO, MGRNO FROM EMP WHERE MGRNO = 10
+      UNION ALL
+      SELECT EMP.EMPNO, EMP.MGRNO
+      FROM EMP, REPORTS
+      WHERE REPORTS.EMPNO = EMP.MGRNO
+    )
+    SELECT EMPNO FROM REPORTS ORDER BY EMPNO)");
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->timing.failovers, 1);
+  auto rows = out->result.DecodeRows();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 4u);  // e1, e7, e8, e9
+  EXPECT_EQ((*rows)[0][0].int_val(), 1);
+  EXPECT_EQ((*rows)[3][0].int_val(), 9);
+}
+
+TEST_F(FailoverTest, DropOfVolatileTableCompactsJournal) {
+  vdb::Engine engine;
+  service::HyperQService service(&engine, FastOptions());
+  auto sid = service.OpenSession("tester");
+  ASSERT_TRUE(sid.ok());
+  ASSERT_TRUE(
+      service.Submit(*sid, "CREATE VOLATILE TABLE SCRATCH (A INTEGER)").ok());
+  ASSERT_TRUE(service.Submit(*sid, "INS INTO SCRATCH VALUES (1)").ok());
+  EXPECT_EQ(service.journal_size(*sid), 2u);
+  // Dropping the table makes its DDL + DML entries dead weight: compacted.
+  ASSERT_TRUE(service.Submit(*sid, "DROP TABLE SCRATCH").ok());
+  EXPECT_EQ(service.journal_size(*sid), 0u);
+  // Mid-tier session settings still journal independently.
+  ASSERT_TRUE(service.Submit(*sid, "SET SESSION CHARSET 'UTF8'").ok());
+  EXPECT_EQ(service.journal_size(*sid), 1u);
+}
+
+// --- Result-path fault points ------------------------------------------------
+
+TEST_F(FailoverTest, TdfAppendTransientFaultIsRetried) {
+  vdb::Engine engine;
+  service::HyperQService service(&engine, FastOptions());
+  auto sid = service.OpenSession("tester");
+  ASSERT_TRUE(sid.ok());
+  ASSERT_TRUE(service.Submit(*sid, "CREATE TABLE T (A INTEGER)").ok());
+  ASSERT_TRUE(service.Submit(*sid, "INS INTO T VALUES (1)").ok());
+
+  FaultSpec spec;
+  spec.kind = FaultKind::kTransient;
+  spec.max_fires = 1;
+  FaultInjector::Global().Arm(faultpoints::kTdfAppend, spec);
+  auto out = service.Submit(*sid, "SEL * FROM T");
+  ASSERT_TRUE(out.ok()) << out.status();
+  // TDF packaging faults map to fetch-time failures: re-executed once.
+  EXPECT_EQ(out->timing.execution_attempts, 2);
+  EXPECT_EQ(FaultInjector::Global().fires(faultpoints::kTdfAppend), 1);
+}
+
+TEST_F(FailoverTest, ConvertEncodeRowFaultFailsRequestNotServer) {
+  vdb::Engine engine;
+  service::HyperQService service(&engine, FastOptions());
+  TdwpServer server(&service);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  TdwpClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  ASSERT_TRUE(client.Logon("alice", "pw").ok());
+  ASSERT_TRUE(client.Run("CREATE TABLE T (A INTEGER)").ok());
+  ASSERT_TRUE(client.Run("INS INTO T VALUES (1)").ok());
+
+  FaultSpec spec;
+  spec.kind = FaultKind::kPermanent;
+  spec.max_fires = 1;
+  FaultInjector::Global().Arm(faultpoints::kConvertEncodeRow, spec);
+  auto bad = client.Run("SEL * FROM T");
+  EXPECT_FALSE(bad.ok()) << "converter fault must fail the request";
+  // Same connection, same server: the next request succeeds.
+  auto good = client.Run("SEL * FROM T");
+  ASSERT_TRUE(good.ok()) << good.status();
+  EXPECT_EQ(good->rows.size(), 1u);
+  client.Goodbye();
+  server.Stop();
+}
+
+// Satellite: the wire path must fill conversion_micros (Figure 9) and the
+// service-wide wire counters.
+TEST_F(FailoverTest, WirePathReportsConversionMicros) {
+  vdb::Engine engine;
+  service::HyperQService service(&engine, FastOptions());
+  TdwpServer server(&service);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  TdwpClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  ASSERT_TRUE(client.Logon("alice", "pw").ok());
+  ASSERT_TRUE(client.Run("CREATE TABLE T (A INTEGER, B VARCHAR(20))").ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(client
+                    .Run("INS INTO T VALUES (" + std::to_string(i) +
+                         ", 'row-" + std::to_string(i) + "')")
+                    .ok());
+  }
+  auto sel = client.Run("SEL * FROM T ORDER BY A");
+  ASSERT_TRUE(sel.ok()) << sel.status();
+  ASSERT_EQ(sel->rows.size(), 20u);
+  EXPECT_GT(sel->conversion_micros, 0.0);
+
+  auto rs = service.resilience_stats();
+  EXPECT_GE(rs.wire_requests, 22);  // create + 20 inserts + select
+  EXPECT_GT(rs.wire_conversion_micros, 0.0);
+  client.Goodbye();
+  server.Stop();
+}
+
+// --- Server overload protection ----------------------------------------------
+
+// Run() blocks until the test hands out a token; logons answer immediately.
+class BlockingHandler : public protocol::RequestHandler {
+ public:
+  Result<protocol::LogonResponse> Logon(
+      const protocol::LogonRequest& request) override {
+    protocol::LogonResponse resp;
+    resp.ok = true;
+    resp.session_id = ++sessions_;
+    resp.message = "hello " + request.user;
+    return resp;
+  }
+  void Logoff(uint32_t) override {}
+  Result<protocol::WireResponse> Run(uint32_t, const std::string&) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++entered_;
+    cv_.wait(lock, [&] { return tokens_ > 0; });
+    --tokens_;
+    protocol::WireResponse resp;
+    resp.success.tag = "OK";
+    return resp;
+  }
+  void Release(int n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    tokens_ += n;
+    cv_.notify_all();
+  }
+  int entered() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entered_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int tokens_ = 0;
+  int entered_ = 0;
+  std::atomic<uint32_t> sessions_{0};
+};
+
+// Run() takes a fixed amount of wall clock, then answers.
+class SlowHandler : public protocol::RequestHandler {
+ public:
+  explicit SlowHandler(int run_ms) : run_ms_(run_ms) {}
+  Result<protocol::LogonResponse> Logon(
+      const protocol::LogonRequest& request) override {
+    protocol::LogonResponse resp;
+    resp.ok = true;
+    resp.session_id = ++sessions_;
+    resp.message = "hello " + request.user;
+    return resp;
+  }
+  void Logoff(uint32_t) override {}
+  Result<protocol::WireResponse> Run(uint32_t, const std::string&) override {
+    ++entered_;
+    std::this_thread::sleep_for(std::chrono::milliseconds(run_ms_));
+    protocol::WireResponse resp;
+    resp.success.tag = "OK";
+    return resp;
+  }
+  int entered() const { return entered_.load(); }
+
+ private:
+  int run_ms_;
+  std::atomic<int> entered_{0};
+  std::atomic<uint32_t> sessions_{0};
+};
+
+// Reads the single error frame a shed connection receives and checks it is
+// a well-formed tdwp kResourceExhausted frame.
+void ExpectShedFrame(uint16_t port, const std::string& needle) {
+  auto raw = protocol::Socket::ConnectLocal(port);
+  ASSERT_TRUE(raw.ok());
+  auto frame = raw->ReadFrame();
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  ASSERT_EQ(frame->kind, protocol::MessageKind::kError);
+  auto err = protocol::DecodeError(frame->payload);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->code, static_cast<uint32_t>(StatusCode::kResourceExhausted));
+  EXPECT_NE(err->message.find(needle), std::string::npos) << err->message;
+  // Nothing further: the server hangs up after shedding.
+  EXPECT_FALSE(raw->ReadFrame().ok());
+}
+
+// Acceptance (b): queue depth N with N+k extra connections sheds exactly k,
+// each with a well-formed error frame, and everything queued gets served.
+TEST_F(FailoverTest, AdmissionQueueShedsExactlyBeyondDepth) {
+  BlockingHandler handler;
+  TdwpServerOptions options;
+  options.max_connections = 1;
+  options.admission_queue_depth = 2;
+  TdwpServer server(&handler, options);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // c1 occupies the only worker slot, blocked inside Run().
+  TdwpClient c1;
+  ASSERT_TRUE(c1.Connect(server.port()).ok());
+  ASSERT_TRUE(c1.Logon("u", "p").ok());
+  std::thread t1([&] {
+    auto r = c1.Run("SELECT 1");
+    EXPECT_TRUE(r.ok()) << r.status();
+  });
+  ASSERT_TRUE(WaitFor([&] { return handler.entered() == 1; }));
+
+  // c2 and c3 fill the admission queue (depth 2).
+  TdwpClient c2, c3;
+  ASSERT_TRUE(c2.Connect(server.port()).ok());
+  ASSERT_TRUE(c3.Connect(server.port()).ok());
+  ASSERT_TRUE(WaitFor([&] { return server.queued_connections() == 2; }));
+
+  // k = 2 connections beyond capacity + queue: shed, exactly those two.
+  ExpectShedFrame(server.port(), "capacity");
+  ExpectShedFrame(server.port(), "capacity");
+  EXPECT_EQ(server.stats().shed, 2);
+  EXPECT_EQ(server.rejected_connections(), 2);
+  EXPECT_EQ(server.stats().queued_peak, 2);
+
+  // Zero hangs: release the handler and every queued connection is served.
+  handler.Release(3);
+  t1.join();
+  c1.Goodbye();
+  for (TdwpClient* c : {&c2, &c3}) {
+    ASSERT_TRUE(c->Logon("u", "p").ok());
+    auto r = c->Run("SELECT 1");
+    ASSERT_TRUE(r.ok()) << r.status();
+    c->Goodbye();
+  }
+  EXPECT_EQ(server.stats().admitted, 3);
+  EXPECT_EQ(server.stats().shed, 2);  // unchanged
+  server.Stop();
+}
+
+TEST_F(FailoverTest, LowWatermarkHoldsSheddingUntilQueueDrains) {
+  BlockingHandler handler;
+  TdwpServerOptions options;
+  options.max_connections = 1;
+  options.admission_queue_depth = 3;
+  options.queue_low_watermark = 1;
+  TdwpServer server(&handler, options);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  TdwpClient c1;
+  ASSERT_TRUE(c1.Connect(server.port()).ok());
+  ASSERT_TRUE(c1.Logon("u", "p").ok());
+  std::thread t1([&] { (void)c1.Run("SELECT 1"); });
+  ASSERT_TRUE(WaitFor([&] { return handler.entered() == 1; }));
+
+  // Fill the queue to the high watermark: shedding turns on.
+  TdwpClient c2, c3, c4;
+  ASSERT_TRUE(c2.Connect(server.port()).ok());
+  ASSERT_TRUE(c3.Connect(server.port()).ok());
+  ASSERT_TRUE(c4.Connect(server.port()).ok());
+  ASSERT_TRUE(WaitFor([&] { return server.queued_connections() == 3; }));
+  ExpectShedFrame(server.port(), "capacity");
+
+  // Drain one: c1 finishes, c2 is admitted, queue drops to 2 — still above
+  // the low watermark, so the server keeps shedding (hysteresis).
+  handler.Release(1);
+  t1.join();
+  c1.Goodbye();
+  ASSERT_TRUE(WaitFor([&] {
+    return server.active_connections() == 1 &&
+           server.queued_connections() == 2;
+  }));
+  ExpectShedFrame(server.port(), "capacity");
+
+  // Drain below the low watermark: c2 leaves, c3 is admitted, queue is 1.
+  ASSERT_TRUE(c2.Logon("u", "p").ok());
+  c2.Goodbye();
+  ASSERT_TRUE(WaitFor([&] {
+    return server.active_connections() == 1 &&
+           server.queued_connections() == 1;
+  }));
+  // Shedding is off again: a new arrival queues instead of being refused.
+  TdwpClient c5;
+  ASSERT_TRUE(c5.Connect(server.port()).ok());
+  ASSERT_TRUE(WaitFor([&] { return server.queued_connections() == 2; }));
+  EXPECT_EQ(server.stats().shed, 2);
+  server.Stop();
+}
+
+// Acceptance (c): Stop(drain) answers the in-flight request, then refuses
+// new connections; stats separate drained from force-closed workers.
+TEST_F(FailoverTest, StopWithDrainCompletesInFlightRequests) {
+  SlowHandler handler(100);
+  TdwpServer server(&handler);
+  ASSERT_TRUE(server.Start(0).ok());
+  uint16_t port = server.port();
+
+  TdwpClient c1;
+  ASSERT_TRUE(c1.Connect(port).ok());
+  ASSERT_TRUE(c1.Logon("u", "p").ok());
+  bool got_response = false;
+  std::thread t1([&] {
+    auto r = c1.Run("SELECT 1");
+    got_response = r.ok() && r->tag == "OK";
+  });
+  ASSERT_TRUE(WaitFor([&] { return handler.entered() == 1; }));
+
+  server.Stop(/*drain_deadline_ms=*/2000);
+  t1.join();
+  EXPECT_TRUE(got_response) << "in-flight request must be answered";
+  EXPECT_EQ(server.stats().drained, 1);
+  EXPECT_EQ(server.stats().force_closed, 0);
+  // New connections are refused: the listener is gone.
+  EXPECT_FALSE(protocol::Socket::ConnectLocal(port).ok());
+}
+
+TEST_F(FailoverTest, StopDrainDeadlineForceClosesStragglers) {
+  SlowHandler handler(400);
+  TdwpServer server(&handler);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  TdwpClient c1;
+  ASSERT_TRUE(c1.Connect(server.port()).ok());
+  ASSERT_TRUE(c1.Logon("u", "p").ok());
+  std::thread t1([&] {
+    auto r = c1.Run("SELECT 1");
+    EXPECT_FALSE(r.ok()) << "connection was force-closed mid-request";
+  });
+  ASSERT_TRUE(WaitFor([&] { return handler.entered() == 1; }));
+
+  server.Stop(/*drain_deadline_ms=*/30);
+  EXPECT_EQ(server.stats().force_closed, 1);
+  EXPECT_EQ(server.stats().drained, 0);
+  t1.join();
+}
+
+TEST_F(FailoverTest, StopRefusesQueuedConnectionsWithCleanFrame) {
+  SlowHandler handler(200);
+  TdwpServerOptions options;
+  options.max_connections = 1;
+  options.admission_queue_depth = 2;
+  TdwpServer server(&handler, options);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  TdwpClient c1;
+  ASSERT_TRUE(c1.Connect(server.port()).ok());
+  ASSERT_TRUE(c1.Logon("u", "p").ok());
+  std::thread t1([&] {
+    auto r = c1.Run("SELECT 1");
+    EXPECT_TRUE(r.ok()) << r.status();  // drain lets it finish
+  });
+  ASSERT_TRUE(WaitFor([&] { return handler.entered() == 1; }));
+  auto queued = protocol::Socket::ConnectLocal(server.port());
+  ASSERT_TRUE(queued.ok());
+  ASSERT_TRUE(WaitFor([&] { return server.queued_connections() == 1; }));
+
+  server.Stop(/*drain_deadline_ms=*/2000);
+  t1.join();
+  // The queued connection never reached a worker: it gets a shutdown frame.
+  auto frame = queued->ReadFrame();
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  ASSERT_EQ(frame->kind, protocol::MessageKind::kError);
+  auto err = protocol::DecodeError(frame->payload);
+  ASSERT_TRUE(err.ok());
+  EXPECT_NE(err->message.find("shutting down"), std::string::npos);
+  EXPECT_EQ(server.stats().shed, 1);
+  EXPECT_EQ(server.stats().drained, 1);
+}
+
+// Satellite: a client that vanishes mid-request must not leak its worker or
+// its admission slot.
+TEST_F(FailoverTest, MidStreamClientDisconnectReleasesAdmissionSlot) {
+  SlowHandler handler(50);
+  TdwpServerOptions options;
+  options.max_connections = 1;  // a leaked slot would wedge the server
+  TdwpServer server(&handler, options);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  {
+    auto raw = protocol::Socket::ConnectLocal(server.port());
+    ASSERT_TRUE(raw.ok());
+    protocol::LogonRequest req{"ghost", "pw", "", "ASCII"};
+    protocol::Frame logon{protocol::MessageKind::kLogonRequest, 0,
+                          protocol::Encode(req)};
+    ASSERT_TRUE(raw->WriteFrame(logon).ok());
+    ASSERT_TRUE(raw->ReadFrame().ok());  // logon response
+    protocol::RunRequest run{"SELECT 1"};
+    protocol::Frame f{protocol::MessageKind::kRunRequest, 0,
+                      protocol::Encode(run)};
+    ASSERT_TRUE(raw->WriteFrame(f).ok());
+    ASSERT_TRUE(WaitFor([&] { return handler.entered() == 1; }));
+  }  // client disconnects while the request is in flight
+
+  // The worker finishes the request, fails the write, and abandons the
+  // connection — releasing its slot.
+  ASSERT_TRUE(WaitFor([&] { return server.active_connections() == 0; }));
+  auto st = server.stats();
+  EXPECT_EQ(st.admitted, 1);
+  EXPECT_EQ(st.shed, 0);
+
+  // The slot is genuinely free: with max_connections=1 a new client gets in.
+  TdwpClient next;
+  ASSERT_TRUE(next.Connect(server.port()).ok());
+  ASSERT_TRUE(next.Logon("u", "p").ok());
+  auto r = next.Run("SELECT 1");
+  ASSERT_TRUE(r.ok()) << r.status();
+  next.Goodbye();
+  server.Stop();
+  EXPECT_EQ(server.live_workers(), 0u);
+}
+
+TEST_F(FailoverTest, ServerAdmitFaultShedsArrivingConnection) {
+  SlowHandler handler(0);
+  TdwpServer server(&handler);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  FaultSpec spec;
+  spec.kind = FaultKind::kTransient;
+  spec.max_fires = 1;
+  FaultInjector::Global().Arm(faultpoints::kServerAdmit, spec);
+
+  auto raw = protocol::Socket::ConnectLocal(server.port());
+  ASSERT_TRUE(raw.ok());
+  auto frame = raw->ReadFrame();
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame->kind, protocol::MessageKind::kError);
+  EXPECT_EQ(server.stats().shed, 1);
+
+  // The fault is spent: the next connection is served normally.
+  TdwpClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  ASSERT_TRUE(client.Logon("u", "p").ok());
+  ASSERT_TRUE(client.Run("SELECT 1").ok());
+  client.Goodbye();
+  server.Stop();
+}
+
+TEST_F(FailoverTest, PerUserSessionCapRefusesExtraLogons) {
+  SlowHandler handler(0);
+  TdwpServerOptions options;
+  options.max_sessions_per_user = 1;
+  TdwpServer server(&handler, options);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  TdwpClient alice1;
+  ASSERT_TRUE(alice1.Connect(server.port()).ok());
+  ASSERT_TRUE(alice1.Logon("alice", "pw").ok());
+
+  // Second concurrent "alice" logon: refused, but the connection survives
+  // and can log on as someone else.
+  TdwpClient second;
+  ASSERT_TRUE(second.Connect(server.port()).ok());
+  auto refused = second.Logon("alice", "pw");
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.message().find("too many concurrent sessions"),
+            std::string::npos)
+      << refused;
+  EXPECT_EQ(server.stats().user_capped_logons, 1);
+  ASSERT_TRUE(second.Logon("bob", "pw").ok());
+  second.Goodbye();
+
+  // The cap frees with the session: alice can log on again after goodbye.
+  alice1.Goodbye();
+  ASSERT_TRUE(WaitFor([&] { return server.active_connections() == 0; }));
+  TdwpClient alice2;
+  ASSERT_TRUE(alice2.Connect(server.port()).ok());
+  ASSERT_TRUE(alice2.Logon("alice", "pw").ok());
+  alice2.Goodbye();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace hyperq
