@@ -9,11 +9,19 @@
 // <2% total overhead (≈0.5% translation, ≈1% conversion).
 //
 // Scale factor: HQ_TPCH_SF (default 0.01).
+//
+// The run also performs the translation-cache study (DESIGN.md §7): per
+// query, cold-path translation (cache disabled) vs steady-state hit-path
+// translation (cache warm), medians over repeated runs, written to
+// BENCH_tpch_overhead.json alongside the overhead aggregates.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "common/stopwatch.h"
 #include "convert/result_converter.h"
@@ -35,8 +43,9 @@ struct Fixture {
   std::unique_ptr<service::HyperQService> service;
   uint32_t sid = 0;
 
-  explicit Fixture(double sf) {
-    service = std::make_unique<service::HyperQService>(&engine);
+  explicit Fixture(double sf,
+                   service::ServiceOptions options = {}) {
+    service = std::make_unique<service::HyperQService>(&engine, options);
     auto s = service->OpenSession("tpch");
     if (!s.ok()) std::abort();
     sid = *s;
@@ -50,7 +59,124 @@ struct Fixture {
   }
 };
 
-void RunOverheadStudy(double sf) {
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2];
+}
+
+struct CacheStudyRow {
+  size_t query = 0;
+  double cold_us = 0;
+  double hit_us = 0;
+  bool cached = false;
+};
+
+/// Cold vs hit translation latency per TPC-H query. Cold numbers come
+/// from a cache-disabled service, hit numbers from a cache-enabled one
+/// after seeding — both via Translate(), so execution never pollutes the
+/// measurement.
+std::vector<CacheStudyRow> RunCacheStudy(double sf) {
+  Fixture warm(sf);
+  service::ServiceOptions off;
+  off.translation_cache.enabled = false;
+  Fixture cold(sf, off);
+  const auto& queries = workload::TpchQueries();
+
+  std::printf("\n=== Translation cache: cold vs hit translation latency "
+              "(median of 15) ===\n");
+  std::printf("%5s %12s %12s %9s %8s\n", "query", "cold(us)", "hit(us)",
+              "speedup", "cached");
+
+  constexpr int kIters = 15;
+  std::vector<CacheStudyRow> rows;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    CacheStudyRow row;
+    row.query = i + 1;
+    // Seed the template, then check the shape actually landed in the
+    // cache (emulated multi-statement shapes bypass it by design).
+    auto seeded = warm.service->Translate(queries[i], nullptr);
+    if (!seeded.ok()) std::abort();
+    int64_t hits_before = warm.service->translation_cache_stats().hits;
+    auto probe = warm.service->Translate(queries[i], nullptr);
+    if (!probe.ok()) std::abort();
+    row.cached =
+        warm.service->translation_cache_stats().hits > hits_before;
+
+    std::vector<double> cold_us, hit_us;
+    for (int it = 0; it < kIters; ++it) {
+      Stopwatch sw_cold;
+      auto c = cold.service->Translate(queries[i], nullptr);
+      if (!c.ok()) std::abort();
+      cold_us.push_back(sw_cold.ElapsedMicros());
+      Stopwatch sw_hit;
+      auto h = warm.service->Translate(queries[i], nullptr);
+      if (!h.ok()) std::abort();
+      hit_us.push_back(sw_hit.ElapsedMicros());
+    }
+    row.cold_us = Median(cold_us);
+    row.hit_us = Median(hit_us);
+    std::printf("%5zu %12.1f %12.1f %8.1fx %8s\n", row.query, row.cold_us,
+                row.hit_us, row.cold_us / row.hit_us,
+                row.cached ? "yes" : "no");
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void WriteBenchJson(double sf, const std::vector<CacheStudyRow>& rows,
+                    double sum_translate, double sum_execute,
+                    double sum_convert) {
+  const char* path = "BENCH_tpch_overhead.json";
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  double sum_total = sum_translate + sum_execute + sum_convert;
+  std::vector<double> speedups;
+  for (const auto& r : rows) {
+    if (r.cached && r.hit_us > 0) speedups.push_back(r.cold_us / r.hit_us);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"tpch_overhead\",\n");
+  std::fprintf(f, "  \"scale_factor\": %g,\n", sf);
+  std::fprintf(f, "  \"overhead\": {\n");
+  std::fprintf(f, "    \"translate_us\": %.1f,\n", sum_translate);
+  std::fprintf(f, "    \"execute_us\": %.1f,\n", sum_execute);
+  std::fprintf(f, "    \"convert_us\": %.1f,\n", sum_convert);
+  std::fprintf(f, "    \"overhead_pct\": %.3f\n",
+               sum_total > 0
+                   ? 100.0 * (sum_translate + sum_convert) / sum_total
+                   : 0.0);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"translation_cache\": {\n");
+  std::fprintf(f, "    \"cached_queries\": %zu,\n", speedups.size());
+  std::fprintf(f, "    \"bypassed_queries\": %zu,\n",
+               rows.size() - speedups.size());
+  std::fprintf(f, "    \"median_speedup\": %.2f,\n", Median(speedups));
+  std::fprintf(f, "    \"queries\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(f,
+                 "      {\"query\": %zu, \"cold_us\": %.1f, \"hit_us\": "
+                 "%.1f, \"cached\": %s}%s\n",
+                 r.query, r.cold_us, r.hit_us, r.cached ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n");
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (median hit-path speedup over cold translation: "
+              "%.1fx across %zu cached queries)\n",
+              path, Median(speedups), speedups.size());
+}
+
+struct OverheadSums {
+  double translate = 0, execute = 0, convert = 0;
+};
+
+OverheadSums RunOverheadStudy(double sf) {
   Fixture fx(sf);
   const auto& queries = workload::TpchQueries();
 
@@ -97,6 +223,7 @@ void RunOverheadStudy(double sf) {
               100.0 * sum_convert / sum_total);
   std::printf("  Hyper-Q overhead:      %29.2f%%  (paper: < 2%%)\n",
               100.0 * (sum_translate + sum_convert) / sum_total);
+  return {sum_translate, sum_execute, sum_convert};
 }
 
 // Micro-benchmark: full translation (no execution) of a representative
@@ -114,7 +241,10 @@ BENCHMARK(BM_TranslateTpchQ1);
 }  // namespace
 
 int main(int argc, char** argv) {
-  RunOverheadStudy(ScaleFactor());
+  double sf = ScaleFactor();
+  OverheadSums sums = RunOverheadStudy(sf);
+  std::vector<CacheStudyRow> cache_rows = RunCacheStudy(sf);
+  WriteBenchJson(sf, cache_rows, sums.translate, sums.execute, sums.convert);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

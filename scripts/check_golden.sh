@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Golden-corpus hygiene gate:
+#   * every tests/golden/*.sql has a sibling .expected (and vice versa —
+#     an orphan .expected is a stale file the suite no longer references),
+#   * no corpus file is empty.
+# `_schema.sql` is the shared DDL preamble and intentionally has no
+# .expected. The semantic check (expected text matches what the
+# translator emits today) lives in the `golden` ctest suite; regenerate
+# with HQ_REGEN_GOLDEN=1 after an intentional serializer change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dir=tests/golden
+fail=0
+
+shopt -s nullglob
+for sql in "$dir"/*.sql; do
+  base="${sql%.sql}"
+  [[ "$(basename "$sql")" == _schema.sql ]] && continue
+  if [[ ! -f "$base.expected" ]]; then
+    echo "check_golden: MISSING expected for $sql" >&2
+    fail=1
+  fi
+done
+for exp in "$dir"/*.expected; do
+  base="${exp%.expected}"
+  if [[ ! -f "$base.sql" ]]; then
+    echo "check_golden: ORPHAN (stale) $exp — no matching .sql" >&2
+    fail=1
+  fi
+done
+for f in "$dir"/*.sql "$dir"/*.expected; do
+  if [[ ! -s "$f" ]]; then
+    echo "check_golden: EMPTY $f" >&2
+    fail=1
+  fi
+done
+
+count=$(ls "$dir"/*.expected 2>/dev/null | wc -l)
+if (( count < 30 )); then
+  echo "check_golden: corpus shrank to $count cases (floor is 30)" >&2
+  fail=1
+fi
+
+if (( fail )); then
+  exit 1
+fi
+echo "check_golden: OK ($count cases)"

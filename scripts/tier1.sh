@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 gate: full build + test suite, plus (optionally) the resilience
-# suite under ASan+UBSan.
+# and translation-cache suites under ASan+UBSan.
 #
 #   scripts/tier1.sh            # standard build + ctest
 #   scripts/tier1.sh --asan     # also build build-asan/ and run the
-#                               # `faults` + `failover` suites under it
+#                               # `faults`, `failover`, `cache`, and
+#                               # `golden` suites under it
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,10 +14,13 @@ jobs=$(nproc 2>/dev/null || echo 4)
 cmake -B build -S .
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
+scripts/check_golden.sh
 
 if [[ "${1:-}" == "--asan" ]]; then
   cmake -B build-asan -S . -DHYPERQ_SANITIZE=address,undefined
   cmake --build build-asan -j "$jobs"
   ctest --test-dir build-asan --output-on-failure -L faults -j "$jobs"
   ctest --test-dir build-asan --output-on-failure -L failover -j "$jobs"
+  ctest --test-dir build-asan --output-on-failure -L cache -j "$jobs"
+  ctest --test-dir build-asan --output-on-failure -L golden -j "$jobs"
 fi

@@ -25,6 +25,7 @@ Status Catalog::CreateTable(TableDef table) {
     return Status::CatalogError("object '", table.name, "' already exists");
   }
   tables_.emplace(std::move(key), std::move(table));
+  BumpVersion();
   return Status::OK();
 }
 
@@ -32,6 +33,7 @@ Status Catalog::DropTable(const std::string& name) {
   if (tables_.erase(NormalizeName(name)) == 0) {
     return Status::CatalogError("table '", name, "' does not exist");
   }
+  BumpVersion();
   return Status::OK();
 }
 
@@ -53,6 +55,7 @@ Status Catalog::CreateView(ViewDef view) {
     return Status::CatalogError("object '", view.name, "' already exists");
   }
   views_.emplace(std::move(key), std::move(view));
+  BumpVersion();
   return Status::OK();
 }
 
@@ -60,6 +63,7 @@ Status Catalog::DropView(const std::string& name) {
   if (views_.erase(NormalizeName(name)) == 0) {
     return Status::CatalogError("view '", name, "' does not exist");
   }
+  BumpVersion();
   return Status::OK();
 }
 
@@ -81,6 +85,7 @@ Status Catalog::CreateMacro(MacroDef macro) {
     return Status::CatalogError("macro '", macro.name, "' already exists");
   }
   macros_.emplace(std::move(key), std::move(macro));
+  BumpVersion();
   return Status::OK();
 }
 
@@ -88,6 +93,7 @@ Status Catalog::DropMacro(const std::string& name) {
   if (macros_.erase(NormalizeName(name)) == 0) {
     return Status::CatalogError("macro '", name, "' does not exist");
   }
+  BumpVersion();
   return Status::OK();
 }
 

@@ -10,6 +10,8 @@
 
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -114,11 +116,22 @@ class Catalog {
   /// the single-database model ignores the qualifier.
   static std::string NormalizeName(const std::string& name);
 
+  /// \brief Monotonic schema version, bumped by every successful DDL
+  /// mutation. The translation cache keys on it so cached plans bound
+  /// against an older schema can never be replayed (invalidation by
+  /// versioned keys, plus an explicit sweep in the service layer).
+  int64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
  private:
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
+
   // Keys are upper-cased names.
   std::map<std::string, TableDef> tables_;
   std::map<std::string, ViewDef> views_;
   std::map<std::string, MacroDef> macros_;
+  std::atomic<int64_t> version_{1};
 };
 
 }  // namespace hyperq

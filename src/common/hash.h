@@ -1,0 +1,35 @@
+// FNV-1a hashing for cache keys and fingerprints. The translation cache
+// shards on these hashes and stores the full key alongside each entry, so
+// collisions cost a compare, never a wrong answer.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hyperq {
+
+constexpr uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+inline uint64_t Fnv1a64(std::string_view data,
+                        uint64_t seed = kFnvOffsetBasis) {
+  uint64_t h = seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  // Treat the second hash as a byte string continuation of the first.
+  uint64_t h = a;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (b >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace hyperq

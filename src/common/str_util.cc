@@ -7,8 +7,11 @@ namespace hyperq {
 
 std::string ToUpper(std::string_view s) {
   std::string out(s);
-  std::transform(out.begin(), out.end(), out.begin(),
-                 [](unsigned char c) { return std::toupper(c); });
+  // Branchless ASCII upcase; this sits on the lexer's per-token hot path,
+  // where the locale-aware std::toupper call is measurable.
+  for (char& c : out) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - ('a' - 'A'));
+  }
   return out;
 }
 

@@ -8,14 +8,22 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/features.h"
 #include "common/result.h"
+#include "sql/lexer.h"
 
 namespace hyperq::frontend {
 
 /// \brief Scans SQL-A text and records the Translation-class tracked
 /// features it uses into `features`.
 Status ScanTranslationFeatures(const std::string& sql, FeatureSet* features);
+
+/// \brief Token-stream variant: callers that already lexed the statement
+/// (the translation cache normalizer does) can reuse the stream instead of
+/// tokenizing a second time on the cold path.
+Status ScanTranslationFeatures(const std::vector<sql::Token>& tokens,
+                               FeatureSet* features);
 
 }  // namespace hyperq::frontend

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
 #include "common/stopwatch.h"
 #include "common/str_util.h"
 #include "emulation/macro.h"
@@ -13,12 +14,24 @@ namespace hyperq::service {
 using backend::BackendResult;
 using sql::StmtKind;
 
+namespace {
+// Copies the connector's retry accounting into the outcome's timing
+// breakdown so clients see attempts/backoff next to the Figure 9 split.
+void AbsorbResilienceStats(QueryOutcome* out) {
+  out->timing.execution_attempts += out->result.attempts;
+  out->timing.retry_backoff_micros += out->result.retry_backoff_micros;
+}
+}  // namespace
+
 HyperQService::HyperQService(vdb::Engine* engine, ServiceOptions options)
     : engine_(engine),
       options_(std::move(options)),
       transformer_(options_.profile),
       serializer_(options_.profile),
-      frontend_dialect_(sql::Dialect::Teradata()) {}
+      frontend_dialect_(sql::Dialect::Teradata()),
+      translation_cache_(options_.translation_cache),
+      profile_digest_(options_.profile.CacheKeyDigest()),
+      default_settings_digest_(SettingsDigest(SessionInfo())) {}
 
 HyperQService::~HyperQService() = default;
 
@@ -34,6 +47,7 @@ Result<uint32_t> HyperQService::OpenSession(
   session->connector = std::make_unique<backend::BackendConnector>(
       engine_, options_.connector);
   session->backend_epoch = session->connector->connection_epoch();
+  session->settings_digest = SettingsDigest(session->info);
   uint32_t id = session->id;
   std::lock_guard<std::mutex> lock(mutex_);
   sessions_.emplace(id, std::move(session));
@@ -54,6 +68,13 @@ void HyperQService::CloseSession(uint32_t session_id) {
     (void)session->connector->Execute("DROP TABLE IF EXISTS " + table);
     std::lock_guard<std::mutex> lock(mutex_);
     if (catalog_.HasTable(table)) (void)catalog_.DropTable(table);
+    auto it = volatile_names_.find(table);
+    if (it != volatile_names_.end() && --it->second <= 0) {
+      volatile_names_.erase(it);
+    }
+  }
+  if (!session->volatile_tables.empty()) {
+    InvalidateTranslationCacheAfterDdl();
   }
 }
 
@@ -79,6 +100,222 @@ void HyperQService::ResetStats() {
 ServiceResilienceStats HyperQService::resilience_stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return resilience_;
+}
+
+TranslationActivityStats HyperQService::translation_activity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return activity_;
+}
+
+// ---------------------------------------------------------------------------
+// Translation cache (DESIGN.md §7)
+// ---------------------------------------------------------------------------
+
+bool HyperQService::IsCacheableShape(const sql::NormalizedStatement& norm) {
+  if (norm.has_parameters) return false;
+  const std::string& k = norm.first_keyword;
+  // Single-statement query/DML pipeline shapes only. DDL, session
+  // commands, macros, MERGE, and WITH (recursive emulation) bypass.
+  return k == "SEL" || k == "SELECT" || k == "INS" || k == "INSERT" ||
+         k == "UPD" || k == "UPDATE" || k == "DEL" || k == "DELETE";
+}
+
+bool HyperQService::TouchesVolatileName(
+    const std::vector<std::string>& idents) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (volatile_names_.empty()) return false;
+  for (const std::string& id : idents) {
+    if (volatile_names_.count(id) > 0) return true;
+  }
+  return false;
+}
+
+uint64_t HyperQService::SettingsDigest(const SessionInfo& info) {
+  // Only settings that can change the produced SQL-B participate; user and
+  // session_id deliberately do not, so sessions with identical settings
+  // share cache entries.
+  uint64_t h = Fnv1a64(info.default_database);
+  h = Fnv1a64("\x1f", h);
+  h = Fnv1a64(info.charset, h);
+  h = Fnv1a64("\x1f", h);
+  h = Fnv1a64(info.transaction_semantics, h);
+  h = Fnv1a64("\x1f", h);
+  h = Fnv1a64(info.collation, h);
+  return h;
+}
+
+std::string HyperQService::MakeCacheKey(uint64_t settings_digest,
+                                        const sql::NormalizedStatement& norm,
+                                        int64_t catalog_version) const {
+  std::string key;
+  key.reserve(norm.template_sql.size() + norm.literal_signature.size() +
+              profile_digest_.size() + 48);
+  key += norm.template_sql;
+  key += '\x1f';
+  key += norm.literal_signature;
+  key += '\x1f';
+  key += profile_digest_;
+  key += '\x1f';
+  key += std::to_string(settings_digest);
+  key += '\x1f';
+  key += std::to_string(catalog_version);
+  return key;
+}
+
+Result<std::string> HyperQService::TranslatePipelineSql(
+    const std::string& sql_a) {
+  HQ_ASSIGN_OR_RETURN(sql::StatementPtr stmt,
+                      sql::ParseStatement(sql_a, frontend_dialect_));
+  switch (stmt->kind) {
+    case StmtKind::kSelect:
+    case StmtKind::kInsert:
+    case StmtKind::kUpdate:
+    case StmtKind::kDelete:
+      break;
+    default:
+      return Status::NotSupported("not a single pipeline statement");
+  }
+  binder::Binder binder(&catalog_, frontend_dialect_);
+  xtra::OpPtr plan;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    HQ_ASSIGN_OR_RETURN(plan, binder.BindStatement(*stmt));
+  }
+  FeatureSet fs = binder.features();
+  binder::ColIdGenerator ids;
+  for (int i = 0; i < 1000000; ++i) ids.Next();
+  HQ_RETURN_IF_ERROR(
+      transformer_.Run(transform::Stage::kBinding, &plan, &ids, &fs,
+                       &catalog_));
+  if (plan->kind == xtra::OpKind::kRecursiveCte) {
+    return Status::NotSupported("recursive emulation is not cacheable");
+  }
+  HQ_RETURN_IF_ERROR(
+      transformer_.Run(transform::Stage::kSerialization, &plan, &ids, &fs,
+                       &catalog_));
+  return serializer_.Serialize(*plan);
+}
+
+Result<CachedTranslation> HyperQService::BuildTemplateViaSentinels(
+    const sql::NormalizedStatement& norm, const std::string& sql_b,
+    std::vector<std::string>* sql_b_idents) {
+  if (norm.literals.empty()) {
+    return Status::NotSupported("no literals to disambiguate");
+  }
+  std::vector<sql::ExtractedLiteral> sentinels;
+  sentinels.reserve(norm.literals.size());
+  for (size_t k = 0; k < norm.literals.size(); ++k) {
+    sentinels.push_back(MakeSentinelLiteral(norm.literals[k], k));
+  }
+  HQ_ASSIGN_OR_RETURN(
+      std::string sentinel_sql,
+      SubstituteTemplateLiterals(norm.template_sql, sentinels));
+  HQ_ASSIGN_OR_RETURN(sql::NormalizedStatement sentinel_norm,
+                      sql::NormalizeStatement(sentinel_sql));
+  if (sentinel_norm.template_sql != norm.template_sql ||
+      sentinel_norm.literals.size() != norm.literals.size()) {
+    return Status::NotSupported("sentinel statement changed shape");
+  }
+  HQ_ASSIGN_OR_RETURN(std::string sentinel_sql_b,
+                      TranslatePipelineSql(sentinel_sql));
+  HQ_ASSIGN_OR_RETURN(
+      CachedTranslation built,
+      BuildTranslationTemplate(sentinel_sql_b, sentinel_norm, sql_b_idents));
+  // Slot modes carried over from the sentinels are correct (same token
+  // kind and typed-literal context), but the temporal-coercion guard must
+  // record what the REAL creator literals were canonical under.
+  for (TemplateSlot& slot : built.slots) {
+    if (slot.mode == sql::SpliceMode::kString) {
+      slot.temporal_mask =
+          sql::TemporalCanonicalMask(norm.literals[slot.param_index].text);
+    }
+  }
+  // End-to-end verification: splicing the original literals into the
+  // sentinel-derived template must reproduce the original translation
+  // byte-for-byte, or the template is rejected. This catches every
+  // divergence class at once (folding, reordering, coercion).
+  HQ_ASSIGN_OR_RETURN(std::string respliced,
+                      SpliceTranslationTemplate(built, norm));
+  if (respliced != sql_b) {
+    return Status::NotSupported("sentinel template failed verification");
+  }
+  return built;
+}
+
+void HyperQService::MaybeCacheTranslation(
+    const std::string& cache_key, const sql::NormalizedStatement& norm,
+    const std::string& sql_b, const FeatureSet& features,
+    int64_t catalog_version) {
+  // Emulation markers (e.g. the recursive-query comment) are not
+  // executable SQL-B and must never be replayed from the cache.
+  if (sql_b.rfind("--", 0) == 0) {
+    translation_cache_.RecordBypass();
+    return;
+  }
+  std::vector<std::string> sql_b_idents;
+  auto built = BuildTranslationTemplate(sql_b, norm, &sql_b_idents);
+  if (!built.ok()) {
+    // Direct site matching failed — usually duplicate literals. Probe
+    // with sentinel literals to recover the site mapping.
+    sql_b_idents.clear();
+    built = BuildTemplateViaSentinels(norm, sql_b, &sql_b_idents);
+  }
+  if (!built.ok()) {
+    translation_cache_.RecordBypass();
+    // Negative-cache the shape so permanently uncacheable statements do
+    // not pay the sentinel probe's second translation on every miss.
+    CachedTranslation marker;
+    marker.uncacheable = true;
+    marker.catalog_version = catalog_version;
+    translation_cache_.Insert(cache_key, std::move(marker));
+    return;
+  }
+  // A view or macro can smuggle a session-scoped volatile table into the
+  // serialized text even when SQL-A never names it.
+  if (TouchesVolatileName(sql_b_idents)) {
+    translation_cache_.RecordBypass();
+    return;
+  }
+  built->features = features;
+  built->catalog_version = catalog_version;
+  translation_cache_.Insert(cache_key, std::move(*built));
+}
+
+void HyperQService::InvalidateTranslationCacheAfterDdl() {
+  if (!options_.translation_cache.enabled) return;
+  // Versioned keys already make stale entries unreachable; the sweep
+  // reclaims their bytes and counts them as invalidations.
+  translation_cache_.InvalidateCatalogVersion(catalog_.version());
+}
+
+void HyperQService::RecordTranslationActivity(bool translate_path,
+                                              bool cache_hit, double micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (translate_path) {
+    ++activity_.translate_statements;
+  } else {
+    ++activity_.submit_statements;
+  }
+  if (cache_hit) ++activity_.cache_hits;
+  activity_.translate_micros += micros;
+}
+
+Result<QueryOutcome> HyperQService::ExecuteCachedStatement(
+    Session* session, const CachedTranslation& entry, std::string sql_b,
+    const Stopwatch& translation) {
+  translation_cache_.RecordHit();
+  QueryOutcome out;
+  out.features = entry.features;
+  out.timing.cache_hits = 1;
+  // The whole parse→bind→transform→serialize pipeline was skipped;
+  // translation cost is normalize + lookup + splice.
+  out.timing.translation_micros = translation.ElapsedMicros();
+  out.backend_sql.push_back(sql_b);
+  Stopwatch execution;
+  HQ_ASSIGN_OR_RETURN(out.result, session->connector->Execute(sql_b));
+  out.timing.execution_micros = execution.ElapsedMicros();
+  AbsorbResilienceStats(&out);
+  return out;
 }
 
 size_t HyperQService::journal_size(uint32_t session_id) const {
@@ -229,15 +466,6 @@ BackendResult HyperQService::PackageLocal(
   return out;
 }
 
-namespace {
-// Copies the connector's retry accounting into the outcome's timing
-// breakdown so clients see attempts/backoff next to the Figure 9 split.
-void AbsorbResilienceStats(QueryOutcome* out) {
-  out->timing.execution_attempts += out->result.attempts;
-  out->timing.retry_backoff_micros += out->result.retry_backoff_micros;
-}
-}  // namespace
-
 BackendResult HyperQService::CommandResult(const std::string& tag,
                                            int64_t activity) {
   BackendResult out;
@@ -270,16 +498,72 @@ Result<QueryOutcome> HyperQService::SubmitInternal(Session* session,
                                   "recursion?)");
   }
   Stopwatch translation;
+  HQ_ASSIGN_OR_RETURN(sql::NormalizedStatement norm,
+                      sql::NormalizeStatement(sql_a));
+
+  // Translation cache fast path: a repeat shape skips the whole
+  // parse→bind→transform→serialize pipeline (and the feature scan — the
+  // cached entry carries the cold run's feature footprint).
+  bool cache_candidate = false;
+  std::string cache_key;
+  int64_t catalog_version = 0;
+  if (options_.translation_cache.enabled) {
+    if (!IsCacheableShape(norm) ||
+        TouchesVolatileName(norm.identifiers)) {
+      translation_cache_.RecordBypass();
+    } else {
+      cache_candidate = true;
+      catalog_version = catalog_.version();
+      cache_key =
+          MakeCacheKey(session->settings_digest, norm, catalog_version);
+      if (auto entry = translation_cache_.Lookup(cache_key)) {
+        if (entry->uncacheable) {
+          // Negative marker: this shape was probed before and proven
+          // non-parameterizable. Translate cold, don't re-probe.
+          translation_cache_.RecordBypass();
+          cache_candidate = false;
+        } else if (auto spliced = SpliceTranslationTemplate(*entry, norm);
+                   spliced.ok()) {
+          auto outcome = ExecuteCachedStatement(session, *entry,
+                                                std::move(*spliced),
+                                                translation);
+          if (outcome.ok()) {
+            RecordTranslationActivity(/*translate_path=*/false,
+                                      /*cache_hit=*/true,
+                                      outcome->timing.translation_micros);
+          }
+          return outcome;
+        } else {
+          // This statement's literals cannot be safely spliced into the
+          // incumbent template (e.g. temporal-coercion guard); take the
+          // cold path without replacing the entry.
+          translation_cache_.RecordBypass();
+          cache_candidate = false;
+        }
+      }
+    }
+  }
+
   FeatureSet features;
   HQ_RETURN_IF_ERROR(
       frontend::ScanTranslationFeatures(sql_a, &features));
   HQ_ASSIGN_OR_RETURN(sql::StatementPtr stmt,
                       sql::ParseStatement(sql_a, frontend_dialect_));
   double parse_micros = translation.ElapsedMicros();
+  bool pipeline_kind = stmt->kind == StmtKind::kSelect ||
+                       stmt->kind == StmtKind::kInsert ||
+                       stmt->kind == StmtKind::kUpdate ||
+                       stmt->kind == StmtKind::kDelete;
   HQ_ASSIGN_OR_RETURN(
       QueryOutcome outcome,
       ExecuteStatement(session, *stmt, sql_a, std::move(features), depth));
   outcome.timing.translation_micros += parse_micros;
+  if (cache_candidate && pipeline_kind && outcome.backend_sql.size() == 1) {
+    MaybeCacheTranslation(cache_key, norm, outcome.backend_sql[0],
+                          outcome.features, catalog_version);
+  }
+  RecordTranslationActivity(/*translate_path=*/false, /*cache_hit=*/false,
+                            outcome.timing.translation_micros);
   return outcome;
 }
 
@@ -313,6 +597,7 @@ Result<QueryOutcome> HyperQService::ExecuteStatement(
         HQ_RETURN_IF_ERROR(catalog_.DropView(cv->view));
       }
       HQ_RETURN_IF_ERROR(catalog_.CreateView(std::move(view)));
+      InvalidateTranslationCacheAfterDdl();
       QueryOutcome out;
       out.result = CommandResult("CREATE VIEW");
       out.features = std::move(features);
@@ -322,6 +607,7 @@ Result<QueryOutcome> HyperQService::ExecuteStatement(
       std::lock_guard<std::mutex> lock(mutex_);
       HQ_RETURN_IF_ERROR(
           catalog_.DropView(stmt.As<sql::DropViewStatement>()->view));
+      InvalidateTranslationCacheAfterDdl();
       QueryOutcome out;
       out.result = CommandResult("DROP VIEW");
       out.features = std::move(features);
@@ -340,6 +626,7 @@ Result<QueryOutcome> HyperQService::ExecuteStatement(
       features.Record(Feature::kMacros);
       std::lock_guard<std::mutex> lock(mutex_);
       HQ_RETURN_IF_ERROR(catalog_.CreateMacro(std::move(macro)));
+      InvalidateTranslationCacheAfterDdl();
       QueryOutcome out;
       out.result = CommandResult("CREATE MACRO");
       out.features = std::move(features);
@@ -350,6 +637,7 @@ Result<QueryOutcome> HyperQService::ExecuteStatement(
       std::lock_guard<std::mutex> lock(mutex_);
       HQ_RETURN_IF_ERROR(
           catalog_.DropMacro(stmt.As<sql::DropMacroStatement>()->macro));
+      InvalidateTranslationCacheAfterDdl();
       QueryOutcome out;
       out.result = CommandResult("DROP MACRO");
       out.features = std::move(features);
@@ -378,6 +666,7 @@ Result<QueryOutcome> HyperQService::ExecuteStatement(
         combined.timing.retry_backoff_micros +=
             one.timing.retry_backoff_micros;
         combined.timing.execution_attempts += one.timing.execution_attempts;
+        combined.timing.cache_hits += one.timing.cache_hits;
         combined.features.Merge(one.features);
         combined.backend_sql.insert(combined.backend_sql.end(),
                                     one.backend_sql.begin(),
@@ -405,6 +694,7 @@ Result<QueryOutcome> HyperQService::ExecuteStatement(
         combined.timing.retry_backoff_micros +=
             one.timing.retry_backoff_micros;
         combined.timing.execution_attempts += one.timing.execution_attempts;
+        combined.timing.cache_hits += one.timing.cache_hits;
         combined.features.Merge(one.features);
         combined.backend_sql.insert(combined.backend_sql.end(),
                                     one.backend_sql.begin(),
@@ -435,6 +725,9 @@ Result<QueryOutcome> HyperQService::ExecuteStatement(
       features.Record(Feature::kSessionCommands);
       HQ_RETURN_IF_ERROR(emulation::ApplySetSession(
           *stmt.As<sql::SetSessionStatement>(), &session->info));
+      // New settings → new cache-key digest: every entry built under the
+      // old settings becomes unreachable for this session at once.
+      session->settings_digest = SettingsDigest(session->info);
       AppendJournal(session,
                     {JournalEntry::Kind::kSetSession, sql_a, ""});
       QueryOutcome out;
@@ -661,12 +954,16 @@ Result<QueryOutcome> HyperQService::HandleCreateTable(
       std::lock_guard<std::mutex> lock(mutex_);
       HQ_RETURN_IF_ERROR(catalog_.CreateTable(def));
     }
+    InvalidateTranslationCacheAfterDdl();
     QueryOutcome out;
     Stopwatch execution;
     auto ddl_result = session->connector->Execute(ddl);
     if (!ddl_result.ok()) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      (void)catalog_.DropTable(def.name);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        (void)catalog_.DropTable(def.name);
+      }
+      InvalidateTranslationCacheAfterDdl();
       return ddl_result.status();
     }
     out.backend_sql.push_back(ddl);
@@ -747,11 +1044,15 @@ Result<QueryOutcome> HyperQService::HandleCreateTable(
     std::lock_guard<std::mutex> lock(mutex_);
     HQ_RETURN_IF_ERROR(catalog_.CreateTable(def));
   }
+  InvalidateTranslationCacheAfterDdl();
   Stopwatch execution;
   auto exec_result = session->connector->Execute(ddl);
   if (!exec_result.ok()) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    (void)catalog_.DropTable(def.name);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      (void)catalog_.DropTable(def.name);
+    }
+    InvalidateTranslationCacheAfterDdl();
     return exec_result.status();
   }
   if (ct.volatile_table) {
@@ -761,6 +1062,11 @@ Result<QueryOutcome> HyperQService::HandleCreateTable(
     session->connector->NoteSessionTable(def.name);
     AppendJournal(session,
                   {JournalEntry::Kind::kTempTableDdl, ddl, def.name});
+    // Register the name globally: other sessions' cache lookups must
+    // bypass statements touching it (a cached plan may not leak a
+    // session-scoped table).
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++volatile_names_[def.name];
   }
   QueryOutcome out;
   out.backend_sql.push_back(ddl);
@@ -795,7 +1101,13 @@ Result<QueryOutcome> HyperQService::HandleDropTable(
     vt.erase(std::remove(vt.begin(), vt.end(), normalized), vt.end());
     session->connector->ForgetSessionTable(normalized);
     CompactJournal(session, normalized);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = volatile_names_.find(normalized);
+    if (it != volatile_names_.end() && --it->second <= 0) {
+      volatile_names_.erase(it);
+    }
   }
+  InvalidateTranslationCacheAfterDdl();
   QueryOutcome out;
   out.backend_sql.push_back(ddl);
   out.result = std::move(result);
@@ -869,11 +1181,69 @@ Result<QueryOutcome> HyperQService::SubmitScript(uint32_t session_id,
 
 Result<std::vector<std::string>> HyperQService::Translate(
     const std::string& sql_a, FeatureSet* features) {
+  return TranslateInternal(sql_a, features, 0);
+}
+
+Result<std::vector<std::string>> HyperQService::TranslateInternal(
+    const std::string& sql_a, FeatureSet* features, int depth) {
+  if (depth > 8) {
+    return Status::ExecutionError("statement expansion too deep (macro "
+                                  "recursion?)");
+  }
+  Stopwatch translation;
   FeatureSet local;
   FeatureSet* fs = features != nullptr ? features : &local;
+  HQ_ASSIGN_OR_RETURN(sql::NormalizedStatement norm,
+                      sql::NormalizeStatement(sql_a));
+
+  // Same cache protocol as the execute path (satellite: both entry points
+  // account translation uniformly). Translation-only requests carry no
+  // session, so they key on the default session settings.
+  bool cache_candidate = false;
+  std::string cache_key;
+  int64_t catalog_version = 0;
+  if (options_.translation_cache.enabled) {
+    if (!IsCacheableShape(norm) ||
+        TouchesVolatileName(norm.identifiers)) {
+      translation_cache_.RecordBypass();
+    } else {
+      cache_candidate = true;
+      catalog_version = catalog_.version();
+      cache_key =
+          MakeCacheKey(default_settings_digest_, norm, catalog_version);
+      if (auto entry = translation_cache_.Lookup(cache_key)) {
+        if (entry->uncacheable) {
+          // Negative marker: proven non-parameterizable, translate cold.
+          translation_cache_.RecordBypass();
+          cache_candidate = false;
+        } else if (auto spliced = SpliceTranslationTemplate(*entry, norm);
+                   spliced.ok()) {
+          translation_cache_.RecordHit();
+          fs->Merge(entry->features);
+          RecordTranslationActivity(/*translate_path=*/true,
+                                    /*cache_hit=*/true,
+                                    translation.ElapsedMicros());
+          return std::vector<std::string>{std::move(*spliced)};
+        } else {
+          translation_cache_.RecordBypass();
+          cache_candidate = false;
+        }
+      }
+    }
+  }
+
   HQ_RETURN_IF_ERROR(frontend::ScanTranslationFeatures(sql_a, fs));
   HQ_ASSIGN_OR_RETURN(sql::StatementPtr stmt,
                       sql::ParseStatement(sql_a, frontend_dialect_));
+  auto finish = [&](std::vector<std::string> out)
+      -> Result<std::vector<std::string>> {
+    if (cache_candidate && out.size() == 1) {
+      MaybeCacheTranslation(cache_key, norm, out[0], *fs, catalog_version);
+    }
+    RecordTranslationActivity(/*translate_path=*/true, /*cache_hit=*/false,
+                              translation.ElapsedMicros());
+    return out;
+  };
   std::vector<std::string> out;
   switch (stmt->kind) {
     case StmtKind::kSelect:
@@ -893,13 +1263,13 @@ Result<std::vector<std::string>> HyperQService::Translate(
                                           &ids, fs, &catalog_));
       if (plan->kind == xtra::OpKind::kRecursiveCte) {
         out.push_back("-- recursive query: emulated via temp tables");
-        return out;
+        return finish(std::move(out));
       }
       HQ_RETURN_IF_ERROR(transformer_.Run(transform::Stage::kSerialization,
                                           &plan, &ids, fs, &catalog_));
       HQ_ASSIGN_OR_RETURN(std::string sql_b, serializer_.Serialize(*plan));
       out.push_back(std::move(sql_b));
-      return out;
+      return finish(std::move(out));
     }
     case StmtKind::kMerge: {
       fs->Record(Feature::kMerge);
@@ -923,20 +1293,36 @@ Result<std::vector<std::string>> HyperQService::Translate(
         HQ_ASSIGN_OR_RETURN(std::string sql_b, serializer_.Serialize(*plan));
         out.push_back(std::move(sql_b));
       }
-      return out;
+      return finish(std::move(out));
     }
-    case StmtKind::kExecMacro:
+    case StmtKind::kExecMacro: {
+      // Expand the macro body and translate each statement; body
+      // statements are themselves cacheable even though EXEC is not.
       fs->Record(Feature::kMacros);
-      return out;
+      const auto* exec = stmt->As<sql::ExecMacroStatement>();
+      const MacroDef* macro;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        HQ_ASSIGN_OR_RETURN(macro, catalog_.GetMacro(exec->macro));
+      }
+      HQ_ASSIGN_OR_RETURN(std::vector<std::string> statements,
+                          emulation::ExpandMacro(*macro, *exec));
+      for (const std::string& body_sql : statements) {
+        HQ_ASSIGN_OR_RETURN(std::vector<std::string> sub,
+                            TranslateInternal(body_sql, fs, depth + 1));
+        out.insert(out.end(), sub.begin(), sub.end());
+      }
+      return finish(std::move(out));
+    }
     case StmtKind::kHelp:
     case StmtKind::kSetSession:
       fs->Record(Feature::kSessionCommands);
-      return out;
+      return finish(std::move(out));
     case StmtKind::kCollectStats:
       fs->Record(Feature::kStatsElimination);
-      return out;
+      return finish(std::move(out));
     default:
-      return out;
+      return finish(std::move(out));
   }
 }
 

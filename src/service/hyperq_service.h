@@ -26,11 +26,14 @@
 #include "catalog/catalog.h"
 #include "common/features.h"
 #include "common/result.h"
+#include "common/stopwatch.h"
 #include "convert/result_converter.h"
 #include "emulation/recursion.h"
 #include "emulation/session.h"
 #include "protocol/server.h"
 #include "serializer/serializer.h"
+#include "service/translation_cache.h"
+#include "sql/normalizer.h"
 #include "sql/parser.h"
 #include "transform/transformer.h"
 #include "vdb/engine.h"
@@ -51,6 +54,8 @@ struct TimingBreakdown {
   int execution_attempts = 0;       // total backend tries (0 = no backend)
   int failovers = 0;          // backend sessions re-established mid-request
   int journal_replays = 0;    // journal entries replayed during failover
+  int cache_hits = 0;         // statements served from the translation
+                              // cache (translation_micros ≈ splice cost)
 };
 
 /// \brief Result of one submitted SQL-A request.
@@ -78,6 +83,21 @@ struct ServiceOptions {
   int convert_parallelism = 2;
   bool batch_single_row_dml = true;  // §4.3 performance transformation
   FailoverOptions failover;
+  /// Translation cache knobs (DESIGN.md §7): repeated query shapes skip
+  /// the parse→bind→transform→serialize pipeline and only re-splice
+  /// literals into the cached SQL-B template.
+  TranslationCacheOptions translation_cache;
+};
+
+/// \brief Translation-path accounting, recorded uniformly by both entry
+/// points — the execute path (Submit/Run) and the translation-only API
+/// (Translate) — so cache behavior is observable wherever translation
+/// happens.
+struct TranslationActivityStats {
+  int64_t submit_statements = 0;     // statements translated via Submit/Run
+  int64_t translate_statements = 0;  // statements translated via Translate
+  int64_t cache_hits = 0;            // of the above, served by the cache
+  double translate_micros = 0;       // total translation time, both paths
 };
 
 /// \brief Service-wide resilience counters (tests and benches assert on
@@ -127,6 +147,14 @@ class HyperQService : public protocol::RequestHandler {
   /// Failover/overload counters (DESIGN.md §6).
   ServiceResilienceStats resilience_stats() const;
 
+  /// Translation cache counters (DESIGN.md §7).
+  TranslationCacheStats translation_cache_stats() const {
+    return translation_cache_.stats();
+  }
+
+  /// Per-entry-point translation accounting (Submit and Translate).
+  TranslationActivityStats translation_activity() const;
+
   /// \brief Replayable journal entries currently held for a session
   /// (observability/tests); 0 for unknown sessions.
   size_t journal_size(uint32_t session_id) const;
@@ -163,6 +191,11 @@ class HyperQService : public protocol::RequestHandler {
     std::vector<JournalEntry> journal;
     bool journal_overflow = false;
     int64_t backend_epoch = 1;  // last connector epoch we replayed up to
+    /// Digest of the translation-relevant session settings; part of the
+    /// translation cache key. SET SESSION recomputes it, which atomically
+    /// invalidates every cached plan built under the old settings while
+    /// letting sessions with identical settings share entries.
+    uint64_t settings_digest = 0;
   };
 
   Result<Session*> GetSession(uint32_t id);
@@ -185,6 +218,48 @@ class HyperQService : public protocol::RequestHandler {
                                         const sql::Statement& stmt,
                                         const std::string& sql_a,
                                         FeatureSet features, int depth);
+
+  // --- Translation cache (DESIGN.md §7) ---------------------------------
+  /// Statement kinds eligible for caching (single-statement query/DML
+  /// pipeline, no placeholders). Everything else bypasses.
+  static bool IsCacheableShape(const sql::NormalizedStatement& norm);
+  /// True when any identifier names a live volatile table of any session
+  /// (cached SQL-B must never smuggle a session-scoped name).
+  bool TouchesVolatileName(const std::vector<std::string>& idents) const;
+  std::string MakeCacheKey(uint64_t settings_digest,
+                           const sql::NormalizedStatement& norm,
+                           int64_t catalog_version) const;
+  /// Executes a cache hit: splice already done, pipeline fully skipped.
+  Result<QueryOutcome> ExecuteCachedStatement(
+      Session* session, const CachedTranslation& entry, std::string sql_b,
+      const Stopwatch& translation);
+  /// Cold-path insertion; counts a bypass when the statement turns out
+  /// not to be safely parameterizable.
+  void MaybeCacheTranslation(const std::string& cache_key,
+                             const sql::NormalizedStatement& norm,
+                             const std::string& sql_b,
+                             const FeatureSet& features,
+                             int64_t catalog_version);
+  /// Translation-only pipeline (parse -> bind -> transform -> serialize)
+  /// for a single query/DML statement; never executes anything. Used by
+  /// the sentinel re-translation probe.
+  Result<std::string> TranslatePipelineSql(const std::string& sql_a);
+  /// Second-chance template construction for statements whose literals
+  /// collide: re-translates with unique sentinel literals to discover the
+  /// site mapping, then verifies the template reproduces the original
+  /// SQL-B byte-for-byte before accepting it.
+  Result<CachedTranslation> BuildTemplateViaSentinels(
+      const sql::NormalizedStatement& norm, const std::string& sql_b,
+      std::vector<std::string>* sql_b_idents);
+  /// DDL hook: sweeps entries keyed to older catalog versions.
+  void InvalidateTranslationCacheAfterDdl();
+  static uint64_t SettingsDigest(const SessionInfo& info);
+  void RecordTranslationActivity(bool translate_path, bool cache_hit,
+                                 double micros);
+
+  Result<std::vector<std::string>> TranslateInternal(const std::string& sql_a,
+                                                     FeatureSet* features,
+                                                     int depth);
 
   // Query/DML path: bind -> transform -> serialize -> execute.
   Result<QueryOutcome> RunPipeline(Session* session,
@@ -219,6 +294,12 @@ class HyperQService : public protocol::RequestHandler {
   std::atomic<uint32_t> next_session_{1};
   WorkloadFeatureStats stats_;
   ServiceResilienceStats resilience_;
+
+  TranslationCache translation_cache_;
+  std::string profile_digest_;       // options_.profile.CacheKeyDigest()
+  uint64_t default_settings_digest_; // digest of a fresh SessionInfo
+  TranslationActivityStats activity_;           // guarded by mutex_
+  std::map<std::string, int> volatile_names_;   // guarded by mutex_
 };
 
 }  // namespace hyperq::service

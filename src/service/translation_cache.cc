@@ -1,0 +1,347 @@
+#include "service/translation_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/hash.h"
+#include "common/str_util.h"
+
+namespace hyperq::service {
+
+// ---------------------------------------------------------------------------
+// Template building
+// ---------------------------------------------------------------------------
+
+Result<CachedTranslation> BuildTranslationTemplate(
+    const std::string& sql_b, const sql::NormalizedStatement& norm,
+    std::vector<std::string>* sql_b_identifiers) {
+  HQ_ASSIGN_OR_RETURN(std::vector<sql::Token> tokens, sql::Tokenize(sql_b));
+  if (tokens.size() <= 1) {
+    return Status::NotSupported("translation produced no executable tokens");
+  }
+
+  // Literal tokens of the serialized statement, in textual order. The raw
+  // byte slice is compared, so string tokens carry their quotes and ''
+  // escapes exactly as the serializer emitted them.
+  struct LiteralSite {
+    size_t begin;
+    size_t end;
+    std::string raw;
+    bool claimed = false;
+  };
+  std::vector<LiteralSite> sites;
+  for (const sql::Token& t : tokens) {
+    switch (t.kind) {
+      case sql::TokenKind::kString:
+      case sql::TokenKind::kInteger:
+      case sql::TokenKind::kDecimal:
+      case sql::TokenKind::kFloat:
+        sites.push_back({t.begin_offset, t.end_offset,
+                         sql_b.substr(t.begin_offset,
+                                      t.end_offset - t.begin_offset)});
+        break;
+      case sql::TokenKind::kIdent:
+        if (sql_b_identifiers != nullptr) {
+          sql_b_identifiers->push_back(t.upper);
+        }
+        break;
+      case sql::TokenKind::kQuotedIdent:
+        if (sql_b_identifiers != nullptr) {
+          sql_b_identifiers->push_back(ToUpper(t.text));
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Each SQL-A literal must claim exactly one SQL-B literal site. A
+  // literal that was folded away matches zero sites; one duplicated by a
+  // rewrite, or colliding with a transform-introduced constant, matches
+  // more than one. Either way the statement is not safely parameterizable.
+  struct Claim {
+    size_t site;
+    TemplateSlot slot;
+  };
+  std::vector<Claim> claims;
+  claims.reserve(norm.literals.size());
+  for (size_t i = 0; i < norm.literals.size(); ++i) {
+    const sql::ExtractedLiteral& lit = norm.literals[i];
+    sql::SpliceMode mode = sql::NaturalSpliceMode(lit);
+    HQ_ASSIGN_OR_RETURN(std::string canonical,
+                        sql::RenderLiteralCanonical(lit, mode));
+    size_t found = sites.size();
+    int matches = 0;
+    for (size_t j = 0; j < sites.size(); ++j) {
+      if (!sites[j].claimed && sites[j].raw == canonical) {
+        ++matches;
+        found = j;
+      }
+    }
+    if (matches != 1) {
+      return Status::NotSupported(
+          "literal '", lit.text, "' maps to ", matches,
+          " serialized sites; statement is not parameterizable");
+    }
+    sites[found].claimed = true;
+    TemplateSlot slot;
+    slot.param_index = static_cast<int>(i);
+    slot.mode = mode;
+    if (mode == sql::SpliceMode::kString) {
+      slot.temporal_mask = sql::TemporalCanonicalMask(lit.text);
+    }
+    claims.push_back({found, slot});
+  }
+
+  std::sort(claims.begin(), claims.end(),
+            [&](const Claim& a, const Claim& b) {
+              return sites[a.site].begin < sites[b.site].begin;
+            });
+
+  CachedTranslation entry;
+  size_t cursor = 0;
+  for (const Claim& c : claims) {
+    const LiteralSite& site = sites[c.site];
+    entry.pieces.push_back(sql_b.substr(cursor, site.begin - cursor));
+    entry.slots.push_back(c.slot);
+    cursor = site.end;
+  }
+  entry.pieces.push_back(sql_b.substr(cursor));
+  return entry;
+}
+
+// ---------------------------------------------------------------------------
+// Splicing
+// ---------------------------------------------------------------------------
+
+Result<std::string> SpliceTranslationTemplate(
+    const CachedTranslation& entry, const sql::NormalizedStatement& norm) {
+  size_t piece_bytes = 0;
+  for (const std::string& p : entry.pieces) piece_bytes += p.size();
+  std::string out;
+  out.reserve(piece_bytes + entry.slots.size() * 16);
+  out += entry.pieces[0];
+  for (size_t k = 0; k < entry.slots.size(); ++k) {
+    const TemplateSlot& slot = entry.slots[k];
+    if (slot.param_index < 0 ||
+        static_cast<size_t>(slot.param_index) >= norm.literals.size()) {
+      return Status::Internal("template slot out of range");
+    }
+    const sql::ExtractedLiteral& lit = norm.literals[slot.param_index];
+    if (slot.mode == sql::SpliceMode::kString) {
+      // Temporal-coercion guard: if the creator's string was canonical
+      // under some temporal interpretation, the binder may have coerced
+      // that slot; this literal must then be canonical under the same
+      // interpretation or the cold path could have reformatted it.
+      uint8_t mask = slot.temporal_mask;
+      if (mask != 0 &&
+          (sql::TemporalCanonicalMask(lit.text) & mask) != mask) {
+        return Status::NotSupported(
+            "string literal '", lit.text,
+            "' is not canonical under the slot's temporal interpretation");
+      }
+    }
+    HQ_ASSIGN_OR_RETURN(std::string rendered,
+                        sql::RenderLiteralCanonical(lit, slot.mode));
+    out += rendered;
+    out += entry.pieces[k + 1];
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Sentinel disambiguation
+// ---------------------------------------------------------------------------
+
+sql::ExtractedLiteral MakeSentinelLiteral(
+    const sql::ExtractedLiteral& original, size_t slot) {
+  sql::ExtractedLiteral s;
+  s.kind = original.kind;
+  s.type_keyword = original.type_keyword;
+  // Values are chosen from ranges no real query uses so they cannot
+  // collide with transform-introduced constants; if one ever does, the
+  // exactly-one-match rule in BuildTranslationTemplate still catches it.
+  char buf[40];
+  switch (original.kind) {
+    case sql::TokenKind::kInteger:
+      s.text = std::to_string(880000001 + slot);
+      break;
+    case sql::TokenKind::kDecimal: {
+      size_t dot = original.text.find('.');
+      size_t scale =
+          dot == std::string::npos ? 0 : original.text.size() - dot - 1;
+      s.text = std::to_string(88000001 + slot);
+      s.text += '.';
+      s.text.append(scale, '7');
+      break;
+    }
+    case sql::TokenKind::kFloat:
+      s.text = "8.8" + std::to_string(100 + slot) + "e37";
+      break;
+    default: {  // kString, plain or typed
+      if (original.type_keyword == "DATE") {
+        std::snprintf(buf, sizeof(buf), "%04zu-%02zu-%02zu", 2185 + slot / 336,
+                      (slot / 28) % 12 + 1, slot % 28 + 1);
+        s.text = buf;
+      } else if (original.type_keyword == "TIME") {
+        std::snprintf(buf, sizeof(buf), "%02zu:%02zu:%02zu", slot % 24,
+                      (7 * slot + 1) % 60, (13 * slot + 2) % 60);
+        s.text = buf;
+      } else if (original.type_keyword == "TIMESTAMP") {
+        std::snprintf(buf, sizeof(buf), "%04zu-01-01 %02zu:%02zu:%02zu",
+                      2185 + slot / 24, slot % 24, (7 * slot + 1) % 60,
+                      (13 * slot + 2) % 60);
+        s.text = buf;
+      } else {
+        s.text = "HQSENTINEL" + std::to_string(slot);
+      }
+      break;
+    }
+  }
+  return s;
+}
+
+Result<std::string> SubstituteTemplateLiterals(
+    const std::string& template_sql,
+    const std::vector<sql::ExtractedLiteral>& literals) {
+  std::string out;
+  out.reserve(template_sql.size() + literals.size() * 24);
+  size_t next = 0;
+  bool in_string = false;
+  bool in_quoted_ident = false;
+  for (size_t i = 0; i < template_sql.size(); ++i) {
+    char c = template_sql[i];
+    if (c == '\'' && !in_quoted_ident) in_string = !in_string;
+    if (c == '"' && !in_string) in_quoted_ident = !in_quoted_ident;
+    if (c == '?' && !in_string && !in_quoted_ident) {
+      // Templates separate tokens with single spaces, so a literal
+      // placeholder is always a standalone '?' token.
+      bool alone = (i == 0 || template_sql[i - 1] == ' ') &&
+                   (i + 1 == template_sql.size() || template_sql[i + 1] == ' ');
+      if (!alone) {
+        return Status::Internal("malformed placeholder in template");
+      }
+      if (next >= literals.size()) {
+        return Status::Internal("more placeholders than literals");
+      }
+      const sql::ExtractedLiteral& lit = literals[next++];
+      if (lit.kind == sql::TokenKind::kString) {
+        out += QuoteSql(lit.text, '\'');
+      } else {
+        out += lit.text;
+      }
+      continue;
+    }
+    out += c;
+  }
+  if (next != literals.size()) {
+    return Status::Internal("fewer placeholders than literals");
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded LRU
+// ---------------------------------------------------------------------------
+
+TranslationCache::TranslationCache(const TranslationCacheOptions& options) {
+  int shard_count = std::max(1, options.shard_count);
+  shards_.reserve(shard_count);
+  for (int i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_budget_ = std::max<size_t>(1, options.max_bytes / shard_count);
+}
+
+TranslationCache::Shard& TranslationCache::ShardFor(const std::string& key) {
+  return *shards_[Fnv1a64(key) % shards_.size()];
+}
+
+std::shared_ptr<const CachedTranslation> TranslationCache::Lookup(
+    const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void TranslationCache::Insert(const std::string& key,
+                              CachedTranslation entry) {
+  entry.bytes = key.size() + sizeof(CachedTranslation) +
+                entry.slots.size() * sizeof(TemplateSlot);
+  for (const std::string& p : entry.pieces) entry.bytes += p.size();
+
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Racing cold translations of the same shape: keep the incumbent.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  size_t bytes = entry.bytes;
+  if (bytes > shard_budget_) return;  // would never fit; don't thrash
+  shard.lru.emplace_front(
+      key, std::make_shared<const CachedTranslation>(std::move(entry)));
+  shard.index.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+  ++shard.inserts;
+  while (shard.bytes > shard_budget_ && shard.lru.size() > 1) {
+    auto& victim = shard.lru.back();
+    shard.bytes -= victim.second->bytes;
+    shard.index.erase(victim.first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void TranslationCache::InvalidateCatalogVersion(int64_t current_version) {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->second->catalog_version != current_version) {
+        shard.bytes -= it->second->bytes;
+        shard.index.erase(it->first);
+        it = shard.lru.erase(it);
+        ++shard.invalidations;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+TranslationCacheStats TranslationCache::stats() const {
+  TranslationCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.bypasses = bypasses_.load(std::memory_order_relaxed);
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.evictions += shard.evictions;
+    out.invalidations += shard.invalidations;
+    out.inserts += shard.inserts;
+    out.entries += static_cast<int64_t>(shard.lru.size());
+    out.bytes += shard.bytes;
+  }
+  return out;
+}
+
+void TranslationCache::Clear() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+}  // namespace hyperq::service

@@ -1,0 +1,162 @@
+// Translation cache (DESIGN.md §7): the parse→bind→transform→serialize
+// pipeline sits on every request's critical path, yet BI workloads are
+// dominated by repeated query shapes that differ only in literals. The
+// cache maps a normalized SQL-A template (plus session settings, backend
+// profile, and catalog version) to the fully serialized SQL-B with the
+// literal positions cut out; a repeat shape skips the whole pipeline and
+// only re-splices its literals.
+//
+// Sharded LRU: the key hash picks a shard, each shard has its own mutex,
+// LRU list, and byte budget, so concurrent sessions hitting different
+// templates never contend on one lock.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/features.h"
+#include "common/result.h"
+#include "sql/normalizer.h"
+
+namespace hyperq::service {
+
+struct TranslationCacheOptions {
+  bool enabled = true;
+  /// Number of independently locked shards (clamped to >= 1).
+  int shard_count = 8;
+  /// Total byte budget across all shards; per-shard budget is the even
+  /// split. Entries are costed as template bytes + key bytes + overhead.
+  size_t max_bytes = 8u << 20;
+};
+
+struct TranslationCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;      // entries dropped for the byte budget
+  int64_t invalidations = 0;  // entries dropped by DDL sweeps
+  int64_t bypasses = 0;       // statements that skipped the cache
+  int64_t inserts = 0;
+  int64_t entries = 0;        // current resident entries
+  size_t bytes = 0;           // current resident bytes
+};
+
+/// \brief One parameter slot of a cached SQL-B template.
+struct TemplateSlot {
+  int param_index = 0;  // index into NormalizedStatement::literals
+  sql::SpliceMode mode = sql::SpliceMode::kString;
+  /// For kString slots: TemporalCanonicalMask of the creator's literal.
+  /// The binder may have silently coerced the creator's string into a
+  /// temporal literal; a replacement string must be canonical under every
+  /// interpretation the creator was canonical under, else the cold path
+  /// could have reformatted it and the splice would diverge. Violations
+  /// force a bypass.
+  uint8_t temporal_mask = 0;
+};
+
+/// \brief A fully serialized SQL-B statement with literal positions cut
+/// out, plus the feature footprint the cold translation recorded.
+struct CachedTranslation {
+  std::vector<std::string> pieces;  // pieces.size() == slots.size() + 1
+  std::vector<TemplateSlot> slots;  // in SQL-B textual order
+  FeatureSet features;
+  int64_t catalog_version = 0;
+  size_t bytes = 0;  // self-reported cost (filled by Insert)
+  /// Negative-cache marker: this shape was probed and proven
+  /// non-parameterizable (e.g. a literal folds away even under sentinel
+  /// re-translation). Callers treat a marker hit as a bypass, which keeps
+  /// permanently uncacheable shapes from paying the sentinel probe's
+  /// second translation on every single miss.
+  bool uncacheable = false;
+};
+
+/// \brief Builds a template from a cold translation: each extracted
+/// literal's canonical rendering must match exactly one literal token of
+/// `sql_b` (token-aware, so '1' never matches inside '100'). Statements
+/// where that bijection fails — a literal was folded, duplicated,
+/// reformatted, or collides with a transform-introduced constant — are
+/// not safely parameterizable and the caller must bypass the cache.
+/// `sql_b_identifiers`, when non-null, receives every upper-cased
+/// identifier of the SQL-B text (volatile-table leak checks).
+Result<CachedTranslation> BuildTranslationTemplate(
+    const std::string& sql_b, const sql::NormalizedStatement& norm,
+    std::vector<std::string>* sql_b_identifiers);
+
+/// \brief Renders a statement's literals into a cached template. Fails
+/// (bypass) when a literal cannot be rendered under its slot's mode or
+/// trips the temporal-coercion guard.
+Result<std::string> SpliceTranslationTemplate(
+    const CachedTranslation& entry, const sql::NormalizedStatement& norm);
+
+/// \brief A type-preserving stand-in for literal `slot`, whose canonical
+/// rendering is unique per slot index. A statement re-translated with
+/// sentinels in place of its literals reveals which serialized site each
+/// literal position feeds, which disambiguates statements whose original
+/// literals collide (e.g. the constant 1 appearing twice in TPC-H Q1).
+sql::ExtractedLiteral MakeSentinelLiteral(const sql::ExtractedLiteral& original,
+                                          size_t slot);
+
+/// \brief Rebuilds SQL-A text from a normalized template by substituting
+/// the k-th literal placeholder '?' with literals[k]. Quote-aware, so a
+/// '?' inside a retained string literal (INTERVAL values) or quoted
+/// identifier is never touched. Fails if placeholder and literal counts
+/// disagree.
+Result<std::string> SubstituteTemplateLiterals(
+    const std::string& template_sql,
+    const std::vector<sql::ExtractedLiteral>& literals);
+
+class TranslationCache {
+ public:
+  explicit TranslationCache(const TranslationCacheOptions& options);
+
+  /// \brief Returns the entry or nullptr; counts a miss on nullptr. The
+  /// caller reports the hit via RecordHit() once the splice succeeds.
+  std::shared_ptr<const CachedTranslation> Lookup(const std::string& key);
+
+  void Insert(const std::string& key, CachedTranslation entry);
+
+  /// \brief Drops every entry whose catalog_version differs from
+  /// `current_version` (DDL sweep; versioned keys already make them
+  /// unreachable, the sweep reclaims the bytes and counts them).
+  void InvalidateCatalogVersion(int64_t current_version);
+
+  void RecordHit() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordBypass() { bypasses_.fetch_add(1, std::memory_order_relaxed); }
+
+  TranslationCacheStats stats() const;
+  void Clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // Front = most recently used. The map stores list iterators.
+    std::list<std::pair<std::string, std::shared_ptr<const CachedTranslation>>>
+        lru;
+    std::unordered_map<
+        std::string,
+        std::list<std::pair<std::string,
+                            std::shared_ptr<const CachedTranslation>>>::
+            iterator>
+        index;
+    size_t bytes = 0;
+    int64_t evictions = 0;
+    int64_t invalidations = 0;
+    int64_t inserts = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_budget_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> bypasses_{0};
+};
+
+}  // namespace hyperq::service

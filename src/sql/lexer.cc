@@ -1,6 +1,7 @@
 #include "sql/lexer.h"
 
-#include <cctype>
+#include <array>
+#include <cstdint>
 
 #include "common/str_util.h"
 
@@ -12,241 +13,265 @@ bool Token::IsKeyword(const char* kw) const {
 
 namespace {
 
-bool IsIdentStart(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$' ||
-         c == '#';
-}
-bool IsIdentCont(char c) {
-  return IsIdentStart(c) || std::isdigit(static_cast<unsigned char>(c));
-}
-
-class LexerImpl {
- public:
-  explicit LexerImpl(const std::string& sql) : sql_(sql) {}
-
-  Result<std::vector<Token>> Run() {
-    std::vector<Token> out;
-    while (true) {
-      SkipWhitespaceAndComments();
-      if (AtEnd()) break;
-      HQ_ASSIGN_OR_RETURN(Token tok, Lex());
-      tok.end_offset = pos_;
-      out.push_back(std::move(tok));
-    }
-    Token eof;
-    eof.kind = TokenKind::kEof;
-    eof.line = line_;
-    eof.column = column_;
-    eof.begin_offset = pos_;
-    eof.end_offset = pos_;
-    out.push_back(std::move(eof));
-    return out;
-  }
-
- private:
-  bool AtEnd() const { return pos_ >= sql_.size(); }
-  char Cur() const { return sql_[pos_]; }
-  char LookAhead(size_t n = 1) const {
-    return pos_ + n < sql_.size() ? sql_[pos_ + n] : '\0';
-  }
-  void Advance() {
-    if (sql_[pos_] == '\n') {
-      ++line_;
-      column_ = 1;
-    } else {
-      ++column_;
-    }
-    ++pos_;
-  }
-
-  void SkipWhitespaceAndComments() {
-    while (!AtEnd()) {
-      char c = Cur();
-      if (std::isspace(static_cast<unsigned char>(c))) {
-        Advance();
-      } else if (c == '-' && LookAhead() == '-') {
-        while (!AtEnd() && Cur() != '\n') Advance();
-      } else if (c == '/' && LookAhead() == '*') {
-        Advance();
-        Advance();
-        while (!AtEnd() && !(Cur() == '*' && LookAhead() == '/')) Advance();
-        if (!AtEnd()) {
-          Advance();
-          Advance();
-        }
-      } else {
-        break;
-      }
-    }
-  }
-
-  Token Start(TokenKind kind) {
-    Token t;
-    t.kind = kind;
-    t.line = line_;
-    t.column = column_;
-    t.begin_offset = pos_;
-    return t;
-  }
-
-  Result<Token> Lex() {
-    char c = Cur();
-    if (IsIdentStart(c)) return LexIdent();
-    if (std::isdigit(static_cast<unsigned char>(c))) return LexNumber();
-    if (c == '.' && std::isdigit(static_cast<unsigned char>(LookAhead()))) {
-      return LexNumber();
-    }
-    if (c == '\'') return LexString();
-    if (c == '"') return LexQuotedIdent();
-    if (c == ':') return LexParam();
-    return LexOperator();
-  }
-
-  Result<Token> LexIdent() {
-    Token t = Start(TokenKind::kIdent);
-    while (!AtEnd() && IsIdentCont(Cur())) {
-      t.text += Cur();
-      Advance();
-    }
-    t.upper = ToUpper(t.text);
-    return t;
-  }
-
-  Result<Token> LexNumber() {
-    Token t = Start(TokenKind::kInteger);
-    bool saw_dot = false, saw_exp = false;
-    while (!AtEnd()) {
-      char c = Cur();
-      if (std::isdigit(static_cast<unsigned char>(c))) {
-        t.text += c;
-        Advance();
-      } else if (c == '.' && !saw_dot && !saw_exp) {
-        saw_dot = true;
-        t.text += c;
-        Advance();
-      } else if ((c == 'e' || c == 'E') && !saw_exp &&
-                 (std::isdigit(static_cast<unsigned char>(LookAhead())) ||
-                  ((LookAhead() == '+' || LookAhead() == '-') &&
-                   std::isdigit(static_cast<unsigned char>(LookAhead(2)))))) {
-        saw_exp = true;
-        t.text += c;
-        Advance();
-        if (Cur() == '+' || Cur() == '-') {
-          t.text += Cur();
-          Advance();
-        }
-      } else {
-        break;
-      }
-    }
-    t.kind = saw_exp ? TokenKind::kFloat
-                     : (saw_dot ? TokenKind::kDecimal : TokenKind::kInteger);
-    return t;
-  }
-
-  Result<Token> LexString() {
-    Token t = Start(TokenKind::kString);
-    Advance();  // opening quote
-    while (true) {
-      if (AtEnd()) {
-        return Status::SyntaxError("unterminated string literal at line ",
-                                   t.line);
-      }
-      char c = Cur();
-      if (c == '\'') {
-        if (LookAhead() == '\'') {  // '' escape
-          t.text += '\'';
-          Advance();
-          Advance();
-        } else {
-          Advance();
-          break;
-        }
-      } else {
-        t.text += c;
-        Advance();
-      }
-    }
-    return t;
-  }
-
-  Result<Token> LexQuotedIdent() {
-    Token t = Start(TokenKind::kQuotedIdent);
-    Advance();
-    while (true) {
-      if (AtEnd()) {
-        return Status::SyntaxError("unterminated quoted identifier at line ",
-                                   t.line);
-      }
-      char c = Cur();
-      if (c == '"') {
-        if (LookAhead() == '"') {
-          t.text += '"';
-          Advance();
-          Advance();
-        } else {
-          Advance();
-          break;
-        }
-      } else {
-        t.text += c;
-        Advance();
-      }
-    }
-    t.upper = ToUpper(t.text);
-    return t;
-  }
-
-  Result<Token> LexParam() {
-    Token t = Start(TokenKind::kParam);
-    Advance();  // ':'
-    if (AtEnd() || !IsIdentStart(Cur())) {
-      return Status::SyntaxError("expected parameter name after ':' at line ",
-                                 t.line);
-    }
-    while (!AtEnd() && IsIdentCont(Cur())) {
-      t.text += Cur();
-      Advance();
-    }
-    t.upper = ToUpper(t.text);
-    return t;
-  }
-
-  Result<Token> LexOperator() {
-    Token t = Start(TokenKind::kOperator);
-    static const char* kTwoChar[] = {"<=", ">=", "<>", "!=", "||", "**", "^="};
-    char c = Cur();
-    char n = LookAhead();
-    for (const char* op : kTwoChar) {
-      if (c == op[0] && n == op[1]) {
-        t.text = op;
-        t.upper = op;
-        Advance();
-        Advance();
-        return t;
-      }
-    }
-    static const std::string kSingle = "+-*/%(),.;=<>?[]";
-    if (kSingle.find(c) == std::string::npos) {
-      return Status::SyntaxError("unexpected character '", std::string(1, c),
-                                 "' at line ", line_, " column ", column_);
-    }
-    t.text = std::string(1, c);
-    t.upper = t.text;
-    Advance();
-    return t;
-  }
-
-  const std::string& sql_;
-  size_t pos_ = 0;
-  int line_ = 1;
-  int column_ = 1;
+// ASCII classification table: the lexer sits on the translation cache's
+// hit path, where per-character locale-aware <cctype> calls are measurable.
+enum CharClass : uint8_t {
+  kCcSpace = 1,
+  kCcDigit = 2,
+  kCcIdentStart = 4,
+  kCcIdentCont = 8,
 };
+
+constexpr std::array<uint8_t, 256> BuildCharClassTable() {
+  std::array<uint8_t, 256> t{};
+  for (int c = 0; c < 256; ++c) {
+    bool space = c == ' ' || c == '\t' || c == '\n' || c == '\r' ||
+                 c == '\f' || c == '\v';
+    bool digit = c >= '0' && c <= '9';
+    bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    bool ident_start = alpha || c == '_' || c == '$' || c == '#';
+    uint8_t v = 0;
+    if (space) v |= kCcSpace;
+    if (digit) v |= kCcDigit;
+    if (ident_start) v |= kCcIdentStart;
+    if (ident_start || digit) v |= kCcIdentCont;
+    t[c] = v;
+  }
+  return t;
+}
+
+constexpr std::array<uint8_t, 256> kCharClass = BuildCharClassTable();
+
+inline bool IsSpace(char c) {
+  return kCharClass[static_cast<unsigned char>(c)] & kCcSpace;
+}
+inline bool IsDigit(char c) {
+  return kCharClass[static_cast<unsigned char>(c)] & kCcDigit;
+}
+inline bool IsIdentStart(char c) {
+  return kCharClass[static_cast<unsigned char>(c)] & kCcIdentStart;
+}
+inline bool IsIdentCont(char c) {
+  return kCharClass[static_cast<unsigned char>(c)] & kCcIdentCont;
+}
+
+// Upper-cases `src` into *dst reusing dst's capacity (assign never
+// shrinks-to-fit), so a StreamLexer caller stays off the allocator.
+inline void UpperInto(const std::string& src, std::string* dst) {
+  dst->assign(src);
+  for (char& c : *dst) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - ('a' - 'A'));
+  }
+}
 
 }  // namespace
 
+void StreamLexer::Advance() {
+  if (sql_[pos_] == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  ++pos_;
+}
+
+void StreamLexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = Cur();
+    if (IsSpace(c)) {
+      Advance();
+    } else if (c == '-' && LookAhead() == '-') {
+      while (!AtEnd() && Cur() != '\n') Advance();
+    } else if (c == '/' && LookAhead() == '*') {
+      Advance();
+      Advance();
+      while (!AtEnd() && !(Cur() == '*' && LookAhead() == '/')) Advance();
+      if (!AtEnd()) {
+        Advance();
+        Advance();
+      }
+    } else {
+      break;
+    }
+  }
+}
+
+void StreamLexer::Start(Token* t, TokenKind kind) {
+  t->kind = kind;
+  t->line = line_;
+  t->column = column_;
+  t->begin_offset = pos_;
+}
+
+Status StreamLexer::Next(Token* t) {
+  SkipWhitespaceAndComments();
+  t->text.clear();
+  t->upper.clear();
+  if (AtEnd()) {
+    Start(t, TokenKind::kEof);
+    t->end_offset = pos_;
+    return Status::OK();
+  }
+  HQ_RETURN_IF_ERROR(Lex(t));
+  t->end_offset = pos_;
+  return Status::OK();
+}
+
+Status StreamLexer::Lex(Token* t) {
+  char c = Cur();
+  if (IsIdentStart(c)) return LexIdent(t);
+  if (IsDigit(c)) return LexNumber(t);
+  if (c == '.' && IsDigit(LookAhead())) return LexNumber(t);
+  if (c == '\'') return LexString(t);
+  if (c == '"') return LexQuotedIdent(t);
+  if (c == ':') return LexParam(t);
+  return LexOperator(t);
+}
+
+Status StreamLexer::LexIdent(Token* t) {
+  Start(t, TokenKind::kIdent);
+  size_t start = pos_;
+  while (!AtEnd() && IsIdentCont(Cur())) Advance();
+  t->text.assign(sql_, start, pos_ - start);
+  UpperInto(t->text, &t->upper);
+  return Status::OK();
+}
+
+Status StreamLexer::LexNumber(Token* t) {
+  Start(t, TokenKind::kInteger);
+  size_t start = pos_;
+  bool saw_dot = false, saw_exp = false;
+  while (!AtEnd()) {
+    char c = Cur();
+    if (IsDigit(c)) {
+      Advance();
+    } else if (c == '.' && !saw_dot && !saw_exp) {
+      saw_dot = true;
+      Advance();
+    } else if ((c == 'e' || c == 'E') && !saw_exp &&
+               (IsDigit(LookAhead()) ||
+                ((LookAhead() == '+' || LookAhead() == '-') &&
+                 IsDigit(LookAhead(2))))) {
+      saw_exp = true;
+      Advance();
+      if (Cur() == '+' || Cur() == '-') Advance();
+    } else {
+      break;
+    }
+  }
+  t->text.assign(sql_, start, pos_ - start);
+  t->kind = saw_exp ? TokenKind::kFloat
+                    : (saw_dot ? TokenKind::kDecimal : TokenKind::kInteger);
+  return Status::OK();
+}
+
+Status StreamLexer::LexString(Token* t) {
+  Start(t, TokenKind::kString);
+  Advance();  // opening quote
+  size_t chunk = pos_;
+  while (true) {
+    if (AtEnd()) {
+      return Status::SyntaxError("unterminated string literal at line ",
+                                 t->line);
+    }
+    if (Cur() == '\'') {
+      t->text.append(sql_, chunk, pos_ - chunk);
+      if (LookAhead() == '\'') {  // '' escape
+        t->text += '\'';
+        Advance();
+        Advance();
+        chunk = pos_;
+      } else {
+        Advance();
+        break;
+      }
+    } else {
+      Advance();
+    }
+  }
+  return Status::OK();
+}
+
+Status StreamLexer::LexQuotedIdent(Token* t) {
+  Start(t, TokenKind::kQuotedIdent);
+  Advance();
+  size_t chunk = pos_;
+  while (true) {
+    if (AtEnd()) {
+      return Status::SyntaxError("unterminated quoted identifier at line ",
+                                 t->line);
+    }
+    if (Cur() == '"') {
+      t->text.append(sql_, chunk, pos_ - chunk);
+      if (LookAhead() == '"') {
+        t->text += '"';
+        Advance();
+        Advance();
+        chunk = pos_;
+      } else {
+        Advance();
+        break;
+      }
+    } else {
+      Advance();
+    }
+  }
+  UpperInto(t->text, &t->upper);
+  return Status::OK();
+}
+
+Status StreamLexer::LexParam(Token* t) {
+  Start(t, TokenKind::kParam);
+  Advance();  // ':'
+  if (AtEnd() || !IsIdentStart(Cur())) {
+    return Status::SyntaxError("expected parameter name after ':' at line ",
+                               t->line);
+  }
+  size_t start = pos_;
+  while (!AtEnd() && IsIdentCont(Cur())) Advance();
+  t->text.assign(sql_, start, pos_ - start);
+  UpperInto(t->text, &t->upper);
+  return Status::OK();
+}
+
+Status StreamLexer::LexOperator(Token* t) {
+  Start(t, TokenKind::kOperator);
+  static const char* kTwoChar[] = {"<=", ">=", "<>", "!=", "||", "**", "^="};
+  char c = Cur();
+  char n = LookAhead();
+  for (const char* op : kTwoChar) {
+    if (c == op[0] && n == op[1]) {
+      t->text = op;
+      t->upper = op;
+      Advance();
+      Advance();
+      return Status::OK();
+    }
+  }
+  static const std::string kSingle = "+-*/%(),.;=<>?[]";
+  if (kSingle.find(c) == std::string::npos) {
+    return Status::SyntaxError("unexpected character '", std::string(1, c),
+                               "' at line ", line_, " column ", column_);
+  }
+  t->text.assign(1, c);
+  t->upper.assign(1, c);
+  Advance();
+  return Status::OK();
+}
+
 Result<std::vector<Token>> Tokenize(const std::string& sql) {
-  return LexerImpl(sql).Run();
+  StreamLexer lexer(sql);
+  std::vector<Token> out;
+  out.reserve(sql.size() / 4 + 4);
+  while (true) {
+    Token t;
+    HQ_RETURN_IF_ERROR(lexer.Next(&t));
+    bool eof = t.kind == TokenKind::kEof;
+    out.push_back(std::move(t));
+    if (eof) break;
+  }
+  return out;
 }
 
 bool TokenStream::ConsumeKeyword(const char* kw) {

@@ -43,6 +43,42 @@ struct Token {
 /// \brief Tokenizes SQL text; `--` and `/* */` comments are skipped.
 Result<std::vector<Token>> Tokenize(const std::string& sql);
 
+/// \brief Incremental lexer over `sql` (which must outlive the lexer).
+/// Next() refills the SAME Token, reusing its string capacity, so a
+/// caller that consumes tokens one at a time performs no per-token heap
+/// allocation. This is what keeps the translation cache's hit path off
+/// the allocator: NormalizeStatement streams tokens instead of
+/// materializing the vector that Tokenize() builds.
+class StreamLexer {
+ public:
+  explicit StreamLexer(const std::string& sql) : sql_(sql) {}
+
+  /// Lexes the next token into *t; sets kind kEof at end of input.
+  Status Next(Token* t);
+
+ private:
+  bool AtEnd() const { return pos_ >= sql_.size(); }
+  char Cur() const { return sql_[pos_]; }
+  char LookAhead(size_t n = 1) const {
+    return pos_ + n < sql_.size() ? sql_[pos_ + n] : '\0';
+  }
+  void Advance();
+  void SkipWhitespaceAndComments();
+  void Start(Token* t, TokenKind kind);
+  Status Lex(Token* t);
+  Status LexIdent(Token* t);
+  Status LexNumber(Token* t);
+  Status LexString(Token* t);
+  Status LexQuotedIdent(Token* t);
+  Status LexParam(Token* t);
+  Status LexOperator(Token* t);
+
+  const std::string& sql_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
 /// \brief Cursor over a token stream with the lookahead helpers every
 /// recursive-descent parser in the repo uses.
 class TokenStream {

@@ -2,6 +2,27 @@
 
 namespace hyperq::transform {
 
+std::string BackendProfile::CacheKeyDigest() const {
+  const bool bits[] = {
+      supports_qualify,          supports_implicit_join,
+      supports_named_expr_reuse, supports_derived_col_aliases,
+      supports_vector_subquery,  supports_quantified_subquery,
+      supports_grouping_sets,    supports_top_with_ties,
+      supports_recursive_cte,    supports_merge,
+      supports_macros,           supports_ordinal_group_by,
+      supports_date_int_comparison, supports_date_arithmetic,
+      supports_update_from,      supports_set_tables,
+      supports_global_temp_tables, supports_period_type,
+      supports_updatable_views,  supports_stored_procedures,
+      supports_case_insensitive_columns, supports_nonconstant_defaults,
+      nulls_sort_low,
+  };
+  std::string digest = name + ':';
+  digest.reserve(digest.size() + sizeof(bits) / sizeof(bits[0]));
+  for (bool b : bits) digest += b ? '1' : '0';
+  return digest;
+}
+
 BackendProfile BackendProfile::Vdb() {
   BackendProfile p;
   p.name = "vdb";

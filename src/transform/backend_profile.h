@@ -47,6 +47,12 @@ struct BackendProfile {
   // NULLS FIRST/LAST injected (the paper's silent-correctness class).
   bool nulls_sort_low = false;
 
+  /// \brief Compact digest of the full capability vector (name + every
+  /// feature switch). The translation cache keys on it: two profiles that
+  /// differ in any capability serialize differently and must not share
+  /// cached SQL-B templates, even if they share a name.
+  std::string CacheKeyDigest() const;
+
   /// \brief The embedded vdb engine (the default target in this repo).
   static BackendProfile Vdb();
 

@@ -1,0 +1,112 @@
+// Shared loader for the file-driven translation corpus in tests/golden/.
+//
+// Layout:
+//   _schema.sql      — catalog setup, ONE statement per line (macro bodies
+//                      contain ';', so the script splitter cannot be used)
+//   NN_name.sql      — one SQL-A statement
+//   NN_name.expected — the SQL-B translation(s), one per line
+//
+// Regeneration: run the golden suite with HQ_REGEN_GOLDEN=1 to rewrite the
+// .expected files from the current translator output, then diff-review.
+// scripts/check_golden.sh fails the build on unreferenced or stale files.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hyperq::golden {
+
+struct GoldenCase {
+  std::string name;           // file stem, e.g. "04_qualify_rank"
+  std::string sql;            // SQL-A statement
+  std::string expected_path;  // sibling .expected file
+  std::string expected;       // its contents ("" when missing)
+};
+
+inline std::string GoldenDir() {
+#ifdef HYPERQ_GOLDEN_DIR
+  return HYPERQ_GOLDEN_DIR;
+#else
+  return "tests/golden";
+#endif
+}
+
+inline std::string ReadTextFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+inline void WriteTextFile(const std::string& path,
+                          const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+inline bool RegenRequested() {
+  const char* v = std::getenv("HQ_REGEN_GOLDEN");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+/// Schema statements: non-empty, non-comment lines of _schema.sql.
+inline std::vector<std::string> SchemaStatements() {
+  std::vector<std::string> out;
+  std::istringstream in(ReadTextFile(GoldenDir() + "/_schema.sql"));
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty() || line.rfind("--", 0) == 0) continue;
+    out.push_back(line);
+  }
+  return out;
+}
+
+inline std::vector<GoldenCase> LoadGoldenCases() {
+  namespace fs = std::filesystem;
+  std::vector<GoldenCase> cases;
+  for (const auto& entry : fs::directory_iterator(GoldenDir())) {
+    if (!entry.is_regular_file()) continue;
+    fs::path p = entry.path();
+    if (p.extension() != ".sql" || p.stem() == "_schema") continue;
+    GoldenCase c;
+    c.name = p.stem().string();
+    c.sql = ReadTextFile(p.string());
+    // Trim trailing whitespace/newlines from the statement.
+    while (!c.sql.empty() &&
+           (c.sql.back() == '\n' || c.sql.back() == '\r' ||
+            c.sql.back() == ' ')) {
+      c.sql.pop_back();
+    }
+    c.expected_path = (p.parent_path() / (c.name + ".expected")).string();
+    if (fs::exists(c.expected_path)) {
+      c.expected = ReadTextFile(c.expected_path);
+    }
+    cases.push_back(std::move(c));
+  }
+  std::sort(cases.begin(), cases.end(),
+            [](const GoldenCase& a, const GoldenCase& b) {
+              return a.name < b.name;
+            });
+  return cases;
+}
+
+/// Canonical .expected rendering: translations joined by newlines.
+inline std::string JoinTranslations(const std::vector<std::string>& sqls) {
+  std::string out;
+  for (const std::string& s : sqls) {
+    out += s;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace hyperq::golden

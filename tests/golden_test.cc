@@ -10,9 +10,13 @@
 
 #include "binder/binder.h"
 #include "frontend/ast_printer.h"
+#include "golden_corpus.h"
 #include "serializer/serializer.h"
+#include "service/hyperq_service.h"
+#include "sql/normalizer.h"
 #include "sql/parser.h"
 #include "transform/transformer.h"
+#include "vdb/engine.h"
 #include "xtra/xtra.h"
 
 namespace hyperq {
@@ -217,6 +221,83 @@ TEST_F(GoldenTest, Example1FullPipeline) {
   EXPECT_NE(sql->find("SUM(") , std::string::npos) << *sql;
   EXPECT_NE(sql->find("+ 100"), std::string::npos) << *sql;         // chained
   EXPECT_EQ(sql->find("QUALIFY"), std::string::npos) << *sql;
+}
+
+// ---------------------------------------------------------------------------
+// File-driven translation-equivalence corpus (tests/golden/*.sql).
+// ---------------------------------------------------------------------------
+
+class GoldenCorpusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    service_ =
+        std::make_unique<service::HyperQService>(&engine_);
+    auto sid = service_->OpenSession("golden");
+    ASSERT_TRUE(sid.ok()) << sid.status();
+    sid_ = *sid;
+    for (const std::string& stmt : golden::SchemaStatements()) {
+      auto r = service_->Submit(sid_, stmt);
+      ASSERT_TRUE(r.ok()) << stmt << "\n" << r.status();
+    }
+    cases_ = golden::LoadGoldenCases();
+    ASSERT_GE(cases_.size(), 30u)
+        << "corpus shrank below the required breadth";
+  }
+
+  vdb::Engine engine_;
+  std::unique_ptr<service::HyperQService> service_;
+  uint32_t sid_ = 0;
+  std::vector<golden::GoldenCase> cases_;
+};
+
+// Every corpus statement translates, and the SQL-B matches the checked-in
+// .expected file byte-for-byte. HQ_REGEN_GOLDEN=1 rewrites the files.
+TEST_F(GoldenCorpusTest, TranslationsMatchExpected) {
+  bool regen = golden::RegenRequested();
+  for (const auto& c : cases_) {
+    auto translated = service_->Translate(c.sql, nullptr);
+    ASSERT_TRUE(translated.ok()) << c.name << "\n" << translated.status();
+    std::string joined = golden::JoinTranslations(*translated);
+    if (regen) {
+      golden::WriteTextFile(c.expected_path, joined);
+      continue;
+    }
+    ASSERT_FALSE(c.expected.empty())
+        << c.name << ": missing " << c.expected_path
+        << " (run with HQ_REGEN_GOLDEN=1 to create it)";
+    EXPECT_EQ(joined, c.expected) << c.name;
+  }
+}
+
+// Round-trip property: serialized SQL-B must re-parse under the target
+// grammar — a translation the target cannot parse is a translation bug.
+TEST_F(GoldenCorpusTest, SerializedSqlReparsesUnderTargetGrammar) {
+  for (const auto& c : cases_) {
+    auto translated = service_->Translate(c.sql, nullptr);
+    ASSERT_TRUE(translated.ok()) << c.name << "\n" << translated.status();
+    for (const std::string& sql_b : *translated) {
+      if (sql_b.rfind("--", 0) == 0) continue;  // emulation marker
+      auto reparsed = sql::ParseStatement(sql_b, sql::Dialect::Ansi());
+      EXPECT_TRUE(reparsed.ok())
+          << c.name << ": SQL-B does not re-parse under the ANSI grammar\n"
+          << sql_b << "\n" << reparsed.status();
+    }
+  }
+}
+
+// Normalization property: normalize(normalize(q)) == normalize(q). The
+// cache fingerprint must be a fixed point, or equal statements could land
+// on different keys.
+TEST_F(GoldenCorpusTest, NormalizationIsIdempotent) {
+  for (const auto& c : cases_) {
+    auto norm = sql::NormalizeStatement(c.sql);
+    ASSERT_TRUE(norm.ok()) << c.name << "\n" << norm.status();
+    auto again = sql::NormalizeStatement(norm->template_sql);
+    ASSERT_TRUE(again.ok()) << c.name << "\n" << again.status();
+    EXPECT_EQ(again->template_sql, norm->template_sql) << c.name;
+    EXPECT_TRUE(again->literals.empty())
+        << c.name << ": literals must not survive normalization";
+  }
 }
 
 }  // namespace
