@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 gate: full build + test suite, plus (optionally) the resilience
-# and translation-cache suites under ASan+UBSan.
+# Tier-1 gate: full build + test suite, plus (optionally) the resilience,
+# translation-cache, and lifecycle suites under sanitizers.
 #
 #   scripts/tier1.sh            # standard build + ctest
 #   scripts/tier1.sh --asan     # also build build-asan/ and run the
-#                               # `faults`, `failover`, `cache`, and
-#                               # `golden` suites under it
+#                               # `faults`, `failover`, `cache`, `golden`,
+#                               # and `lifecycle` suites under ASan+UBSan
+#   scripts/tier1.sh --tsan     # also build build-tsan/ and run the
+#                               # cross-thread suites (`lifecycle`,
+#                               # `faults`) under ThreadSanitizer
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,4 +26,15 @@ if [[ "${1:-}" == "--asan" ]]; then
   ctest --test-dir build-asan --output-on-failure -L failover -j "$jobs"
   ctest --test-dir build-asan --output-on-failure -L cache -j "$jobs"
   ctest --test-dir build-asan --output-on-failure -L golden -j "$jobs"
+  ctest --test-dir build-asan --output-on-failure -L lifecycle -j "$jobs"
+fi
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  # Cancellation is inherently cross-thread (kill/abort/drain race the
+  # worker and converter threads), so the lifecycle suite — including the
+  # chaos soak — must be clean under TSan, not just ASan.
+  cmake -B build-tsan -S . -DHYPERQ_SANITIZE=thread
+  cmake --build build-tsan -j "$jobs"
+  ctest --test-dir build-tsan --output-on-failure -L lifecycle -j "$jobs"
+  ctest --test-dir build-tsan --output-on-failure -L faults -j "$jobs"
 fi

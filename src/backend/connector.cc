@@ -53,24 +53,35 @@ void BackendConnector::OnSessionLost() {
   }
 }
 
-Result<BackendResult> BackendConnector::Execute(const std::string& sql) {
-  return ExecuteWithRetry(sql, /*is_script=*/false);
+Result<BackendResult> BackendConnector::Execute(const std::string& sql,
+                                                QueryContext* ctx) {
+  return ExecuteWithRetry(sql, /*is_script=*/false, ctx);
 }
 
 Result<BackendResult> BackendConnector::ExecuteScript(
-    const std::string& script) {
-  return ExecuteWithRetry(script, /*is_script=*/true);
+    const std::string& script, QueryContext* ctx) {
+  return ExecuteWithRetry(script, /*is_script=*/true, ctx);
 }
 
 Result<BackendResult> BackendConnector::ExecuteWithRetry(
-    const std::string& sql, bool is_script) {
+    const std::string& sql, bool is_script, QueryContext* ctx) {
   // One deadline spans every attempt of this logical request; retrying past
   // the client's time budget only amplifies load on a struggling backend.
   Deadline deadline = options_.request_deadline_ms > 0
                           ? Deadline::After(options_.request_deadline_ms)
                           : Deadline::Infinite();
+  if (ctx != nullptr && ctx->has_deadline()) {
+    Deadline from_ctx = ctx->deadline();
+    if (!deadline.has_deadline() ||
+        from_ctx.RemainingMillis() < deadline.RemainingMillis()) {
+      deadline = from_ctx;
+    }
+  }
   RetryStats stats;
   auto attempt = [&]() -> Result<BackendResult> {
+    // A cancelled request never touches the backend again: kCancelled is
+    // not retryable, so this surfaces straight through RetryCall.
+    if (ctx != nullptr) HQ_RETURN_IF_ERROR(ctx->CheckAlive());
     // A lost session reconnects transparently at the next attempt; the
     // epoch bump is what tells the service its journal must be replayed.
     if (session_down_.exchange(false, std::memory_order_relaxed)) {
@@ -92,18 +103,39 @@ Result<BackendResult> BackendConnector::ExecuteWithRetry(
     // Packaging faults (batch pulls, spills) are also retried: they map to
     // fetch-time failures of a real ODBC driver, and re-execution is the
     // only way to recover a half-fetched result.
-    return Package(std::move(result));
+    return Package(std::move(result), ctx);
+  };
+  // A governor shed (kResourceExhausted from the store's shed-or-spill
+  // policy) is a proxy-side admission decision, not a backend failure:
+  // re-executing the query against the same exhausted budget only amplifies
+  // backend load. Shield it from the retry loop with a non-retryable
+  // sentinel, then surface the original typed status.
+  Status shed_status = Status::OK();
+  auto shielded = [&]() -> Result<BackendResult> {
+    auto r = attempt();
+    if (!r.ok() && r.status().IsResourceExhausted()) {
+      shed_status = r.status();
+      return Status::Aborted("result shed by resource governor");
+    }
+    return r;
   };
   auto out =
-      RetryCall(options_.retry, deadline, &breaker_, &stats, attempt);
+      RetryCall(options_.retry, deadline, &breaker_, &stats, shielded);
+  if (!out.ok() && !shed_status.ok()) {
+    return shed_status;
+  }
   if (out.ok()) {
     out->attempts = stats.attempts;
     out->retry_backoff_micros = stats.backoff_micros;
+    if (ctx != nullptr && out->store != nullptr) {
+      ctx->AddSpillBytes(out->store->spilled_bytes());
+    }
   }
   return out;
 }
 
-Result<BackendResult> BackendConnector::Package(vdb::QueryResult result) {
+Result<BackendResult> BackendConnector::Package(vdb::QueryResult result,
+                                                QueryContext* ctx) {
   BackendResult out;
   out.affected_rows = result.affected_rows;
   out.command_tag = std::move(result.command_tag);
@@ -113,9 +145,14 @@ Result<BackendResult> BackendConnector::Package(vdb::QueryResult result) {
     out.columns.push_back({col.name, col.type});
   }
   out.store = std::make_shared<ResultStore>(options_.store_memory_budget,
-                                            options_.spill_dir);
+                                            options_.spill_dir,
+                                            options_.governor,
+                                            options_.session_tag);
   size_t i = 0;
   while (i < result.rows.size() || result.rows.empty()) {
+    // Cancellation is observed at every batch boundary: an abandoned fetch
+    // drops `out` and with it the store's spill files and governor bytes.
+    if (ctx != nullptr) HQ_RETURN_IF_ERROR(ctx->CheckAlive());
     HQ_FAULT_POINT(faultpoints::kConnectorFetchBatch);
     TdfWriter writer(out.columns);
     size_t end = std::min(result.rows.size(), i + options_.batch_rows);

@@ -18,6 +18,8 @@
 
 #include "backend/result_store.h"
 #include "backend/tdf.h"
+#include "common/query_context.h"
+#include "common/resource_governor.h"
 #include "common/result.h"
 #include "common/retry.h"
 #include "vdb/engine.h"
@@ -55,6 +57,12 @@ struct ConnectorOptions {
   /// Consecutive transient failures open the breaker; while open, requests
   /// fail fast with kUnavailable instead of stacking retries.
   CircuitBreakerOptions breaker;
+
+  /// Shared budget arbiter for ResultStore buffering (DESIGN.md §8);
+  /// null = unlimited (standalone connectors keep their old behaviour).
+  std::shared_ptr<ResourceGovernor> governor;
+  /// Attribution key for per-session governor budgets (0 = unattributed).
+  uint64_t session_tag = 0;
 };
 
 /// \brief Submits SQL-B requests to the target engine and packages results.
@@ -66,11 +74,16 @@ class BackendConnector {
                             ConnectorOptions options = {});
 
   /// \brief Executes one statement; rowset results are pulled into TDF
-  /// batches of `batch_rows` rows.
-  Result<BackendResult> Execute(const std::string& sql);
+  /// batches of `batch_rows` rows. `ctx` (optional) is polled at every
+  /// batch boundary, so a cancellation or deadline expiry stops the fetch
+  /// loop within one batch; the context's deadline also tightens the
+  /// cross-attempt retry deadline.
+  Result<BackendResult> Execute(const std::string& sql,
+                                QueryContext* ctx = nullptr);
 
   /// \brief Executes a multi-statement request; returns the last result.
-  Result<BackendResult> ExecuteScript(const std::string& script);
+  Result<BackendResult> ExecuteScript(const std::string& script,
+                                      QueryContext* ctx = nullptr);
 
   vdb::Engine* engine() { return engine_; }
   CircuitBreaker* breaker() { return &breaker_; }
@@ -98,8 +111,8 @@ class BackendConnector {
 
  private:
   Result<BackendResult> ExecuteWithRetry(const std::string& sql,
-                                         bool is_script);
-  Result<BackendResult> Package(vdb::QueryResult result);
+                                         bool is_script, QueryContext* ctx);
+  Result<BackendResult> Package(vdb::QueryResult result, QueryContext* ctx);
   /// Simulates the backend killing this session: drops session-scoped
   /// tables and marks the connection down until the next attempt.
   void OnSessionLost();

@@ -13,8 +13,13 @@ namespace {
 std::atomic<int64_t> g_store_counter{0};
 }
 
-ResultStore::ResultStore(size_t memory_budget_bytes, std::string spill_dir)
-    : memory_budget_(memory_budget_bytes), spill_dir_(std::move(spill_dir)) {
+ResultStore::ResultStore(size_t memory_budget_bytes, std::string spill_dir,
+                         std::shared_ptr<ResourceGovernor> governor,
+                         uint64_t session_tag)
+    : memory_budget_(memory_budget_bytes),
+      spill_dir_(std::move(spill_dir)),
+      governor_(std::move(governor)),
+      session_tag_(session_tag) {
   if (spill_dir_.empty()) {
     spill_dir_ = std::filesystem::temp_directory_path().string();
   }
@@ -25,29 +30,83 @@ ResultStore::~ResultStore() { Release(); }
 Status ResultStore::Append(std::vector<uint8_t> batch, size_t row_count) {
   total_rows_ += static_cast<int64_t>(row_count);
   Slot slot;
-  if (memory_bytes_ + batch.size() > memory_budget_ && !batch.empty()) {
-    // Spill this batch.
+  slot.size = batch.size();
+
+  // Shed-or-spill policy: memory first (local budget AND governor), then
+  // disk (governor spill budget), then a typed shed.
+  bool fits_local =
+      batch.empty() || memory_bytes_ + batch.size() <= memory_budget_;
+  bool use_memory = fits_local;
+  if (use_memory && governor_ && !batch.empty()) {
+    use_memory = governor_
+                     ->ReserveMemory(session_tag_,
+                                     static_cast<int64_t>(batch.size()))
+                     .ok();
+  }
+
+  if (use_memory) {
+    memory_bytes_ += batch.size();
+    slot.bytes = std::move(batch);
+  } else {
     HQ_FAULT_POINT(faultpoints::kStoreSpill);
-    std::string path = spill_dir_ + "/hyperq_spill_" +
-                       std::to_string(g_store_counter.fetch_add(1)) + "_" +
-                       std::to_string(next_file_++) + ".tdf";
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::IoError("cannot create spill file ", path);
+    if (governor_) {
+      Status reserved =
+          governor_->ReserveSpill(static_cast<int64_t>(batch.size()));
+      if (!reserved.ok()) {
+        governor_->NoteShed();
+        return reserved.WithContext("result shed: spill budget denied");
+      }
     }
+    Status spilled = SpillBatch(batch, &slot);
+    if (!spilled.ok()) {
+      if (governor_) {
+        governor_->ReleaseSpill(static_cast<int64_t>(batch.size()));
+      }
+      return spilled;
+    }
+    ++spilled_files_;
+    spilled_bytes_ += static_cast<int64_t>(batch.size());
+  }
+  in_memory_.push_back(std::move(slot));
+  return Status::OK();
+}
+
+Status ResultStore::SpillBatch(const std::vector<uint8_t>& batch, Slot* slot) {
+  std::string path = spill_dir_ + "/hyperq_spill_" +
+                     std::to_string(g_store_counter.fetch_add(1)) + "_" +
+                     std::to_string(next_file_++) + ".tdf";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot create spill file ", path);
+  }
+  Status write_ok = FaultInjector::Global().Check(faultpoints::kStoreSpillWrite);
+  if (write_ok.ok()) {
     out.write(reinterpret_cast<const char*>(batch.data()),
               static_cast<std::streamsize>(batch.size()));
     if (!out) {
-      return Status::IoError("short write to spill file ", path);
+      write_ok = Status::IoError("short write to spill file ", path,
+                                 " (disk full?)");
     }
-    slot.spilled = true;
-    slot.path = std::move(path);
-    ++spilled_files_;
-  } else {
-    memory_bytes_ += batch.size();
-    slot.bytes = std::move(batch);
   }
-  in_memory_.push_back(std::move(slot));
+  if (write_ok.ok()) {
+    // A buffered write can succeed while the flush at close fails (ENOSPC,
+    // EIO); an unchecked close here is how a spill silently loses a batch.
+    out.close();
+    if (out.fail()) {
+      write_ok = Status::IoError("close failed for spill file ", path,
+                                 " (flush error, disk full?)");
+    }
+  }
+  if (!write_ok.ok()) {
+    out.close();
+    std::remove(path.c_str());
+    return write_ok.code() == StatusCode::kIoError
+               ? write_ok
+               : Status::IoError(write_ok.message()).WithContext(
+                     "spill write failed for " + path);
+  }
+  slot->spilled = true;
+  slot->path = std::move(path);
   return Status::OK();
 }
 
@@ -64,6 +123,10 @@ Status ResultStore::Scan(
     }
     std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
                                std::istreambuf_iterator<char>());
+    if (bytes.size() != slot.size) {
+      return Status::IoError("truncated spill file ", slot.path, " (",
+                             bytes.size(), " of ", slot.size, " bytes)");
+    }
     HQ_RETURN_IF_ERROR(fn(bytes));
   }
   return Status::OK();
@@ -77,7 +140,13 @@ void ResultStore::Release() {
     }
   }
   in_memory_.clear();
+  if (governor_) {
+    governor_->ReleaseMemory(session_tag_,
+                             static_cast<int64_t>(memory_bytes_));
+    governor_->ReleaseSpill(spilled_bytes_);
+  }
   memory_bytes_ = 0;
+  spilled_bytes_ = 0;
 }
 
 }  // namespace hyperq::backend

@@ -2,14 +2,24 @@
 // cannot stream (e.g. it must announce the total row count first). Batches
 // beyond a memory budget spill to temporary files, which are kept until the
 // result is fully consumed and then removed.
+//
+// When attached to a ResourceGovernor (DESIGN.md §8) the store reserves
+// every buffered byte against the shared budgets and applies the
+// shed-or-spill policy: a batch denied proxy memory spills to disk instead,
+// and a batch denied spill-disk budget sheds the query with a typed
+// kResourceExhausted. Spill writes are checked end to end (write AND close);
+// a failed spill removes the partial file and surfaces kIoError rather than
+// silently losing the batch.
 
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/resource_governor.h"
 #include "common/result.h"
 
 namespace hyperq::backend {
@@ -20,28 +30,41 @@ class ResultStore {
   /// \param memory_budget_bytes in-memory cap before spilling
   /// \param spill_dir directory for spill files (created lazily); empty
   ///        uses the system temp directory
+  /// \param governor optional shared budget arbiter; reserved bytes are
+  ///        released by Release()/the destructor
+  /// \param session_tag attribution key for per-session governor budgets
+  ///        (0 = unattributed)
   explicit ResultStore(size_t memory_budget_bytes = 16 << 20,
-                       std::string spill_dir = "");
+                       std::string spill_dir = "",
+                       std::shared_ptr<ResourceGovernor> governor = nullptr,
+                       uint64_t session_tag = 0);
   ~ResultStore();
 
   ResultStore(const ResultStore&) = delete;
   ResultStore& operator=(const ResultStore&) = delete;
-  ResultStore(ResultStore&&) = default;
+  // Moving would double-release governor reservations; stores live behind
+  // shared_ptr anyway.
+  ResultStore(ResultStore&&) = delete;
 
-  /// \brief Appends one encoded TDF batch.
+  /// \brief Appends one encoded TDF batch. Policy: memory if both the local
+  /// budget and the governor admit it, else spill (governor-bounded), else
+  /// shed (kResourceExhausted). Spill I/O failures surface as kIoError.
   Status Append(std::vector<uint8_t> batch, size_t row_count);
 
   int64_t total_rows() const { return total_rows_; }
   size_t batch_count() const { return in_memory_.size(); }
   size_t spilled_batches() const { return spilled_files_; }
   size_t memory_bytes() const { return memory_bytes_; }
+  /// \brief Bytes currently spilled to disk by this store.
+  int64_t spilled_bytes() const { return spilled_bytes_; }
 
   /// \brief Visits every batch in append order (spilled batches are read
   /// back from disk). The store stays valid for repeated scans.
   Status Scan(
       const std::function<Status(const std::vector<uint8_t>&)>& fn) const;
 
-  /// \brief Deletes spill files; called by the destructor.
+  /// \brief Deletes spill files and returns every reserved byte to the
+  /// governor; idempotent; called by the destructor.
   void Release();
 
  private:
@@ -49,13 +72,19 @@ class ResultStore {
     bool spilled = false;
     std::vector<uint8_t> bytes;  // when in memory
     std::string path;            // when spilled
+    size_t size = 0;             // payload bytes (for governor release)
   };
+
+  Status SpillBatch(const std::vector<uint8_t>& batch, Slot* slot);
 
   size_t memory_budget_;
   std::string spill_dir_;
+  std::shared_ptr<ResourceGovernor> governor_;
+  uint64_t session_tag_ = 0;
   std::vector<Slot> in_memory_;  // all slots, in append order
   size_t memory_bytes_ = 0;
   size_t spilled_files_ = 0;
+  int64_t spilled_bytes_ = 0;
   int64_t total_rows_ = 0;
   int64_t next_file_ = 0;
 };

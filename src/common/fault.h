@@ -40,6 +40,9 @@ inline constexpr const char* kServerAdmit = "server.admit";
 // Result-path points: kill a request mid-result-stream.
 inline constexpr const char* kConvertEncodeRow = "convert.encode_row";
 inline constexpr const char* kTdfAppend = "tdf.append";
+// Lifecycle/governance points (PR 4). kStoreSpillWrite fires inside the
+// checked spill write path (simulates ENOSPC/EIO on the spill volume).
+inline constexpr const char* kStoreSpillWrite = "store.spill_write";
 }  // namespace faultpoints
 
 enum class FaultKind {

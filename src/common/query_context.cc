@@ -1,0 +1,122 @@
+#include "common/query_context.h"
+
+namespace hyperq {
+
+const char* CancelCauseName(CancelCause cause) {
+  switch (cause) {
+    case CancelCause::kNone:
+      return "none";
+    case CancelCause::kClientAbort:
+      return "client_abort";
+    case CancelCause::kClientGone:
+      return "client_gone";
+    case CancelCause::kKill:
+      return "kill";
+    case CancelCause::kDrain:
+      return "drain";
+    case CancelCause::kDeadline:
+      return "deadline";
+  }
+  return "unknown";
+}
+
+void QueryContext::Cancel(CancelCause cause, Status reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cancelled_.load(std::memory_order_relaxed)) return;  // first wins
+  cause_ = cause;
+  reason_ = reason.ok()
+                ? Status::Cancelled("query cancelled (", CancelCauseName(cause),
+                                    ")")
+                : std::move(reason);
+  cancelled_.store(true, std::memory_order_release);
+}
+
+CancelCause QueryContext::cause() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cause_;
+}
+
+void QueryContext::SetDeadline(Deadline deadline) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  deadline_ = deadline;
+}
+
+void QueryContext::TightenDeadline(Deadline deadline) {
+  if (!deadline.has_deadline()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!deadline_.has_deadline() ||
+      deadline.RemainingMillis() < deadline_.RemainingMillis()) {
+    deadline_ = deadline;
+  }
+}
+
+Deadline QueryContext::deadline() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return deadline_;
+}
+
+bool QueryContext::has_deadline() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return deadline_.has_deadline();
+}
+
+void QueryContext::BeginDrain(Deadline deadline) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  draining_ = true;
+  drain_deadline_ = deadline;
+}
+
+void QueryContext::SetClientProbe(ClientProbe probe) {
+  std::lock_guard<std::mutex> lock(probe_mutex_);
+  probe_ = std::move(probe);
+}
+
+void QueryContext::ClearClientProbe() {
+  std::lock_guard<std::mutex> lock(probe_mutex_);
+  probe_ = nullptr;
+}
+
+Status QueryContext::CancelledStatus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reason_;
+}
+
+Status QueryContext::CheckAlive() {
+  if (cancelled()) return CancelledStatus();
+
+  bool deadline_hit = false;
+  bool drain_hit = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    deadline_hit = deadline_.Expired();
+    drain_hit = draining_ && drain_deadline_.Expired();
+  }
+  if (deadline_hit) {
+    Cancel(CancelCause::kDeadline,
+           Status::DeadlineExceeded("query deadline expired"));
+    return CancelledStatus();
+  }
+  if (drain_hit) {
+    Cancel(CancelCause::kDrain,
+           Status::Cancelled("query cancelled: server draining for shutdown "
+                             "and the drain deadline elapsed"));
+    return CancelledStatus();
+  }
+
+  // Client liveness: a cheap non-blocking poll of the connection. Probing
+  // reads the client socket, so concurrent checkers (parallel converter
+  // workers) skip rather than stack up on it.
+  if (probe_mutex_.try_lock()) {
+    Status probed;
+    CancelCause cause = CancelCause::kClientGone;
+    if (probe_) probed = probe_(&cause);
+    probe_mutex_.unlock();
+    if (!probed.ok()) {
+      Cancel(cause, std::move(probed));
+      return CancelledStatus();
+    }
+  }
+  return cancelled() ? CancelledStatus() : Status::OK();
+}
+
+}  // namespace hyperq

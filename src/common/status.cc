@@ -34,6 +34,8 @@ const char* StatusCodeName(StatusCode code) {
       return "session_lost";
     case StatusCode::kAborted:
       return "aborted";
+    case StatusCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

@@ -38,6 +38,10 @@ enum class StatusCode : int {
   // the connector surfaces it to the service instead of retrying in place.
   kSessionLost,  // backend session/connection died; state must be replayed
   kAborted,      // statement cannot be transparently re-run (open txn)
+  // Lifecycle taxonomy (DESIGN.md §8): a request stopped on purpose —
+  // client abort frame, client disconnect, operator kill, or server drain.
+  // Deliberately NOT retryable: the caller asked for the work to stop.
+  kCancelled,
 };
 
 /// \brief Returns a stable lower-case name for a status code, e.g.
@@ -97,6 +101,7 @@ class Status {
   }
   bool IsSessionLost() const { return code() == StatusCode::kSessionLost; }
   bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// \brief True when the failure is transient and the operation may
   /// succeed if simply tried again (the retry layer's admission test).
@@ -172,6 +177,10 @@ class Status {
   template <typename... Args>
   static Status Aborted(Args&&... args) {
     return Make(StatusCode::kAborted, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Cancelled(Args&&... args) {
+    return Make(StatusCode::kCancelled, std::forward<Args>(args)...);
   }
 
  private:

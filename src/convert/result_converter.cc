@@ -12,7 +12,7 @@ ResultConverter::ResultConverter(int parallelism, size_t rows_per_batch)
       rows_per_batch_(std::max<size_t>(1, rows_per_batch)) {}
 
 Result<ConversionResult> ResultConverter::Convert(
-    const backend::BackendResult& result) const {
+    const backend::BackendResult& result, QueryContext* ctx) const {
   ConversionResult out;
   if (!result.is_rowset()) return out;
 
@@ -35,6 +35,15 @@ Result<ConversionResult> ResultConverter::Convert(
   std::vector<Status> statuses(nbatches);
   auto encode_range = [&](size_t begin_batch, size_t end_batch) {
     for (size_t b = begin_batch; b < end_batch; ++b) {
+      // CheckAlive is safe from parallel workers: concurrent callers skip
+      // the client probe instead of contending on the socket.
+      if (ctx != nullptr) {
+        Status alive = ctx->CheckAlive();
+        if (!alive.ok()) {
+          statuses[b] = std::move(alive);
+          return;
+        }
+      }
       size_t row_begin = b * rows_per_batch_;
       size_t row_end = std::min(rows.size(), row_begin + rows_per_batch_);
       BufferWriter w;

@@ -32,9 +32,11 @@ class ResultConverter {
   /// \param rows_per_batch records per wire batch
   explicit ResultConverter(int parallelism = 2, size_t rows_per_batch = 2048);
 
-  /// \brief Converts a backend (TDF) result into wire batches.
-  Result<ConversionResult> Convert(
-      const backend::BackendResult& result) const;
+  /// \brief Converts a backend (TDF) result into wire batches. `ctx`
+  /// (optional) is polled at every batch boundary by each encode worker,
+  /// so a cancellation stops conversion within one batch.
+  Result<ConversionResult> Convert(const backend::BackendResult& result,
+                                   QueryContext* ctx = nullptr) const;
 
  private:
   int parallelism_;

@@ -62,8 +62,8 @@ OpPtr ReplaceCteRefs(const Op& plan, const std::string& cte,
 
 Status RecursionDriver::Run(const std::string& what, const std::string& sql,
                             std::vector<RecursionStep>* trace,
-                            int64_t* affected) {
-  auto result = connector_->Execute(sql);
+                            int64_t* affected, QueryContext* ctx) {
+  auto result = connector_->Execute(sql, ctx);
   if (!result.ok()) {
     return result.status().WithContext("recursion emulation step '" + what +
                                        "'");
@@ -76,7 +76,7 @@ Status RecursionDriver::Run(const std::string& what, const std::string& sql,
 }
 
 Result<backend::BackendResult> RecursionDriver::Execute(
-    const Op& plan, std::vector<RecursionStep>* trace) {
+    const Op& plan, std::vector<RecursionStep>* trace, QueryContext* ctx) {
   if (plan.kind != OpKind::kRecursiveCte) {
     return Status::Internal("RecursionDriver requires a kRecursiveCte plan");
   }
@@ -101,6 +101,8 @@ Result<backend::BackendResult> RecursionDriver::Execute(
   }
 
   auto cleanup = [&]() {
+    // Deliberately not passed `ctx`: a cancelled recursion must still drop
+    // its temp tables, or every cancel would leak session-scoped state.
     (void)connector_->Execute("DROP TABLE IF EXISTS " + wt);
     (void)connector_->Execute("DROP TABLE IF EXISTS " + tt);
     (void)connector_->Execute("DROP TABLE IF EXISTS " + nx);
@@ -117,21 +119,24 @@ Result<backend::BackendResult> RecursionDriver::Execute(
       connector_->NoteSessionTable(t);
       HQ_RETURN_IF_ERROR(
           Run("create " + t, "CREATE TABLE " + t + " (" + col_defs + ")",
-              trace, nullptr));
+              trace, nullptr, ctx));
     }
     // Step 1: seed both tables.
     HQ_ASSIGN_OR_RETURN(std::string seed_sql, serializer_->Serialize(seed));
     HQ_RETURN_IF_ERROR(Run("seed WorkTable",
                            "INSERT INTO " + wt + " (" + col_list + ") " +
                                seed_sql,
-                           trace, nullptr));
+                           trace, nullptr, ctx));
     HQ_RETURN_IF_ERROR(Run("seed TempTable",
                            "INSERT INTO " + tt + " (" + col_list + ") " +
                                seed_sql,
-                           trace, nullptr));
+                           trace, nullptr, ctx));
 
     // Steps 2..n: iterate until a fixed point.
     for (int iter = 0; iter < max_iterations_; ++iter) {
+      // An unbounded recursion is the canonical runaway query: check the
+      // lifecycle at every iteration boundary, not just per statement.
+      if (ctx != nullptr) HQ_RETURN_IF_ERROR(ctx->CheckAlive());
       OpPtr step = ReplaceCteRefs(recursive, plan.cte_name, tt);
       HQ_ASSIGN_OR_RETURN(std::string step_sql,
                           serializer_->Serialize(*step));
@@ -139,20 +144,20 @@ Result<backend::BackendResult> RecursionDriver::Execute(
       HQ_RETURN_IF_ERROR(Run("iterate " + std::to_string(iter + 1),
                              "INSERT INTO " + nx + " (" + col_list + ") " +
                                  step_sql,
-                             trace, &produced));
+                             trace, &produced, ctx));
       if (produced == 0) break;  // recursion reached its fixed point
       HQ_RETURN_IF_ERROR(Run("append to WorkTable",
                              "INSERT INTO " + wt + " (" + col_list +
                                  ") SELECT " + col_list + " FROM " + nx,
-                             trace, nullptr));
+                             trace, nullptr, ctx));
       HQ_RETURN_IF_ERROR(
-          Run("swap TempTable", "DELETE FROM " + tt, trace, nullptr));
+          Run("swap TempTable", "DELETE FROM " + tt, trace, nullptr, ctx));
       HQ_RETURN_IF_ERROR(Run("swap TempTable",
                              "INSERT INTO " + tt + " (" + col_list +
                                  ") SELECT " + col_list + " FROM " + nx,
-                             trace, nullptr));
+                             trace, nullptr, ctx));
       HQ_RETURN_IF_ERROR(Run("clear delta", "DELETE FROM " + nx, trace,
-                             nullptr));
+                             nullptr, ctx));
       if (iter + 1 == max_iterations_) {
         return Status::ExecutionError(
             "recursive query exceeded the iteration limit (",
@@ -175,7 +180,7 @@ Result<backend::BackendResult> RecursionDriver::Execute(
     cleanup();
     return final_sql.status();
   }
-  auto result = connector_->Execute(*final_sql);
+  auto result = connector_->Execute(*final_sql, ctx);
   if (trace != nullptr) {
     trace->push_back({"main", *final_sql,
                       result.ok() ? static_cast<int64_t>(0) : -1});

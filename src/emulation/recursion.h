@@ -41,13 +41,18 @@ class RecursionDriver {
 
   /// \brief Executes a kRecursiveCte plan via temp-table emulation.
   /// \param trace optional step log
+  /// \param ctx optional lifecycle context: polled before every iteration
+  ///        so a cancel/deadline stops the loop at an iteration boundary;
+  ///        the temp tables are still dropped (cleanup ignores ctx).
   Result<backend::BackendResult> Execute(const xtra::Op& plan,
                                          std::vector<RecursionStep>* trace =
-                                             nullptr);
+                                             nullptr,
+                                         QueryContext* ctx = nullptr);
 
  private:
   Status Run(const std::string& what, const std::string& sql,
-             std::vector<RecursionStep>* trace, int64_t* affected);
+             std::vector<RecursionStep>* trace, int64_t* affected,
+             QueryContext* ctx);
 
   const serializer::Serializer* serializer_;
   backend::BackendConnector* connector_;

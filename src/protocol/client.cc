@@ -88,6 +88,16 @@ Result<ClientResult> TdwpClient::Run(const std::string& sql) {
   }
 }
 
+Status TdwpClient::Abort() {
+  if (!sock_.valid()) {
+    return Status::IoError("abort on a disconnected client");
+  }
+  Frame f{MessageKind::kAbortRequest, 0, {}};
+  return sock_.WriteFrame(f);
+}
+
+void TdwpClient::HardClose() { sock_.Close(); }
+
 void TdwpClient::Goodbye() {
   if (sock_.valid()) {
     Frame f{MessageKind::kGoodbye, 0, {}};

@@ -34,6 +34,14 @@ class TdwpClient {
   Status Logon(const std::string& user, const std::string& password,
                const std::string& default_database = "");
   Result<ClientResult> Run(const std::string& sql);
+  /// \brief Asks the server to cancel the in-flight request (tdwp
+  /// kAbortRequest). Safe to call from another thread while Run() is
+  /// blocked reading the result: the aborted Run() surfaces the server's
+  /// kError frame. No-op effect if nothing is in flight.
+  Status Abort();
+  /// \brief Simulates a vanished client: closes the socket with no
+  /// Goodbye frame (tests the server's mid-stream disconnect detection).
+  void HardClose();
   void Goodbye();
 
   uint32_t session_id() const { return session_id_; }

@@ -1,5 +1,6 @@
 #include "protocol/server.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 
 #include <algorithm>
@@ -60,9 +61,24 @@ void TdwpServer::Stop(int drain_deadline_ms) {
     for (auto& w : workers_) {
       if (w.done->load()) continue;
       inflight.push_back(w.done);
-      if (drain_deadline_ms > 0 && w.conn && w.conn->valid()) {
-        // Graceful drain: stop reading further requests but keep the write
-        // side open so the request currently running can still answer.
+      if (drain_deadline_ms <= 0) continue;
+      // Graceful drain. A worker mid-request observes the drain through
+      // its QueryContext: CheckAlive() cancels it at the next batch
+      // boundary, so the client gets a well-formed error frame instead of
+      // a torn one. The context deadline is set short of the force-close
+      // deadline to leave room for that final frame. Only idle workers
+      // (blocked in ReadFrame between requests) get their read side shut
+      // to wake them; cutting an active worker's read side would make its
+      // client probe misread the EOF as a vanished client.
+      std::shared_ptr<QueryContext> ctx;
+      if (w.active) {
+        std::lock_guard<std::mutex> active_lock(w.active->mutex);
+        ctx = w.active->ctx;
+      }
+      if (ctx) {
+        int cancel_ms = std::max(1, drain_deadline_ms * 3 / 4);
+        ctx->BeginDrain(Deadline::After(cancel_ms));
+      } else if (w.conn && w.conn->valid()) {
         ::shutdown(w.conn->fd(), SHUT_RD);
       }
     }
@@ -243,11 +259,13 @@ void TdwpServer::SpawnWorker(Socket conn) {
   ReapFinishedWorkers();
   auto done = std::make_shared<std::atomic<bool>>(false);
   auto sock = std::make_shared<Socket>(std::move(conn));
+  auto active = std::make_shared<ActiveQuery>();
   Worker w;
   w.done = done;
   w.conn = sock;
-  w.thread = std::thread([this, done, sock] {
-    ServeConnection(*sock);
+  w.active = active;
+  w.thread = std::thread([this, done, sock, active] {
+    ServeConnection(*sock, *active);
     // Send FIN so the peer sees EOF now; the fd itself stays allocated
     // until the worker is reaped, keeping Stop()'s shutdown pass safe
     // from fd reuse.
@@ -273,7 +291,59 @@ void TdwpServer::ReleaseUserSlot(const std::string& user) {
   }
 }
 
-void TdwpServer::ServeConnection(Socket& conn) {
+namespace {
+
+/// The QueryContext client probe (DESIGN.md §8): a zero-timeout poll of the
+/// client socket from inside the request path. The worker thread is not
+/// reading the connection while a request runs, so any readable data here
+/// is either an abort/goodbye frame or EOF from a vanished client.
+Status ProbeClient(Socket& conn, CancelCause* cause) {
+  if (!conn.valid()) {
+    *cause = CancelCause::kClientGone;
+    return Status::Cancelled("client connection closed");
+  }
+  struct pollfd pfd;
+  pfd.fd = conn.fd();
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  int rc = ::poll(&pfd, 1, /*timeout=*/0);
+  if (rc <= 0) return Status::OK();  // nothing pending (or EINTR): alive
+  if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) {
+    *cause = CancelCause::kClientGone;
+    return Status::Cancelled("client connection error mid-request");
+  }
+  if ((pfd.revents & (POLLIN | POLLHUP)) != 0) {
+    char peek = 0;
+    ssize_t n = ::recv(conn.fd(), &peek, 1, MSG_PEEK | MSG_DONTWAIT);
+    if (n == 0) {
+      *cause = CancelCause::kClientGone;
+      return Status::Cancelled("client disconnected mid-request");
+    }
+    if (n < 0) return Status::OK();  // transient; re-probed next boundary
+    // A whole frame is pending while a request is in flight; tdwp is
+    // synchronous, so it can only be an abort (or a goodbye racing the
+    // result). Consume it.
+    auto frame = conn.ReadFrame();
+    if (!frame.ok()) {
+      *cause = CancelCause::kClientGone;
+      return Status::Cancelled("client connection lost mid-request: ",
+                               frame.status().message());
+    }
+    if (frame->kind == MessageKind::kAbortRequest) {
+      *cause = CancelCause::kClientAbort;
+      return Status::Cancelled("query aborted by client request");
+    }
+    *cause = CancelCause::kClientGone;
+    return Status::Cancelled("client sent ",
+                             static_cast<int>(frame->kind),
+                             " mid-request; abandoning the query");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void TdwpServer::ServeConnection(Socket& conn, ActiveQuery& active) {
   uint32_t session_id = 0;
   bool logged_on = false;
   std::string counted_user;  // non-empty: holds a per-user session slot
@@ -367,32 +437,71 @@ void TdwpServer::ServeConnection(Socket& conn) {
           send_error(req.status());
           break;
         }
-        auto resp = handler_->Run(session_id, req->sql);
+        // Mint the request's lifecycle handle: deadline + client probe,
+        // registered in the active slot so Stop() can route a drain (and
+        // the kill API a cancel) through it.
+        auto ctx = std::make_shared<QueryContext>();
+        if (options_.request_deadline_ms > 0) {
+          ctx->SetDeadline(Deadline::After(options_.request_deadline_ms));
+        }
+        ctx->SetClientProbe([&conn](CancelCause* cause) {
+          return ProbeClient(conn, cause);
+        });
+        {
+          std::lock_guard<std::mutex> active_lock(active.mutex);
+          active.ctx = ctx;
+        }
+        auto resp = handler_->Run(session_id, req->sql, ctx.get());
+        Status write_status;
         if (!resp.ok()) {
           send_error(resp.status());
-          break;
-        }
-        Status write_status;
-        if (resp->has_rowset) {
-          Frame h{MessageKind::kResultHeader, 0, Encode(resp->header)};
-          write_status = conn.WriteFrame(h);
-          for (const auto& batch : resp->batches) {
-            if (!write_status.ok()) break;
-            Frame b{MessageKind::kRecordBatch, 0, batch};
-            write_status = conn.WriteFrame(b);
+        } else {
+          if (resp->has_rowset) {
+            Frame h{MessageKind::kResultHeader, 0, Encode(resp->header)};
+            write_status = conn.WriteFrame(h);
+            for (const auto& batch : resp->batches) {
+              if (!write_status.ok()) break;
+              // Poll the lifecycle between batch writes: a client abort,
+              // disconnect, deadline, kill, or drain stops the stream at a
+              // frame boundary (never a torn frame) with an error frame.
+              Status alive = ctx->CheckAlive();
+              if (!alive.ok()) {
+                write_status = std::move(alive);
+                break;
+              }
+              Frame b{MessageKind::kRecordBatch, 0, batch};
+              write_status = conn.WriteFrame(b);
+            }
+          }
+          if (write_status.ok()) {
+            Frame s{MessageKind::kSuccess, 0, Encode(resp->success)};
+            write_status = conn.WriteFrame(s);
+          } else if (write_status.IsCancelled() ||
+                     write_status.IsDeadlineExceeded()) {
+            send_error(write_status);
+            write_status = Status::OK();  // answered cleanly; keep serving
           }
         }
-        if (write_status.ok()) {
-          Frame s{MessageKind::kSuccess, 0, Encode(resp->success)};
-          write_status = conn.WriteFrame(s);
+        {
+          std::lock_guard<std::mutex> active_lock(active.mutex);
+          active.ctx.reset();
         }
+        ctx->ClearClientProbe();
         if (!write_status.ok()) {
           HQ_LOG(kWarn) << "tdwp session " << session_id
                         << ": response write failed: " << write_status;
           serving = false;
         }
+        // A cancelled request ends the request, not the connection — the
+        // same worker serves the session's next statement. But a vanished
+        // client has no next statement to wait for.
+        if (ctx->cause() == CancelCause::kClientGone) serving = false;
         break;
       }
+      case MessageKind::kAbortRequest:
+        // Abort with nothing in flight: the query it targeted already
+        // finished (a benign race); there is nothing to cancel.
+        break;
       case MessageKind::kGoodbye:
         serving = false;
         break;

@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/result.h"
 #include "protocol/socket.h"
 #include "protocol/tdwp.h"
@@ -44,8 +45,12 @@ class RequestHandler {
 
   virtual Result<LogonResponse> Logon(const LogonRequest& request) = 0;
   virtual void Logoff(uint32_t session_id) = 0;
+  /// `ctx` is the request's lifecycle handle (DESIGN.md §8), minted by the
+  /// server with the client probe and per-request deadline installed.
+  /// Never null; implementations thread it into every cancellable loop.
   virtual Result<WireResponse> Run(uint32_t session_id,
-                                   const std::string& sql) = 0;
+                                   const std::string& sql,
+                                   QueryContext* ctx) = 0;
 };
 
 struct TdwpServerOptions {
@@ -68,6 +73,10 @@ struct TdwpServerOptions {
   /// A connection idle longer than this between frames is reaped with an
   /// error frame instead of pinning a thread forever. 0 = no timeout.
   int idle_timeout_ms = 0;
+  /// Per-request time budget minted into each QueryContext; expiry cancels
+  /// the request at the next batch boundary with kDeadlineExceeded.
+  /// 0 = no deadline.
+  double request_deadline_ms = 0;
 };
 
 /// \brief Admission/overload counters (observability/tests).
@@ -113,18 +122,27 @@ class TdwpServer {
   size_t live_workers() const;
 
  private:
+  /// The worker's in-flight request, if any. Stop() uses it to route the
+  /// drain through the QueryContext (clean cancel at a batch boundary)
+  /// instead of cutting the socket mid-frame.
+  struct ActiveQuery {
+    std::mutex mutex;
+    std::shared_ptr<QueryContext> ctx;  // non-null while a request runs
+  };
+
   struct Worker {
     std::thread thread;
     std::shared_ptr<std::atomic<bool>> done;
     // Kept alive here (not owned by the thread) so Stop() can shut the
     // socket down to wake a blocked read; closed when the worker is reaped.
     std::shared_ptr<Socket> conn;
+    std::shared_ptr<ActiveQuery> active;
   };
 
   void AcceptLoop();
   void DispatchLoop();
   void SpawnWorker(Socket conn);
-  void ServeConnection(Socket& conn);
+  void ServeConnection(Socket& conn, ActiveQuery& active);
   void ReapFinishedWorkers();
   /// Answers `conn` with an error frame for `reason` and drops it.
   void ShedConnection(Socket conn, const Status& reason);

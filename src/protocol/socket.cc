@@ -30,16 +30,15 @@ Socket::~Socket() { Close(); }
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     Close();
-    fd_ = other.fd_;
-    other.fd_ = -1;
+    fd_.store(other.fd_.exchange(-1), std::memory_order_release);
   }
   return *this;
 }
 
 void Socket::Close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
+  int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::close(fd);
   }
 }
 

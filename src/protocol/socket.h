@@ -2,6 +2,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -17,13 +18,16 @@ class Socket {
   Socket() = default;
   explicit Socket(int fd) : fd_(fd) {}
   ~Socket();
-  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket(Socket&& other) noexcept : fd_(other.fd_.exchange(-1)) {}
   Socket& operator=(Socket&& other) noexcept;
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
 
-  bool valid() const { return fd_ >= 0; }
-  int fd() const { return fd_; }
+  bool valid() const { return fd() >= 0; }
+  /// The fd is atomic so an intentional cross-thread Close() — the
+  /// listener-shutdown pattern that unblocks a thread parked in accept()
+  /// — hands the descriptor off without a data race.
+  int fd() const { return fd_.load(std::memory_order_acquire); }
   void Close();
 
   /// \brief Connects to 127.0.0.1:`port`.
@@ -46,7 +50,7 @@ class Socket {
   Result<Frame> ReadFrame();
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
 };
 
 /// \brief Listening socket bound to 127.0.0.1 (port 0 = ephemeral).

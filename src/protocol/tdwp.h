@@ -37,6 +37,11 @@ enum class MessageKind : uint8_t {
   kSuccess = 6,
   kError = 7,
   kGoodbye = 8,
+  // Lifecycle (DESIGN.md §8): asks the server to cancel the in-flight
+  // request on this session. Empty payload. The server answers the
+  // *request being aborted* with a kError frame (code kCancelled); the
+  // abort frame itself gets no reply of its own.
+  kAbortRequest = 9,
 };
 
 struct Frame {

@@ -21,6 +21,28 @@ void AbsorbResilienceStats(QueryOutcome* out) {
   out->timing.execution_attempts += out->result.attempts;
   out->timing.retry_backoff_micros += out->result.retry_backoff_micros;
 }
+
+// Spill accounting (DESIGN.md §8): how many result bytes this statement's
+// store pushed to disk, surfaced in the timing breakdown. (The per-query
+// QueryContext accounting is updated by the connector itself.)
+void AbsorbSpillBytes(QueryOutcome* out) {
+  if (out->result.store == nullptr) return;
+  out->timing.spill_bytes += out->result.store->spilled_bytes();
+}
+
+// The translation cache shares the process memory ceiling with the live
+// result stores unless the caller configured a dedicated governor for it.
+TranslationCacheOptions CacheOptionsWithGovernor(
+    TranslationCacheOptions cache, std::shared_ptr<ResourceGovernor> gov) {
+  if (!cache.governor) cache.governor = std::move(gov);
+  return cache;
+}
+
+// True for the statuses a cancelled/expired request surfaces; these say
+// nothing about the statement itself.
+bool IsLifecycleStatus(const Status& s) {
+  return s.IsCancelled() || s.IsDeadlineExceeded();
+}
 }  // namespace
 
 HyperQService::HyperQService(vdb::Engine* engine, ServiceOptions options)
@@ -29,7 +51,8 @@ HyperQService::HyperQService(vdb::Engine* engine, ServiceOptions options)
       transformer_(options_.profile),
       serializer_(options_.profile),
       frontend_dialect_(sql::Dialect::Teradata()),
-      translation_cache_(options_.translation_cache),
+      translation_cache_(CacheOptionsWithGovernor(options_.translation_cache,
+                                                  options_.governor)),
       profile_digest_(options_.profile.CacheKeyDigest()),
       default_settings_digest_(SettingsDigest(SessionInfo())) {}
 
@@ -44,8 +67,15 @@ Result<uint32_t> HyperQService::OpenSession(
   if (!default_database.empty()) {
     session->info.default_database = default_database;
   }
+  // Result buffering/spill for this session is charged against the shared
+  // governor under the session's id (DESIGN.md §8).
+  backend::ConnectorOptions connector_options = options_.connector;
+  if (connector_options.governor == nullptr) {
+    connector_options.governor = options_.governor;
+  }
+  connector_options.session_tag = session->id;
   session->connector = std::make_unique<backend::BackendConnector>(
-      engine_, options_.connector);
+      engine_, connector_options);
   session->backend_epoch = session->connector->connection_epoch();
   session->settings_digest = SettingsDigest(session->info);
   uint32_t id = session->id;
@@ -105,6 +135,75 @@ ServiceResilienceStats HyperQService::resilience_stats() const {
 TranslationActivityStats HyperQService::translation_activity() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return activity_;
+}
+
+ServiceLifecycleStats HyperQService::lifecycle_stats() const {
+  ServiceLifecycleStats out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = lifecycle_;
+  }
+  if (options_.governor != nullptr) {
+    out.shed_queries = options_.governor->stats().shed_queries;
+  }
+  return out;
+}
+
+size_t HyperQService::open_sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle (DESIGN.md §8)
+// ---------------------------------------------------------------------------
+
+void HyperQService::RegisterActiveQuery(uint32_t session_id,
+                                        QueryContext* ctx) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_queries_[session_id] = ctx;
+}
+
+void HyperQService::UnregisterActiveQuery(uint32_t session_id,
+                                          QueryContext* ctx) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = active_queries_.find(session_id);
+  if (it != active_queries_.end() && it->second == ctx) {
+    active_queries_.erase(it);
+  }
+}
+
+bool HyperQService::KillQuery(uint32_t session_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = active_queries_.find(session_id);
+  if (it == active_queries_.end()) return false;
+  it->second->Cancel(
+      CancelCause::kKill,
+      Status::Cancelled("query killed by operator (session ", session_id,
+                        ")"));
+  return true;
+}
+
+void HyperQService::RecordLifecycleFailure(const Status& status,
+                                           const QueryContext* ctx) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (status.IsDeadlineExceeded()) {
+    ++lifecycle_.deadline_expired;
+    return;
+  }
+  if (!status.IsCancelled()) return;
+  ++lifecycle_.cancelled;
+  if (ctx == nullptr) return;
+  switch (ctx->cause()) {
+    case CancelCause::kClientGone:
+      ++lifecycle_.client_gone;
+      break;
+    case CancelCause::kKill:
+      ++lifecycle_.killed;
+      break;
+    default:
+      break;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -245,7 +344,7 @@ Result<CachedTranslation> HyperQService::BuildTemplateViaSentinels(
 void HyperQService::MaybeCacheTranslation(
     const std::string& cache_key, const sql::NormalizedStatement& norm,
     const std::string& sql_b, const FeatureSet& features,
-    int64_t catalog_version) {
+    int64_t catalog_version, const QueryContext* ctx) {
   // Emulation markers (e.g. the recursive-query comment) are not
   // executable SQL-B and must never be replayed from the cache.
   if (sql_b.rfind("--", 0) == 0) {
@@ -263,7 +362,12 @@ void HyperQService::MaybeCacheTranslation(
   if (!built.ok()) {
     translation_cache_.RecordBypass();
     // Negative-cache the shape so permanently uncacheable statements do
-    // not pay the sentinel probe's second translation on every miss.
+    // not pay the sentinel probe's second translation on every miss. A
+    // cancelled request never plants the marker: its probe may have been
+    // cut short, which proves nothing about the shape — the next cold run
+    // re-probes with full effort.
+    if (ctx != nullptr && ctx->cancelled()) return;
+    if (IsLifecycleStatus(built.status())) return;
     CachedTranslation marker;
     marker.uncacheable = true;
     marker.catalog_version = catalog_version;
@@ -302,7 +406,7 @@ void HyperQService::RecordTranslationActivity(bool translate_path,
 
 Result<QueryOutcome> HyperQService::ExecuteCachedStatement(
     Session* session, const CachedTranslation& entry, std::string sql_b,
-    const Stopwatch& translation) {
+    const Stopwatch& translation, QueryContext* ctx) {
   translation_cache_.RecordHit();
   QueryOutcome out;
   out.features = entry.features;
@@ -312,9 +416,10 @@ Result<QueryOutcome> HyperQService::ExecuteCachedStatement(
   out.timing.translation_micros = translation.ElapsedMicros();
   out.backend_sql.push_back(sql_b);
   Stopwatch execution;
-  HQ_ASSIGN_OR_RETURN(out.result, session->connector->Execute(sql_b));
+  HQ_ASSIGN_OR_RETURN(out.result, session->connector->Execute(sql_b, ctx));
   out.timing.execution_micros = execution.ElapsedMicros();
   AbsorbResilienceStats(&out);
+  AbsorbSpillBytes(&out);
   return out;
 }
 
@@ -408,12 +513,21 @@ Result<int> HyperQService::ReplaySessionJournal(Session* session) {
 }
 
 Result<QueryOutcome> HyperQService::SubmitWithFailover(
-    Session* session, const std::string& sql_a) {
-  auto outcome = SubmitInternal(session, sql_a, 0);
+    Session* session, const std::string& sql_a, QueryContext* ctx) {
+  auto outcome = SubmitInternal(session, sql_a, 0, ctx);
   if (outcome.ok() || !outcome.status().IsSessionLost()) return outcome;
   if (!options_.failover.enabled) {
     return Status::Unavailable("backend session lost (failover disabled): ",
                                outcome.status().message());
+  }
+  // A cancelled/expired request gets no transparent failover retry; the
+  // session is still repaired so the next statement finds it healthy.
+  if (ctx != nullptr) {
+    Status alive = ctx->CheckAlive();
+    if (!alive.ok()) {
+      (void)ReplaySessionJournal(session);
+      return alive;
+    }
   }
 
   // Idempotency fence: a statement with side effects that died inside an
@@ -437,7 +551,7 @@ Result<QueryOutcome> HyperQService::SubmitWithFailover(
   }
 
   HQ_ASSIGN_OR_RETURN(int replayed, ReplaySessionJournal(session));
-  auto retried = SubmitInternal(session, sql_a, 0);
+  auto retried = SubmitInternal(session, sql_a, 0, ctx);
   if (retried.ok()) {
     retried->timing.failovers += 1;
     retried->timing.journal_replays += replayed;
@@ -479,23 +593,43 @@ BackendResult HyperQService::CommandResult(const std::string& tag,
 // ---------------------------------------------------------------------------
 
 Result<QueryOutcome> HyperQService::Submit(uint32_t session_id,
-                                           const std::string& sql_a) {
+                                           const std::string& sql_a,
+                                           QueryContext* ctx) {
+  // Library callers without a context still get governance: the service
+  // mints one so KillQuery and the default deadline apply uniformly.
+  QueryContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
+  if (options_.default_query_deadline_ms > 0) {
+    ctx->TightenDeadline(Deadline::After(options_.default_query_deadline_ms));
+  }
   HQ_ASSIGN_OR_RETURN(Session * session, GetSession(session_id));
-  HQ_ASSIGN_OR_RETURN(QueryOutcome outcome,
-                      SubmitWithFailover(session, sql_a));
+  RegisterActiveQuery(session_id, ctx);
+  auto outcome = SubmitWithFailover(session, sql_a, ctx);
+  UnregisterActiveQuery(session_id, ctx);
+  if (!outcome.ok()) {
+    RecordLifecycleFailure(outcome.status(), ctx);
+    return outcome.status();
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    stats_.AddQuery(outcome.features);
+    stats_.AddQuery(outcome->features);
+    lifecycle_.spill_bytes += outcome->timing.spill_bytes;
   }
   return outcome;
 }
 
 Result<QueryOutcome> HyperQService::SubmitInternal(Session* session,
                                                    const std::string& sql_a,
-                                                   int depth) {
+                                                   int depth,
+                                                   QueryContext* ctx) {
   if (depth > 8) {
     return Status::ExecutionError("statement expansion too deep (macro "
                                   "recursion?)");
+  }
+  // Translating-phase gate: a request cancelled before (or between)
+  // statements never enters the pipeline.
+  if (ctx != nullptr) {
+    HQ_RETURN_IF_ERROR(ctx->CheckAlive());
   }
   Stopwatch translation;
   HQ_ASSIGN_OR_RETURN(sql::NormalizedStatement norm,
@@ -526,7 +660,7 @@ Result<QueryOutcome> HyperQService::SubmitInternal(Session* session,
                    spliced.ok()) {
           auto outcome = ExecuteCachedStatement(session, *entry,
                                                 std::move(*spliced),
-                                                translation);
+                                                translation, ctx);
           if (outcome.ok()) {
             RecordTranslationActivity(/*translate_path=*/false,
                                       /*cache_hit=*/true,
@@ -554,13 +688,25 @@ Result<QueryOutcome> HyperQService::SubmitInternal(Session* session,
                        stmt->kind == StmtKind::kInsert ||
                        stmt->kind == StmtKind::kUpdate ||
                        stmt->kind == StmtKind::kDelete;
-  HQ_ASSIGN_OR_RETURN(
-      QueryOutcome outcome,
-      ExecuteStatement(session, *stmt, sql_a, std::move(features), depth));
+  PipelineArtifacts artifacts;
+  auto executed = ExecuteStatement(session, *stmt, sql_a, std::move(features),
+                                   depth, ctx, &artifacts);
+  if (!executed.ok()) {
+    // Cancellation that struck after serialization does not impugn the
+    // translation itself: admit the template so the inevitable retry of
+    // this shape hits the cache instead of re-translating (DESIGN.md §8).
+    if (cache_candidate && pipeline_kind && artifacts.serialized &&
+        IsLifecycleStatus(executed.status())) {
+      MaybeCacheTranslation(cache_key, norm, artifacts.sql_b,
+                            artifacts.features, catalog_version, ctx);
+    }
+    return executed.status();
+  }
+  QueryOutcome outcome = std::move(*executed);
   outcome.timing.translation_micros += parse_micros;
   if (cache_candidate && pipeline_kind && outcome.backend_sql.size() == 1) {
     MaybeCacheTranslation(cache_key, norm, outcome.backend_sql[0],
-                          outcome.features, catalog_version);
+                          outcome.features, catalog_version, ctx);
   }
   RecordTranslationActivity(/*translate_path=*/false, /*cache_hit=*/false,
                             outcome.timing.translation_micros);
@@ -569,21 +715,22 @@ Result<QueryOutcome> HyperQService::SubmitInternal(Session* session,
 
 Result<QueryOutcome> HyperQService::ExecuteStatement(
     Session* session, const sql::Statement& stmt, const std::string& sql_a,
-    FeatureSet features, int depth) {
+    FeatureSet features, int depth, QueryContext* ctx,
+    PipelineArtifacts* artifacts) {
   switch (stmt.kind) {
     case StmtKind::kSelect:
     case StmtKind::kInsert:
     case StmtKind::kUpdate:
     case StmtKind::kDelete:
-      return RunPipeline(session, stmt, std::move(features));
+      return RunPipeline(session, stmt, std::move(features), ctx, artifacts);
 
     case StmtKind::kCreateTable:
       return HandleCreateTable(session,
                                *stmt.As<sql::CreateTableStatement>(),
-                               std::move(features));
+                               std::move(features), ctx);
     case StmtKind::kDropTable:
       return HandleDropTable(session, *stmt.As<sql::DropTableStatement>(),
-                             std::move(features));
+                             std::move(features), ctx);
 
     case StmtKind::kCreateView:
     case StmtKind::kReplaceView: {
@@ -659,7 +806,8 @@ Result<QueryOutcome> HyperQService::ExecuteStatement(
       int64_t total_activity = 0;
       for (const std::string& body_sql : statements) {
         HQ_ASSIGN_OR_RETURN(QueryOutcome one,
-                            SubmitInternal(session, body_sql, depth + 1));
+                            SubmitInternal(session, body_sql, depth + 1,
+                                           ctx));
         total_activity += one.result.affected_rows;
         combined.timing.translation_micros += one.timing.translation_micros;
         combined.timing.execution_micros += one.timing.execution_micros;
@@ -687,7 +835,7 @@ Result<QueryOutcome> HyperQService::ExecuteStatement(
       int64_t total_activity = 0;
       for (const auto& part : parts) {
         HQ_ASSIGN_OR_RETURN(QueryOutcome one,
-                            RunPipeline(session, *part, FeatureSet()));
+                            RunPipeline(session, *part, FeatureSet(), ctx));
         total_activity += one.result.affected_rows;
         combined.timing.translation_micros += one.timing.translation_micros;
         combined.timing.execution_micros += one.timing.execution_micros;
@@ -783,7 +931,12 @@ Result<QueryOutcome> HyperQService::ExecuteStatement(
 
 Result<QueryOutcome> HyperQService::RunPipeline(Session* session,
                                                 const sql::Statement& stmt,
-                                                FeatureSet features) {
+                                                FeatureSet features,
+                                                QueryContext* ctx,
+                                                PipelineArtifacts* artifacts) {
+  if (ctx != nullptr) {
+    HQ_RETURN_IF_ERROR(ctx->CheckAlive());
+  }
   Stopwatch translation;
   xtra::OpPtr plan;
   binder::Binder binder(&catalog_, frontend_dialect_);
@@ -808,9 +961,10 @@ Result<QueryOutcome> HyperQService::RunPipeline(Session* session,
     Stopwatch execution;
     emulation::RecursionDriver driver(&serializer_,
                                       session->connector.get());
-    HQ_ASSIGN_OR_RETURN(out.result, driver.Execute(*plan));
+    HQ_ASSIGN_OR_RETURN(out.result, driver.Execute(*plan, nullptr, ctx));
     out.timing.execution_micros = execution.ElapsedMicros();
     AbsorbResilienceStats(&out);
+    AbsorbSpillBytes(&out);
     out.features = std::move(features);
     return out;
   }
@@ -823,11 +977,19 @@ Result<QueryOutcome> HyperQService::RunPipeline(Session* session,
   HQ_ASSIGN_OR_RETURN(std::string sql_b, serializer_.Serialize(*plan));
   out.timing.translation_micros += translation.ElapsedMicros();
   out.backend_sql.push_back(sql_b);
+  if (artifacts != nullptr) {
+    // Translation is complete; record it so a cancellation during the
+    // execution below does not throw the template away (DESIGN.md §8).
+    artifacts->serialized = true;
+    artifacts->sql_b = sql_b;
+    artifacts->features = features;
+  }
 
   Stopwatch execution;
-  HQ_ASSIGN_OR_RETURN(out.result, session->connector->Execute(sql_b));
+  HQ_ASSIGN_OR_RETURN(out.result, session->connector->Execute(sql_b, ctx));
   out.timing.execution_micros = execution.ElapsedMicros();
   AbsorbResilienceStats(&out);
+  AbsorbSpillBytes(&out);
   // DML against a session-scoped table is part of the replayable session
   // state: without it a re-established backend session would see the
   // volatile table empty.
@@ -926,7 +1088,7 @@ bool IsConstantDefault(const sql::Expr& e) {
 
 Result<QueryOutcome> HyperQService::HandleCreateTable(
     Session* session, const sql::CreateTableStatement& ct,
-    FeatureSet features) {
+    FeatureSet features, QueryContext* ctx) {
   if (ct.as_select) {
     // CREATE TABLE AS: emulate as CREATE TABLE + INSERT ... SELECT.
     binder::Binder binder(&catalog_, frontend_dialect_);
@@ -957,7 +1119,7 @@ Result<QueryOutcome> HyperQService::HandleCreateTable(
     InvalidateTranslationCacheAfterDdl();
     QueryOutcome out;
     Stopwatch execution;
-    auto ddl_result = session->connector->Execute(ddl);
+    auto ddl_result = session->connector->Execute(ddl, ctx);
     if (!ddl_result.ok()) {
       {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -980,7 +1142,7 @@ Result<QueryOutcome> HyperQService::HandleCreateTable(
           "INSERT INTO " + def.name + " " + select_sql;
       out.backend_sql.push_back(insert_sql);
       HQ_ASSIGN_OR_RETURN(out.result,
-                          session->connector->Execute(insert_sql));
+                          session->connector->Execute(insert_sql, ctx));
     } else {
       out.result = CommandResult("CREATE TABLE");
     }
@@ -1046,7 +1208,7 @@ Result<QueryOutcome> HyperQService::HandleCreateTable(
   }
   InvalidateTranslationCacheAfterDdl();
   Stopwatch execution;
-  auto exec_result = session->connector->Execute(ddl);
+  auto exec_result = session->connector->Execute(ddl, ctx);
   if (!exec_result.ok()) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -1080,7 +1242,7 @@ Result<QueryOutcome> HyperQService::HandleCreateTable(
 
 Result<QueryOutcome> HyperQService::HandleDropTable(
     Session* session, const sql::DropTableStatement& dt,
-    FeatureSet features) {
+    FeatureSet features, QueryContext* ctx) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (catalog_.HasTable(dt.table)) {
@@ -1095,7 +1257,7 @@ Result<QueryOutcome> HyperQService::HandleDropTable(
                     std::string(dt.if_exists ? "IF EXISTS " : "") +
                     normalized;
   HQ_ASSIGN_OR_RETURN(BackendResult result,
-                      session->connector->Execute(ddl));
+                      session->connector->Execute(ddl, ctx));
   if (IsVolatileTable(session, normalized)) {
     auto& vt = session->volatile_tables;
     vt.erase(std::remove(vt.begin(), vt.end(), normalized), vt.end());
@@ -1123,7 +1285,13 @@ Result<QueryOutcome> HyperQService::HandleDropTable(
 // ---------------------------------------------------------------------------
 
 Result<QueryOutcome> HyperQService::SubmitScript(uint32_t session_id,
-                                                 const std::string& script) {
+                                                 const std::string& script,
+                                                 QueryContext* ctx) {
+  QueryContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
+  if (options_.default_query_deadline_ms > 0) {
+    ctx->TightenDeadline(Deadline::After(options_.default_query_deadline_ms));
+  }
   HQ_ASSIGN_OR_RETURN(std::vector<std::string> statements,
                       sql::SplitStatements(script));
   HQ_ASSIGN_OR_RETURN(Session * session, GetSession(session_id));
@@ -1171,11 +1339,20 @@ Result<QueryOutcome> HyperQService::SubmitScript(uint32_t session_id,
   }
 
   QueryOutcome last;
+  RegisterActiveQuery(session_id, ctx);
   for (const std::string& stmt : batched) {
-    HQ_ASSIGN_OR_RETURN(last, SubmitWithFailover(session, stmt));
+    auto one = SubmitWithFailover(session, stmt, ctx);
+    if (!one.ok()) {
+      UnregisterActiveQuery(session_id, ctx);
+      RecordLifecycleFailure(one.status(), ctx);
+      return one.status();
+    }
+    last = std::move(*one);
     std::lock_guard<std::mutex> lock(mutex_);
     stats_.AddQuery(last.features);
+    lifecycle_.spill_bytes += last.timing.spill_bytes;
   }
+  UnregisterActiveQuery(session_id, ctx);
   return last;
 }
 
@@ -1238,7 +1415,8 @@ Result<std::vector<std::string>> HyperQService::TranslateInternal(
   auto finish = [&](std::vector<std::string> out)
       -> Result<std::vector<std::string>> {
     if (cache_candidate && out.size() == 1) {
-      MaybeCacheTranslation(cache_key, norm, out[0], *fs, catalog_version);
+      MaybeCacheTranslation(cache_key, norm, out[0], *fs, catalog_version,
+                            /*ctx=*/nullptr);
     }
     RecordTranslationActivity(/*translate_path=*/true, /*cache_hit=*/false,
                               translation.ElapsedMicros());
@@ -1344,8 +1522,9 @@ Result<protocol::LogonResponse> HyperQService::Logon(
 void HyperQService::Logoff(uint32_t session_id) { CloseSession(session_id); }
 
 Result<protocol::WireResponse> HyperQService::Run(uint32_t session_id,
-                                                  const std::string& sql) {
-  HQ_ASSIGN_OR_RETURN(QueryOutcome outcome, Submit(session_id, sql));
+                                                  const std::string& sql,
+                                                  QueryContext* ctx) {
+  HQ_ASSIGN_OR_RETURN(QueryOutcome outcome, Submit(session_id, sql, ctx));
 
   protocol::WireResponse resp;
   resp.success.activity_count =
@@ -1357,8 +1536,13 @@ Result<protocol::WireResponse> HyperQService::Run(uint32_t session_id,
   if (outcome.result.is_rowset()) {
     Stopwatch conversion;
     convert::ResultConverter converter(options_.convert_parallelism);
-    HQ_ASSIGN_OR_RETURN(convert::ConversionResult converted,
-                        converter.Convert(outcome.result));
+    auto converted_result = converter.Convert(outcome.result, ctx);
+    if (!converted_result.ok()) {
+      // Streaming-phase cancellation (Submit already counted its own).
+      RecordLifecycleFailure(converted_result.status(), ctx);
+      return converted_result.status();
+    }
+    convert::ConversionResult converted = std::move(*converted_result);
     outcome.timing.conversion_micros = conversion.ElapsedMicros();
     resp.success.conversion_micros = outcome.timing.conversion_micros;
     resp.has_rowset = true;

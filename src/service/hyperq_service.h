@@ -56,6 +56,8 @@ struct TimingBreakdown {
   int journal_replays = 0;    // journal entries replayed during failover
   int cache_hits = 0;         // statements served from the translation
                               // cache (translation_micros ≈ splice cost)
+  int64_t spill_bytes = 0;    // result bytes the shed-or-spill policy sent
+                              // to disk for this request (DESIGN.md §8)
 };
 
 /// \brief Result of one submitted SQL-A request.
@@ -87,6 +89,14 @@ struct ServiceOptions {
   /// the parse→bind→transform→serialize pipeline and only re-splice
   /// literals into the cached SQL-B template.
   TranslationCacheOptions translation_cache;
+  /// Process-wide budget arbiter (DESIGN.md §8). When set it is threaded
+  /// into every session's connector (result buffering/spill, keyed by the
+  /// session id) and into the translation cache (unattributed), so all
+  /// resident result bytes and cache bytes share one ceiling.
+  std::shared_ptr<ResourceGovernor> governor;
+  /// Deadline applied to every Submit whose QueryContext carries none
+  /// (and tightened into contexts that do). 0 = no default deadline.
+  double default_query_deadline_ms = 0;
 };
 
 /// \brief Translation-path accounting, recorded uniformly by both entry
@@ -111,6 +121,18 @@ struct ServiceResilienceStats {
   double wire_conversion_micros = 0;  // total Result Converter time on wire
 };
 
+/// \brief Lifecycle/governance counters (DESIGN.md §8): how requests left
+/// the Admitted → Translating → Executing → Streaming state machine other
+/// than Done, plus the shed-or-spill accounting.
+struct ServiceLifecycleStats {
+  int64_t cancelled = 0;         // kCancelled outcomes (abort/kill/gone/drain)
+  int64_t deadline_expired = 0;  // kDeadlineExceeded outcomes
+  int64_t client_gone = 0;       // of `cancelled`: client vanished mid-request
+  int64_t killed = 0;            // of `cancelled`: operator KillQuery
+  int64_t spill_bytes = 0;       // result bytes spilled to disk, all requests
+  int64_t shed_queries = 0;      // results refused by the governor's budgets
+};
+
 class HyperQService : public protocol::RequestHandler {
  public:
   HyperQService(vdb::Engine* engine, ServiceOptions options = {});
@@ -121,14 +143,25 @@ class HyperQService : public protocol::RequestHandler {
                                const std::string& default_database = "");
   void CloseSession(uint32_t session_id);
 
-  /// \brief Translates and executes one SQL-A statement.
-  Result<QueryOutcome> Submit(uint32_t session_id, const std::string& sql_a);
+  /// \brief Translates and executes one SQL-A statement. `ctx` is the
+  /// request's lifecycle handle (DESIGN.md §8): cancellation and deadline
+  /// are honored at every batch boundary. null = the service mints an
+  /// internal context (so KillQuery and the default deadline still apply).
+  Result<QueryOutcome> Submit(uint32_t session_id, const std::string& sql_a,
+                              QueryContext* ctx = nullptr);
 
   /// \brief Executes a ';'-separated SQL-A script; consecutive single-row
   /// INSERTs into the same table are batched into multi-row statements
   /// (paper §4.3). Returns the last statement's outcome.
   Result<QueryOutcome> SubmitScript(uint32_t session_id,
-                                    const std::string& script);
+                                    const std::string& script,
+                                    QueryContext* ctx = nullptr);
+
+  /// \brief Operator kill API (DESIGN.md §8): cancels the query currently
+  /// running on `session_id` (cause kKill); it terminates at its next
+  /// batch boundary with kCancelled. Returns false when the session has no
+  /// query in flight.
+  bool KillQuery(uint32_t session_id);
 
   /// \brief Translation without execution: returns the SQL-B text(s) the
   /// statement would produce. Used by the workload study and tests.
@@ -147,6 +180,13 @@ class HyperQService : public protocol::RequestHandler {
   /// Failover/overload counters (DESIGN.md §6).
   ServiceResilienceStats resilience_stats() const;
 
+  /// Lifecycle/governance counters (DESIGN.md §8). shed_queries reflects
+  /// the configured governor when one is set.
+  ServiceLifecycleStats lifecycle_stats() const;
+
+  /// \brief Sessions currently open (observability/leak checks in tests).
+  size_t open_sessions() const;
+
   /// Translation cache counters (DESIGN.md §7).
   TranslationCacheStats translation_cache_stats() const {
     return translation_cache_.stats();
@@ -164,7 +204,8 @@ class HyperQService : public protocol::RequestHandler {
       const protocol::LogonRequest& request) override;
   void Logoff(uint32_t session_id) override;
   Result<protocol::WireResponse> Run(uint32_t session_id,
-                                     const std::string& sql) override;
+                                     const std::string& sql,
+                                     QueryContext* ctx) override;
 
  private:
   /// One replayable effect of the session on its backend connection.
@@ -200,9 +241,24 @@ class HyperQService : public protocol::RequestHandler {
 
   Result<Session*> GetSession(uint32_t id);
 
+  // --- Lifecycle (DESIGN.md §8) ----------------------------------------
+  /// What the pipeline produced before execution started. Kept so a
+  /// cancellation that strikes mid-execution does not discard a perfectly
+  /// good translation: the template is still admitted to the cache.
+  struct PipelineArtifacts {
+    bool serialized = false;  // serialize completed; sql_b/features valid
+    std::string sql_b;
+    FeatureSet features;
+  };
+  void RegisterActiveQuery(uint32_t session_id, QueryContext* ctx);
+  void UnregisterActiveQuery(uint32_t session_id, QueryContext* ctx);
+  /// Classifies a failed submit into the lifecycle counters.
+  void RecordLifecycleFailure(const Status& status, const QueryContext* ctx);
+
   // --- Failover (session journal & replay) -----------------------------
   Result<QueryOutcome> SubmitWithFailover(Session* session,
-                                          const std::string& sql_a);
+                                          const std::string& sql_a,
+                                          QueryContext* ctx);
   /// Replays the journal onto the connector's fresh backend session;
   /// returns the number of entries replayed.
   Result<int> ReplaySessionJournal(Session* session);
@@ -213,11 +269,14 @@ class HyperQService : public protocol::RequestHandler {
   bool IsVolatileTable(const Session* session, const std::string& name) const;
 
   Result<QueryOutcome> SubmitInternal(Session* session,
-                                      const std::string& sql_a, int depth);
+                                      const std::string& sql_a, int depth,
+                                      QueryContext* ctx);
   Result<QueryOutcome> ExecuteStatement(Session* session,
                                         const sql::Statement& stmt,
                                         const std::string& sql_a,
-                                        FeatureSet features, int depth);
+                                        FeatureSet features, int depth,
+                                        QueryContext* ctx,
+                                        PipelineArtifacts* artifacts);
 
   // --- Translation cache (DESIGN.md §7) ---------------------------------
   /// Statement kinds eligible for caching (single-statement query/DML
@@ -232,14 +291,17 @@ class HyperQService : public protocol::RequestHandler {
   /// Executes a cache hit: splice already done, pipeline fully skipped.
   Result<QueryOutcome> ExecuteCachedStatement(
       Session* session, const CachedTranslation& entry, std::string sql_b,
-      const Stopwatch& translation);
+      const Stopwatch& translation, QueryContext* ctx);
   /// Cold-path insertion; counts a bypass when the statement turns out
-  /// not to be safely parameterizable.
+  /// not to be safely parameterizable. A cancelled request (`ctx`) never
+  /// plants the negative "uncacheable" marker: a probe aborted mid-flight
+  /// proves nothing about the shape.
   void MaybeCacheTranslation(const std::string& cache_key,
                              const sql::NormalizedStatement& norm,
                              const std::string& sql_b,
                              const FeatureSet& features,
-                             int64_t catalog_version);
+                             int64_t catalog_version,
+                             const QueryContext* ctx);
   /// Translation-only pipeline (parse -> bind -> transform -> serialize)
   /// for a single query/DML statement; never executes anything. Used by
   /// the sentinel re-translation probe.
@@ -264,15 +326,18 @@ class HyperQService : public protocol::RequestHandler {
   // Query/DML path: bind -> transform -> serialize -> execute.
   Result<QueryOutcome> RunPipeline(Session* session,
                                    const sql::Statement& stmt,
-                                   FeatureSet features);
+                                   FeatureSet features, QueryContext* ctx,
+                                   PipelineArtifacts* artifacts = nullptr);
 
   // DDL translation (schema sync between DTM catalog and the target).
   Result<QueryOutcome> HandleCreateTable(Session* session,
                                          const sql::CreateTableStatement& ct,
-                                         FeatureSet features);
+                                         FeatureSet features,
+                                         QueryContext* ctx);
   Result<QueryOutcome> HandleDropTable(Session* session,
                                        const sql::DropTableStatement& dt,
-                                       FeatureSet features);
+                                       FeatureSet features,
+                                       QueryContext* ctx);
 
   // Expands PERIOD columns of an INSERT plan into begin/end pairs.
   Status ExpandPeriodInsert(xtra::Op* insert_op, FeatureSet* features);
@@ -300,6 +365,11 @@ class HyperQService : public protocol::RequestHandler {
   uint64_t default_settings_digest_; // digest of a fresh SessionInfo
   TranslationActivityStats activity_;           // guarded by mutex_
   std::map<std::string, int> volatile_names_;   // guarded by mutex_
+  ServiceLifecycleStats lifecycle_;             // guarded by mutex_
+  /// KillQuery registry: the context of each session's in-flight query.
+  /// The context outlives its registration (Unregister runs before Submit
+  /// returns), so cancelling under mutex_ is always safe.
+  std::map<uint32_t, QueryContext*> active_queries_;  // guarded by mutex_
 };
 
 }  // namespace hyperq::service

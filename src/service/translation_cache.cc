@@ -244,7 +244,8 @@ Result<std::string> SubstituteTemplateLiterals(
 // Sharded LRU
 // ---------------------------------------------------------------------------
 
-TranslationCache::TranslationCache(const TranslationCacheOptions& options) {
+TranslationCache::TranslationCache(const TranslationCacheOptions& options)
+    : governor_(options.governor) {
   int shard_count = std::max(1, options.shard_count);
   shards_.reserve(shard_count);
   for (int i = 0; i < shard_count; ++i) {
@@ -252,6 +253,8 @@ TranslationCache::TranslationCache(const TranslationCacheOptions& options) {
   }
   shard_budget_ = std::max<size_t>(1, options.max_bytes / shard_count);
 }
+
+TranslationCache::~TranslationCache() { Clear(); }
 
 TranslationCache::Shard& TranslationCache::ShardFor(const std::string& key) {
   return *shards_[Fnv1a64(key) % shards_.size()];
@@ -286,6 +289,10 @@ void TranslationCache::Insert(const std::string& key,
   }
   size_t bytes = entry.bytes;
   if (bytes > shard_budget_) return;  // would never fit; don't thrash
+  if (governor_ &&
+      !governor_->ReserveMemory(0, static_cast<int64_t>(bytes)).ok()) {
+    return;  // process memory budget exhausted: skip, don't evict results
+  }
   shard.lru.emplace_front(
       key, std::make_shared<const CachedTranslation>(std::move(entry)));
   shard.index.emplace(key, shard.lru.begin());
@@ -294,6 +301,10 @@ void TranslationCache::Insert(const std::string& key,
   while (shard.bytes > shard_budget_ && shard.lru.size() > 1) {
     auto& victim = shard.lru.back();
     shard.bytes -= victim.second->bytes;
+    if (governor_) {
+      governor_->ReleaseMemory(0,
+                               static_cast<int64_t>(victim.second->bytes));
+    }
     shard.index.erase(victim.first);
     shard.lru.pop_back();
     ++shard.evictions;
@@ -307,6 +318,10 @@ void TranslationCache::InvalidateCatalogVersion(int64_t current_version) {
     for (auto it = shard.lru.begin(); it != shard.lru.end();) {
       if (it->second->catalog_version != current_version) {
         shard.bytes -= it->second->bytes;
+        if (governor_) {
+          governor_->ReleaseMemory(0,
+                                   static_cast<int64_t>(it->second->bytes));
+        }
         shard.index.erase(it->first);
         it = shard.lru.erase(it);
         ++shard.invalidations;
@@ -338,6 +353,9 @@ void TranslationCache::Clear() {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mu);
+    if (governor_ && shard.bytes > 0) {
+      governor_->ReleaseMemory(0, static_cast<int64_t>(shard.bytes));
+    }
     shard.lru.clear();
     shard.index.clear();
     shard.bytes = 0;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/features.h"
+#include "common/resource_governor.h"
 #include "common/result.h"
 #include "sql/normalizer.h"
 
@@ -34,6 +35,11 @@ struct TranslationCacheOptions {
   /// Total byte budget across all shards; per-shard budget is the even
   /// split. Entries are costed as template bytes + key bytes + overhead.
   size_t max_bytes = 8u << 20;
+  /// Shared budget arbiter (DESIGN.md §8): resident entry bytes are
+  /// reserved against the process-wide memory budget (unattributed, tag 0)
+  /// so the cache and the live ResultStores share one ceiling. An insert
+  /// the governor denies is simply skipped. null = unlimited.
+  std::shared_ptr<ResourceGovernor> governor;
 };
 
 struct TranslationCacheStats {
@@ -114,6 +120,7 @@ Result<std::string> SubstituteTemplateLiterals(
 class TranslationCache {
  public:
   explicit TranslationCache(const TranslationCacheOptions& options);
+  ~TranslationCache();
 
   /// \brief Returns the entry or nullptr; counts a miss on nullptr. The
   /// caller reports the hit via RecordHit() once the splice succeeds.
@@ -154,6 +161,7 @@ class TranslationCache {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t shard_budget_;
+  std::shared_ptr<ResourceGovernor> governor_;
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> bypasses_{0};

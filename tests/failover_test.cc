@@ -375,7 +375,8 @@ class BlockingHandler : public protocol::RequestHandler {
     return resp;
   }
   void Logoff(uint32_t) override {}
-  Result<protocol::WireResponse> Run(uint32_t, const std::string&) override {
+  Result<protocol::WireResponse> Run(uint32_t, const std::string&,
+                                     QueryContext*) override {
     std::unique_lock<std::mutex> lock(mu_);
     ++entered_;
     cv_.wait(lock, [&] { return tokens_ > 0; });
@@ -415,7 +416,8 @@ class SlowHandler : public protocol::RequestHandler {
     return resp;
   }
   void Logoff(uint32_t) override {}
-  Result<protocol::WireResponse> Run(uint32_t, const std::string&) override {
+  Result<protocol::WireResponse> Run(uint32_t, const std::string&,
+                                     QueryContext*) override {
     ++entered_;
     std::this_thread::sleep_for(std::chrono::milliseconds(run_ms_));
     protocol::WireResponse resp;

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
 #include <thread>
 
 #include "backend/connector.h"
@@ -417,6 +419,54 @@ TEST_F(FaultTest, SpillFaultIsRetriedLikeAnyFetchFailure) {
   auto rows = result->DecodeRows();
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(rows->size(), 3u);
+}
+
+// Satellite (DESIGN.md §8): a failed spill *write* — the disk filling up
+// mid-query — surfaces as a typed kIoError and leaves no partial file
+// behind, instead of silently truncating the result.
+TEST_F(FaultTest, SpillWriteFailureSurfacesTypedIoError) {
+  vdb::Engine engine;
+  ASSERT_TRUE(engine.ExecuteScript("CREATE TABLE T (A INTEGER);"
+                                   "INSERT INTO T VALUES (1);"
+                                   "INSERT INTO T VALUES (2);"
+                                   "INSERT INTO T VALUES (3)")
+                  .ok());
+  backend::ConnectorOptions options = FastRetryOptions();
+  options.batch_rows = 1;
+  options.store_memory_budget = 1;  // every batch beyond the first spills
+  std::string dir = "/tmp/hyperq_enospc_XXXXXX";
+  {
+    std::vector<char> buf(dir.begin(), dir.end());
+    buf.push_back('\0');
+    ASSERT_NE(mkdtemp(buf.data()), nullptr);
+    dir.assign(buf.data());
+  }
+  options.spill_dir = dir;
+  backend::BackendConnector connector(&engine, options);
+
+  FaultSpec spec;
+  spec.kind = FaultKind::kPermanent;  // ENOSPC does not heal on retry
+  spec.message = "No space left on device";
+  FaultInjector::Global().Arm(faultpoints::kStoreSpillWrite, spec);
+
+  auto result = connector.Execute("SELECT A FROM T ORDER BY A");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIoError()) << result.status();
+  EXPECT_NE(result.status().message().find("No space left"),
+            std::string::npos);
+  // IoError is not retryable: the query failed on the first attempt
+  // instead of hammering a full disk.
+  EXPECT_EQ(FaultInjector::Global().fires(faultpoints::kStoreSpillWrite), 1);
+
+  // The partially written spill file was cleaned up.
+  size_t files = 0;
+  std::error_code ec;
+  for (auto it = std::filesystem::directory_iterator(dir, ec);
+       !ec && it != std::filesystem::directory_iterator(); ++it) {
+    ++files;
+  }
+  EXPECT_EQ(files, 0u) << "spill-write failure must remove the partial file";
+  std::filesystem::remove_all(dir);
 }
 
 // --- Service: attempts surface in the timing breakdown ----------------------

@@ -214,7 +214,8 @@ class StubHandler : public RequestHandler {
     return resp;
   }
   void Logoff(uint32_t) override { ++logoffs_; }
-  Result<WireResponse> Run(uint32_t, const std::string& sql) override {
+  Result<WireResponse> Run(uint32_t, const std::string& sql,
+                           QueryContext*) override {
     WireResponse resp;
     resp.success.tag = "OK";
     resp.success.activity_count = sql.size();

@@ -179,5 +179,78 @@ TEST_F(ServiceTest, WireProtocolRoundTrip) {
   server.Stop();
 }
 
+// --- Lifecycle counters (DESIGN.md §8) --------------------------------------
+
+TEST(ServiceLifecycleStatsTest, StartAtZeroAndClassifyDeadlines) {
+  vdb::Engine engine;
+  service::ServiceOptions options;
+  // Expires before the first batch boundary check; no faults needed.
+  options.default_query_deadline_ms = 0.001;
+  service::HyperQService service(&engine, options);
+  auto sid = service.OpenSession("ops");
+  ASSERT_TRUE(sid.ok());
+
+  auto zero = service.lifecycle_stats();
+  EXPECT_EQ(zero.cancelled, 0);
+  EXPECT_EQ(zero.deadline_expired, 0);
+  EXPECT_EQ(zero.client_gone, 0);
+  EXPECT_EQ(zero.killed, 0);
+  EXPECT_EQ(zero.spill_bytes, 0);
+  EXPECT_EQ(zero.shed_queries, 0);
+
+  auto expired = service.Submit(*sid, "SEL 1");
+  ASSERT_FALSE(expired.ok());
+  EXPECT_TRUE(expired.status().IsDeadlineExceeded()) << expired.status();
+  auto stats = service.lifecycle_stats();
+  EXPECT_EQ(stats.deadline_expired, 1);
+  EXPECT_EQ(stats.cancelled, 0);
+}
+
+TEST(ServiceLifecycleStatsTest, SpillAndShedAccountingFlowThrough) {
+  // A governor with almost no memory forces every result batch to spill.
+  auto gov = std::make_shared<ResourceGovernor>(
+      ResourceGovernorOptions{.global_memory_bytes = 64});
+  vdb::Engine engine;
+  service::ServiceOptions options;
+  options.connector.batch_rows = 4;
+  options.governor = gov;
+  service::HyperQService service(&engine, options);
+  auto sid = service.OpenSession("ops");
+  ASSERT_TRUE(sid.ok());
+  ASSERT_TRUE(service.Submit(*sid, "CREATE TABLE LS (A INTEGER)").ok());
+  std::string script;
+  for (int i = 0; i < 40; ++i) {
+    script += "INS INTO LS VALUES (" + std::to_string(i) + ");";
+  }
+  ASSERT_TRUE(service.SubmitScript(*sid, script).ok());
+
+  auto spilled = service.Submit(*sid, "SEL * FROM LS");
+  ASSERT_TRUE(spilled.ok()) << spilled.status();
+  EXPECT_GT(spilled->timing.spill_bytes, 0);
+  EXPECT_GT(service.lifecycle_stats().spill_bytes, 0);
+  EXPECT_EQ(service.lifecycle_stats().shed_queries, 0);
+
+  // Now also deny spill: the query is shed with a typed error and counted.
+  auto strict = std::make_shared<ResourceGovernor>(ResourceGovernorOptions{
+      .global_memory_bytes = 64, .spill_disk_bytes = 64});
+  service::ServiceOptions strict_options;
+  strict_options.connector.batch_rows = 4;
+  strict_options.governor = strict;
+  service::HyperQService strict_service(&engine, strict_options);
+  auto sid2 = strict_service.OpenSession("ops");
+  ASSERT_TRUE(sid2.ok());
+  ASSERT_TRUE(strict_service.Submit(*sid2, "CREATE TABLE LS2 (A INTEGER)")
+                  .ok());
+  std::string script2;
+  for (int i = 0; i < 40; ++i) {
+    script2 += "INS INTO LS2 VALUES (" + std::to_string(i) + ");";
+  }
+  ASSERT_TRUE(strict_service.SubmitScript(*sid2, script2).ok());
+  auto shed = strict_service.Submit(*sid2, "SEL * FROM LS2");
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsResourceExhausted()) << shed.status();
+  EXPECT_EQ(strict_service.lifecycle_stats().shed_queries, 1);
+}
+
 }  // namespace
 }  // namespace hyperq
