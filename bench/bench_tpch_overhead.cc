@@ -25,6 +25,8 @@
 
 #include "common/stopwatch.h"
 #include "convert/result_converter.h"
+#include "observability/metric_names.h"
+#include "observability/metrics.h"
 #include "service/hyperq_service.h"
 #include "vdb/engine.h"
 #include "workload/tpch.h"
@@ -71,6 +73,14 @@ struct CacheStudyRow {
   bool cached = false;
 };
 
+struct LatencyStudy {
+  int64_t samples = 0;
+  double p50_us = 0, p95_us = 0, p99_us = 0;  // from hyperq.query.micros
+  double traced_median_us = 0;   // wall-clock medians, tracing on vs off
+  double untraced_median_us = 0;
+  double tracing_overhead_pct = 0;
+};
+
 /// Cold vs hit translation latency per TPC-H query. Cold numbers come
 /// from a cache-disabled service, hit numbers from a cache-enabled one
 /// after seeding — both via Translate(), so execution never pollutes the
@@ -96,11 +106,11 @@ std::vector<CacheStudyRow> RunCacheStudy(double sf) {
     // cache (emulated multi-statement shapes bypass it by design).
     auto seeded = warm.service->Translate(queries[i], nullptr);
     if (!seeded.ok()) std::abort();
-    int64_t hits_before = warm.service->translation_cache_stats().hits;
+    int64_t hits_before = warm.service->StatsSnapshot().translation_cache.hits;
     auto probe = warm.service->Translate(queries[i], nullptr);
     if (!probe.ok()) std::abort();
     row.cached =
-        warm.service->translation_cache_stats().hits > hits_before;
+        warm.service->StatsSnapshot().translation_cache.hits > hits_before;
 
     std::vector<double> cold_us, hit_us;
     for (int it = 0; it < kIters; ++it) {
@@ -124,8 +134,8 @@ std::vector<CacheStudyRow> RunCacheStudy(double sf) {
 }
 
 void WriteBenchJson(double sf, const std::vector<CacheStudyRow>& rows,
-                    double sum_translate, double sum_execute,
-                    double sum_convert) {
+                    const LatencyStudy& latency, double sum_translate,
+                    double sum_execute, double sum_convert) {
   const char* path = "BENCH_tpch_overhead.json";
   FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -149,6 +159,19 @@ void WriteBenchJson(double sf, const std::vector<CacheStudyRow>& rows,
                    ? 100.0 * (sum_translate + sum_convert) / sum_total
                    : 0.0);
   std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"latency\": {\n");
+  std::fprintf(f, "    \"samples\": %lld,\n",
+               static_cast<long long>(latency.samples));
+  std::fprintf(f, "    \"p50_us\": %.1f,\n", latency.p50_us);
+  std::fprintf(f, "    \"p95_us\": %.1f,\n", latency.p95_us);
+  std::fprintf(f, "    \"p99_us\": %.1f,\n", latency.p99_us);
+  std::fprintf(f, "    \"tracing_median_us\": %.1f,\n",
+               latency.traced_median_us);
+  std::fprintf(f, "    \"tracing_off_median_us\": %.1f,\n",
+               latency.untraced_median_us);
+  std::fprintf(f, "    \"tracing_overhead_pct\": %.2f\n",
+               latency.tracing_overhead_pct);
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"translation_cache\": {\n");
   std::fprintf(f, "    \"cached_queries\": %zu,\n", speedups.size());
   std::fprintf(f, "    \"bypassed_queries\": %zu,\n",
@@ -170,6 +193,62 @@ void WriteBenchJson(double sf, const std::vector<CacheStudyRow>& rows,
   std::printf("\nwrote %s (median hit-path speedup over cold translation: "
               "%.1fx across %zu cached queries)\n",
               path, Median(speedups), speedups.size());
+}
+
+/// End-to-end latency distribution over repeated runs of all 22 queries,
+/// read back from the service's own hyperq.query.micros{class="library"}
+/// histogram — so the numbers exercise the observability stack they
+/// describe. The same workload against a tracing-off service bounds the
+/// cost of tracing itself (acceptance: < 2% on the median).
+LatencyStudy RunLatencyStudy(double sf) {
+  namespace names = observability::names;
+  Fixture traced(sf);
+  service::ServiceOptions off;
+  off.tracing = false;
+  Fixture untraced(sf, off);
+  const auto& queries = workload::TpchQueries();
+
+  constexpr int kRounds = 5;
+  std::vector<double> on_us, off_us;
+  for (int round = 0; round < kRounds; ++round) {
+    for (const auto& q : queries) {
+      Stopwatch sw_on;
+      if (!traced.service->Submit(traced.sid, q).ok()) std::abort();
+      on_us.push_back(sw_on.ElapsedMicros());
+      Stopwatch sw_off;
+      if (!untraced.service->Submit(untraced.sid, q).ok()) std::abort();
+      off_us.push_back(sw_off.ElapsedMicros());
+    }
+  }
+
+  LatencyStudy study;
+  auto snap = traced.service->StatsSnapshot().metrics;
+  auto it = snap.histograms.find(observability::LabeledName(
+      names::kQueryMicros, {{"class", "library"}}));
+  if (it != snap.histograms.end()) {
+    study.samples = it->second.count;
+    study.p50_us = it->second.p50();
+    study.p95_us = it->second.p95();
+    study.p99_us = it->second.p99();
+  }
+  study.traced_median_us = Median(on_us);
+  study.untraced_median_us = Median(off_us);
+  study.tracing_overhead_pct =
+      study.untraced_median_us > 0
+          ? 100.0 *
+                (study.traced_median_us - study.untraced_median_us) /
+                study.untraced_median_us
+          : 0.0;
+  std::printf("\n=== Latency distribution (hyperq.query.micros, %lld "
+              "samples) ===\n",
+              static_cast<long long>(study.samples));
+  std::printf("  p50 %.1fus  p95 %.1fus  p99 %.1fus\n", study.p50_us,
+              study.p95_us, study.p99_us);
+  std::printf("  tracing on/off median: %.1fus / %.1fus (overhead "
+              "%+.2f%%, target < 2%%)\n",
+              study.traced_median_us, study.untraced_median_us,
+              study.tracing_overhead_pct);
+  return study;
 }
 
 struct OverheadSums {
@@ -244,7 +323,9 @@ int main(int argc, char** argv) {
   double sf = ScaleFactor();
   OverheadSums sums = RunOverheadStudy(sf);
   std::vector<CacheStudyRow> cache_rows = RunCacheStudy(sf);
-  WriteBenchJson(sf, cache_rows, sums.translate, sums.execute, sums.convert);
+  LatencyStudy latency = RunLatencyStudy(sf);
+  WriteBenchJson(sf, cache_rows, latency, sums.translate, sums.execute,
+                 sums.convert);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

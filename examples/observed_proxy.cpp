@@ -1,0 +1,173 @@
+// Query-path observability over the wire (DESIGN.md §9).
+//
+// Runs Hyper-Q as a tdwp proxy with tracing on, pushes a small chaotic
+// workload through it (cache hits, a recursive query, injected transient
+// faults, a governor-shed result), then scrapes the metrics registry over
+// the wire via the tdwp admin request — the same path scripts/scrape.sh
+// uses against any running proxy.
+//
+// Modes:
+//   ./build/examples/example_observed_proxy               # self-contained
+//       demo: serve on an ephemeral port, soak, scrape, print, exit
+//   ./build/examples/example_observed_proxy serve [port]  # soak once,
+//       then keep listening (for scripts/scrape.sh; default port 48620)
+//   ./build/examples/example_observed_proxy scrape <port> # dump a running
+//       proxy's scrape text to stdout and exit
+//
+// Env: HYPERQ_SLOW_QUERY_MICROS sets the slow-query threshold (default
+// 5000 — the soak prints offending queries as JSON lines on stderr);
+// HYPERQ_FAULTS / HYPERQ_FAULT_SEED arm extra fault drills (common/fault.h).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/fault.h"
+#include "protocol/client.h"
+#include "protocol/server.h"
+#include "service/hyperq_service.h"
+#include "vdb/engine.h"
+
+using namespace hyperq;
+
+namespace {
+
+constexpr uint16_t kDefaultPort = 48620;
+
+int Scrape(uint16_t port) {
+  protocol::TdwpClient client;
+  if (!client.Connect(port).ok()) {
+    std::fprintf(stderr, "cannot connect to 127.0.0.1:%u\n", port);
+    return 1;
+  }
+  auto text = client.Scrape();
+  if (!text.ok()) {
+    std::fprintf(stderr, "scrape failed: %s\n",
+                 text.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(text->c_str(), stdout);
+  client.Goodbye();
+  return 0;
+}
+
+// The workload the demo/serve soak pushes through the proxy: repeated
+// shapes (cache hits), a recursive query (emulation iterations), injected
+// transient backend faults (retries), and a tight memory budget (sheds and
+// spills) — so every counter family in the scrape is non-zero.
+void Soak(uint16_t port) {
+  FaultSpec transient;
+  transient.kind = FaultKind::kTransient;
+  transient.every = 5;
+  transient.max_fires = 3;
+  FaultInjector::Global().Arm(faultpoints::kVdbExecute, transient);
+
+  protocol::TdwpClient app;
+  if (!app.Connect(port).ok() || !app.Logon("observer", "secret").ok()) {
+    std::fprintf(stderr, "soak client connection failed\n");
+    return;
+  }
+  const char* setup[] = {
+      "CREATE TABLE EMP (EMPNO INTEGER, MGRNO INTEGER)",
+      "INS INTO EMP VALUES (1, 7)",
+      "INS INTO EMP VALUES (7, 8)",
+      "INS INTO EMP VALUES (8, 10)",
+      "INS INTO EMP VALUES (9, 10)",
+  };
+  for (const char* sql : setup) (void)app.Run(sql);
+  for (int i = 0; i < 20; ++i) {
+    // Same shape, varying literal: one cold translation, then cache hits.
+    std::string probe =
+        "SEL EMPNO FROM EMP WHERE MGRNO = " + std::to_string(i % 4 + 7);
+    (void)app.Run(probe);
+  }
+  (void)app.Run(
+      "WITH RECURSIVE REPORTS (EMPNO, MGRNO) AS ("
+      "SELECT EMPNO, MGRNO FROM EMP WHERE MGRNO = 10 "
+      "UNION ALL "
+      "SELECT EMP.EMPNO, EMP.MGRNO FROM EMP, REPORTS "
+      "WHERE REPORTS.EMPNO = EMP.MGRNO) "
+      "SELECT EMPNO FROM REPORTS ORDER BY EMPNO");
+  app.Goodbye();
+  FaultInjector::Global().Reset();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* mode = argc > 1 ? argv[1] : "";
+  if (std::strcmp(mode, "scrape") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s scrape <port>\n", argv[0]);
+      return 2;
+    }
+    return Scrape(static_cast<uint16_t>(std::atoi(argv[2])));
+  }
+
+  bool serve = std::strcmp(mode, "serve") == 0;
+  uint16_t port = 0;
+  if (serve) {
+    port = argc > 2 ? static_cast<uint16_t>(std::atoi(argv[2]))
+                    : kDefaultPort;
+  }
+
+  if (const char* seed_env = std::getenv("HYPERQ_FAULT_SEED")) {
+    FaultInjector::Global().SetSeed(std::strtoull(seed_env, nullptr, 10));
+  }
+  if (const char* faults_env = std::getenv("HYPERQ_FAULTS")) {
+    Status st = FaultInjector::Global().Configure(faults_env);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bad HYPERQ_FAULTS: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  double slow_micros = 5000;
+  if (const char* slow_env = std::getenv("HYPERQ_SLOW_QUERY_MICROS")) {
+    slow_micros = std::strtod(slow_env, nullptr);
+  }
+
+  vdb::Engine warehouse;
+  service::ServiceOptions options;
+  options.connector.retry.base_delay_ms = 1;
+  options.connector.retry.max_delay_ms = 4;
+  options.slow_query_micros = slow_micros;  // JSON lines on stderr
+  service::HyperQService hyperq(&warehouse, options);
+
+  // One registry across service and server: a single scrape shows the
+  // translation, cache, backend, governor, AND admission counters.
+  protocol::TdwpServerOptions server_options;
+  server_options.metrics = hyperq.metrics_registry();
+  protocol::TdwpServer server(&hyperq, server_options);
+  if (!server.Start(port).ok()) {
+    std::fprintf(stderr, "cannot start tdwp server on port %u\n", port);
+    return 1;
+  }
+  std::printf("Hyper-Q proxy listening on 127.0.0.1:%u (tdwp, tracing on, "
+              "slow-query threshold %.0fus)\n",
+              server.port(), slow_micros);
+
+  Soak(server.port());
+
+  if (serve) {
+    // Stay up for external scrapes (scripts/scrape.sh); Ctrl-C to stop.
+    std::printf("serving; scrape with: scripts/scrape.sh %u\n",
+                server.port());
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+  }
+
+  // Demo mode: scrape our own wire endpoint and print the result.
+  std::printf("\n--- scrape (tdwp stats request) ---\n");
+  int rc = Scrape(server.port());
+  server.Stop();
+
+  // A few of the recent traces, for the span-tree flavor.
+  std::printf("\n--- last 3 traces (most recent first) ---\n");
+  for (const auto& trace : hyperq.trace_ring().Recent(3)) {
+    std::printf("%s\n", trace->ToJson().c_str());
+  }
+  return rc;
+}

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Metric-name lint (DESIGN.md §9): every fault-injection point declared in
+# src/common/fault.h must have a correspondingly named metric row in the
+# kFaultPointMetrics table of src/observability/metric_names.h (that table
+# is what mirrors the injector's hit/fire counts into the scrape), and the
+# table must not carry stale rows for points that no longer exist.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fault_h=src/common/fault.h
+names_h=src/observability/metric_names.h
+
+# Declared points: the string values of the faultpoints:: constants.
+declared=$(sed -n '/namespace faultpoints/,/} *\/\/ namespace faultpoints/p' \
+               "$fault_h" |
+           grep -o 'constexpr const char\* k[A-Za-z0-9]* = "[^"]*"' |
+           sed 's/.*= "//; s/"$//' | sort)
+# Table rows: the first string of each kFaultPointMetrics entry.
+table=$(sed -n '/kFaultPointMetrics\[\]/,/};/p' "$names_h" |
+        grep -o '{"[^"]*"' | sed 's/{"//; s/"$//' | sort)
+
+if [[ -z "$declared" ]]; then
+  echo "check_metrics: no fault points parsed from $fault_h" >&2
+  exit 1
+fi
+
+status=0
+missing=$(comm -23 <(echo "$declared") <(echo "$table"))
+if [[ -n "$missing" ]]; then
+  echo "check_metrics: fault points with no kFaultPointMetrics row in $names_h:" >&2
+  echo "$missing" | sed 's/^/  /' >&2
+  status=1
+fi
+stale=$(comm -13 <(echo "$declared") <(echo "$table"))
+if [[ -n "$stale" ]]; then
+  echo "check_metrics: stale kFaultPointMetrics rows (no such fault point):" >&2
+  echo "$stale" | sed 's/^/  /' >&2
+  status=1
+fi
+
+# Each table row's metric name must follow hyperq.faults.<point>.
+bad_names=$(sed -n '/kFaultPointMetrics\[\]/,/};/p' "$names_h" |
+            grep -o '{"[^"]*", *"[^"]*"' |
+            sed 's/{"//; s/", *"/ /; s/"$//' |
+            awk '$2 != "hyperq.faults." $1 { print "  " $1 " -> " $2 }')
+if [[ -n "$bad_names" ]]; then
+  echo "check_metrics: metric names not of the form hyperq.faults.<point>:" >&2
+  echo "$bad_names" >&2
+  status=1
+fi
+
+if [[ $status -eq 0 ]]; then
+  count=$(echo "$declared" | wc -l)
+  echo "check_metrics: OK ($count fault points all mirrored)"
+fi
+exit $status

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Dump a running Hyper-Q proxy's metrics scrape (DESIGN.md §9) to stdout.
+#
+#   scripts/scrape.sh [port]   # scrape 127.0.0.1:<port> (default 48620,
+#                              # the example_observed_proxy serve port)
+#   scripts/scrape.sh --demo   # start the example proxy, soak it with a
+#                              # chaotic workload, scrape, and stop it
+#
+# The scrape rides the tdwp admin request (kStatsRequest) — no logon
+# needed, so a monitoring agent can poll an unhealthy proxy. Format:
+#   counter <name> <value>
+#   gauge <name> <value>
+#   histogram <name> count=N sum=S p50=X p95=Y p99=Z
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+proxy=build/examples/example_observed_proxy
+if [[ ! -x "$proxy" ]]; then
+  echo "error: $proxy not built (run: cmake -B build -S . && cmake --build build)" >&2
+  exit 1
+fi
+
+if [[ "${1:-}" == "--demo" ]]; then
+  port=48621
+  "$proxy" serve "$port" >/dev/null 2>&1 &
+  proxy_pid=$!
+  trap 'kill "$proxy_pid" 2>/dev/null || true' EXIT
+  # Wait for the listener: the scrape itself is the readiness probe.
+  for _ in $(seq 1 50); do
+    if "$proxy" scrape "$port" 2>/dev/null; then
+      exit 0
+    fi
+    sleep 0.1
+  done
+  echo "error: demo proxy never became scrapeable on port $port" >&2
+  exit 1
+fi
+
+exec "$proxy" scrape "${1:-48620}"

@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Tier-1 gate: full build + test suite, plus (optionally) the resilience,
-# translation-cache, and lifecycle suites under sanitizers.
+# translation-cache, lifecycle, and observability suites under sanitizers.
 #
 #   scripts/tier1.sh            # standard build + ctest
 #   scripts/tier1.sh --asan     # also build build-asan/ and run the
 #                               # `faults`, `failover`, `cache`, `golden`,
-#                               # and `lifecycle` suites under ASan+UBSan
+#                               # `lifecycle`, and `observability` suites
+#                               # under ASan+UBSan
 #   scripts/tier1.sh --tsan     # also build build-tsan/ and run the
 #                               # cross-thread suites (`lifecycle`,
-#                               # `faults`) under ThreadSanitizer
+#                               # `faults`, `observability`) under
+#                               # ThreadSanitizer
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +20,7 @@ cmake -B build -S .
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 scripts/check_golden.sh
+scripts/check_metrics.sh
 
 if [[ "${1:-}" == "--asan" ]]; then
   cmake -B build-asan -S . -DHYPERQ_SANITIZE=address,undefined
@@ -27,6 +30,7 @@ if [[ "${1:-}" == "--asan" ]]; then
   ctest --test-dir build-asan --output-on-failure -L cache -j "$jobs"
   ctest --test-dir build-asan --output-on-failure -L golden -j "$jobs"
   ctest --test-dir build-asan --output-on-failure -L lifecycle -j "$jobs"
+  ctest --test-dir build-asan --output-on-failure -L observability -j "$jobs"
 fi
 
 if [[ "${1:-}" == "--tsan" ]]; then
@@ -37,4 +41,8 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake --build build-tsan -j "$jobs"
   ctest --test-dir build-tsan --output-on-failure -L lifecycle -j "$jobs"
   ctest --test-dir build-tsan --output-on-failure -L faults -j "$jobs"
+  # The registry's whole contract is lock-cheap cross-thread counting and
+  # the trace is mutated by the worker while cancellation inspects it —
+  # the observability suite must be TSan-clean, not just ASan-clean.
+  ctest --test-dir build-tsan --output-on-failure -L observability -j "$jobs"
 fi

@@ -1,8 +1,11 @@
 #include "backend/connector.h"
 
 #include "common/fault.h"
+#include "observability/metric_names.h"
 
 namespace hyperq::backend {
+
+namespace obs = observability;
 
 Result<std::vector<std::vector<Datum>>> BackendResult::DecodeRows() const {
   std::vector<std::vector<Datum>> rows;
@@ -21,7 +24,19 @@ BackendConnector::BackendConnector(vdb::Engine* engine,
                                    ConnectorOptions options)
     : engine_(engine),
       options_(std::move(options)),
-      breaker_(options_.breaker) {}
+      breaker_(options_.breaker) {
+  if (options_.metrics != nullptr) {
+    attempts_counter_ =
+        options_.metrics->counter(obs::names::kBackendAttempts);
+    retries_counter_ = options_.metrics->counter(obs::names::kBackendRetries);
+    breaker_rejections_counter_ =
+        options_.metrics->counter(obs::names::kBackendBreakerRejections);
+    session_losses_counter_ =
+        options_.metrics->counter(obs::names::kBackendSessionLosses);
+    backoff_histogram_ =
+        options_.metrics->histogram(obs::names::kBackendBackoffMicros);
+  }
+}
 
 void BackendConnector::NoteSessionTable(const std::string& name) {
   std::lock_guard<std::mutex> lock(tables_mutex_);
@@ -43,6 +58,7 @@ void BackendConnector::ForgetSessionTable(const std::string& name) {
 
 void BackendConnector::OnSessionLost() {
   losses_.fetch_add(1, std::memory_order_relaxed);
+  if (session_losses_counter_ != nullptr) session_losses_counter_->Inc();
   session_down_.store(true, std::memory_order_relaxed);
   // The backend discards session-scoped state with the dying session; the
   // drops go straight to the engine (the "new" connection's view), not
@@ -79,6 +95,10 @@ Result<BackendResult> BackendConnector::ExecuteWithRetry(
   }
   RetryStats stats;
   auto attempt = [&]() -> Result<BackendResult> {
+    // Each backend try is its own child span (under the service's
+    // backend.execute), so a retried request shows every attempt.
+    obs::SpanScope attempt_span(ctx, "backend.attempt");
+    if (attempts_counter_ != nullptr) attempts_counter_->Inc();
     // A cancelled request never touches the backend again: kCancelled is
     // not retryable, so this surfaces straight through RetryCall.
     if (ctx != nullptr) HQ_RETURN_IF_ERROR(ctx->CheckAlive());
@@ -121,6 +141,16 @@ Result<BackendResult> BackendConnector::ExecuteWithRetry(
   };
   auto out =
       RetryCall(options_.retry, deadline, &breaker_, &stats, shielded);
+  if (retries_counter_ != nullptr && stats.attempts > 1) {
+    retries_counter_->Inc(stats.attempts - 1);
+  }
+  if (breaker_rejections_counter_ != nullptr &&
+      stats.rejected_by_breaker > 0) {
+    breaker_rejections_counter_->Inc(stats.rejected_by_breaker);
+  }
+  if (backoff_histogram_ != nullptr && stats.backoff_micros > 0) {
+    backoff_histogram_->Observe(stats.backoff_micros);
+  }
   if (!out.ok() && !shed_status.ok()) {
     return shed_status;
   }
@@ -136,6 +166,8 @@ Result<BackendResult> BackendConnector::ExecuteWithRetry(
 
 Result<BackendResult> BackendConnector::Package(vdb::QueryResult result,
                                                 QueryContext* ctx) {
+  // The TDF batching/buffering stage of this attempt (paper §4.5).
+  obs::SpanScope buffer_span(ctx, "tdf.buffer");
   BackendResult out;
   out.affected_rows = result.affected_rows;
   out.command_tag = std::move(result.command_tag);

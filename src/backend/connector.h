@@ -22,6 +22,8 @@
 #include "common/resource_governor.h"
 #include "common/result.h"
 #include "common/retry.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
 #include "vdb/engine.h"
 
 namespace hyperq::backend {
@@ -63,6 +65,9 @@ struct ConnectorOptions {
   std::shared_ptr<ResourceGovernor> governor;
   /// Attribution key for per-session governor budgets (0 = unattributed).
   uint64_t session_tag = 0;
+  /// Resilience counters (hyperq.backend.*) register here; null = the
+  /// connector keeps no counters (its typed accessors still work).
+  observability::MetricsRegistry* metrics = nullptr;
 };
 
 /// \brief Submits SQL-B requests to the target engine and packages results.
@@ -120,6 +125,12 @@ class BackendConnector {
   vdb::Engine* engine_;
   ConnectorOptions options_;
   CircuitBreaker breaker_;
+  // Cached registry series; null when options_.metrics is null.
+  observability::Counter* attempts_counter_ = nullptr;
+  observability::Counter* retries_counter_ = nullptr;
+  observability::Counter* breaker_rejections_counter_ = nullptr;
+  observability::Counter* session_losses_counter_ = nullptr;
+  observability::Histogram* backoff_histogram_ = nullptr;
   std::atomic<int64_t> epoch_{1};
   std::atomic<int64_t> losses_{0};
   std::atomic<bool> session_down_{false};

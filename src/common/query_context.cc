@@ -76,6 +76,23 @@ void QueryContext::ClearClientProbe() {
   probe_ = nullptr;
 }
 
+void QueryContext::set_trace(
+    std::shared_ptr<observability::QueryTrace> trace) {
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  trace_ = std::move(trace);
+}
+
+observability::QueryTrace* QueryContext::trace() const {
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  return trace_.get();
+}
+
+std::shared_ptr<observability::QueryTrace> QueryContext::shared_trace()
+    const {
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  return trace_;
+}
+
 Status QueryContext::CancelledStatus() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return reason_;

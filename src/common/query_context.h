@@ -32,6 +32,10 @@
 
 namespace hyperq {
 
+namespace observability {
+class QueryTrace;
+}
+
 /// \brief Why a query was cancelled (drives the lifecycle counters).
 enum class CancelCause {
   kNone = 0,
@@ -97,6 +101,16 @@ class QueryContext {
     return spill_bytes_.load(std::memory_order_relaxed);
   }
 
+  /// \brief Attaches the per-query trace (DESIGN.md §9). The context keeps
+  /// shared ownership so spans opened deep in the pipeline stay valid even
+  /// if the minting layer drops its reference first. hq_common stays below
+  /// hq_observability: this header only forward-declares QueryTrace, and
+  /// the context never calls into it.
+  void set_trace(std::shared_ptr<observability::QueryTrace> trace);
+  /// \brief The attached trace, or nullptr. SpanScope is null-safe on it.
+  observability::QueryTrace* trace() const;
+  std::shared_ptr<observability::QueryTrace> shared_trace() const;
+
  private:
   Status CancelledStatus() const;  // requires cancelled_
 
@@ -112,6 +126,9 @@ class QueryContext {
 
   std::mutex probe_mutex_;  // serializes probe invocations (socket reads)
   ClientProbe probe_;
+
+  mutable std::mutex trace_mutex_;  // guards trace_ attach/read
+  std::shared_ptr<observability::QueryTrace> trace_;
 };
 
 }  // namespace hyperq

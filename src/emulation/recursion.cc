@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "common/str_util.h"
+#include "observability/trace.h"
 
 namespace hyperq::emulation {
 
@@ -134,6 +135,9 @@ Result<backend::BackendResult> RecursionDriver::Execute(
 
     // Steps 2..n: iterate until a fixed point.
     for (int iter = 0; iter < max_iterations_; ++iter) {
+      // One trace span per iteration, so a slow recursive query's log
+      // shows where the fixed-point loop spent its time.
+      observability::SpanScope iter_span(ctx, "recursion.iteration");
       // An unbounded recursion is the canonical runaway query: check the
       // lifecycle at every iteration boundary, not just per statement.
       if (ctx != nullptr) HQ_RETURN_IF_ERROR(ctx->CheckAlive());

@@ -1,0 +1,133 @@
+// Canonical metric names (DESIGN.md §9). Every counter, gauge, and
+// histogram the proxy registers uses a constant from this header, so the
+// scrape vocabulary is greppable in one place and scripts/check_metrics.sh
+// can lint it: every fault-injection point declared in common/fault.h must
+// have a correspondingly named counter in kFaultPointMetrics below (the
+// snapshot mirrors the injector's hit/fire counts through that table).
+//
+// Naming scheme: `hyperq.<component>.<event>`, dot-separated, lower-case;
+// labeled series append `{key="value"}` via observability::LabeledName with
+// a fixed label order. Counters count events (monotonic), gauges report
+// levels, histograms end in the unit (`.micros`, `.bytes`).
+
+#pragma once
+
+#include <cstddef>
+
+namespace hyperq::observability::names {
+
+// --- Query lifecycle (service) ---------------------------------------------
+// Labeled {outcome="ok|error|cancelled|deadline"} and the per-class latency
+// histogram {class="wire|library"}.
+inline constexpr const char* kQueries = "hyperq.queries";
+inline constexpr const char* kQueryMicros = "hyperq.query.micros";
+inline constexpr const char* kStageMicros = "hyperq.stage.micros";
+inline constexpr const char* kResultBytes = "hyperq.result.bytes";
+inline constexpr const char* kSlowQueries = "hyperq.slow_queries";
+
+inline constexpr const char* kLifecycleCancelled =
+    "hyperq.lifecycle.cancelled";
+inline constexpr const char* kLifecycleDeadlineExpired =
+    "hyperq.lifecycle.deadline_expired";
+inline constexpr const char* kLifecycleClientGone =
+    "hyperq.lifecycle.client_gone";
+inline constexpr const char* kLifecycleKilled = "hyperq.lifecycle.killed";
+inline constexpr const char* kLifecycleSpillBytes =
+    "hyperq.lifecycle.spill_bytes";
+inline constexpr const char* kSessionsOpen = "hyperq.sessions.open";
+
+// --- Wire path (service-side accounting of tdwp requests) ------------------
+inline constexpr const char* kWireRequests = "hyperq.wire.requests";
+inline constexpr const char* kWireConvertMicros =
+    "hyperq.wire.convert.micros";
+
+// --- Translation (both entry points: Submit/Run and Translate) -------------
+inline constexpr const char* kTranslateSubmitStatements =
+    "hyperq.translate.submit_statements";
+inline constexpr const char* kTranslateOnlyStatements =
+    "hyperq.translate.translate_statements";
+inline constexpr const char* kTranslateCacheHits =
+    "hyperq.translate.cache_hits";
+inline constexpr const char* kTranslateMicros = "hyperq.translate.micros";
+
+// --- Translation cache (service/translation_cache) -------------------------
+inline constexpr const char* kCacheHits = "hyperq.cache.hits";
+inline constexpr const char* kCacheMisses = "hyperq.cache.misses";
+inline constexpr const char* kCacheBypasses = "hyperq.cache.bypasses";
+inline constexpr const char* kCacheInserts = "hyperq.cache.inserts";
+inline constexpr const char* kCacheEvictions = "hyperq.cache.evictions";
+inline constexpr const char* kCacheInvalidations =
+    "hyperq.cache.invalidations";
+inline constexpr const char* kCacheEntries = "hyperq.cache.entries";
+inline constexpr const char* kCacheBytes = "hyperq.cache.bytes";
+
+// --- Backend connector (retries, breaker, failover) ------------------------
+inline constexpr const char* kBackendAttempts = "hyperq.backend.attempts";
+inline constexpr const char* kBackendRetries = "hyperq.backend.retries";
+inline constexpr const char* kBackendBreakerRejections =
+    "hyperq.backend.breaker_rejections";
+inline constexpr const char* kBackendSessionLosses =
+    "hyperq.backend.session_losses";
+inline constexpr const char* kBackendBackoffMicros =
+    "hyperq.backend.backoff.micros";
+inline constexpr const char* kFailoverReplays = "hyperq.failover.replays";
+inline constexpr const char* kFailoverStatementsReplayed =
+    "hyperq.failover.statements_replayed";
+inline constexpr const char* kFailoverAbortedInTxn =
+    "hyperq.failover.aborted_in_txn";
+inline constexpr const char* kFailoverJournalOverflows =
+    "hyperq.failover.journal_overflows";
+
+// --- Resource governor (mirrored into gauges at snapshot time; the
+// governor lives in common/ below the observability layer) ------------------
+inline constexpr const char* kGovernorMemoryBytes =
+    "hyperq.governor.memory_bytes";
+inline constexpr const char* kGovernorPeakMemoryBytes =
+    "hyperq.governor.peak_memory_bytes";
+inline constexpr const char* kGovernorSpillBytes =
+    "hyperq.governor.spill_bytes";
+inline constexpr const char* kGovernorTotalSpillBytes =
+    "hyperq.governor.total_spill_bytes";
+inline constexpr const char* kGovernorMemoryDenials =
+    "hyperq.governor.memory_denials";
+inline constexpr const char* kGovernorSpillDenials =
+    "hyperq.governor.spill_denials";
+inline constexpr const char* kGovernorShedQueries =
+    "hyperq.governor.shed_queries";
+
+// --- tdwp server (admission/overload) --------------------------------------
+inline constexpr const char* kServerAdmitted = "hyperq.server.admitted";
+inline constexpr const char* kServerShed = "hyperq.server.shed";
+inline constexpr const char* kServerQueuedPeak =
+    "hyperq.server.queued_peak";
+inline constexpr const char* kServerDrained = "hyperq.server.drained";
+inline constexpr const char* kServerForceClosed =
+    "hyperq.server.force_closed";
+inline constexpr const char* kServerUserCappedLogons =
+    "hyperq.server.user_capped_logons";
+inline constexpr const char* kServerScrapes = "hyperq.server.scrapes";
+
+// --- Fault-injection points (mirrored from FaultInjector::Global()) --------
+// scripts/check_metrics.sh enforces that every point declared in
+// common/fault.h appears here; the snapshot walks this table and publishes
+// `<metric>.hits` / `<metric>.fires` gauges for each.
+struct FaultPointMetric {
+  const char* point;   // the faultpoints:: constant's string value
+  const char* metric;  // base metric name for this point
+};
+inline constexpr FaultPointMetric kFaultPointMetrics[] = {
+    {"vdb.execute", "hyperq.faults.vdb.execute"},
+    {"connector.fetch_batch", "hyperq.faults.connector.fetch_batch"},
+    {"socket.read", "hyperq.faults.socket.read"},
+    {"socket.write", "hyperq.faults.socket.write"},
+    {"store.spill", "hyperq.faults.store.spill"},
+    {"backend.session_lost", "hyperq.faults.backend.session_lost"},
+    {"server.admit", "hyperq.faults.server.admit"},
+    {"convert.encode_row", "hyperq.faults.convert.encode_row"},
+    {"tdf.append", "hyperq.faults.tdf.append"},
+    {"store.spill_write", "hyperq.faults.store.spill_write"},
+};
+inline constexpr size_t kFaultPointMetricCount =
+    sizeof(kFaultPointMetrics) / sizeof(kFaultPointMetrics[0]);
+
+}  // namespace hyperq::observability::names

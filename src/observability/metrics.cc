@@ -1,0 +1,178 @@
+#include "observability/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hyperq::observability {
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count <= 0 || counts.empty()) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (1-based, rounded up).
+  int64_t rank = static_cast<int64_t>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  int64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (seen + counts[i] < rank) {
+      seen += counts[i];
+      continue;
+    }
+    // Target rank falls inside bucket i: interpolate linearly between the
+    // bucket's bounds by the rank's position within it.
+    double lo = i == 0 ? 0.0 : bounds[i - 1];
+    if (i >= bounds.size()) return lo;  // overflow bucket: no upper bound
+    double hi = bounds[i];
+    double frac =
+        static_cast<double>(rank - seen) / static_cast<double>(counts[i]);
+    return lo + (hi - lo) * frac;
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<int64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+const std::vector<double>& Histogram::LatencyBucketsMicros() {
+  static const std::vector<double> kBounds = [] {
+    std::vector<double> b;
+    for (double decade = 1; decade <= 1e6; decade *= 10) {
+      b.push_back(decade);
+      b.push_back(decade * 2);
+      b.push_back(decade * 5);
+    }
+    b.push_back(1e7);  // 10 s
+    return b;
+  }();
+  return kBounds;
+}
+
+const std::vector<double>& Histogram::SizeBucketsBytes() {
+  static const std::vector<double> kBounds = [] {
+    std::vector<double> b;
+    for (double v = 64; v <= 1024.0 * 1024 * 1024; v *= 4) b.push_back(v);
+    return b;
+  }();
+  return kBounds;
+}
+
+void Histogram::Observe(double value) {
+  size_t idx =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::string LabeledName(
+    const std::string& base,
+    std::initializer_list<std::pair<const char*, std::string>> labels) {
+  std::string out = base;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += v;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+int64_t MetricsSnapshot::CounterOr(const std::string& name,
+                                   int64_t fallback) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? fallback : it->second;
+}
+
+int64_t MetricsSnapshot::GaugeOr(const std::string& name,
+                                 int64_t fallback) const {
+  auto it = gauges.find(name);
+  return it == gauges.end() ? fallback : it->second;
+}
+
+std::string MetricsSnapshot::RenderText() const {
+  // std::map keys are already sorted, so the rendering is deterministic —
+  // the scrape-format golden test depends on that.
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : counters) {
+    std::snprintf(line, sizeof(line), "counter %s %lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    out += line;
+  }
+  for (const auto& [name, value] : gauges) {
+    std::snprintf(line, sizeof(line), "gauge %s %lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    out += line;
+  }
+  for (const auto& [name, h] : histograms) {
+    std::snprintf(line, sizeof(line),
+                  "histogram %s count=%lld sum=%.1f p50=%.1f p95=%.1f "
+                  "p99=%.1f\n",
+                  name.c_str(), static_cast<long long>(h.count), h.sum,
+                  h.p50(), h.p95(), h.p99());
+    out += line;
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(
+        bounds.empty() ? Histogram::LatencyBucketsMicros() : bounds);
+  }
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->snapshot();
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  return Snapshot().RenderText();
+}
+
+}  // namespace hyperq::observability

@@ -1,0 +1,149 @@
+// MetricsRegistry (DESIGN.md §9): the single sink for every counter the
+// proxy keeps. Hyper-Q's value proposition is "insert into a production
+// path without breaking it" (paper §2, §7), which makes live visibility
+// into where time and bytes go a first-class requirement — not a debug
+// afterthought. Before this subsystem the repo had four incompatible
+// ad-hoc stats surfaces; now every component registers its counters here
+// and the service exposes one snapshot plus a text scrape over the wire.
+//
+// Concurrency contract: registration (name -> metric) takes the registry
+// mutex once; the returned pointer is stable for the registry's lifetime,
+// so hot paths cache it and then pay exactly one relaxed atomic RMW per
+// event. Histograms are fixed-bucket with atomic per-bucket counters, so
+// Observe() is lock-free too; percentiles are computed at snapshot time by
+// linear interpolation inside the owning bucket.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hyperq::observability {
+
+/// \brief Monotonic event counter. Inc-only by contract; the monotonicity
+/// test in the observability suite asserts snapshots never regress.
+class Counter {
+ public:
+  void Inc(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Point-in-time level (queue depth, resident bytes, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// \brief Raises the gauge to `v` if it is higher (peak tracking).
+  void SetMax(int64_t v) {
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief One histogram's frozen state; the percentile math lives here so
+/// tests can exercise it without a registry.
+struct HistogramSnapshot {
+  std::vector<double> bounds;   // inclusive upper bounds; +inf implicit
+  std::vector<int64_t> counts;  // bounds.size() + 1 buckets
+  int64_t count = 0;
+  double sum = 0;
+
+  /// \brief Estimated value at quantile `q` in [0, 1]: linear
+  /// interpolation within the bucket holding the target rank (the
+  /// overflow bucket reports its lower bound). 0 when empty.
+  double Quantile(double q) const;
+  double p50() const { return Quantile(0.50); }
+  double p95() const { return Quantile(0.95); }
+  double p99() const { return Quantile(0.99); }
+};
+
+/// \brief Fixed-bucket histogram; Observe() is lock-free.
+class Histogram {
+ public:
+  /// Bounds must be strictly increasing; values above the last bound land
+  /// in the implicit overflow bucket.
+  explicit Histogram(std::vector<double> bounds);
+
+  /// 1µs .. 10s in 1-2-5 steps: latency in microseconds.
+  static const std::vector<double>& LatencyBucketsMicros();
+  /// 64B .. 1GiB in powers of four: payload/result sizes in bytes.
+  static const std::vector<double>& SizeBucketsBytes();
+
+  void Observe(double value);
+  HistogramSnapshot snapshot() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// \brief Renders `base{k="v",...}` — the canonical labeled-series name.
+/// Labels are emitted in the order given; callers keep a fixed order so
+/// the same series never registers twice.
+std::string LabeledName(
+    const std::string& base,
+    std::initializer_list<std::pair<const char*, std::string>> labels);
+
+/// \brief Whole-registry snapshot (DESIGN.md §9 scrape format).
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  int64_t CounterOr(const std::string& name, int64_t fallback = 0) const;
+  int64_t GaugeOr(const std::string& name, int64_t fallback = 0) const;
+
+  /// \brief Deterministic text rendering (sorted by name):
+  ///   counter <name> <value>
+  ///   gauge <name> <value>
+  ///   histogram <name> count=N sum=S p50=X p95=Y p99=Z
+  std::string RenderText() const;
+};
+
+/// \brief Name -> metric registry. Thread-safe; returned pointers are
+/// stable until the registry is destroyed, so callers cache them.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  /// Registers with LatencyBucketsMicros() when `bounds` is empty. The
+  /// first registration of a name fixes its buckets.
+  Histogram* histogram(const std::string& name,
+                       const std::vector<double>& bounds = {});
+
+  MetricsSnapshot Snapshot() const;
+  /// Snapshot().RenderText() — the wire scrape payload.
+  std::string RenderText() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace hyperq::observability

@@ -1,0 +1,280 @@
+#include "observability/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/query_context.h"
+
+namespace hyperq::observability {
+
+QueryTrace::QueryTrace() {
+  TraceSpanRecord root;
+  root.id = 0;
+  root.parent = -1;
+  root.name = "query";
+  root.start_micros = 0;
+  spans_.push_back(std::move(root));
+  open_stack_.push_back(0);
+}
+
+int QueryTrace::StartSpan(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return -1;
+  TraceSpanRecord span;
+  span.id = static_cast<int>(spans_.size());
+  span.parent = open_stack_.empty() ? 0 : open_stack_.back();
+  span.name = name;
+  span.start_micros = clock_.ElapsedMicros();
+  open_stack_.push_back(span.id);
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void QueryTrace::EndSpan(int id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id <= 0 || id >= static_cast<int>(spans_.size())) return;
+  TraceSpanRecord& span = spans_[id];
+  if (span.duration_micros >= 0) return;  // already closed
+  span.duration_micros = clock_.ElapsedMicros() - span.start_micros;
+  // Unwind the open stack through this span: children left open by an
+  // error path are closed at the same instant (zero-width tail).
+  while (!open_stack_.empty() && open_stack_.back() != 0) {
+    int top = open_stack_.back();
+    open_stack_.pop_back();
+    if (spans_[top].duration_micros < 0) {
+      spans_[top].duration_micros =
+          clock_.ElapsedMicros() - spans_[top].start_micros;
+    }
+    if (top == id) break;
+  }
+}
+
+void QueryTrace::AddCompletedSpan(const std::string& name,
+                                  double start_micros,
+                                  double duration_micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return;
+  TraceSpanRecord span;
+  span.id = static_cast<int>(spans_.size());
+  span.parent = open_stack_.empty() ? 0 : open_stack_.back();
+  span.name = name;
+  span.start_micros = std::max(0.0, start_micros);
+  span.duration_micros = std::max(0.0, duration_micros);
+  spans_.push_back(std::move(span));
+}
+
+void QueryTrace::Finish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return;
+  finished_ = true;
+  total_micros_ = clock_.ElapsedMicros();
+  for (TraceSpanRecord& span : spans_) {
+    if (span.duration_micros < 0) {
+      span.duration_micros = total_micros_ - span.start_micros;
+    }
+  }
+  open_stack_.clear();
+}
+
+bool QueryTrace::finished() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return finished_;
+}
+
+double QueryTrace::total_micros() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return finished_ ? total_micros_ : clock_.ElapsedMicros();
+}
+
+void QueryTrace::set_query(std::string sql) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  query_ = std::move(sql);
+}
+void QueryTrace::set_session_id(uint32_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  session_id_ = id;
+}
+void QueryTrace::set_session_class(std::string session_class) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  session_class_ = std::move(session_class);
+}
+void QueryTrace::set_outcome(std::string outcome) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  outcome_ = std::move(outcome);
+}
+std::string QueryTrace::query() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return query_;
+}
+uint32_t QueryTrace::session_id() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return session_id_;
+}
+std::string QueryTrace::session_class() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return session_class_;
+}
+std::string QueryTrace::outcome() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return outcome_;
+}
+
+std::vector<TraceSpanRecord> QueryTrace::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+double QueryTrace::SumDurations(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double sum = 0;
+  for (const TraceSpanRecord& span : spans_) {
+    if (span.name == name && span.duration_micros >= 0) {
+      sum += span.duration_micros;
+    }
+  }
+  return sum;
+}
+
+double QueryTrace::LastDuration(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
+    if (it->name == name && it->duration_micros >= 0) {
+      return it->duration_micros;
+    }
+  }
+  return 0;
+}
+
+int QueryTrace::CountSpans(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int n = 0;
+  for (const TraceSpanRecord& span : spans_) {
+    if (span.name == name && span.duration_micros >= 0) ++n;
+  }
+  return n;
+}
+
+double QueryTrace::SelfMicros(int id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < 0 || id >= static_cast<int>(spans_.size())) return 0;
+  double self = spans_[id].duration_micros;
+  if (self < 0) return 0;
+  for (const TraceSpanRecord& span : spans_) {
+    if (span.parent == id && span.duration_micros > 0) {
+      self -= span.duration_micros;
+    }
+  }
+  return std::max(0.0, self);
+}
+
+namespace {
+void AppendJsonEscaped(std::string* out, const std::string& s,
+                       size_t max_len) {
+  size_t n = std::min(s.size(), max_len);
+  for (size_t i = 0; i < n; ++i) {
+    char c = s[i];
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+      case '\r':
+      case '\t':
+        *out += ' ';
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += ' ';
+        } else {
+          *out += c;
+        }
+    }
+  }
+  if (s.size() > max_len) *out += "...";
+}
+}  // namespace
+
+std::string QueryTrace::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"event\":\"slow_query\",\"session\":";
+  out += std::to_string(session_id_);
+  out += ",\"class\":\"";
+  out += session_class_;
+  out += "\",\"outcome\":\"";
+  out += outcome_;
+  out += "\",\"total_micros\":";
+  char num[64];
+  std::snprintf(num, sizeof(num), "%.1f",
+                finished_ ? total_micros_ : clock_.ElapsedMicros());
+  out += num;
+  out += ",\"sql\":\"";
+  AppendJsonEscaped(&out, query_, 256);
+  out += "\",\"spans\":[";
+  bool first = true;
+  for (const TraceSpanRecord& span : spans_) {
+    if (span.id == 0) continue;  // the root duplicates total_micros
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(&out, span.name, 64);
+    std::snprintf(num, sizeof(num),
+                  "\",\"parent\":%d,\"start\":%.1f,\"micros\":%.1f}",
+                  span.parent, span.start_micros,
+                  std::max(0.0, span.duration_micros));
+    out += num;
+  }
+  out += "]}";
+  return out;
+}
+
+SpanScope::SpanScope(QueryTrace* trace, const char* name) : trace_(trace) {
+  if (trace_ != nullptr) id_ = trace_->StartSpan(name);
+}
+
+SpanScope::SpanScope(QueryContext* ctx, const char* name)
+    : SpanScope(ctx != nullptr ? ctx->trace() : nullptr, name) {}
+
+void SpanScope::End() {
+  if (trace_ != nullptr && id_ > 0) trace_->EndSpan(id_);
+  trace_ = nullptr;
+  id_ = -1;
+}
+
+TraceRing::TraceRing(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TraceRing::Add(std::shared_ptr<const QueryTrace> trace) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(trace));
+  } else {
+    ring_[next_] = std::move(trace);
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++added_;
+}
+
+std::vector<std::shared_ptr<const QueryTrace>> TraceRing::Recent(
+    size_t n) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<const QueryTrace>> out;
+  if (ring_.empty()) return out;
+  size_t count = std::min(n, ring_.size());
+  out.reserve(count);
+  // next_ points at the oldest entry once the ring has wrapped.
+  size_t newest = (next_ + ring_.size() - 1) % ring_.size();
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(ring_[(newest + ring_.size() - i) % ring_.size()]);
+  }
+  return out;
+}
+
+int64_t TraceRing::total_added() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return added_;
+}
+
+}  // namespace hyperq::observability

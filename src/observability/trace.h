@@ -1,0 +1,146 @@
+// Per-query trace spans (DESIGN.md §9): every request served by the proxy
+// carries a span tree hung off its QueryContext, one span per pipeline
+// stage (wire.read, cache.lookup, parse, bind, transform, serialize,
+// backend.execute, tdf.buffer, convert, wire.write) plus child spans for
+// retry attempts and recursion iterations. Finished traces are kept in a
+// per-process ring buffer and, past a configurable threshold, emitted as
+// one structured JSON line each — the slow-query log.
+//
+// Concurrency: a query's spans are opened and closed from the worker
+// thread driving its pipeline, but cancellation (and the trace ring) may
+// inspect the trace from other threads, so all mutation goes through one
+// small mutex. Spans are per-stage, ~a dozen per query — this is not a
+// hot-loop structure.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace hyperq {
+class QueryContext;
+}
+
+namespace hyperq::observability {
+
+/// \brief One finished (or in-flight) span. Offsets are microseconds
+/// relative to the trace's start; `duration_micros` is negative while the
+/// span is still open.
+struct TraceSpanRecord {
+  int id = 0;
+  int parent = -1;  // -1: the root span
+  std::string name;
+  double start_micros = 0;
+  double duration_micros = -1;
+};
+
+/// \brief The span tree of one query. Span 0 is the root ("query"),
+/// created at construction; StartSpan() nests under the innermost open
+/// span, mirroring the call structure of the pipeline.
+class QueryTrace {
+ public:
+  QueryTrace();
+
+  /// \brief Opens a span under the current innermost open span and makes
+  /// it current. Returns the span id (pass to EndSpan).
+  int StartSpan(const std::string& name);
+  void EndSpan(int id);
+
+  /// \brief Records an already measured interval as a closed child of the
+  /// current span (used for work measured before the trace could nest it).
+  void AddCompletedSpan(const std::string& name, double start_micros,
+                        double duration_micros);
+
+  /// \brief Closes the root span (and any span left open by an error
+  /// path). Idempotent; total_micros() is stable afterwards.
+  void Finish();
+  bool finished() const;
+  double total_micros() const;
+
+  // Request annotations (set by the wire/service layer).
+  void set_query(std::string sql);
+  void set_session_id(uint32_t id);
+  void set_session_class(std::string session_class);
+  /// "ok", "error", "cancelled", "deadline" — the lifecycle outcome.
+  void set_outcome(std::string outcome);
+  std::string query() const;
+  uint32_t session_id() const;
+  std::string session_class() const;
+  std::string outcome() const;
+
+  std::vector<TraceSpanRecord> spans() const;
+  /// \brief Sum of the durations of every closed span named `name`.
+  double SumDurations(const std::string& name) const;
+  /// \brief Duration of the most recent closed span named `name`, or 0.
+  /// Deriving per-request stage times from the *last* span is what keeps
+  /// them from drifting when an earlier attempt of the same stage was
+  /// abandoned (the conversion_micros double-count, DESIGN.md §9).
+  double LastDuration(const std::string& name) const;
+  /// \brief Number of closed spans named `name`.
+  int CountSpans(const std::string& name) const;
+  /// \brief Span duration minus its children's durations, by span id.
+  double SelfMicros(int id) const;
+
+  /// \brief The slow-query log line: single-line JSON with the query (
+  /// truncated), session, outcome, total, and per-span breakdown.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mutex_;
+  Stopwatch clock_;
+  std::vector<TraceSpanRecord> spans_;
+  std::vector<int> open_stack_;  // innermost open span is back()
+  bool finished_ = false;
+  double total_micros_ = 0;
+  std::string query_;
+  uint32_t session_id_ = 0;
+  std::string session_class_ = "library";
+  std::string outcome_ = "ok";
+};
+
+/// \brief RAII stage span. Null-safe on both constructors, so
+/// instrumented code needs no tracing-enabled branches: with no trace
+/// attached the scope is a no-op.
+class SpanScope {
+ public:
+  SpanScope(QueryTrace* trace, const char* name);
+  /// Convenience: spans the trace attached to `ctx` (either may be null).
+  SpanScope(QueryContext* ctx, const char* name);
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  ~SpanScope() { End(); }
+
+  /// \brief Closes the span early (idempotent).
+  void End();
+
+ private:
+  QueryTrace* trace_ = nullptr;
+  int id_ = -1;
+};
+
+/// \brief Fixed-capacity ring of the most recently finished traces,
+/// process-wide per service. Thread-safe.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity);
+
+  void Add(std::shared_ptr<const QueryTrace> trace);
+  /// \brief Most recent first.
+  std::vector<std::shared_ptr<const QueryTrace>> Recent(size_t n) const;
+  int64_t total_added() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<const QueryTrace>> ring_;
+  size_t next_ = 0;
+  int64_t added_ = 0;
+};
+
+}  // namespace hyperq::observability

@@ -88,6 +88,22 @@ Result<ClientResult> TdwpClient::Run(const std::string& sql) {
   }
 }
 
+Result<std::string> TdwpClient::Scrape() {
+  Frame f{MessageKind::kStatsRequest, 0, {}};
+  HQ_RETURN_IF_ERROR(sock_.WriteFrame(f));
+  HQ_ASSIGN_OR_RETURN(Frame resp, sock_.ReadFrame());
+  if (resp.kind == MessageKind::kError) {
+    HQ_ASSIGN_OR_RETURN(ErrorMessage err, DecodeError(resp.payload));
+    return Status::ExecutionError("scrape failed: ", err.message);
+  }
+  if (resp.kind != MessageKind::kStatsResponse) {
+    return Status::ProtocolError("unexpected scrape reply kind ",
+                                 static_cast<int>(resp.kind));
+  }
+  HQ_ASSIGN_OR_RETURN(StatsResponse sr, DecodeStatsResponse(resp.payload));
+  return sr.text;
+}
+
 Status TdwpClient::Abort() {
   if (!sock_.valid()) {
     return Status::IoError("abort on a disconnected client");

@@ -39,6 +39,10 @@ class TdwpClient {
   /// blocked reading the result: the aborted Run() surfaces the server's
   /// kError frame. No-op effect if nothing is in flight.
   Status Abort();
+  /// \brief Fetches the server's metrics scrape (tdwp kStatsRequest,
+  /// DESIGN.md §9). Works pre-logon; returns the text rendering of the
+  /// server-side MetricsRegistry.
+  Result<std::string> Scrape();
   /// \brief Simulates a vanished client: closes the socket with no
   /// Goodbye frame (tests the server's mid-stream disconnect detection).
   void HardClose();

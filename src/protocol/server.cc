@@ -9,11 +9,29 @@
 
 #include "common/fault.h"
 #include "common/logging.h"
+#include "observability/metric_names.h"
 
 namespace hyperq::protocol {
 
+namespace obs = observability;
+
 TdwpServer::TdwpServer(RequestHandler* handler, TdwpServerOptions options)
-    : handler_(handler), options_(options) {}
+    : handler_(handler), options_(options) {
+  if (options_.metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  } else {
+    metrics_ = options_.metrics;
+  }
+  admitted_counter_ = metrics_->counter(obs::names::kServerAdmitted);
+  shed_counter_ = metrics_->counter(obs::names::kServerShed);
+  queued_peak_gauge_ = metrics_->gauge(obs::names::kServerQueuedPeak);
+  drained_counter_ = metrics_->counter(obs::names::kServerDrained);
+  force_closed_counter_ = metrics_->counter(obs::names::kServerForceClosed);
+  user_capped_counter_ =
+      metrics_->counter(obs::names::kServerUserCappedLogons);
+  scrape_counter_ = metrics_->counter(obs::names::kServerScrapes);
+}
 
 TdwpServer::~TdwpServer() { Stop(); }
 
@@ -113,9 +131,8 @@ void TdwpServer::Stop(int drain_deadline_ms) {
     done->load() ? ++drained : ++forced;
   }
   if (drain_deadline_ms > 0) {
-    std::lock_guard<std::mutex> lock(admit_mutex_);
-    stats_.drained += drained;
-    stats_.force_closed += forced;
+    drained_counter_->Inc(drained);
+    force_closed_counter_->Inc(forced);
   }
   std::lock_guard<std::mutex> lock(workers_mutex_);
   for (auto& w : workers_) {
@@ -135,13 +152,19 @@ size_t TdwpServer::queued_connections() const {
 }
 
 int64_t TdwpServer::rejected_connections() const {
-  std::lock_guard<std::mutex> lock(admit_mutex_);
-  return stats_.shed;
+  return shed_counter_->value();
 }
 
 ServerStats TdwpServer::stats() const {
-  std::lock_guard<std::mutex> lock(admit_mutex_);
-  return stats_;
+  ServerStats s;
+  s.admitted = admitted_counter_->value();
+  s.shed = shed_counter_->value();
+  s.queued_peak = queued_peak_gauge_->value();
+  s.drained = drained_counter_->value();
+  s.force_closed = force_closed_counter_->value();
+  s.user_capped_logons = user_capped_counter_->value();
+  s.scrapes = scrape_counter_->value();
+  return s;
 }
 
 size_t TdwpServer::EffectiveLowWatermark() const {
@@ -163,10 +186,7 @@ void TdwpServer::ReapFinishedWorkers() {
 }
 
 void TdwpServer::ShedConnection(Socket conn, const Status& reason) {
-  {
-    std::lock_guard<std::mutex> lock(admit_mutex_);
-    ++stats_.shed;
-  }
+  shed_counter_->Inc();
   ErrorMessage err;
   err.code = static_cast<uint32_t>(reason.code());
   err.message = reason.ToString();
@@ -218,8 +238,7 @@ void TdwpServer::AcceptLoop() {
         } else {
           pending_.push_back(std::move(conn));
           ++waiting;
-          stats_.queued_peak = std::max(stats_.queued_peak,
-                                        static_cast<int64_t>(waiting));
+          queued_peak_gauge_->SetMax(static_cast<int64_t>(waiting));
           if (waiting >= options_.admission_queue_depth) shedding_ = true;
         }
       }
@@ -247,7 +266,7 @@ void TdwpServer::DispatchLoop() {
     if (shedding_ && pending_.size() <= EffectiveLowWatermark()) {
       shedding_ = false;
     }
-    ++stats_.admitted;
+    admitted_counter_->Inc();
     active_.fetch_add(1);
     lock.unlock();
     SpawnWorker(std::move(conn));
@@ -398,11 +417,11 @@ void TdwpServer::ServeConnection(Socket& conn, ActiveQuery& active) {
             size_t& n = user_sessions_[req->user];
             if (n >= options_.max_sessions_per_user) {
               capped = true;
-              ++stats_.user_capped_logons;
             } else {
               ++n;
             }
           }
+          if (capped) user_capped_counter_->Inc();
           if (capped) {
             send_error(Status::ResourceExhausted(
                 "too many concurrent sessions for user '", req->user,
@@ -432,7 +451,18 @@ void TdwpServer::ServeConnection(Socket& conn, ActiveQuery& active) {
           send_error(Status::ProtocolError("RUN before LOGON"));
           break;
         }
+        // The trace starts here — after the blocking idle read, so
+        // wire.read measures frame decode, not time spent waiting for the
+        // client to type (DESIGN.md §9).
+        std::shared_ptr<obs::QueryTrace> trace;
+        int read_span = -1;
+        if (options_.tracing) {
+          trace = std::make_shared<obs::QueryTrace>();
+          trace->set_session_class("wire");
+          read_span = trace->StartSpan("wire.read");
+        }
         auto req = DecodeRunRequest(frame->payload);
+        if (trace) trace->EndSpan(read_span);
         if (!req.ok()) {
           send_error(req.status());
           break;
@@ -447,11 +477,23 @@ void TdwpServer::ServeConnection(Socket& conn, ActiveQuery& active) {
         ctx->SetClientProbe([&conn](CancelCause* cause) {
           return ProbeClient(conn, cause);
         });
+        if (trace) {
+          trace->set_session_id(session_id);
+          trace->set_query(req->sql);
+          ctx->set_trace(trace);
+        }
         {
           std::lock_guard<std::mutex> active_lock(active.mutex);
           active.ctx = ctx;
         }
         auto resp = handler_->Run(session_id, req->sql, ctx.get());
+        auto outcome_of = [](const Status& st) {
+          if (st.IsDeadlineExceeded()) return "deadline";
+          if (st.IsCancelled()) return "cancelled";
+          return st.ok() ? "ok" : "error";
+        };
+        std::string outcome = resp.ok() ? "ok" : outcome_of(resp.status());
+        int write_span = trace ? trace->StartSpan("wire.write") : -1;
         Status write_status;
         if (!resp.ok()) {
           send_error(resp.status());
@@ -478,6 +520,7 @@ void TdwpServer::ServeConnection(Socket& conn, ActiveQuery& active) {
             write_status = conn.WriteFrame(s);
           } else if (write_status.IsCancelled() ||
                      write_status.IsDeadlineExceeded()) {
+            outcome = outcome_of(write_status);
             send_error(write_status);
             write_status = Status::OK();  // answered cleanly; keep serving
           }
@@ -487,6 +530,12 @@ void TdwpServer::ServeConnection(Socket& conn, ActiveQuery& active) {
           active.ctx.reset();
         }
         ctx->ClearClientProbe();
+        if (trace) {
+          trace->EndSpan(write_span);
+          trace->set_outcome(outcome);
+          trace->Finish();
+          handler_->OnQueryTraceFinished(trace);
+        }
         if (!write_status.ok()) {
           HQ_LOG(kWarn) << "tdwp session " << session_id
                         << ": response write failed: " << write_status;
@@ -502,6 +551,20 @@ void TdwpServer::ServeConnection(Socket& conn, ActiveQuery& active) {
         // Abort with nothing in flight: the query it targeted already
         // finished (a benign race); there is nothing to cancel.
         break;
+      case MessageKind::kStatsRequest: {
+        // Admin scrape (DESIGN.md §9). Allowed pre-logon: monitoring
+        // agents poll without credentials, and a scrape must work even
+        // when logons are failing. The handler's registry comes first;
+        // the server's own admission counters are appended only when it
+        // keeps a private registry (a shared one already has them).
+        scrape_counter_->Inc();
+        StatsResponse sr;
+        sr.text = handler_->ScrapeText();
+        if (options_.metrics == nullptr) sr.text += metrics_->RenderText();
+        Frame f{MessageKind::kStatsResponse, 0, Encode(sr)};
+        if (!conn.WriteFrame(f).ok()) serving = false;
+        break;
+      }
       case MessageKind::kGoodbye:
         serving = false;
         break;

@@ -21,6 +21,8 @@
 
 #include "common/query_context.h"
 #include "common/result.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
 #include "protocol/socket.h"
 #include "protocol/tdwp.h"
 
@@ -51,6 +53,19 @@ class RequestHandler {
   virtual Result<WireResponse> Run(uint32_t session_id,
                                    const std::string& sql,
                                    QueryContext* ctx) = 0;
+
+  /// \brief Called once per wire request after the last frame is written
+  /// (DESIGN.md §9). The trace is finished: wire.read through wire.write
+  /// are closed. HyperQService records stage histograms, the trace ring,
+  /// and the slow-query log here. Default: drop the trace.
+  virtual void OnQueryTraceFinished(
+      std::shared_ptr<const observability::QueryTrace> trace) {
+    (void)trace;
+  }
+
+  /// \brief The handler's contribution to a kStatsRequest scrape (the
+  /// service's registry rendered as text). Default: empty.
+  virtual std::string ScrapeText() { return std::string(); }
 };
 
 struct TdwpServerOptions {
@@ -77,9 +92,18 @@ struct TdwpServerOptions {
   /// the request at the next batch boundary with kDeadlineExceeded.
   /// 0 = no deadline.
   double request_deadline_ms = 0;
+  /// Admission counters register here; when null the server owns a private
+  /// registry. Examples share the service's registry so one kStatsRequest
+  /// scrape covers both (the server then skips its own render — the
+  /// handler's ScrapeText() already includes these counters).
+  observability::MetricsRegistry* metrics = nullptr;
+  /// Mint a QueryTrace per wire request (wire.read/wire.write spans) and
+  /// deliver it to RequestHandler::OnQueryTraceFinished.
+  bool tracing = true;
 };
 
-/// \brief Admission/overload counters (observability/tests).
+/// \brief Admission/overload counters (observability/tests). A typed view
+/// over the server's MetricsRegistry series (hyperq.server.*).
 struct ServerStats {
   int64_t admitted = 0;      // connections handed to a worker thread
   int64_t shed = 0;          // connections refused with an error frame
@@ -87,6 +111,7 @@ struct ServerStats {
   int64_t drained = 0;       // workers that finished within a drain deadline
   int64_t force_closed = 0;  // workers force-closed at the drain deadline
   int64_t user_capped_logons = 0;  // logons refused by the per-user cap
+  int64_t scrapes = 0;             // kStatsRequest frames answered
 };
 
 /// \brief tdwp TCP server; one thread per connection behind a bounded
@@ -159,14 +184,25 @@ class TdwpServer {
   std::atomic<bool> running_{false};
   std::atomic<size_t> active_{0};
 
-  // Admission state: queue, watermark flag, per-user counts, counters.
+  // Admission state: queue, watermark flag, per-user counts.
   mutable std::mutex admit_mutex_;
   std::condition_variable admit_cv_;
   std::deque<Socket> pending_;
   bool dispatch_running_ = false;
   bool shedding_ = false;  // high watermark hit; cleared at the low one
   std::map<std::string, size_t> user_sessions_;
-  ServerStats stats_;
+
+  // Admission counters live in the registry (options_.metrics or the
+  // private fallback); the pointers are cached once at construction.
+  std::unique_ptr<observability::MetricsRegistry> owned_metrics_;
+  observability::MetricsRegistry* metrics_ = nullptr;
+  observability::Counter* admitted_counter_ = nullptr;
+  observability::Counter* shed_counter_ = nullptr;
+  observability::Gauge* queued_peak_gauge_ = nullptr;
+  observability::Counter* drained_counter_ = nullptr;
+  observability::Counter* force_closed_counter_ = nullptr;
+  observability::Counter* user_capped_counter_ = nullptr;
+  observability::Counter* scrape_counter_ = nullptr;
 };
 
 }  // namespace hyperq::protocol

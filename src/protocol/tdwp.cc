@@ -132,6 +132,23 @@ Result<ErrorMessage> DecodeError(const std::vector<uint8_t>& p) {
   return m;
 }
 
+std::vector<uint8_t> Encode(const StatsResponse& m) {
+  BufferWriter out;
+  // u32 length prefix rather than PutLenBytes: a scrape routinely exceeds
+  // the u16 cap the generic length-prefixed-string helper enforces.
+  out.PutU32(static_cast<uint32_t>(m.text.size()));
+  out.PutBytes(m.text.data(), m.text.size());
+  return out.Take();
+}
+
+Result<StatsResponse> DecodeStatsResponse(const std::vector<uint8_t>& p) {
+  BufferReader in(p);
+  StatsResponse m;
+  HQ_ASSIGN_OR_RETURN(uint32_t len, in.GetU32());
+  HQ_ASSIGN_OR_RETURN(m.text, in.GetBytes(len));
+  return m;
+}
+
 // ---------------------------------------------------------------------------
 // Records
 // ---------------------------------------------------------------------------

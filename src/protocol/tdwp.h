@@ -42,6 +42,13 @@ enum class MessageKind : uint8_t {
   // *request being aborted* with a kError frame (code kCancelled); the
   // abort frame itself gets no reply of its own.
   kAbortRequest = 9,
+  // Admin (DESIGN.md §9): asks the server for a metrics scrape. Empty
+  // payload; allowed pre-logon so monitoring agents need no credentials.
+  // Answered with exactly one kStatsResponse frame.
+  kStatsRequest = 10,
+  // The scrape payload: the registry's deterministic text rendering
+  // (`counter <name> <value>` / `gauge ...` / `histogram ...` lines).
+  kStatsResponse = 11,
 };
 
 struct Frame {
@@ -115,6 +122,10 @@ struct ErrorMessage {
   std::string message;
 };
 
+struct StatsResponse {
+  std::string text;  // MetricsSnapshot::RenderText() output
+};
+
 // Encode/decode payloads (not frames).
 std::vector<uint8_t> Encode(const LogonRequest& m);
 std::vector<uint8_t> Encode(const LogonResponse& m);
@@ -122,6 +133,7 @@ std::vector<uint8_t> Encode(const RunRequest& m);
 std::vector<uint8_t> Encode(const ResultHeader& m);
 std::vector<uint8_t> Encode(const SuccessMessage& m);
 std::vector<uint8_t> Encode(const ErrorMessage& m);
+std::vector<uint8_t> Encode(const StatsResponse& m);
 
 Result<LogonRequest> DecodeLogonRequest(const std::vector<uint8_t>& p);
 Result<LogonResponse> DecodeLogonResponse(const std::vector<uint8_t>& p);
@@ -129,6 +141,7 @@ Result<RunRequest> DecodeRunRequest(const std::vector<uint8_t>& p);
 Result<ResultHeader> DecodeResultHeader(const std::vector<uint8_t>& p);
 Result<SuccessMessage> DecodeSuccess(const std::vector<uint8_t>& p);
 Result<ErrorMessage> DecodeError(const std::vector<uint8_t>& p);
+Result<StatsResponse> DecodeStatsResponse(const std::vector<uint8_t>& p);
 
 // --- Record (row) binary format ---------------------------------------------
 

@@ -1,18 +1,23 @@
 #include "service/hyperq_service.h"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "common/fault.h"
 #include "common/hash.h"
 #include "common/stopwatch.h"
 #include "common/str_util.h"
 #include "emulation/macro.h"
 #include "emulation/merge.h"
 #include "frontend/feature_scan.h"
+#include "observability/metric_names.h"
 
 namespace hyperq::service {
 
 using backend::BackendResult;
 using sql::StmtKind;
+namespace obs = observability;
+namespace names = observability::names;
 
 namespace {
 // Copies the connector's retry accounting into the outcome's timing
@@ -31,10 +36,13 @@ void AbsorbSpillBytes(QueryOutcome* out) {
 }
 
 // The translation cache shares the process memory ceiling with the live
-// result stores unless the caller configured a dedicated governor for it.
-TranslationCacheOptions CacheOptionsWithGovernor(
-    TranslationCacheOptions cache, std::shared_ptr<ResourceGovernor> gov) {
+// result stores unless the caller configured a dedicated governor for it,
+// and registers its counters in the service's registry.
+TranslationCacheOptions CacheOptionsFor(TranslationCacheOptions cache,
+                                        std::shared_ptr<ResourceGovernor> gov,
+                                        obs::MetricsRegistry* metrics) {
   if (!cache.governor) cache.governor = std::move(gov);
+  if (cache.metrics == nullptr) cache.metrics = metrics;
   return cache;
 }
 
@@ -51,10 +59,48 @@ HyperQService::HyperQService(vdb::Engine* engine, ServiceOptions options)
       transformer_(options_.profile),
       serializer_(options_.profile),
       frontend_dialect_(sql::Dialect::Teradata()),
-      translation_cache_(CacheOptionsWithGovernor(options_.translation_cache,
-                                                  options_.governor)),
+      owned_metrics_(options_.metrics == nullptr
+                         ? std::make_unique<obs::MetricsRegistry>()
+                         : nullptr),
+      metrics_(options_.metrics != nullptr ? options_.metrics
+                                           : owned_metrics_.get()),
+      trace_ring_(std::max<size_t>(1, options_.trace_ring_capacity)),
+      translation_cache_(CacheOptionsFor(options_.translation_cache,
+                                         options_.governor, metrics_)),
       profile_digest_(options_.profile.CacheKeyDigest()),
-      default_settings_digest_(SettingsDigest(SessionInfo())) {}
+      default_settings_digest_(SettingsDigest(SessionInfo())) {
+  // Every series the service touches per query is registered once here;
+  // the hot path then pays one relaxed atomic RMW per event.
+  c_queries_ok_ = metrics_->counter(
+      obs::LabeledName(names::kQueries, {{"outcome", "ok"}}));
+  c_queries_error_ = metrics_->counter(
+      obs::LabeledName(names::kQueries, {{"outcome", "error"}}));
+  c_queries_cancelled_ = metrics_->counter(
+      obs::LabeledName(names::kQueries, {{"outcome", "cancelled"}}));
+  c_queries_deadline_ = metrics_->counter(
+      obs::LabeledName(names::kQueries, {{"outcome", "deadline"}}));
+  c_slow_queries_ = metrics_->counter(names::kSlowQueries);
+  c_failovers_ = metrics_->counter(names::kFailoverReplays);
+  c_statements_replayed_ =
+      metrics_->counter(names::kFailoverStatementsReplayed);
+  c_aborted_in_txn_ = metrics_->counter(names::kFailoverAbortedInTxn);
+  c_journal_overflows_ = metrics_->counter(names::kFailoverJournalOverflows);
+  c_wire_requests_ = metrics_->counter(names::kWireRequests);
+  h_wire_convert_ = metrics_->histogram(names::kWireConvertMicros);
+  c_submit_statements_ =
+      metrics_->counter(names::kTranslateSubmitStatements);
+  c_translate_statements_ =
+      metrics_->counter(names::kTranslateOnlyStatements);
+  c_translate_cache_hits_ = metrics_->counter(names::kTranslateCacheHits);
+  h_translate_ = metrics_->histogram(names::kTranslateMicros);
+  c_cancelled_ = metrics_->counter(names::kLifecycleCancelled);
+  c_deadline_expired_ = metrics_->counter(names::kLifecycleDeadlineExpired);
+  c_client_gone_ = metrics_->counter(names::kLifecycleClientGone);
+  c_killed_ = metrics_->counter(names::kLifecycleKilled);
+  c_spill_bytes_ = metrics_->counter(names::kLifecycleSpillBytes);
+  h_result_bytes_ = metrics_->histogram(
+      names::kResultBytes, obs::Histogram::SizeBucketsBytes());
+}
 
 HyperQService::~HyperQService() = default;
 
@@ -74,6 +120,9 @@ Result<uint32_t> HyperQService::OpenSession(
     connector_options.governor = options_.governor;
   }
   connector_options.session_tag = session->id;
+  if (connector_options.metrics == nullptr) {
+    connector_options.metrics = metrics_;
+  }
   session->connector = std::make_unique<backend::BackendConnector>(
       engine_, connector_options);
   session->backend_epoch = session->connector->connection_epoch();
@@ -127,22 +176,35 @@ void HyperQService::ResetStats() {
   stats_ = WorkloadFeatureStats();
 }
 
+// The deprecated typed accessors are views over the registry now: each
+// field reads the counter (or histogram sum) that replaced it.
 ServiceResilienceStats HyperQService::resilience_stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return resilience_;
+  ServiceResilienceStats out;
+  out.failovers = c_failovers_->value();
+  out.statements_replayed = c_statements_replayed_->value();
+  out.aborted_in_txn = c_aborted_in_txn_->value();
+  out.journal_overflows = c_journal_overflows_->value();
+  out.wire_requests = c_wire_requests_->value();
+  out.wire_conversion_micros = h_wire_convert_->snapshot().sum;
+  return out;
 }
 
 TranslationActivityStats HyperQService::translation_activity() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return activity_;
+  TranslationActivityStats out;
+  out.submit_statements = c_submit_statements_->value();
+  out.translate_statements = c_translate_statements_->value();
+  out.cache_hits = c_translate_cache_hits_->value();
+  out.translate_micros = h_translate_->snapshot().sum;
+  return out;
 }
 
 ServiceLifecycleStats HyperQService::lifecycle_stats() const {
   ServiceLifecycleStats out;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    out = lifecycle_;
-  }
+  out.cancelled = c_cancelled_->value();
+  out.deadline_expired = c_deadline_expired_->value();
+  out.client_gone = c_client_gone_->value();
+  out.killed = c_killed_->value();
+  out.spill_bytes = c_spill_bytes_->value();
   if (options_.governor != nullptr) {
     out.shed_queries = options_.governor->stats().shed_queries;
   }
@@ -152,6 +214,112 @@ ServiceLifecycleStats HyperQService::lifecycle_stats() const {
 size_t HyperQService::open_sessions() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return sessions_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Stats/admin surface (DESIGN.md §9)
+// ---------------------------------------------------------------------------
+
+void HyperQService::MirrorExternalGauges() const {
+  if (options_.governor != nullptr) {
+    ResourceGovernorStats g = options_.governor->stats();
+    metrics_->gauge(names::kGovernorMemoryBytes)->Set(g.memory_bytes);
+    metrics_->gauge(names::kGovernorPeakMemoryBytes)
+        ->Set(g.peak_memory_bytes);
+    metrics_->gauge(names::kGovernorSpillBytes)->Set(g.spill_bytes);
+    metrics_->gauge(names::kGovernorTotalSpillBytes)
+        ->Set(g.total_spill_bytes);
+    metrics_->gauge(names::kGovernorMemoryDenials)->Set(g.memory_denials);
+    metrics_->gauge(names::kGovernorSpillDenials)->Set(g.spill_denials);
+    metrics_->gauge(names::kGovernorShedQueries)->Set(g.shed_queries);
+  }
+  // Resident cache levels are shard-computed; export them as gauges.
+  TranslationCacheStats c = translation_cache_.stats();
+  metrics_->gauge(names::kCacheEntries)->Set(c.entries);
+  metrics_->gauge(names::kCacheBytes)->Set(static_cast<int64_t>(c.bytes));
+  metrics_->gauge(names::kSessionsOpen)
+      ->Set(static_cast<int64_t>(open_sessions()));
+  // Fault-injection visibility: every declared point's hit/fire counts,
+  // published through the lint-checked table in metric_names.h.
+  FaultInjector& inj = FaultInjector::Global();
+  for (size_t i = 0; i < names::kFaultPointMetricCount; ++i) {
+    const auto& fp = names::kFaultPointMetrics[i];
+    metrics_->gauge(std::string(fp.metric) + ".hits")->Set(inj.hits(fp.point));
+    metrics_->gauge(std::string(fp.metric) + ".fires")
+        ->Set(inj.fires(fp.point));
+  }
+}
+
+ServiceStatsSnapshot HyperQService::StatsSnapshot() const {
+  MirrorExternalGauges();
+  ServiceStatsSnapshot snap;
+  snap.metrics = metrics_->Snapshot();
+  snap.features = stats();
+  snap.resilience = resilience_stats();
+  snap.lifecycle = lifecycle_stats();
+  snap.translation_cache = translation_cache_.stats();
+  snap.translation_activity = translation_activity();
+  snap.open_sessions = open_sessions();
+  return snap;
+}
+
+std::string HyperQService::ScrapeText() {
+  MirrorExternalGauges();
+  return metrics_->RenderText();
+}
+
+const char* HyperQService::OutcomeLabel(const Status& status,
+                                        const QueryContext* ctx) {
+  (void)ctx;
+  if (status.ok()) return "ok";
+  if (status.IsDeadlineExceeded()) return "deadline";
+  if (status.IsCancelled()) return "cancelled";
+  return "error";
+}
+
+void HyperQService::RecordQueryOutcome(const Status& status) {
+  if (status.ok()) {
+    c_queries_ok_->Inc();
+  } else if (status.IsDeadlineExceeded()) {
+    c_queries_deadline_->Inc();
+  } else if (status.IsCancelled()) {
+    c_queries_cancelled_->Inc();
+  } else {
+    c_queries_error_->Inc();
+  }
+}
+
+void HyperQService::RecordFinishedTrace(
+    const std::shared_ptr<const obs::QueryTrace>& trace) {
+  if (trace == nullptr) return;
+  double total = trace->total_micros();
+  metrics_
+      ->histogram(obs::LabeledName(names::kQueryMicros,
+                                   {{"class", trace->session_class()}}))
+      ->Observe(total);
+  for (const auto& span : trace->spans()) {
+    if (span.id == 0 || span.duration_micros < 0) continue;
+    metrics_
+        ->histogram(
+            obs::LabeledName(names::kStageMicros, {{"stage", span.name}}))
+        ->Observe(span.duration_micros);
+  }
+  trace_ring_.Add(trace);
+  if (options_.slow_query_micros > 0 &&
+      total >= options_.slow_query_micros) {
+    c_slow_queries_->Inc();
+    std::string line = trace->ToJson();
+    if (options_.slow_query_sink) {
+      options_.slow_query_sink(line);
+    } else {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
+  }
+}
+
+void HyperQService::OnQueryTraceFinished(
+    std::shared_ptr<const obs::QueryTrace> trace) {
+  RecordFinishedTrace(trace);
 }
 
 // ---------------------------------------------------------------------------
@@ -186,20 +354,19 @@ bool HyperQService::KillQuery(uint32_t session_id) {
 
 void HyperQService::RecordLifecycleFailure(const Status& status,
                                            const QueryContext* ctx) {
-  std::lock_guard<std::mutex> lock(mutex_);
   if (status.IsDeadlineExceeded()) {
-    ++lifecycle_.deadline_expired;
+    c_deadline_expired_->Inc();
     return;
   }
   if (!status.IsCancelled()) return;
-  ++lifecycle_.cancelled;
+  c_cancelled_->Inc();
   if (ctx == nullptr) return;
   switch (ctx->cause()) {
     case CancelCause::kClientGone:
-      ++lifecycle_.client_gone;
+      c_client_gone_->Inc();
       break;
     case CancelCause::kKill:
-      ++lifecycle_.killed;
+      c_killed_->Inc();
       break;
     default:
       break;
@@ -394,14 +561,13 @@ void HyperQService::InvalidateTranslationCacheAfterDdl() {
 
 void HyperQService::RecordTranslationActivity(bool translate_path,
                                               bool cache_hit, double micros) {
-  std::lock_guard<std::mutex> lock(mutex_);
   if (translate_path) {
-    ++activity_.translate_statements;
+    c_translate_statements_->Inc();
   } else {
-    ++activity_.submit_statements;
+    c_submit_statements_->Inc();
   }
-  if (cache_hit) ++activity_.cache_hits;
-  activity_.translate_micros += micros;
+  if (cache_hit) c_translate_cache_hits_->Inc();
+  h_translate_->Observe(micros);
 }
 
 Result<QueryOutcome> HyperQService::ExecuteCachedStatement(
@@ -416,7 +582,10 @@ Result<QueryOutcome> HyperQService::ExecuteCachedStatement(
   out.timing.translation_micros = translation.ElapsedMicros();
   out.backend_sql.push_back(sql_b);
   Stopwatch execution;
-  HQ_ASSIGN_OR_RETURN(out.result, session->connector->Execute(sql_b, ctx));
+  {
+    obs::SpanScope exec_span(ctx, "backend.execute");
+    HQ_ASSIGN_OR_RETURN(out.result, session->connector->Execute(sql_b, ctx));
+  }
   out.timing.execution_micros = execution.ElapsedMicros();
   AbsorbResilienceStats(&out);
   AbsorbSpillBytes(&out);
@@ -480,10 +649,7 @@ bool HyperQService::StatementIsNonIdempotent(const sql::Statement& stmt) {
 
 Result<int> HyperQService::ReplaySessionJournal(Session* session) {
   if (session->journal_overflow) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++resilience_.journal_overflows;
-    }
+    c_journal_overflows_->Inc();
     return Status::Unavailable(
         "backend session lost and the session journal overflowed (limit ",
         options_.failover.max_journal_entries,
@@ -504,11 +670,8 @@ Result<int> HyperQService::ReplaySessionJournal(Session* session) {
     ++replayed;
   }
   session->backend_epoch = session->connector->connection_epoch();
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++resilience_.failovers;
-    resilience_.statements_replayed += replayed;
-  }
+  c_failovers_->Inc();
+  c_statements_replayed_->Inc(replayed);
   return replayed;
 }
 
@@ -540,10 +703,7 @@ Result<QueryOutcome> HyperQService::SubmitWithFailover(
   if (session->txn_depth > 0 && non_idempotent) {
     (void)ReplaySessionJournal(session);  // best-effort session repair
     session->txn_depth = 0;  // the backend transaction died with the session
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++resilience_.aborted_in_txn;
-    }
+    c_aborted_in_txn_->Inc();
     return Status::Aborted(
         "backend session lost while a non-idempotent statement was in "
         "flight inside an open transaction; transaction rolled back — "
@@ -595,17 +755,51 @@ BackendResult HyperQService::CommandResult(const std::string& tag,
 Result<QueryOutcome> HyperQService::Submit(uint32_t session_id,
                                            const std::string& sql_a,
                                            QueryContext* ctx) {
+  QueryRequest request;
+  request.session_id = session_id;
+  request.sql = sql_a;
+  request.ctx = ctx;
+  return Submit(request);
+}
+
+Result<QueryOutcome> HyperQService::Submit(const QueryRequest& request) {
   // Library callers without a context still get governance: the service
   // mints one so KillQuery and the default deadline apply uniformly.
   QueryContext local_ctx;
-  if (ctx == nullptr) ctx = &local_ctx;
+  QueryContext* ctx = request.ctx != nullptr ? request.ctx : &local_ctx;
   if (options_.default_query_deadline_ms > 0) {
     ctx->TightenDeadline(Deadline::After(options_.default_query_deadline_ms));
   }
-  HQ_ASSIGN_OR_RETURN(Session * session, GetSession(session_id));
-  RegisterActiveQuery(session_id, ctx);
-  auto outcome = SubmitWithFailover(session, sql_a, ctx);
-  UnregisterActiveQuery(session_id, ctx);
+  // Library-path tracing: mint a span tree when the context carries none.
+  // A trace attached by the wire path stays externally owned — the server
+  // closes wire.write and finishes it after this returns.
+  std::shared_ptr<obs::QueryTrace> minted;
+  if (options_.tracing && request.trace && ctx->trace() == nullptr) {
+    minted = std::make_shared<obs::QueryTrace>();
+    minted->set_session_id(request.session_id);
+    minted->set_query(request.sql);
+    minted->set_session_class(request.session_class);
+    ctx->set_trace(minted);
+  }
+  auto finish = [&](const Status& st) {
+    RecordQueryOutcome(st);
+    if (minted == nullptr) return;
+    minted->set_outcome(OutcomeLabel(st, ctx));
+    minted->Finish();
+    RecordFinishedTrace(minted);
+    // Detach so a reused context never feeds spans into a finished trace.
+    ctx->set_trace(nullptr);
+  };
+  auto session_or = GetSession(request.session_id);
+  if (!session_or.ok()) {
+    finish(session_or.status());
+    return session_or.status();
+  }
+  Session* session = *session_or;
+  RegisterActiveQuery(request.session_id, ctx);
+  auto outcome = SubmitWithFailover(session, request.sql, ctx);
+  UnregisterActiveQuery(request.session_id, ctx);
+  finish(outcome.ok() ? Status::OK() : outcome.status());
   if (!outcome.ok()) {
     RecordLifecycleFailure(outcome.status(), ctx);
     return outcome.status();
@@ -613,8 +807,14 @@ Result<QueryOutcome> HyperQService::Submit(uint32_t session_id,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stats_.AddQuery(outcome->features);
-    lifecycle_.spill_bytes += outcome->timing.spill_bytes;
   }
+  c_spill_bytes_->Inc(outcome->timing.spill_bytes);
+  if (outcome->result.store != nullptr) {
+    h_result_bytes_->Observe(
+        static_cast<double>(outcome->result.store->memory_bytes()) +
+        static_cast<double>(outcome->result.store->spilled_bytes()));
+  }
+  if (minted != nullptr) outcome->trace = minted;
   return outcome;
 }
 
@@ -632,6 +832,9 @@ Result<QueryOutcome> HyperQService::SubmitInternal(Session* session,
     HQ_RETURN_IF_ERROR(ctx->CheckAlive());
   }
   Stopwatch translation;
+  // The normalize+lookup probe is one stage span; a hit then proceeds to
+  // backend.execute as a sibling (never nested under the lookup).
+  obs::SpanScope cache_span(ctx, "cache.lookup");
   HQ_ASSIGN_OR_RETURN(sql::NormalizedStatement norm,
                       sql::NormalizeStatement(sql_a));
 
@@ -658,6 +861,7 @@ Result<QueryOutcome> HyperQService::SubmitInternal(Session* session,
           cache_candidate = false;
         } else if (auto spliced = SpliceTranslationTemplate(*entry, norm);
                    spliced.ok()) {
+          cache_span.End();
           auto outcome = ExecuteCachedStatement(session, *entry,
                                                 std::move(*spliced),
                                                 translation, ctx);
@@ -678,11 +882,14 @@ Result<QueryOutcome> HyperQService::SubmitInternal(Session* session,
     }
   }
 
+  cache_span.End();
   FeatureSet features;
+  obs::SpanScope parse_span(ctx, "parse");
   HQ_RETURN_IF_ERROR(
       frontend::ScanTranslationFeatures(sql_a, &features));
   HQ_ASSIGN_OR_RETURN(sql::StatementPtr stmt,
                       sql::ParseStatement(sql_a, frontend_dialect_));
+  parse_span.End();
   double parse_micros = translation.ElapsedMicros();
   bool pipeline_kind = stmt->kind == StmtKind::kSelect ||
                        stmt->kind == StmtKind::kInsert ||
@@ -941,6 +1148,7 @@ Result<QueryOutcome> HyperQService::RunPipeline(Session* session,
   xtra::OpPtr plan;
   binder::Binder binder(&catalog_, frontend_dialect_);
   {
+    obs::SpanScope bind_span(ctx, "bind");
     std::lock_guard<std::mutex> lock(mutex_);  // catalog reads
     HQ_ASSIGN_OR_RETURN(plan, binder.BindStatement(stmt));
   }
@@ -948,6 +1156,7 @@ Result<QueryOutcome> HyperQService::RunPipeline(Session* session,
 
   binder::ColIdGenerator ids;
   for (int i = 0; i < 1000000; ++i) ids.Next();  // fresh id space for rules
+  obs::SpanScope transform_span(ctx, "transform");
   HQ_RETURN_IF_ERROR(transformer_.Run(transform::Stage::kBinding, &plan,
                                       &ids, &features, &catalog_));
 
@@ -957,11 +1166,14 @@ Result<QueryOutcome> HyperQService::RunPipeline(Session* session,
   if (plan->kind == xtra::OpKind::kRecursiveCte) {
     HQ_RETURN_IF_ERROR(transformer_.Run(transform::Stage::kSerialization,
                                         &plan, &ids, &features, &catalog_));
+    transform_span.End();
     out.timing.translation_micros += translation.ElapsedMicros();
     Stopwatch execution;
+    obs::SpanScope exec_span(ctx, "backend.execute");
     emulation::RecursionDriver driver(&serializer_,
                                       session->connector.get());
     HQ_ASSIGN_OR_RETURN(out.result, driver.Execute(*plan, nullptr, ctx));
+    exec_span.End();
     out.timing.execution_micros = execution.ElapsedMicros();
     AbsorbResilienceStats(&out);
     AbsorbSpillBytes(&out);
@@ -974,7 +1186,10 @@ Result<QueryOutcome> HyperQService::RunPipeline(Session* session,
   if (plan->kind == xtra::OpKind::kInsert) {
     HQ_RETURN_IF_ERROR(ExpandPeriodInsert(plan.get(), &features));
   }
+  transform_span.End();
+  obs::SpanScope serialize_span(ctx, "serialize");
   HQ_ASSIGN_OR_RETURN(std::string sql_b, serializer_.Serialize(*plan));
+  serialize_span.End();
   out.timing.translation_micros += translation.ElapsedMicros();
   out.backend_sql.push_back(sql_b);
   if (artifacts != nullptr) {
@@ -986,7 +1201,10 @@ Result<QueryOutcome> HyperQService::RunPipeline(Session* session,
   }
 
   Stopwatch execution;
-  HQ_ASSIGN_OR_RETURN(out.result, session->connector->Execute(sql_b, ctx));
+  {
+    obs::SpanScope exec_span(ctx, "backend.execute");
+    HQ_ASSIGN_OR_RETURN(out.result, session->connector->Execute(sql_b, ctx));
+  }
   out.timing.execution_micros = execution.ElapsedMicros();
   AbsorbResilienceStats(&out);
   AbsorbSpillBytes(&out);
@@ -1287,14 +1505,53 @@ Result<QueryOutcome> HyperQService::HandleDropTable(
 Result<QueryOutcome> HyperQService::SubmitScript(uint32_t session_id,
                                                  const std::string& script,
                                                  QueryContext* ctx) {
+  QueryRequest request;
+  request.session_id = session_id;
+  request.sql = script;
+  request.ctx = ctx;
+  request.session_class = "script";
+  return SubmitScript(request);
+}
+
+Result<QueryOutcome> HyperQService::SubmitScript(
+    const QueryRequest& request) {
+  uint32_t session_id = request.session_id;
+  const std::string& script = request.sql;
   QueryContext local_ctx;
-  if (ctx == nullptr) ctx = &local_ctx;
+  QueryContext* ctx = request.ctx != nullptr ? request.ctx : &local_ctx;
   if (options_.default_query_deadline_ms > 0) {
     ctx->TightenDeadline(Deadline::After(options_.default_query_deadline_ms));
   }
-  HQ_ASSIGN_OR_RETURN(std::vector<std::string> statements,
-                      sql::SplitStatements(script));
-  HQ_ASSIGN_OR_RETURN(Session * session, GetSession(session_id));
+  // One trace covers the whole script; each statement's stage spans nest
+  // under the same root.
+  std::shared_ptr<obs::QueryTrace> minted;
+  if (options_.tracing && request.trace && ctx->trace() == nullptr) {
+    minted = std::make_shared<obs::QueryTrace>();
+    minted->set_session_id(session_id);
+    minted->set_query(script);
+    minted->set_session_class(request.session_class);
+    ctx->set_trace(minted);
+  }
+  auto finish = [&](const Status& st) {
+    RecordQueryOutcome(st);
+    if (minted == nullptr) return;
+    minted->set_outcome(OutcomeLabel(st, ctx));
+    minted->Finish();
+    RecordFinishedTrace(minted);
+    ctx->set_trace(nullptr);
+  };
+  auto statements_or = sql::SplitStatements(script);
+  if (!statements_or.ok()) {
+    finish(statements_or.status());
+    return statements_or.status();
+  }
+  std::vector<std::string> statements = std::move(*statements_or);
+  auto session_or = GetSession(session_id);
+  if (!session_or.ok()) {
+    finish(session_or.status());
+    return session_or.status();
+  }
+  Session* session = *session_or;
 
   // Batch runs of single-row INSERT ... VALUES into the same table.
   std::vector<std::string> batched;
@@ -1345,14 +1602,17 @@ Result<QueryOutcome> HyperQService::SubmitScript(uint32_t session_id,
     if (!one.ok()) {
       UnregisterActiveQuery(session_id, ctx);
       RecordLifecycleFailure(one.status(), ctx);
+      finish(one.status());
       return one.status();
     }
     last = std::move(*one);
+    c_spill_bytes_->Inc(last.timing.spill_bytes);
     std::lock_guard<std::mutex> lock(mutex_);
     stats_.AddQuery(last.features);
-    lifecycle_.spill_bytes += last.timing.spill_bytes;
   }
   UnregisterActiveQuery(session_id, ctx);
+  finish(Status::OK());
+  if (minted != nullptr) last.trace = minted;
   return last;
 }
 
@@ -1524,7 +1784,13 @@ void HyperQService::Logoff(uint32_t session_id) { CloseSession(session_id); }
 Result<protocol::WireResponse> HyperQService::Run(uint32_t session_id,
                                                   const std::string& sql,
                                                   QueryContext* ctx) {
-  HQ_ASSIGN_OR_RETURN(QueryOutcome outcome, Submit(session_id, sql, ctx));
+  c_wire_requests_->Inc();
+  QueryRequest request;
+  request.session_id = session_id;
+  request.sql = sql;
+  request.ctx = ctx;
+  request.session_class = "wire";
+  HQ_ASSIGN_OR_RETURN(QueryOutcome outcome, Submit(request));
 
   protocol::WireResponse resp;
   resp.success.activity_count =
@@ -1536,25 +1802,34 @@ Result<protocol::WireResponse> HyperQService::Run(uint32_t session_id,
   if (outcome.result.is_rowset()) {
     Stopwatch conversion;
     convert::ResultConverter converter(options_.convert_parallelism);
+    obs::SpanScope convert_span(ctx, "convert");
     auto converted_result = converter.Convert(outcome.result, ctx);
+    convert_span.End();
     if (!converted_result.ok()) {
       // Streaming-phase cancellation (Submit already counted its own).
       RecordLifecycleFailure(converted_result.status(), ctx);
       return converted_result.status();
     }
     convert::ConversionResult converted = std::move(*converted_result);
-    outcome.timing.conversion_micros = conversion.ElapsedMicros();
+    // Derive the per-request conversion time from the *last* convert span
+    // when a trace is attached: a request that re-entered conversion after
+    // streaming a first batch (cancel + failover retry) must not count the
+    // abandoned attempt twice. The stopwatch remains the traceless
+    // fallback.
+    obs::QueryTrace* trace = ctx != nullptr ? ctx->trace() : nullptr;
+    double convert_micros = conversion.ElapsedMicros();
+    if (trace != nullptr) {
+      double last = trace->LastDuration("convert");
+      if (last > 0) convert_micros = last;
+    }
+    outcome.timing.conversion_micros = convert_micros;
     resp.success.conversion_micros = outcome.timing.conversion_micros;
     resp.has_rowset = true;
     resp.header.columns = std::move(converted.columns);
     resp.header.total_rows = converted.total_rows;
     resp.batches = std::move(converted.batches);
     resp.success.activity_count = converted.total_rows;
-  }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++resilience_.wire_requests;
-    resilience_.wire_conversion_micros += outcome.timing.conversion_micros;
+    h_wire_convert_->Observe(outcome.timing.conversion_micros);
   }
   return resp;
 }

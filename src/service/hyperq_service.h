@@ -15,6 +15,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -30,6 +31,8 @@
 #include "convert/result_converter.h"
 #include "emulation/recursion.h"
 #include "emulation/session.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
 #include "protocol/server.h"
 #include "serializer/serializer.h"
 #include "service/translation_cache.h"
@@ -63,9 +66,34 @@ struct TimingBreakdown {
 /// \brief Result of one submitted SQL-A request.
 struct QueryOutcome {
   backend::BackendResult result;
+  /// View over the request's finished trace spans (translation_micros =
+  /// pipeline spans, execution_micros = backend.execute, conversion_micros
+  /// = the last convert span). Kept as a struct so callers need not walk
+  /// the span tree themselves.
   TimingBreakdown timing;
   FeatureSet features;
   std::vector<std::string> backend_sql;  // statements sent to the target
+  /// The request's span tree (DESIGN.md §9); null when tracing is off or
+  /// the caller's QueryContext carried an externally owned trace (the wire
+  /// path finishes and records that one itself).
+  std::shared_ptr<const observability::QueryTrace> trace;
+};
+
+/// \brief The unified request descriptor (DESIGN.md §9): Submit,
+/// SubmitScript, and the wire path all funnel through this shape, so the
+/// trace options ride with the request instead of growing more positional
+/// parameters. The legacy (session_id, sql, ctx) overloads are thin shims
+/// over this struct.
+struct QueryRequest {
+  uint32_t session_id = 0;
+  std::string sql;              // one statement, or a ';'-script for scripts
+  QueryContext* ctx = nullptr;  // lifecycle handle; null = service mints one
+  /// Mint a per-query trace when the context does not already carry one.
+  /// Ignored when ServiceOptions::tracing is off.
+  bool trace = true;
+  /// Annotation for the per-class latency histogram and slow-query log
+  /// ("library", "wire", "script", "bench", ...).
+  std::string session_class = "library";
 };
 
 /// \brief Backend-session failover knobs (DESIGN.md §6, "Failover &
@@ -97,6 +125,23 @@ struct ServiceOptions {
   /// Deadline applied to every Submit whose QueryContext carries none
   /// (and tightened into contexts that do). 0 = no default deadline.
   double default_query_deadline_ms = 0;
+
+  // --- Observability (DESIGN.md §9) -------------------------------------
+  /// The registry every service counter/gauge/histogram registers in.
+  /// null = the service owns a private registry (metrics_registry() still
+  /// exposes it). Share one registry between the service, its server, and
+  /// the embedding process to get a single scrape.
+  observability::MetricsRegistry* metrics = nullptr;
+  /// Per-query span trees (wire.read → ... → wire.write). Off = no trace
+  /// is ever minted or attached; SpanScope sites degrade to no-ops.
+  bool tracing = true;
+  /// Finished traces retained for inspection (trace_ring()).
+  size_t trace_ring_capacity = 128;
+  /// Queries whose end-to-end time reaches this threshold emit one JSON
+  /// line (QueryTrace::ToJson) through slow_query_sink. 0 = disabled.
+  double slow_query_micros = 0;
+  /// Sink for slow-query log lines; null = stderr.
+  std::function<void(const std::string&)> slow_query_sink;
 };
 
 /// \brief Translation-path accounting, recorded uniformly by both entry
@@ -133,6 +178,22 @@ struct ServiceLifecycleStats {
   int64_t shed_queries = 0;      // results refused by the governor's budgets
 };
 
+/// \brief The unified stats surface (DESIGN.md §9): one point-in-time
+/// MetricsRegistry snapshot — the single sink every service, cache,
+/// connector, and governor counter now feeds — plus the legacy typed views
+/// derived from it. The per-surface accessors (resilience_stats(),
+/// lifecycle_stats(), translation_activity(), translation_cache_stats())
+/// are deprecated shims over this snapshot, kept for one release.
+struct ServiceStatsSnapshot {
+  observability::MetricsSnapshot metrics;
+  WorkloadFeatureStats features;
+  ServiceResilienceStats resilience;
+  ServiceLifecycleStats lifecycle;
+  TranslationCacheStats translation_cache;
+  TranslationActivityStats translation_activity;
+  size_t open_sessions = 0;
+};
+
 class HyperQService : public protocol::RequestHandler {
  public:
   HyperQService(vdb::Engine* engine, ServiceOptions options = {});
@@ -143,16 +204,22 @@ class HyperQService : public protocol::RequestHandler {
                                const std::string& default_database = "");
   void CloseSession(uint32_t session_id);
 
-  /// \brief Translates and executes one SQL-A statement. `ctx` is the
-  /// request's lifecycle handle (DESIGN.md §8): cancellation and deadline
-  /// are honored at every batch boundary. null = the service mints an
-  /// internal context (so KillQuery and the default deadline still apply).
-  Result<QueryOutcome> Submit(uint32_t session_id, const std::string& sql_a,
-                              QueryContext* ctx = nullptr);
+  /// \brief Translates and executes one SQL-A statement. `request.ctx` is
+  /// the lifecycle handle (DESIGN.md §8): cancellation and deadline are
+  /// honored at every batch boundary. null = the service mints an internal
+  /// context (so KillQuery and the default deadline still apply). When
+  /// tracing is on, the outcome carries the request's finished span tree
+  /// and its timing breakdown is a view over those spans.
+  Result<QueryOutcome> Submit(const QueryRequest& request);
 
   /// \brief Executes a ';'-separated SQL-A script; consecutive single-row
   /// INSERTs into the same table are batched into multi-row statements
   /// (paper §4.3). Returns the last statement's outcome.
+  Result<QueryOutcome> SubmitScript(const QueryRequest& request);
+
+  /// \brief Deprecated positional shims over the QueryRequest overloads.
+  Result<QueryOutcome> Submit(uint32_t session_id, const std::string& sql_a,
+                              QueryContext* ctx = nullptr);
   Result<QueryOutcome> SubmitScript(uint32_t session_id,
                                     const std::string& script,
                                     QueryContext* ctx = nullptr);
@@ -173,26 +240,39 @@ class HyperQService : public protocol::RequestHandler {
     return options_.profile;
   }
 
+  // --- Stats/admin surface (DESIGN.md §9) --------------------------------
+  /// \brief The whole registry plus typed views, in one consistent pull.
+  /// This is the one stats API; everything below it is a shim.
+  ServiceStatsSnapshot StatsSnapshot() const;
+
+  /// \brief The registry backing every counter of this service (the
+  /// configured ServiceOptions::metrics, or the service-owned fallback).
+  observability::MetricsRegistry* metrics_registry() const {
+    return metrics_;
+  }
+
+  /// \brief The most recently finished query traces (ring buffer).
+  const observability::TraceRing& trace_ring() const { return trace_ring_; }
+
   /// Aggregated per-query feature statistics (Figure 8).
   WorkloadFeatureStats stats() const;
   void ResetStats();
 
-  /// Failover/overload counters (DESIGN.md §6).
+  /// \deprecated Use StatsSnapshot().resilience.
   ServiceResilienceStats resilience_stats() const;
 
-  /// Lifecycle/governance counters (DESIGN.md §8). shed_queries reflects
-  /// the configured governor when one is set.
+  /// \deprecated Use StatsSnapshot().lifecycle.
   ServiceLifecycleStats lifecycle_stats() const;
 
   /// \brief Sessions currently open (observability/leak checks in tests).
   size_t open_sessions() const;
 
-  /// Translation cache counters (DESIGN.md §7).
+  /// \deprecated Use StatsSnapshot().translation_cache.
   TranslationCacheStats translation_cache_stats() const {
     return translation_cache_.stats();
   }
 
-  /// Per-entry-point translation accounting (Submit and Translate).
+  /// \deprecated Use StatsSnapshot().translation_activity.
   TranslationActivityStats translation_activity() const;
 
   /// \brief Replayable journal entries currently held for a session
@@ -206,6 +286,13 @@ class HyperQService : public protocol::RequestHandler {
   Result<protocol::WireResponse> Run(uint32_t session_id,
                                      const std::string& sql,
                                      QueryContext* ctx) override;
+  /// Wire-path trace completion (the server closes wire.write first):
+  /// feeds the latency histograms, the trace ring, and the slow-query log.
+  void OnQueryTraceFinished(
+      std::shared_ptr<const observability::QueryTrace> trace) override;
+  /// The text scrape (tdwp kStatsRequest): mirrors governor, cache, and
+  /// fault-injector levels into gauges, then renders the registry.
+  std::string ScrapeText() override;
 
  private:
   /// One replayable effect of the session on its backend connection.
@@ -254,6 +341,22 @@ class HyperQService : public protocol::RequestHandler {
   void UnregisterActiveQuery(uint32_t session_id, QueryContext* ctx);
   /// Classifies a failed submit into the lifecycle counters.
   void RecordLifecycleFailure(const Status& status, const QueryContext* ctx);
+
+  // --- Observability (DESIGN.md §9) -------------------------------------
+  /// The end of every traced query funnels through here (library path via
+  /// Submit, wire path via OnQueryTraceFinished): per-class/per-stage
+  /// latency histograms, the trace ring, and the slow-query log.
+  void RecordFinishedTrace(
+      const std::shared_ptr<const observability::QueryTrace>& trace);
+  /// Stamps the labeled hyperq.queries{outcome=...} counter.
+  void RecordQueryOutcome(const Status& status);
+  /// Mirrors levels owned below the observability layer — the governor,
+  /// the cache's resident entries/bytes, open sessions, and the fault
+  /// injector's hit/fire counts — into gauges, so snapshot and scrape see
+  /// them without those layers depending on the registry.
+  void MirrorExternalGauges() const;
+  static const char* OutcomeLabel(const Status& status,
+                                  const QueryContext* ctx);
 
   // --- Failover (session journal & replay) -----------------------------
   Result<QueryOutcome> SubmitWithFailover(Session* session,
@@ -358,14 +461,41 @@ class HyperQService : public protocol::RequestHandler {
   std::map<uint32_t, std::unique_ptr<Session>> sessions_;
   std::atomic<uint32_t> next_session_{1};
   WorkloadFeatureStats stats_;
-  ServiceResilienceStats resilience_;
+
+  // --- Observability (DESIGN.md §9) -------------------------------------
+  // The registry is the single sink for every counter below; the legacy
+  // typed stats structs are derived views. Declared before
+  // translation_cache_ so consumers constructed from it initialize after.
+  std::unique_ptr<observability::MetricsRegistry> owned_metrics_;
+  observability::MetricsRegistry* metrics_;  // options_.metrics or owned
+  observability::TraceRing trace_ring_;
+  // Cached series (hot-path increments skip the registry's name lookup).
+  observability::Counter* c_queries_ok_;
+  observability::Counter* c_queries_error_;
+  observability::Counter* c_queries_cancelled_;
+  observability::Counter* c_queries_deadline_;
+  observability::Counter* c_slow_queries_;
+  observability::Counter* c_failovers_;
+  observability::Counter* c_statements_replayed_;
+  observability::Counter* c_aborted_in_txn_;
+  observability::Counter* c_journal_overflows_;
+  observability::Counter* c_wire_requests_;
+  observability::Histogram* h_wire_convert_;
+  observability::Counter* c_submit_statements_;
+  observability::Counter* c_translate_statements_;
+  observability::Counter* c_translate_cache_hits_;
+  observability::Histogram* h_translate_;
+  observability::Counter* c_cancelled_;
+  observability::Counter* c_deadline_expired_;
+  observability::Counter* c_client_gone_;
+  observability::Counter* c_killed_;
+  observability::Counter* c_spill_bytes_;
+  observability::Histogram* h_result_bytes_;
 
   TranslationCache translation_cache_;
   std::string profile_digest_;       // options_.profile.CacheKeyDigest()
   uint64_t default_settings_digest_; // digest of a fresh SessionInfo
-  TranslationActivityStats activity_;           // guarded by mutex_
   std::map<std::string, int> volatile_names_;   // guarded by mutex_
-  ServiceLifecycleStats lifecycle_;             // guarded by mutex_
   /// KillQuery registry: the context of each session's in-flight query.
   /// The context outlives its registration (Unregister runs before Submit
   /// returns), so cancelling under mutex_ is always safe.

@@ -5,8 +5,11 @@
 
 #include "common/hash.h"
 #include "common/str_util.h"
+#include "observability/metric_names.h"
 
 namespace hyperq::service {
+
+namespace obs = observability;
 
 // ---------------------------------------------------------------------------
 // Template building
@@ -252,6 +255,16 @@ TranslationCache::TranslationCache(const TranslationCacheOptions& options)
     shards_.push_back(std::make_unique<Shard>());
   }
   shard_budget_ = std::max<size_t>(1, options.max_bytes / shard_count);
+  if (options.metrics != nullptr) {
+    hits_counter_ = options.metrics->counter(obs::names::kCacheHits);
+    misses_counter_ = options.metrics->counter(obs::names::kCacheMisses);
+    bypasses_counter_ = options.metrics->counter(obs::names::kCacheBypasses);
+    inserts_counter_ = options.metrics->counter(obs::names::kCacheInserts);
+    evictions_counter_ =
+        options.metrics->counter(obs::names::kCacheEvictions);
+    invalidations_counter_ =
+        options.metrics->counter(obs::names::kCacheInvalidations);
+  }
 }
 
 TranslationCache::~TranslationCache() { Clear(); }
@@ -267,6 +280,7 @@ std::shared_ptr<const CachedTranslation> TranslationCache::Lookup(
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    if (misses_counter_ != nullptr) misses_counter_->Inc();
     return nullptr;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -298,6 +312,7 @@ void TranslationCache::Insert(const std::string& key,
   shard.index.emplace(key, shard.lru.begin());
   shard.bytes += bytes;
   ++shard.inserts;
+  if (inserts_counter_ != nullptr) inserts_counter_->Inc();
   while (shard.bytes > shard_budget_ && shard.lru.size() > 1) {
     auto& victim = shard.lru.back();
     shard.bytes -= victim.second->bytes;
@@ -308,6 +323,7 @@ void TranslationCache::Insert(const std::string& key,
     shard.index.erase(victim.first);
     shard.lru.pop_back();
     ++shard.evictions;
+    if (evictions_counter_ != nullptr) evictions_counter_->Inc();
   }
 }
 
@@ -325,6 +341,7 @@ void TranslationCache::InvalidateCatalogVersion(int64_t current_version) {
         shard.index.erase(it->first);
         it = shard.lru.erase(it);
         ++shard.invalidations;
+        if (invalidations_counter_ != nullptr) invalidations_counter_->Inc();
       } else {
         ++it;
       }

@@ -24,6 +24,7 @@
 #include "common/features.h"
 #include "common/resource_governor.h"
 #include "common/result.h"
+#include "observability/metrics.h"
 #include "sql/normalizer.h"
 
 namespace hyperq::service {
@@ -40,6 +41,9 @@ struct TranslationCacheOptions {
   /// so the cache and the live ResultStores share one ceiling. An insert
   /// the governor denies is simply skipped. null = unlimited.
   std::shared_ptr<ResourceGovernor> governor;
+  /// Registry the hyperq.cache.* counters register in (DESIGN.md §9);
+  /// null = no registry (the typed stats() accessor still works).
+  observability::MetricsRegistry* metrics = nullptr;
 };
 
 struct TranslationCacheStats {
@@ -133,8 +137,14 @@ class TranslationCache {
   /// unreachable, the sweep reclaims the bytes and counts them).
   void InvalidateCatalogVersion(int64_t current_version);
 
-  void RecordHit() { hits_.fetch_add(1, std::memory_order_relaxed); }
-  void RecordBypass() { bypasses_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordHit() {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (hits_counter_ != nullptr) hits_counter_->Inc();
+  }
+  void RecordBypass() {
+    bypasses_.fetch_add(1, std::memory_order_relaxed);
+    if (bypasses_counter_ != nullptr) bypasses_counter_->Inc();
+  }
 
   TranslationCacheStats stats() const;
   void Clear();
@@ -165,6 +175,15 @@ class TranslationCache {
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> bypasses_{0};
+  // Registry mirrors of the counters above (null when no registry was
+  // configured). Resident entries/bytes are shard-computed, so the owning
+  // service exports those as gauges at snapshot time instead.
+  observability::Counter* hits_counter_ = nullptr;
+  observability::Counter* misses_counter_ = nullptr;
+  observability::Counter* bypasses_counter_ = nullptr;
+  observability::Counter* inserts_counter_ = nullptr;
+  observability::Counter* evictions_counter_ = nullptr;
+  observability::Counter* invalidations_counter_ = nullptr;
 };
 
 }  // namespace hyperq::service

@@ -122,7 +122,7 @@ TEST_F(FailoverTest, SessionStateSurvivesInjectedSessionLoss) {
       EXPECT_EQ(out.timing.failovers, 1);
       // DDL + 2 DML + SET SESSION were replayed.
       EXPECT_EQ(out.timing.journal_replays, 4);
-      auto rs = service.resilience_stats();
+      auto rs = service.StatsSnapshot().resilience;
       EXPECT_EQ(rs.failovers, 1);
       EXPECT_EQ(rs.statements_replayed, 4);
     }
@@ -156,7 +156,7 @@ TEST_F(FailoverTest, NonIdempotentDmlInOpenTxnAborts) {
   auto aborted = service.Submit(*sid, "INS INTO SCRATCH VALUES (2)");
   ASSERT_FALSE(aborted.ok());
   EXPECT_TRUE(aborted.status().IsAborted()) << aborted.status();
-  EXPECT_EQ(service.resilience_stats().aborted_in_txn, 1);
+  EXPECT_EQ(service.StatsSnapshot().resilience.aborted_in_txn, 1);
 
   // The session itself was repaired: the volatile table is back with its
   // pre-transaction contents, and new statements run normally.
@@ -184,7 +184,7 @@ TEST_F(FailoverTest, IdempotentSelectInOpenTxnFailsOver) {
   auto sel = service.Submit(*sid, "SEL * FROM SCRATCH");
   ASSERT_TRUE(sel.ok()) << sel.status();
   EXPECT_EQ(sel->timing.failovers, 1);
-  EXPECT_EQ(service.resilience_stats().aborted_in_txn, 0);
+  EXPECT_EQ(service.StatsSnapshot().resilience.aborted_in_txn, 0);
 }
 
 TEST_F(FailoverTest, JournalOverflowDegradesToCleanError) {
@@ -209,7 +209,7 @@ TEST_F(FailoverTest, JournalOverflowDegradesToCleanError) {
   EXPECT_TRUE(sel.status().IsUnavailable()) << sel.status();
   EXPECT_NE(sel.status().message().find("overflowed"), std::string::npos)
       << sel.status();
-  EXPECT_EQ(service.resilience_stats().journal_overflows, 1);
+  EXPECT_EQ(service.StatsSnapshot().resilience.journal_overflows, 1);
 }
 
 TEST_F(FailoverTest, FailoverDisabledSurfacesCleanUnavailable) {
@@ -354,7 +354,7 @@ TEST_F(FailoverTest, WirePathReportsConversionMicros) {
   ASSERT_EQ(sel->rows.size(), 20u);
   EXPECT_GT(sel->conversion_micros, 0.0);
 
-  auto rs = service.resilience_stats();
+  auto rs = service.StatsSnapshot().resilience;
   EXPECT_GE(rs.wire_requests, 22);  // create + 20 inserts + select
   EXPECT_GT(rs.wire_conversion_micros, 0.0);
   client.Goodbye();

@@ -271,7 +271,7 @@ TEST_F(LifecycleTest, TranslationCacheSharesGovernorBudget) {
 
   // Resident cache bytes are reserved against the governor (tag 0); live
   // result stores are all released, so the two must agree exactly.
-  auto cache = service->translation_cache_stats();
+  auto cache = service->StatsSnapshot().translation_cache;
   EXPECT_GT(cache.bytes, 0u);
   EXPECT_EQ(gov->stats().memory_bytes, static_cast<int64_t>(cache.bytes));
 
@@ -316,7 +316,7 @@ TEST_F(LifecycleTest, KillQueryCancelsMidFetchWithinOneBatch) {
   EXPECT_TRUE(result.IsCancelled());
   EXPECT_NE(result.message().find("killed"), std::string::npos);
 
-  auto lifecycle = service.lifecycle_stats();
+  auto lifecycle = service.StatsSnapshot().lifecycle;
   EXPECT_EQ(lifecycle.cancelled, 1);
   EXPECT_EQ(lifecycle.killed, 1);
   EXPECT_EQ(lifecycle.client_gone, 0);
@@ -352,7 +352,7 @@ TEST_F(LifecycleTest, DefaultDeadlineExpiresMidFetch) {
   EXPECT_TRUE(slow.status().IsDeadlineExceeded());
   // 10 rows x 20ms would be 200ms+; the 40ms budget cut it at a boundary.
   EXPECT_LT(elapsed_ms, 150.0);
-  EXPECT_EQ(service.lifecycle_stats().deadline_expired, 1);
+  EXPECT_EQ(service.StatsSnapshot().lifecycle.deadline_expired, 1);
 }
 
 // --- Wire-level cancellation -------------------------------------------------
@@ -409,7 +409,7 @@ TEST_F(LifecycleTest, ClientAbortFrameCancelsAndKeepsConnection) {
   ASSERT_FALSE(run_status.ok());
   EXPECT_NE(run_status.message().find("abort"), std::string::npos)
       << run_status;
-  EXPECT_GE(rig.service->lifecycle_stats().cancelled, 1);
+  EXPECT_GE(rig.service->StatsSnapshot().lifecycle.cancelled, 1);
 
   // The abort killed the request, not the connection: the same socket
   // serves the next query.
@@ -444,7 +444,7 @@ TEST_F(LifecycleTest, ClientGoneMidRequestFreesWorkerAndSession) {
   // worker cancels, tears down, and logs the session off.
   ASSERT_TRUE(WaitFor([&] { return rig.server->active_connections() == 0; }));
   ASSERT_TRUE(WaitFor([&] { return rig.service->open_sessions() == 0; }));
-  auto lifecycle = rig.service->lifecycle_stats();
+  auto lifecycle = rig.service->StatsSnapshot().lifecycle;
   EXPECT_GE(lifecycle.cancelled, 1);
   EXPECT_GE(lifecycle.client_gone, 1);
   EXPECT_EQ(rig.server->stats().force_closed, 0);
@@ -479,7 +479,7 @@ TEST_F(LifecycleTest, StopDrainCancelsStreamingAtFrameBoundary) {
   EXPECT_EQ(stats.drained, 1);
   EXPECT_EQ(stats.force_closed, 0);
   EXPECT_EQ(rig.server->live_workers(), 0u);
-  EXPECT_GE(rig.service->lifecycle_stats().cancelled, 1);
+  EXPECT_GE(rig.service->StatsSnapshot().lifecycle.cancelled, 1);
   rig.server.reset();  // already stopped
 }
 
@@ -495,7 +495,7 @@ TEST_F(LifecycleTest, CancelledExecutionStillAdmitsTemplate) {
           .ok());
   ASSERT_TRUE(service.Submit(*sid, "INS INTO CS VALUES (5, 50)").ok());
   // The INS above is itself cacheable; measure deltas from here.
-  auto baseline = service.translation_cache_stats();
+  auto baseline = service.StatsSnapshot().translation_cache;
 
   // The pipeline serializes before execution; the kill lands inside the
   // (delayed) execute, after a perfectly good translation existed.
@@ -514,7 +514,7 @@ TEST_F(LifecycleTest, CancelledExecutionStillAdmitsTemplate) {
   ASSERT_TRUE(result.IsCancelled()) << result;
 
   // The template was admitted despite the cancellation...
-  auto cache = service.translation_cache_stats();
+  auto cache = service.StatsSnapshot().translation_cache;
   EXPECT_EQ(cache.inserts, baseline.inserts + 1);
   EXPECT_EQ(cache.entries, baseline.entries + 1);
 
@@ -538,7 +538,7 @@ TEST_F(LifecycleTest, CancelledRunDoesNotPoisonNegativeCache) {
                           "INS INTO SALES VALUES (DATE '2014-06-01', 7)")
                   .ok());
   // The INS above is itself cacheable; measure deltas from here.
-  auto baseline = service.translation_cache_stats();
+  auto baseline = service.StatsSnapshot().translation_cache;
 
   // Ordinal GROUP BY is the canonical executable-but-uncacheable shape: a
   // clean run plants the negative "uncacheable" marker. A cancelled run
@@ -559,12 +559,12 @@ TEST_F(LifecycleTest, CancelledRunDoesNotPoisonNegativeCache) {
   EXPECT_TRUE(service.KillQuery(*sid));
   runner.join();
   ASSERT_TRUE(result.IsCancelled()) << result;
-  EXPECT_EQ(service.translation_cache_stats().entries, baseline.entries)
+  EXPECT_EQ(service.StatsSnapshot().translation_cache.entries, baseline.entries)
       << "a cancelled probe must not negative-cache the shape";
 
   // The clean run plants the marker; the next run bypasses via the marker.
   ASSERT_TRUE(service.Submit(*sid, kShape).ok());
-  EXPECT_EQ(service.translation_cache_stats().entries, baseline.entries + 1);
+  EXPECT_EQ(service.StatsSnapshot().translation_cache.entries, baseline.entries + 1);
   auto bypass = service.Submit(*sid, kShape);
   ASSERT_TRUE(bypass.ok());
   EXPECT_EQ(bypass->timing.cache_hits, 0);
@@ -706,8 +706,8 @@ TEST_F(LifecycleTest, ChaosSoak) {
   EXPECT_GT(stats.total_spill_bytes, 0) << "the soak should have spilled";
   EXPECT_EQ(stats.memory_bytes,
             static_cast<int64_t>(
-                service->translation_cache_stats().bytes));
-  EXPECT_GE(service->lifecycle_stats().spill_bytes, 0);
+                service->StatsSnapshot().translation_cache.bytes));
+  EXPECT_GE(service->StatsSnapshot().lifecycle.spill_bytes, 0);
   service.reset();
   EXPECT_EQ(gov->stats().memory_bytes, 0);
   EXPECT_EQ(DirFileCount(spill_dir), 0u) << "leaked spill files";

@@ -190,7 +190,7 @@ TEST(ServiceLifecycleStatsTest, StartAtZeroAndClassifyDeadlines) {
   auto sid = service.OpenSession("ops");
   ASSERT_TRUE(sid.ok());
 
-  auto zero = service.lifecycle_stats();
+  auto zero = service.StatsSnapshot().lifecycle;
   EXPECT_EQ(zero.cancelled, 0);
   EXPECT_EQ(zero.deadline_expired, 0);
   EXPECT_EQ(zero.client_gone, 0);
@@ -201,7 +201,7 @@ TEST(ServiceLifecycleStatsTest, StartAtZeroAndClassifyDeadlines) {
   auto expired = service.Submit(*sid, "SEL 1");
   ASSERT_FALSE(expired.ok());
   EXPECT_TRUE(expired.status().IsDeadlineExceeded()) << expired.status();
-  auto stats = service.lifecycle_stats();
+  auto stats = service.StatsSnapshot().lifecycle;
   EXPECT_EQ(stats.deadline_expired, 1);
   EXPECT_EQ(stats.cancelled, 0);
 }
@@ -227,8 +227,8 @@ TEST(ServiceLifecycleStatsTest, SpillAndShedAccountingFlowThrough) {
   auto spilled = service.Submit(*sid, "SEL * FROM LS");
   ASSERT_TRUE(spilled.ok()) << spilled.status();
   EXPECT_GT(spilled->timing.spill_bytes, 0);
-  EXPECT_GT(service.lifecycle_stats().spill_bytes, 0);
-  EXPECT_EQ(service.lifecycle_stats().shed_queries, 0);
+  EXPECT_GT(service.StatsSnapshot().lifecycle.spill_bytes, 0);
+  EXPECT_EQ(service.StatsSnapshot().lifecycle.shed_queries, 0);
 
   // Now also deny spill: the query is shed with a typed error and counted.
   auto strict = std::make_shared<ResourceGovernor>(ResourceGovernorOptions{
@@ -249,7 +249,7 @@ TEST(ServiceLifecycleStatsTest, SpillAndShedAccountingFlowThrough) {
   auto shed = strict_service.Submit(*sid2, "SEL * FROM LS2");
   ASSERT_FALSE(shed.ok());
   EXPECT_TRUE(shed.status().IsResourceExhausted()) << shed.status();
-  EXPECT_EQ(strict_service.lifecycle_stats().shed_queries, 1);
+  EXPECT_EQ(strict_service.StatsSnapshot().lifecycle.shed_queries, 1);
 }
 
 }  // namespace

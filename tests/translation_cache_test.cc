@@ -55,7 +55,7 @@ class TranslationCacheTest : public ::testing::Test {
   }
 
   TranslationCacheStats Stats() {
-    return service_->translation_cache_stats();
+    return service_->StatsSnapshot().translation_cache;
   }
 
   vdb::Engine engine_;
@@ -438,7 +438,7 @@ TEST_F(TranslationCacheTest, GoldenCorpusByteIdenticalCacheOnVsOff) {
           << "round " << round << ": " << c.name;
     }
   }
-  EXPECT_GT(cached.translation_cache_stats().hits, 0)
+  EXPECT_GT(cached.StatsSnapshot().translation_cache.hits, 0)
       << "round 2 should have been served from the cache for at least the "
          "plain query shapes";
 }
@@ -449,7 +449,7 @@ TEST_F(TranslationCacheTest, GoldenCorpusByteIdenticalCacheOnVsOff) {
 
 TEST_F(TranslationCacheTest, ActivityStatsCoverSubmitAndTranslate) {
   Init();
-  auto base = service_->translation_activity();
+  auto base = service_->StatsSnapshot().translation_activity;
   Must("SEL REGION FROM SALES WHERE AMOUNT > 100");
   auto t1 = service_->Translate("SEL REGION FROM SALES WHERE AMOUNT > 120",
                                 nullptr);
@@ -457,7 +457,7 @@ TEST_F(TranslationCacheTest, ActivityStatsCoverSubmitAndTranslate) {
   auto t2 = service_->Translate("SEL REGION FROM SALES WHERE AMOUNT > 140",
                                 nullptr);
   ASSERT_TRUE(t2.ok());
-  auto now = service_->translation_activity();
+  auto now = service_->StatsSnapshot().translation_activity;
   EXPECT_EQ(now.submit_statements - base.submit_statements, 1);
   EXPECT_EQ(now.translate_statements - base.translate_statements, 2);
   // Submit seeded the entry; both Translate calls were hits (sessions with
