@@ -1,0 +1,247 @@
+// Fleet availability under replica kill (DESIGN.md §10).
+//
+// Three compute replicas behind one proxy serve a steady multi-session
+// SELECT workload; mid-run one replica is hard-killed, then revived. The
+// study buckets completed queries over time and reports
+//   * baseline QPS (median bucket rate before the kill),
+//   * dip depth (worst bucket during the outage, as % of baseline),
+//   * recovery time (kill -> first bucket back at >= 90% of baseline),
+//   * end-to-end success rate (the >= 99% availability acceptance), and
+//   * the pool's ejection/re-admission and failover counters,
+// written to BENCH_fleet.json. The dip should be shallow and brief: sessions
+// bound to the dead replica fail over (journal replay onto a live one) at
+// their next statement, so only in-flight work pays the latency.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "backend/pool.h"
+#include "backend/router.h"
+#include "observability/metric_names.h"
+#include "service/hyperq_service.h"
+#include "vdb/engine.h"
+
+using namespace hyperq;
+
+namespace {
+
+constexpr int kReplicas = 3;
+constexpr int kWorkers = 4;
+constexpr int kBucketMs = 50;
+constexpr int kWarmupMs = 400;   // pre-kill baseline window
+constexpr int kOutageMs = 300;   // kill -> revive
+constexpr int kTailMs = 500;     // revived tail (probation re-entry)
+constexpr int kTotalMs = kWarmupMs + kOutageMs + kTailMs;
+constexpr int kBuckets = kTotalMs / kBucketMs;
+
+service::ServiceOptions FleetOptions() {
+  service::ServiceOptions options;
+  options.connector.retry.max_attempts = 2;
+  options.connector.retry.base_delay_ms = 1;
+  options.connector.retry.max_delay_ms = 2;
+  options.fleet.backends.resize(kReplicas);
+  for (int i = 0; i < kReplicas; ++i) {
+    options.fleet.backends[i].name = "replica-" + std::to_string(i);
+    options.fleet.backends[i].profile = transform::BackendProfile::Vdb();
+  }
+  options.fleet.health.decay_half_life_ms = 200;
+  options.fleet.health.readmit_cooldown_ms = 100;
+  return options;
+}
+
+struct StudyResult {
+  double baseline_qps = 0;
+  double dip_min_qps = 0;
+  double dip_depth_pct = 0;
+  double recovery_ms = -1;
+  long long completed = 0;
+  long long failed = 0;
+  backend::BackendPoolStats pool;
+  int64_t cross_replica_failovers = 0;
+};
+
+StudyResult RunAvailabilityStudy() {
+  vdb::Engine engine;
+  service::HyperQService service(&engine, FleetOptions());
+  {
+    auto setup = service.OpenSession("setup");
+    if (!setup.ok()) std::abort();
+    if (!service.Submit(*setup, "CREATE TABLE T (A INTEGER, B VARCHAR(20))")
+             .ok()) {
+      std::abort();
+    }
+    for (int i = 0; i < 50; ++i) {
+      if (!service
+               .Submit(*setup, "INS INTO T VALUES (" + std::to_string(i) +
+                                   ", 'row-" + std::to_string(i) + "')")
+               .ok()) {
+        std::abort();
+      }
+    }
+    service.CloseSession(*setup);
+  }
+
+  std::vector<std::atomic<long long>> bucket_ok(kBuckets);
+  for (auto& b : bucket_ok) b.store(0);
+  std::atomic<long long> completed{0}, failed{0};
+  std::atomic<bool> stop{false};
+  auto start = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      auto sid = service.OpenSession("bench" + std::to_string(w));
+      if (!sid.ok()) std::abort();
+      int q = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto r = service.Submit(*sid, "SEL * FROM T WHERE A < " +
+                                          std::to_string(10 + (q++ % 30)) +
+                                          " ORDER BY A");
+        int bucket = static_cast<int>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count() /
+            kBucketMs);
+        if (r.ok()) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+          if (bucket >= 0 && bucket < kBuckets) {
+            bucket_ok[bucket].fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      service.CloseSession(*sid);
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(kWarmupMs));
+  service.backend_pool()->KillBackend(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(kOutageMs));
+  service.backend_pool()->ReviveBackend(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(kTailMs));
+  stop.store(true);
+  for (auto& t : workers) t.join();
+
+  StudyResult result;
+  result.completed = completed.load();
+  result.failed = failed.load();
+  result.pool = service.backend_pool()->stats();
+  result.cross_replica_failovers =
+      service.metrics_registry()
+          ->counter(observability::names::kFailoverCrossReplica)
+          ->value();
+
+  auto bucket_qps = [&](int b) {
+    return bucket_ok[b].load() * 1000.0 / kBucketMs;
+  };
+  // Baseline: median bucket QPS before the kill (skip bucket 0, startup).
+  std::vector<double> pre;
+  for (int b = 1; b < kWarmupMs / kBucketMs; ++b) pre.push_back(bucket_qps(b));
+  std::sort(pre.begin(), pre.end());
+  result.baseline_qps = pre.empty() ? 0 : pre[pre.size() / 2];
+
+  int kill_bucket = kWarmupMs / kBucketMs;
+  result.dip_min_qps = bucket_qps(kill_bucket);
+  for (int b = kill_bucket; b < kBuckets - 1; ++b) {
+    result.dip_min_qps = std::min(result.dip_min_qps, bucket_qps(b));
+  }
+  result.dip_depth_pct =
+      result.baseline_qps > 0
+          ? 100.0 * (result.baseline_qps - result.dip_min_qps) /
+                result.baseline_qps
+          : 0;
+  for (int b = kill_bucket; b < kBuckets - 1; ++b) {
+    if (bucket_qps(b) >= 0.9 * result.baseline_qps) {
+      result.recovery_ms = (b - kill_bucket) * kBucketMs;
+      break;
+    }
+  }
+  return result;
+}
+
+void WriteBenchJson(const StudyResult& r) {
+  const char* path = "BENCH_fleet.json";
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  long long total = r.completed + r.failed;
+  double success_pct = total > 0 ? 100.0 * r.completed / total : 0;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"fleet_availability\",\n");
+  std::fprintf(f, "  \"replicas\": %d,\n", kReplicas);
+  std::fprintf(f, "  \"workers\": %d,\n", kWorkers);
+  std::fprintf(f, "  \"duration_ms\": %d,\n", kTotalMs);
+  std::fprintf(f, "  \"outage_ms\": %d,\n", kOutageMs);
+  std::fprintf(f, "  \"availability\": {\n");
+  std::fprintf(f, "    \"completed\": %lld,\n", r.completed);
+  std::fprintf(f, "    \"failed\": %lld,\n", r.failed);
+  std::fprintf(f, "    \"success_pct\": %.3f,\n", success_pct);
+  std::fprintf(f, "    \"acceptance_99pct\": %s\n",
+               success_pct >= 99.0 ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"qps\": {\n");
+  std::fprintf(f, "    \"baseline\": %.1f,\n", r.baseline_qps);
+  std::fprintf(f, "    \"dip_min\": %.1f,\n", r.dip_min_qps);
+  std::fprintf(f, "    \"dip_depth_pct\": %.1f,\n", r.dip_depth_pct);
+  std::fprintf(f, "    \"recovery_ms\": %.0f\n", r.recovery_ms);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"fleet\": {\n");
+  std::fprintf(f, "    \"cross_replica_failovers\": %lld,\n",
+               static_cast<long long>(r.cross_replica_failovers));
+  std::fprintf(f, "    \"ejections\": %lld,\n",
+               static_cast<long long>(r.pool.ejections));
+  std::fprintf(f, "    \"readmissions\": %lld,\n",
+               static_cast<long long>(r.pool.readmissions));
+  std::fprintf(f, "    \"probes\": %lld\n",
+               static_cast<long long>(r.pool.probes));
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+// Micro-benchmark: one routing decision over a healthy 3-replica pool.
+void BM_RouterPick(benchmark::State& state) {
+  static vdb::Engine* engine = new vdb::Engine();
+  static backend::BackendPool* pool = [] {
+    std::vector<backend::BackendSpec> specs(kReplicas);
+    for (int i = 0; i < kReplicas; ++i) {
+      specs[i].name = "replica-" + std::to_string(i);
+      specs[i].profile = transform::BackendProfile::Vdb();
+    }
+    return new backend::BackendPool(engine, specs);
+  }();
+  static backend::Router* router = new backend::Router(pool);
+  for (auto _ : state) {
+    auto r = router->Pick();
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RouterPick);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  StudyResult result = RunAvailabilityStudy();
+  std::printf(
+      "fleet availability: %lld ok / %lld failed, baseline %.0f qps, dip "
+      "%.0f qps (%.1f%%), recovery %.0f ms, %lld cross-replica failovers\n",
+      result.completed, result.failed, result.baseline_qps,
+      result.dip_min_qps, result.dip_depth_pct, result.recovery_ms,
+      static_cast<long long>(result.cross_replica_failovers));
+  WriteBenchJson(result);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -3,7 +3,10 @@
 # src/common/fault.h must have a correspondingly named metric row in the
 # kFaultPointMetrics table of src/observability/metric_names.h (that table
 # is what mirrors the injector's hit/fire counts into the scrape), and the
-# table must not carry stale rows for points that no longer exist.
+# table must not carry stale rows for points that no longer exist. The same
+# contract holds for the fleet (DESIGN.md §10): every BackendHealth state in
+# src/backend/pool.h must have a kHealthStateMetrics row named
+# hyperq.backend.health.<state>.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -49,8 +52,49 @@ if [[ -n "$bad_names" ]]; then
   status=1
 fi
 
+# --- Fleet health states (DESIGN.md §10) -------------------------------------
+pool_h=src/backend/pool.h
+
+# Enumerators of BackendHealth, lower-cased without the k prefix — must
+# match the stable strings BackendHealthName() returns.
+states=$(sed -n '/enum class BackendHealth/,/};/p' "$pool_h" |
+         grep -o 'k[A-Z][A-Za-z]*' |
+         sed 's/^k//' | tr '[:upper:]' '[:lower:]' | sort)
+health_table=$(sed -n '/kHealthStateMetrics\[\]/,/};/p' "$names_h" |
+               grep -o '{"[^"]*"' | sed 's/{"//; s/"$//' | sort)
+
+if [[ -z "$states" ]]; then
+  echo "check_metrics: no BackendHealth states parsed from $pool_h" >&2
+  exit 1
+fi
+
+missing_states=$(comm -23 <(echo "$states") <(echo "$health_table"))
+if [[ -n "$missing_states" ]]; then
+  echo "check_metrics: health states with no kHealthStateMetrics row in $names_h:" >&2
+  echo "$missing_states" | sed 's/^/  /' >&2
+  status=1
+fi
+stale_states=$(comm -13 <(echo "$states") <(echo "$health_table"))
+if [[ -n "$stale_states" ]]; then
+  echo "check_metrics: stale kHealthStateMetrics rows (no such health state):" >&2
+  echo "$stale_states" | sed 's/^/  /' >&2
+  status=1
+fi
+
+# Each health row's metric name must follow hyperq.backend.health.<state>.
+bad_health=$(sed -n '/kHealthStateMetrics\[\]/,/};/p' "$names_h" |
+             grep -o '{"[^"]*", *"[^"]*"' |
+             sed 's/{"//; s/", *"/ /; s/"$//' |
+             awk '$2 != "hyperq.backend.health." $1 { print "  " $1 " -> " $2 }')
+if [[ -n "$bad_health" ]]; then
+  echo "check_metrics: metric names not of the form hyperq.backend.health.<state>:" >&2
+  echo "$bad_health" >&2
+  status=1
+fi
+
 if [[ $status -eq 0 ]]; then
   count=$(echo "$declared" | wc -l)
-  echo "check_metrics: OK ($count fault points all mirrored)"
+  state_count=$(echo "$states" | wc -l)
+  echo "check_metrics: OK ($count fault points, $state_count health states all mirrored)"
 fi
 exit $status

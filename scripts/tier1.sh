@@ -5,11 +5,11 @@
 #   scripts/tier1.sh            # standard build + ctest
 #   scripts/tier1.sh --asan     # also build build-asan/ and run the
 #                               # `faults`, `failover`, `cache`, `golden`,
-#                               # `lifecycle`, and `observability` suites
-#                               # under ASan+UBSan
+#                               # `lifecycle`, `observability`, and `fleet`
+#                               # suites under ASan+UBSan
 #   scripts/tier1.sh --tsan     # also build build-tsan/ and run the
 #                               # cross-thread suites (`lifecycle`,
-#                               # `faults`, `observability`) under
+#                               # `faults`, `observability`, `fleet`) under
 #                               # ThreadSanitizer
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -31,6 +31,7 @@ if [[ "${1:-}" == "--asan" ]]; then
   ctest --test-dir build-asan --output-on-failure -L golden -j "$jobs"
   ctest --test-dir build-asan --output-on-failure -L lifecycle -j "$jobs"
   ctest --test-dir build-asan --output-on-failure -L observability -j "$jobs"
+  ctest --test-dir build-asan --output-on-failure -L fleet -j "$jobs"
 fi
 
 if [[ "${1:-}" == "--tsan" ]]; then
@@ -45,4 +46,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # the trace is mutated by the worker while cancellation inspects it —
   # the observability suite must be TSan-clean, not just ASan-clean.
   ctest --test-dir build-tsan --output-on-failure -L observability -j "$jobs"
+  # The fleet is cross-thread end to end: the prober scores health while
+  # workers route, acquire slots, and fail over between replicas.
+  ctest --test-dir build-tsan --output-on-failure -L fleet -j "$jobs"
 fi

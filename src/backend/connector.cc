@@ -98,10 +98,16 @@ Result<BackendResult> BackendConnector::ExecuteWithRetry(
     // Each backend try is its own child span (under the service's
     // backend.execute), so a retried request shows every attempt.
     obs::SpanScope attempt_span(ctx, "backend.attempt");
+    if (!options_.backend_name.empty()) {
+      attempt_span.Annotate("backend", options_.backend_name);
+    }
     if (attempts_counter_ != nullptr) attempts_counter_->Inc();
     // A cancelled request never touches the backend again: kCancelled is
     // not retryable, so this surfaces straight through RetryCall.
     if (ctx != nullptr) HQ_RETURN_IF_ERROR(ctx->CheckAlive());
+    // The pool's liveness verdict for this backend instance: a hard-killed
+    // replica fails here with kSessionLost{kBackendDown} before any work.
+    if (options_.liveness) HQ_RETURN_IF_ERROR(options_.liveness());
     // A lost session reconnects transparently at the next attempt; the
     // epoch bump is what tells the service its journal must be replayed.
     if (session_down_.exchange(false, std::memory_order_relaxed)) {
@@ -139,8 +145,7 @@ Result<BackendResult> BackendConnector::ExecuteWithRetry(
     }
     return r;
   };
-  auto out =
-      RetryCall(options_.retry, deadline, &breaker_, &stats, shielded);
+  auto out = RetryCall(options_.retry, deadline, breaker(), &stats, shielded);
   if (retries_counter_ != nullptr && stats.attempts > 1) {
     retries_counter_->Inc(stats.attempts - 1);
   }
@@ -185,6 +190,9 @@ Result<BackendResult> BackendConnector::Package(vdb::QueryResult result,
     // Cancellation is observed at every batch boundary: an abandoned fetch
     // drops `out` and with it the store's spill files and governor bytes.
     if (ctx != nullptr) HQ_RETURN_IF_ERROR(ctx->CheckAlive());
+    // So is the pool's liveness verdict, which is how a replica hard-killed
+    // mid-result-stream turns into a cross-replica failover within a batch.
+    if (options_.liveness) HQ_RETURN_IF_ERROR(options_.liveness());
     HQ_FAULT_POINT(faultpoints::kConnectorFetchBatch);
     TdfWriter writer(out.columns);
     size_t end = std::min(result.rows.size(), i + options_.batch_rows);

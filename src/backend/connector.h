@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -68,6 +69,21 @@ struct ConnectorOptions {
   /// Resilience counters (hyperq.backend.*) register here; null = the
   /// connector keeps no counters (its typed accessors still work).
   observability::MetricsRegistry* metrics = nullptr;
+
+  // --- Fleet wiring (DESIGN.md §10) ---------------------------------------
+  /// When set, attempts are admitted through this breaker instead of the
+  /// connector's own: the pool shares one breaker per backend instance
+  /// across every session bound to it, so one session's failures protect
+  /// them all. Must outlive the connector (the pool owns both).
+  CircuitBreaker* shared_breaker = nullptr;
+  /// Pool liveness hook, consulted at attempt start and at every batch
+  /// boundary while packaging; a non-OK status aborts the attempt. The
+  /// pool returns kSessionLost{kBackendDown} for a hard-killed replica so
+  /// mid-stream kills surface for cross-replica failover.
+  std::function<Status()> liveness;
+  /// Display name of the backend instance; annotated onto backend.attempt
+  /// spans and prepended to backend error context in pool mode.
+  std::string backend_name;
 };
 
 /// \brief Submits SQL-B requests to the target engine and packages results.
@@ -91,7 +107,12 @@ class BackendConnector {
                                       QueryContext* ctx = nullptr);
 
   vdb::Engine* engine() { return engine_; }
-  CircuitBreaker* breaker() { return &breaker_; }
+  /// The breaker attempts are admitted through: the pool's shared
+  /// per-backend breaker when configured, else the connector's own.
+  CircuitBreaker* breaker() {
+    return options_.shared_breaker != nullptr ? options_.shared_breaker
+                                              : &breaker_;
+  }
 
   // --- Backend-session failover (DESIGN.md §6, "Failover & overload") ----
 

@@ -43,6 +43,15 @@ inline constexpr const char* kTdfAppend = "tdf.append";
 // Lifecycle/governance points (PR 4). kStoreSpillWrite fires inside the
 // checked spill write path (simulates ENOSPC/EIO on the spill volume).
 inline constexpr const char* kStoreSpillWrite = "store.spill_write";
+// Fleet points (DESIGN.md §10). kPoolProbe fires inside the pool's active
+// health probe (a fired probe counts as a probe failure and drives the
+// backend toward ejection). kBackendEjected fires in the pool's health
+// evaluation and forces the evaluated backend to EJECTED for that
+// evaluation. kRouterPick fires at the top of Router::Pick and surfaces as
+// a routing failure (no backend chosen).
+inline constexpr const char* kPoolProbe = "pool.probe";
+inline constexpr const char* kBackendEjected = "backend.ejected";
+inline constexpr const char* kRouterPick = "router.pick";
 }  // namespace faultpoints
 
 enum class FaultKind {

@@ -58,9 +58,14 @@ Status CircuitBreaker::Admit() {
         return Status::OK();
       }
       ++rejected_;
+      // The kBreakerOpen detail tells the routing layer this is "backend
+      // down, nothing was tried" — re-route to another replica — rather
+      // than "this statement failed" (DESIGN.md §10).
       return Status::Unavailable(
-          "circuit breaker open (", failures_, " consecutive failures); ",
-          "retry after ", options_.cooldown_ms - elapsed, "ms");
+                 "circuit breaker open (", failures_,
+                 " consecutive failures); ", "retry after ",
+                 options_.cooldown_ms - elapsed, "ms")
+          .WithDetail(StatusDetail::kBreakerOpen);
     }
     case BreakerState::kHalfOpen:
       if (!probe_in_flight_) {
@@ -69,7 +74,8 @@ Status CircuitBreaker::Admit() {
       }
       ++rejected_;
       return Status::Unavailable("circuit breaker half-open; probe already "
-                                 "in flight");
+                                 "in flight")
+          .WithDetail(StatusDetail::kBreakerOpen);
   }
   return Status::Internal("unknown breaker state");
 }

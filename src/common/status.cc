@@ -40,9 +40,28 @@ const char* StatusCodeName(StatusCode code) {
   return "unknown";
 }
 
+const char* StatusDetailName(StatusDetail detail) {
+  switch (detail) {
+    case StatusDetail::kNone:
+      return "none";
+    case StatusDetail::kBreakerOpen:
+      return "breaker_open";
+    case StatusDetail::kBackendDown:
+      return "backend_down";
+    case StatusDetail::kFailoverIncompatible:
+      return "failover_incompatible";
+  }
+  return "unknown";
+}
+
 std::string Status::ToString() const {
   if (ok()) return "ok";
   std::string out = StatusCodeName(code());
+  if (detail() != StatusDetail::kNone) {
+    out += '[';
+    out += StatusDetailName(detail());
+    out += ']';
+  }
   out += ": ";
   out += message();
   return out;

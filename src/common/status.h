@@ -48,6 +48,21 @@ enum class StatusCode : int {
 /// "syntax_error".
 const char* StatusCodeName(StatusCode code);
 
+/// Sub-reason refining a status code where the code alone is ambiguous to
+/// the routing layer (DESIGN.md §10). A kUnavailable can mean "this call
+/// flaked" (retry here), "the breaker is open / the replica is down"
+/// (re-route to another replica), or "no compatible replica exists"
+/// (surface to the client) — three very different reactions.
+enum class StatusDetail : int {
+  kNone = 0,
+  kBreakerOpen,  // circuit breaker rejected the call without trying
+  kBackendDown,  // the backend instance itself is down/killed/ejected
+  kFailoverIncompatible,  // no replica can honor the session's journal
+};
+
+/// \brief Stable lower-case name for a detail, e.g. "breaker_open".
+const char* StatusDetailName(StatusDetail detail);
+
 /// \brief Outcome of a fallible operation: a code plus message.
 ///
 /// The OK state is represented as a null internal pointer so that success
@@ -77,6 +92,18 @@ class Status {
   const std::string& message() const {
     static const std::string kEmpty;
     return ok() ? kEmpty : state_->msg;
+  }
+  StatusDetail detail() const {
+    return ok() ? StatusDetail::kNone : state_->detail;
+  }
+
+  /// \brief Returns a copy carrying `detail`; the code and message are
+  /// unchanged. No-op on OK.
+  Status WithDetail(StatusDetail detail) const {
+    if (ok()) return *this;
+    Status out(*this);
+    out.state_->detail = detail;
+    return out;
   }
 
   bool IsSyntaxError() const { return code() == StatusCode::kSyntaxError; }
@@ -115,10 +142,12 @@ class Status {
   /// \brief "ok" or "<code_name>: <message>".
   std::string ToString() const;
 
-  /// \brief Prepends context to the message, keeping the code.
+  /// \brief Prepends context to the message, keeping the code and detail.
   Status WithContext(const std::string& context) const {
     if (ok()) return *this;
-    return Status(state_->code, context + ": " + state_->msg);
+    Status out(state_->code, context + ": " + state_->msg);
+    out.state_->detail = state_->detail;
+    return out;
   }
 
   // Factory helpers. Each accepts a stream of << -able parts.
@@ -187,6 +216,7 @@ class Status {
   struct State {
     StatusCode code;
     std::string msg;
+    StatusDetail detail = StatusDetail::kNone;
   };
 
   template <typename... Args>

@@ -78,6 +78,27 @@ inline constexpr const char* kFailoverAbortedInTxn =
 inline constexpr const char* kFailoverJournalOverflows =
     "hyperq.failover.journal_overflows";
 
+// --- Backend fleet: pool, prober, router (DESIGN.md §10) --------------------
+// kBackendRoute is labeled {backend="...",reason="sticky|p2c|only|..."};
+// kBackendHealth / kBackendInFlight are labeled {backend="..."} gauges.
+inline constexpr const char* kBackendRoute = "hyperq.backend.route";
+inline constexpr const char* kBackendHealth = "hyperq.backend.health";
+inline constexpr const char* kBackendInFlight =
+    "hyperq.backend.in_flight";
+inline constexpr const char* kBackendEjections =
+    "hyperq.backend.ejections";
+inline constexpr const char* kBackendReadmissions =
+    "hyperq.backend.readmissions";
+inline constexpr const char* kPoolProbes = "hyperq.pool.probes";
+inline constexpr const char* kPoolProbeFailures =
+    "hyperq.pool.probe_failures";
+inline constexpr const char* kFailoverCrossReplica =
+    "hyperq.failover.cross_replica";
+inline constexpr const char* kFailoverIncompatible =
+    "hyperq.failover.incompatible";
+inline constexpr const char* kGovernorBackendSlotDenials =
+    "hyperq.governor.backend_slot_denials";
+
 // --- Resource governor (mirrored into gauges at snapshot time; the
 // governor lives in common/ below the observability layer) ------------------
 inline constexpr const char* kGovernorMemoryBytes =
@@ -126,8 +147,27 @@ inline constexpr FaultPointMetric kFaultPointMetrics[] = {
     {"convert.encode_row", "hyperq.faults.convert.encode_row"},
     {"tdf.append", "hyperq.faults.tdf.append"},
     {"store.spill_write", "hyperq.faults.store.spill_write"},
+    {"pool.probe", "hyperq.faults.pool.probe"},
+    {"backend.ejected", "hyperq.faults.backend.ejected"},
+    {"router.pick", "hyperq.faults.router.pick"},
 };
 inline constexpr size_t kFaultPointMetricCount =
     sizeof(kFaultPointMetrics) / sizeof(kFaultPointMetrics[0]);
+
+// --- Backend health states (mirrored from BackendPool) ---------------------
+// scripts/check_metrics.sh enforces that every BackendHealth enumerator in
+// src/backend/pool.h appears here; the snapshot publishes each as a gauge
+// counting the backends currently in that state.
+struct HealthStateMetric {
+  const char* state;   // BackendHealthName() string value
+  const char* metric;  // gauge name for the per-state backend count
+};
+inline constexpr HealthStateMetric kHealthStateMetrics[] = {
+    {"healthy", "hyperq.backend.health.healthy"},
+    {"degraded", "hyperq.backend.health.degraded"},
+    {"ejected", "hyperq.backend.health.ejected"},
+};
+inline constexpr size_t kHealthStateMetricCount =
+    sizeof(kHealthStateMetrics) / sizeof(kHealthStateMetrics[0]);
 
 }  // namespace hyperq::observability::names

@@ -49,6 +49,13 @@ void QueryTrace::EndSpan(int id) {
   }
 }
 
+void QueryTrace::AnnotateSpan(int id, const std::string& key,
+                              const std::string& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id <= 0 || id >= static_cast<int>(spans_.size())) return;
+  spans_[id].attrs.emplace_back(key, value);
+}
+
 void QueryTrace::AddCompletedSpan(const std::string& name,
                                   double start_micros,
                                   double duration_micros) {
@@ -221,10 +228,23 @@ std::string QueryTrace::ToJson() const {
     out += "{\"name\":\"";
     AppendJsonEscaped(&out, span.name, 64);
     std::snprintf(num, sizeof(num),
-                  "\",\"parent\":%d,\"start\":%.1f,\"micros\":%.1f}",
+                  "\",\"parent\":%d,\"start\":%.1f,\"micros\":%.1f",
                   span.parent, span.start_micros,
                   std::max(0.0, span.duration_micros));
     out += num;
+    if (!span.attrs.empty()) {
+      out += ",\"attrs\":{";
+      for (size_t i = 0; i < span.attrs.size(); ++i) {
+        if (i > 0) out += ',';
+        out += '"';
+        AppendJsonEscaped(&out, span.attrs[i].first, 64);
+        out += "\":\"";
+        AppendJsonEscaped(&out, span.attrs[i].second, 64);
+        out += '"';
+      }
+      out += '}';
+    }
+    out += '}';
   }
   out += "]}";
   return out;
@@ -236,6 +256,10 @@ SpanScope::SpanScope(QueryTrace* trace, const char* name) : trace_(trace) {
 
 SpanScope::SpanScope(QueryContext* ctx, const char* name)
     : SpanScope(ctx != nullptr ? ctx->trace() : nullptr, name) {}
+
+void SpanScope::Annotate(const std::string& key, const std::string& value) {
+  if (trace_ != nullptr && id_ > 0) trace_->AnnotateSpan(id_, key, value);
+}
 
 void SpanScope::End() {
   if (trace_ != nullptr && id_ > 0) trace_->EndSpan(id_);

@@ -18,6 +18,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stopwatch.h"
@@ -37,6 +38,10 @@ struct TraceSpanRecord {
   std::string name;
   double start_micros = 0;
   double duration_micros = -1;
+  // Key/value annotations (e.g. backend.attempt spans carry
+  // backend="replica-1", reason="p2c"). Small and append-only; a repeated
+  // key overwrites the earlier value at render time by ordering.
+  std::vector<std::pair<std::string, std::string>> attrs;
 };
 
 /// \brief The span tree of one query. Span 0 is the root ("query"),
@@ -50,6 +55,10 @@ class QueryTrace {
   /// it current. Returns the span id (pass to EndSpan).
   int StartSpan(const std::string& name);
   void EndSpan(int id);
+
+  /// \brief Attaches a key/value attribute to span `id` (open or closed).
+  /// No-op on an invalid id, so callers can pass a failed StartSpan result.
+  void AnnotateSpan(int id, const std::string& key, const std::string& value);
 
   /// \brief Records an already measured interval as a closed child of the
   /// current span (used for work measured before the trace could nest it).
@@ -117,6 +126,9 @@ class SpanScope {
 
   /// \brief Closes the span early (idempotent).
   void End();
+
+  /// \brief Annotates this scope's span (no-op when tracing is off).
+  void Annotate(const std::string& key, const std::string& value);
 
  private:
   QueryTrace* trace_ = nullptr;

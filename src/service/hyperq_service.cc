@@ -85,6 +85,10 @@ HyperQService::HyperQService(vdb::Engine* engine, ServiceOptions options)
       metrics_->counter(names::kFailoverStatementsReplayed);
   c_aborted_in_txn_ = metrics_->counter(names::kFailoverAbortedInTxn);
   c_journal_overflows_ = metrics_->counter(names::kFailoverJournalOverflows);
+  c_failover_cross_replica_ =
+      metrics_->counter(names::kFailoverCrossReplica);
+  c_failover_incompatible_ =
+      metrics_->counter(names::kFailoverIncompatible);
   c_wire_requests_ = metrics_->counter(names::kWireRequests);
   h_wire_convert_ = metrics_->histogram(names::kWireConvertMicros);
   c_submit_statements_ =
@@ -100,9 +104,27 @@ HyperQService::HyperQService(vdb::Engine* engine, ServiceOptions options)
   c_spill_bytes_ = metrics_->counter(names::kLifecycleSpillBytes);
   h_result_bytes_ = metrics_->histogram(
       names::kResultBytes, obs::Histogram::SizeBucketsBytes());
+
+  // Fleet mode (DESIGN.md §10): registered backends get a pool + router;
+  // sessions are then placed by the router instead of binding the engine.
+  if (!options_.fleet.backends.empty()) {
+    backend::PoolOptions pool_options;
+    pool_options.health = options_.fleet.health;
+    pool_options.connector = options_.connector;
+    pool_options.governor = options_.governor;
+    pool_options.metrics = metrics_;
+    pool_ = std::make_unique<backend::BackendPool>(
+        engine_, options_.fleet.backends, std::move(pool_options));
+    router_ =
+        std::make_unique<backend::Router>(pool_.get(),
+                                          options_.fleet.route_seed);
+    pool_->Start();
+  }
 }
 
-HyperQService::~HyperQService() = default;
+HyperQService::~HyperQService() {
+  if (pool_ != nullptr) pool_->Stop();
+}
 
 Result<uint32_t> HyperQService::OpenSession(
     const std::string& user, const std::string& default_database) {
@@ -113,18 +135,30 @@ Result<uint32_t> HyperQService::OpenSession(
   if (!default_database.empty()) {
     session->info.default_database = default_database;
   }
-  // Result buffering/spill for this session is charged against the shared
-  // governor under the session's id (DESIGN.md §8).
-  backend::ConnectorOptions connector_options = options_.connector;
-  if (connector_options.governor == nullptr) {
-    connector_options.governor = options_.governor;
+  if (pool_ != nullptr) {
+    // Fleet placement: the router picks the session's home backend by
+    // health, load, and capability match with the emitted profile.
+    backend::RouteConstraints constraints;
+    constraints.emitted = &options_.profile;
+    HQ_ASSIGN_OR_RETURN(backend::RouteDecision route,
+                        router_->Pick(constraints));
+    RecordRoute(route);
+    session->backend_index = route.backend;
+    session->connector = pool_->CreateConnector(route.backend, session->id);
+  } else {
+    // Result buffering/spill for this session is charged against the
+    // shared governor under the session's id (DESIGN.md §8).
+    backend::ConnectorOptions connector_options = options_.connector;
+    if (connector_options.governor == nullptr) {
+      connector_options.governor = options_.governor;
+    }
+    connector_options.session_tag = session->id;
+    if (connector_options.metrics == nullptr) {
+      connector_options.metrics = metrics_;
+    }
+    session->connector = std::make_unique<backend::BackendConnector>(
+        engine_, connector_options);
   }
-  connector_options.session_tag = session->id;
-  if (connector_options.metrics == nullptr) {
-    connector_options.metrics = metrics_;
-  }
-  session->connector = std::make_unique<backend::BackendConnector>(
-      engine_, connector_options);
   session->backend_epoch = session->connector->connection_epoch();
   session->settings_digest = SettingsDigest(session->info);
   uint32_t id = session->id;
@@ -232,7 +266,12 @@ void HyperQService::MirrorExternalGauges() const {
     metrics_->gauge(names::kGovernorMemoryDenials)->Set(g.memory_denials);
     metrics_->gauge(names::kGovernorSpillDenials)->Set(g.spill_denials);
     metrics_->gauge(names::kGovernorShedQueries)->Set(g.shed_queries);
+    metrics_->gauge(names::kGovernorBackendSlotDenials)
+        ->Set(g.backend_slot_denials);
   }
+  // Per-backend health/in-flight levels and the per-state backend counts
+  // (the lint-checked kHealthStateMetrics table).
+  if (pool_ != nullptr) pool_->MirrorGauges();
   // Resident cache levels are shard-computed; export them as gauges.
   TranslationCacheStats c = translation_cache_.stats();
   metrics_->gauge(names::kCacheEntries)->Set(c.entries);
@@ -662,10 +701,24 @@ Result<int> HyperQService::ReplaySessionJournal(Session* session) {
       ++replayed;
       continue;
     }
+    if (entry.kind == JournalEntry::Kind::kTempTableDdl &&
+        !entry.table.empty()) {
+      // Cross-replica replay may land where an orphaned copy of the
+      // volatile table still exists (compute replicas over shared
+      // storage); clear it so the journaled CREATE cannot collide.
+      (void)session->connector->Execute("DROP TABLE IF EXISTS " +
+                                        entry.table);
+    }
     auto result = session->connector->Execute(entry.sql);
     if (!result.ok()) {
       return result.status().WithContext("session journal replay of '" +
                                          entry.sql + "'");
+    }
+    if (entry.kind == JournalEntry::Kind::kTempTableDdl &&
+        !entry.table.empty()) {
+      // The (possibly new) connector must track the recreated table as
+      // session-scoped so a later loss drops it again.
+      session->connector->NoteSessionTable(entry.table);
     }
     ++replayed;
   }
@@ -677,6 +730,7 @@ Result<int> HyperQService::ReplaySessionJournal(Session* session) {
 
 Result<QueryOutcome> HyperQService::SubmitWithFailover(
     Session* session, const std::string& sql_a, QueryContext* ctx) {
+  if (pool_ != nullptr) return SubmitWithFleetFailover(session, sql_a, ctx);
   auto outcome = SubmitInternal(session, sql_a, 0, ctx);
   if (outcome.ok() || !outcome.status().IsSessionLost()) return outcome;
   if (!options_.failover.enabled) {
@@ -717,6 +771,181 @@ Result<QueryOutcome> HyperQService::SubmitWithFailover(
     retried->timing.journal_replays += replayed;
   }
   return retried;
+}
+
+// ---------------------------------------------------------------------------
+// Fleet routing & cross-replica failover (DESIGN.md §10)
+// ---------------------------------------------------------------------------
+
+namespace {
+// Failures worth trying elsewhere: the session/replica died (kSessionLost),
+// or nothing was even attempted because the instance is down — the breaker
+// rejected the call or the pool knows the backend is killed. A plain
+// kUnavailable (one flaked call, already retried in place) and every
+// permanent error ("query bad") stay put: re-routing them would waste
+// another replica's time on the same outcome.
+bool FailoverEligible(const Status& s) {
+  if (s.IsSessionLost()) return true;
+  return s.IsUnavailable() && (s.detail() == StatusDetail::kBreakerOpen ||
+                               s.detail() == StatusDetail::kBackendDown);
+}
+}  // namespace
+
+bool HyperQService::JournalRequiresProfile(const Session* session) {
+  for (const auto& entry : session->journal) {
+    if (entry.kind == JournalEntry::Kind::kSetSession) return true;
+  }
+  return false;
+}
+
+void HyperQService::RecordRoute(const backend::RouteDecision& route) {
+  if (pool_ == nullptr || route.backend < 0) return;
+  metrics_
+      ->counter(obs::LabeledName(
+          names::kBackendRoute,
+          {{"backend", pool_->spec(route.backend).name},
+           {"reason", route.reason}}))
+      ->Inc();
+}
+
+Status HyperQService::RebindSession(Session* session, int target) {
+  if (session->backend_index == target) return Status::OK();
+  if (session->connector != nullptr && session->backend_index >= 0) {
+    session->parked_connectors[session->backend_index] =
+        std::move(session->connector);
+  }
+  auto parked = session->parked_connectors.find(target);
+  if (parked != session->parked_connectors.end() &&
+      parked->second != nullptr) {
+    session->connector = std::move(parked->second);
+    session->parked_connectors.erase(parked);
+  } else {
+    session->connector = pool_->CreateConnector(target, session->id);
+  }
+  session->backend_index = target;
+  session->backend_epoch = session->connector->connection_epoch();
+  return Status::OK();
+}
+
+Result<QueryOutcome> HyperQService::SubmitWithFleetFailover(
+    Session* session, const std::string& sql_a, QueryContext* ctx) {
+  const int max_attempts = std::max(1, options_.fleet.max_failover_attempts);
+  std::vector<int> failed;   // backends that failed this query
+  bool needs_replay = false;  // same-replica session loss pending repair
+  int failovers = 0;
+  int total_replayed = 0;
+  Status last_error;
+
+  // The open-transaction fence (same semantics as single-backend mode):
+  // the backend transaction died with the session/replica, and a statement
+  // with side effects must not be transparently re-run.
+  auto txn_fence = [&](const Status& cause) -> Status {
+    if (session->txn_depth <= 0) return Status::OK();
+    bool non_idempotent = false;
+    auto parsed = sql::ParseStatement(sql_a, frontend_dialect_);
+    if (parsed.ok()) non_idempotent = StatementIsNonIdempotent(**parsed);
+    session->txn_depth = 0;  // the backend transaction is gone either way
+    if (!non_idempotent) return Status::OK();
+    c_aborted_in_txn_->Inc();
+    return Status::Aborted(
+        "backend lost while a non-idempotent statement was in flight "
+        "inside an open transaction; transaction rolled back — resubmit "
+        "the transaction (",
+        cause.message(), ")");
+  };
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    backend::RouteConstraints constraints;
+    constraints.emitted = &options_.profile;
+    constraints.sticky = session->backend_index;
+    constraints.exclude = failed;
+    if (JournalRequiresProfile(session) && session->backend_index >= 0) {
+      // Journaled SET SESSION state is only valid under the profile it was
+      // created with: restrict failover to digest-identical replicas and
+      // let the router surface kFailoverIncompatible when none exists.
+      constraints.require_profile_digest = true;
+      constraints.profile_digest =
+          pool_->profile_digest(session->backend_index);
+    }
+    auto route = router_->Pick(constraints);
+    if (!route.ok()) {
+      Status s = route.status();
+      if (s.detail() == StatusDetail::kFailoverIncompatible) {
+        c_failover_incompatible_->Inc();
+      }
+      if (!last_error.ok()) {
+        return s.WithContext("failing over from: " + last_error.ToString());
+      }
+      return s;
+    }
+    RecordRoute(*route);
+    if (route->backend != session->backend_index) {
+      // Cross-replica move: proactive (the bound backend is ejected or
+      // killed) or reactive (it just failed this query). Fence the open
+      // transaction, rebind, and replay the session journal there.
+      HQ_RETURN_IF_ERROR(txn_fence(last_error));
+      HQ_RETURN_IF_ERROR(RebindSession(session, route->backend));
+      auto replayed = ReplaySessionJournal(session);
+      if (!replayed.ok()) {
+        if (FailoverEligible(replayed.status())) {
+          last_error = replayed.status();
+          failed.push_back(route->backend);
+          continue;
+        }
+        return replayed.status();
+      }
+      needs_replay = false;
+      total_replayed += *replayed;
+      ++failovers;
+      c_failover_cross_replica_->Inc();
+    } else if (needs_replay) {
+      // Same-replica session loss (transient, not a dead instance): repair
+      // in place, exactly like single-backend failover.
+      HQ_ASSIGN_OR_RETURN(int replayed, ReplaySessionJournal(session));
+      needs_replay = false;
+      total_replayed += replayed;
+      ++failovers;
+    }
+
+    Status acquired = pool_->Acquire(route->backend);
+    if (!acquired.ok()) {
+      last_error = acquired;
+      failed.push_back(route->backend);
+      if (FailoverEligible(acquired) || acquired.IsResourceExhausted()) {
+        continue;  // in-flight cap or just-killed: try another replica
+      }
+      return acquired;
+    }
+    auto outcome = SubmitInternal(session, sql_a, 0, ctx);
+    pool_->Release(route->backend,
+                   outcome.ok() ? Status::OK() : outcome.status());
+    if (outcome.ok()) {
+      outcome->timing.failovers += failovers;
+      outcome->timing.journal_replays += total_replayed;
+      return outcome;
+    }
+    Status s = outcome.status();
+    // A cancelled/expired request gets no more attempts anywhere.
+    if (ctx != nullptr) {
+      Status alive = ctx->CheckAlive();
+      if (!alive.ok()) return alive;
+    }
+    if (!FailoverEligible(s)) return s;
+    if (!options_.failover.enabled) {
+      return Status::Unavailable("backend lost (failover disabled): ",
+                                 s.message());
+    }
+    HQ_RETURN_IF_ERROR(txn_fence(s));
+    last_error = s;
+    if (s.IsSessionLost() && s.detail() == StatusDetail::kNone) {
+      // The session flaked but the instance may be fine: allow a sticky
+      // retry after journal replay instead of burning a replica.
+      needs_replay = true;
+    } else {
+      failed.push_back(route->backend);
+    }
+  }
+  return last_error;
 }
 
 // ---------------------------------------------------------------------------
@@ -1776,7 +2005,18 @@ Result<protocol::LogonResponse> HyperQService::Logon(
   resp.ok = true;
   resp.session_id = id;
   resp.message = "session established";
+  int backend = session_backend(id);
+  if (pool_ != nullptr && backend >= 0) {
+    resp.message += " on " + pool_->spec(backend).name;
+  }
   return resp;
+}
+
+int HyperQService::session_backend(uint32_t session_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return -1;
+  return it->second->backend_index;
 }
 
 void HyperQService::Logoff(uint32_t session_id) { CloseSession(session_id); }

@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "backend/connector.h"
+#include "backend/pool.h"
+#include "backend/router.h"
 #include "binder/binder.h"
 #include "catalog/catalog.h"
 #include "common/features.h"
@@ -107,12 +109,29 @@ struct FailoverOptions {
   size_t max_journal_entries = 256;
 };
 
+/// \brief Multi-backend fleet configuration (DESIGN.md §10). With one or
+/// more backends registered the service routes sessions and queries over a
+/// BackendPool; empty = the classic single-connector-per-session mode.
+struct FleetOptions {
+  /// Registered backend instances; spec.engine == nullptr means "a compute
+  /// replica over the service's shared engine".
+  std::vector<backend::BackendSpec> backends;
+  /// Scoring/probing/re-admission knobs; probe_interval_ms > 0 starts the
+  /// background prober with the service.
+  backend::HealthOptions health;
+  /// Distinct placement attempts per query (1 = no cross-replica retry).
+  int max_failover_attempts = 3;
+  /// Seed of the router's deterministic power-of-two-choices PRNG.
+  uint64_t route_seed = 0x5EEDULL;
+};
+
 struct ServiceOptions {
   transform::BackendProfile profile = transform::BackendProfile::Vdb();
   backend::ConnectorOptions connector;
   int convert_parallelism = 2;
   bool batch_single_row_dml = true;  // §4.3 performance transformation
   FailoverOptions failover;
+  FleetOptions fleet;
   /// Translation cache knobs (DESIGN.md §7): repeated query shapes skip
   /// the parse→bind→transform→serialize pipeline and only re-splice
   /// literals into the cached SQL-B template.
@@ -240,6 +259,14 @@ class HyperQService : public protocol::RequestHandler {
     return options_.profile;
   }
 
+  /// \brief The fleet pool/router (null in single-backend mode). Exposed
+  /// for chaos tests and the availability bench (KillBackend/ProbeNow).
+  backend::BackendPool* backend_pool() { return pool_.get(); }
+  backend::Router* router() { return router_.get(); }
+  /// \brief Backend index a session is currently bound to (-1 when unknown
+  /// or in single-backend mode).
+  int session_backend(uint32_t session_id) const;
+
   // --- Stats/admin surface (DESIGN.md §9) --------------------------------
   /// \brief The whole registry plus typed views, in one consistent pull.
   /// This is the one stats API; everything below it is a shim.
@@ -313,7 +340,16 @@ class HyperQService : public protocol::RequestHandler {
   struct Session {
     uint32_t id;
     SessionInfo info;
+    /// The active backend connection. In fleet mode this is the connector
+    /// of the bound backend (`backend_index`); rebinding parks it and
+    /// swaps another in, so the whole pipeline keeps one access path.
     std::unique_ptr<backend::BackendConnector> connector;
+    /// Fleet binding: pool index of the active connector (-1 = single-
+    /// backend mode) and connectors of previously bound backends, kept so
+    /// a fail-back reuses the established connection.
+    int backend_index = -1;
+    std::map<int, std::unique_ptr<backend::BackendConnector>>
+        parked_connectors;
     std::vector<std::string> volatile_tables;
     int txn_depth = 0;
     std::vector<JournalEntry> journal;
@@ -362,6 +398,22 @@ class HyperQService : public protocol::RequestHandler {
   Result<QueryOutcome> SubmitWithFailover(Session* session,
                                           const std::string& sql_a,
                                           QueryContext* ctx);
+  /// Fleet-mode placement + cross-replica failover loop (DESIGN.md §10):
+  /// route (sticky-preferred) -> acquire slot -> run -> score; on a
+  /// failover-eligible failure, exclude the replica, re-route, rebind the
+  /// session (journal replay onto the new connector), and retry — bounded
+  /// by max_failover_attempts and the QueryContext deadline.
+  Result<QueryOutcome> SubmitWithFleetFailover(Session* session,
+                                               const std::string& sql_a,
+                                               QueryContext* ctx);
+  /// Moves the session's active connector to pool backend `target`
+  /// (parking the old one; reusing a parked connector when falling back).
+  Status RebindSession(Session* session, int target);
+  /// True when the journal carries SET SESSION state, which is only valid
+  /// under the profile it was created with (the kFailoverIncompatible
+  /// pre-check for cross-replica replay).
+  static bool JournalRequiresProfile(const Session* session);
+  void RecordRoute(const backend::RouteDecision& route);
   /// Replays the journal onto the connector's fresh backend session;
   /// returns the number of entries replayed.
   Result<int> ReplaySessionJournal(Session* session);
@@ -457,6 +509,12 @@ class HyperQService : public protocol::RequestHandler {
   serializer::Serializer serializer_;
   sql::Dialect frontend_dialect_;
 
+  // Fleet (DESIGN.md §10). Declared before sessions_ so the pool — whose
+  // breakers and liveness hooks session connectors borrow — outlives every
+  // session during destruction.
+  std::unique_ptr<backend::BackendPool> pool_;
+  std::unique_ptr<backend::Router> router_;
+
   mutable std::mutex mutex_;
   std::map<uint32_t, std::unique_ptr<Session>> sessions_;
   std::atomic<uint32_t> next_session_{1};
@@ -479,6 +537,8 @@ class HyperQService : public protocol::RequestHandler {
   observability::Counter* c_statements_replayed_;
   observability::Counter* c_aborted_in_txn_;
   observability::Counter* c_journal_overflows_;
+  observability::Counter* c_failover_cross_replica_;
+  observability::Counter* c_failover_incompatible_;
   observability::Counter* c_wire_requests_;
   observability::Histogram* h_wire_convert_;
   observability::Counter* c_submit_statements_;

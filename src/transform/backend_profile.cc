@@ -1,5 +1,7 @@
 #include "transform/backend_profile.h"
 
+#include <cstddef>
+
 namespace hyperq::transform {
 
 std::string BackendProfile::CacheKeyDigest() const {
@@ -21,6 +23,43 @@ std::string BackendProfile::CacheKeyDigest() const {
   digest.reserve(digest.size() + sizeof(bits) / sizeof(bits[0]));
   for (bool b : bits) digest += b ? '1' : '0';
   return digest;
+}
+
+bool BackendProfile::CanServe(const BackendProfile& emitted) const {
+  // nulls_sort_low is a semantic property, not a capability: a mismatch
+  // silently reorders results, so it must match exactly.
+  if (nulls_sort_low != emitted.nulls_sort_low) return false;
+  const bool mine[] = {
+      supports_qualify,          supports_implicit_join,
+      supports_named_expr_reuse, supports_derived_col_aliases,
+      supports_vector_subquery,  supports_quantified_subquery,
+      supports_grouping_sets,    supports_top_with_ties,
+      supports_recursive_cte,    supports_merge,
+      supports_macros,           supports_ordinal_group_by,
+      supports_date_int_comparison, supports_date_arithmetic,
+      supports_update_from,      supports_set_tables,
+      supports_global_temp_tables, supports_period_type,
+      supports_updatable_views,  supports_stored_procedures,
+      supports_case_insensitive_columns, supports_nonconstant_defaults,
+  };
+  const bool theirs[] = {
+      emitted.supports_qualify,          emitted.supports_implicit_join,
+      emitted.supports_named_expr_reuse, emitted.supports_derived_col_aliases,
+      emitted.supports_vector_subquery,  emitted.supports_quantified_subquery,
+      emitted.supports_grouping_sets,    emitted.supports_top_with_ties,
+      emitted.supports_recursive_cte,    emitted.supports_merge,
+      emitted.supports_macros,           emitted.supports_ordinal_group_by,
+      emitted.supports_date_int_comparison, emitted.supports_date_arithmetic,
+      emitted.supports_update_from,      emitted.supports_set_tables,
+      emitted.supports_global_temp_tables, emitted.supports_period_type,
+      emitted.supports_updatable_views,  emitted.supports_stored_procedures,
+      emitted.supports_case_insensitive_columns,
+      emitted.supports_nonconstant_defaults,
+  };
+  for (size_t i = 0; i < sizeof(mine) / sizeof(mine[0]); ++i) {
+    if (theirs[i] && !mine[i]) return false;
+  }
+  return true;
 }
 
 BackendProfile BackendProfile::Vdb() {

@@ -53,6 +53,13 @@ struct BackendProfile {
   /// cached SQL-B templates, even if they share a name.
   std::string CacheKeyDigest() const;
 
+  /// \brief True when this backend can execute SQL serialized under
+  /// `emitted`: every capability the emitted profile enables must also be
+  /// enabled here (SQL-B emitted for a richer target may use constructs a
+  /// poorer target rejects; the reverse is always safe). The router's
+  /// capability-match test (DESIGN.md §10).
+  bool CanServe(const BackendProfile& emitted) const;
+
   /// \brief The embedded vdb engine (the default target in this repo).
   static BackendProfile Vdb();
 
