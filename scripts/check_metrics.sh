@@ -6,7 +6,11 @@
 # table must not carry stale rows for points that no longer exist. The same
 # contract holds for the fleet (DESIGN.md §10): every BackendHealth state in
 # src/backend/pool.h must have a kHealthStateMetrics row named
-# hyperq.backend.health.<state>.
+# hyperq.backend.health.<state>. And for the tail-tolerance layer
+# (DESIGN.md §11): every hyperq.hedge.* / hyperq.retry_budget.* /
+# hyperq.limit.* / hyperq.brownout.* series must be declared as a named
+# constant in metric_names.h (no ad-hoc string literals in src/), and every
+# declared constant must actually be emitted somewhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -92,9 +96,58 @@ if [[ -n "$bad_health" ]]; then
   status=1
 fi
 
+# --- Tail-tolerance series (DESIGN.md §11) -----------------------------------
+# The hedge/retry-budget/adaptive-limit/brownout families are consumed by
+# dashboards as a set; a typo'd literal or a dead constant silently breaks
+# the control-loop view, so both directions are linted.
+
+tail_pat='hyperq\.(hedge|retry_budget|limit|brownout)\.[a-z_.]*'
+
+# Declared: the string values of the tail-family constants.
+declared_tail=$(grep -oE "\"${tail_pat}\"" "$names_h" |
+                sed 's/"//g' | sort -u)
+# Used: every tail-family string literal anywhere else in src/.
+used_tail=$(grep -rhoE "\"${tail_pat}\"" src --include='*.cc' \
+                --include='*.h' |
+            grep -v "hyperq.faults" | sed 's/"//g' | sort -u || true)
+
+if [[ -z "$declared_tail" ]]; then
+  echo "check_metrics: no tail-tolerance series parsed from $names_h" >&2
+  exit 1
+fi
+
+# Any literal outside metric_names.h must match a declared constant. The
+# grep above includes metric_names.h itself, so "used minus declared" is
+# exactly the undeclared ad-hoc literals.
+undeclared=$(comm -13 <(echo "$declared_tail") <(echo "$used_tail"))
+if [[ -n "$undeclared" ]]; then
+  echo "check_metrics: tail series used in src/ but not declared in $names_h:" >&2
+  echo "$undeclared" | sed 's/^/  /' >&2
+  status=1
+fi
+
+# Every declared tail constant must be emitted somewhere (by identifier).
+dead_tail=""
+while IFS= read -r line; do
+  ident=$(echo "$line" | sed 's/ .*//')
+  if ! grep -rq "names::${ident}\b" src --include='*.cc' \
+       --exclude='metric_names.h'; then
+    dead_tail="${dead_tail}  ${ident} ($(echo "$line" | sed 's/^[^ ]* //'))"$'\n'
+  fi
+done < <(grep -B1 -E "\"${tail_pat}\"" "$names_h" |
+         tr '\n' ' ' | tr ';' '\n' |
+         grep -oE "k[A-Za-z0-9]+ =[^\"]*\"${tail_pat}\"" |
+         sed 's/ =[^"]*"/ /; s/"$//')
+if [[ -n "$dead_tail" ]]; then
+  echo "check_metrics: declared tail series never emitted from src/:" >&2
+  printf '%s' "$dead_tail" >&2
+  status=1
+fi
+
 if [[ $status -eq 0 ]]; then
   count=$(echo "$declared" | wc -l)
   state_count=$(echo "$states" | wc -l)
-  echo "check_metrics: OK ($count fault points, $state_count health states all mirrored)"
+  tail_count=$(echo "$declared_tail" | wc -l)
+  echo "check_metrics: OK ($count fault points, $state_count health states, $tail_count tail series all mirrored)"
 fi
 exit $status

@@ -5,12 +5,12 @@
 #   scripts/tier1.sh            # standard build + ctest
 #   scripts/tier1.sh --asan     # also build build-asan/ and run the
 #                               # `faults`, `failover`, `cache`, `golden`,
-#                               # `lifecycle`, `observability`, and `fleet`
-#                               # suites under ASan+UBSan
+#                               # `lifecycle`, `observability`, `fleet`,
+#                               # and `tail` suites under ASan+UBSan
 #   scripts/tier1.sh --tsan     # also build build-tsan/ and run the
 #                               # cross-thread suites (`lifecycle`,
-#                               # `faults`, `observability`, `fleet`) under
-#                               # ThreadSanitizer
+#                               # `faults`, `observability`, `fleet`,
+#                               # `tail`) under ThreadSanitizer
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,6 +32,7 @@ if [[ "${1:-}" == "--asan" ]]; then
   ctest --test-dir build-asan --output-on-failure -L lifecycle -j "$jobs"
   ctest --test-dir build-asan --output-on-failure -L observability -j "$jobs"
   ctest --test-dir build-asan --output-on-failure -L fleet -j "$jobs"
+  ctest --test-dir build-asan --output-on-failure -L tail -j "$jobs"
 fi
 
 if [[ "${1:-}" == "--tsan" ]]; then
@@ -49,4 +50,8 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # The fleet is cross-thread end to end: the prober scores health while
   # workers route, acquire slots, and fail over between replicas.
   ctest --test-dir build-tsan --output-on-failure -L fleet -j "$jobs"
+  # Hedged execution races two legs across threads by design (first
+  # completion wins, loser cancelled mid-flight, stragglers parked and
+  # reaped) — the tail suite must be TSan-clean, not just ASan-clean.
+  ctest --test-dir build-tsan --output-on-failure -L tail -j "$jobs"
 fi

@@ -1,0 +1,64 @@
+#include "backend/adaptive_limit.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hyperq::backend {
+
+AdaptiveLimit::AdaptiveLimit(AdaptiveLimitOptions options)
+    : options_(options),
+      limit_(std::clamp(static_cast<double>(options.initial_limit),
+                        static_cast<double>(options.min_limit),
+                        static_cast<double>(options.max_limit))) {}
+
+int AdaptiveLimit::limit() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::max(options_.min_limit, static_cast<int>(std::floor(limit_)));
+}
+
+bool AdaptiveLimit::OnComplete(bool congested_error, double latency_micros) {
+  if (!options_.enabled) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool congested = congested_error;
+  if (latency_micros >= 0) {
+    if (options_.latency_threshold_micros > 0 &&
+        latency_micros > options_.latency_threshold_micros) {
+      congested = true;
+    }
+    if (options_.latency_factor > 0 && samples_ >= options_.warmup_samples &&
+        ewma_ > 0 && latency_micros > options_.latency_factor * ewma_) {
+      congested = true;
+    }
+    // The EWMA tracks the replica's norm; congested samples are excluded
+    // so a latency spike cannot drag the norm up and mask itself.
+    if (!congested) {
+      ewma_ = ewma_ == 0 ? latency_micros
+                         : options_.ewma_alpha * latency_micros +
+                               (1 - options_.ewma_alpha) * ewma_;
+    }
+    ++samples_;
+  } else if (congested_error) {
+    ++samples_;
+  }
+  if (congested) {
+    limit_ = std::max(static_cast<double>(options_.min_limit),
+                      limit_ * options_.backoff_ratio);
+    ++backoffs_;
+  } else {
+    limit_ = std::min(static_cast<double>(options_.max_limit),
+                      limit_ + options_.increase_per_success);
+  }
+  return congested;
+}
+
+AdaptiveLimitStats AdaptiveLimit::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AdaptiveLimitStats out;
+  out.limit = limit_;
+  out.ewma_latency_micros = ewma_;
+  out.samples = samples_;
+  out.backoffs = backoffs_;
+  return out;
+}
+
+}  // namespace hyperq::backend

@@ -1,0 +1,77 @@
+// AdaptiveLimit: per-backend AIMD concurrency limiter (DESIGN.md §11).
+//
+// A static max_in_flight cap is tuned for a healthy replica; a browning-out
+// replica (GC pauses, noisy neighbor, cache-cold restart) should carry
+// *less* than its nominal share, and should shed that load *before* its
+// circuit breaker trips. This limiter learns the sustainable concurrency
+// from observed per-query outcomes, TCP-style:
+//   - additive increase: every uncongested completion nudges the limit up
+//     by `increase_per_success`;
+//   - multiplicative decrease: a congestion sample (liveness-flavored
+//     error, or latency above the congestion threshold) cuts the limit to
+//     `backoff_ratio` of itself.
+// The congestion threshold is either fixed (`latency_threshold_micros`) or
+// relative to the replica's own smoothed latency (`latency_factor` x EWMA),
+// so a uniformly slow-but-stable replica is not punished — only one whose
+// latency is *diverging* from its recent norm.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace hyperq::backend {
+
+struct AdaptiveLimitOptions {
+  /// Off by default: a disabled limiter never gates Acquire, preserving
+  /// the static max_in_flight behavior bit-for-bit.
+  bool enabled = false;
+  int min_limit = 1;       // floor: never starve a replica entirely
+  int max_limit = 64;      // ceiling for additive growth
+  int initial_limit = 16;  // starting point (clamped into [min, max])
+  double increase_per_success = 0.5;  // additive step per clean completion
+  double backoff_ratio = 0.7;         // multiplicative cut on congestion
+  /// Fixed congestion threshold; 0 disables the absolute test.
+  double latency_threshold_micros = 0;
+  /// Relative congestion test: congested when latency > factor x EWMA.
+  /// 0 disables. The EWMA needs `warmup_samples` before it is trusted.
+  double latency_factor = 0;
+  double ewma_alpha = 0.2;
+  int warmup_samples = 10;
+};
+
+struct AdaptiveLimitStats {
+  double limit = 0;            // current learned limit
+  double ewma_latency_micros = 0;
+  int64_t samples = 0;         // completions observed
+  int64_t backoffs = 0;        // multiplicative decreases applied
+};
+
+/// \brief Thread-safe AIMD limit for one backend instance.
+class AdaptiveLimit {
+ public:
+  explicit AdaptiveLimit(AdaptiveLimitOptions options = {});
+
+  bool enabled() const { return options_.enabled; }
+
+  /// \brief Current admission limit (rounded down, never below min_limit).
+  int limit() const;
+
+  /// \brief Feeds one completed attempt. `congested_error` marks a
+  /// liveness-flavored failure; `latency_micros` < 0 means "no latency
+  /// observation" (e.g. an error with no useful timing). Returns true when
+  /// the sample was judged congested and a multiplicative cut applied.
+  bool OnComplete(bool congested_error, double latency_micros);
+
+  AdaptiveLimitStats stats() const;
+
+ private:
+  const AdaptiveLimitOptions options_;
+  mutable std::mutex mutex_;
+  double limit_;
+  double ewma_ = 0;
+  int64_t samples_ = 0;
+  int64_t backoffs_ = 0;
+};
+
+}  // namespace hyperq::backend

@@ -145,7 +145,8 @@ Result<BackendResult> BackendConnector::ExecuteWithRetry(
     }
     return r;
   };
-  auto out = RetryCall(options_.retry, deadline, breaker(), &stats, shielded);
+  auto out = RetryCall(options_.retry, deadline, breaker(), &stats,
+                       options_.retry_budget, shielded);
   if (retries_counter_ != nullptr && stats.attempts > 1) {
     retries_counter_->Inc(stats.attempts - 1);
   }

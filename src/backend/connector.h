@@ -40,6 +40,12 @@ struct BackendResult {
   int attempts = 1;                 // backend tries; >1 means retries fired
   double retry_backoff_micros = 0;  // wall time spent in retry backoff
 
+  // Tail-tolerance accounting (DESIGN.md §11), filled by the service's
+  // hedged-execution layer — the connector itself never hedges.
+  int hedges = 0;          // hedge attempts the service launched
+  bool hedge_won = false;  // this result came from the hedge replica
+  int hedge_backend = -1;  // pool index of the winning hedge (-1 = primary)
+
   bool is_rowset() const { return !columns.empty(); }
 
   /// \brief Decodes all batches back into datum rows (tests/conversion).
@@ -84,6 +90,13 @@ struct ConnectorOptions {
   /// Display name of the backend instance; annotated onto backend.attempt
   /// spans and prepended to backend error context in pool mode.
   std::string backend_name;
+
+  // --- Tail tolerance (DESIGN.md §11) -------------------------------------
+  /// Process-wide retry budget: every in-place retry must win a token, so
+  /// a sick fleet degrades to single-attempt behavior instead of a retry
+  /// storm. Null = unbudgeted (the historical behavior). Must outlive the
+  /// connector (the service owns both).
+  RetryBudget* retry_budget = nullptr;
 };
 
 /// \brief Submits SQL-B requests to the target engine and packages results.

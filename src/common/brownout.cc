@@ -1,0 +1,78 @@
+#include "common/brownout.h"
+
+#include <algorithm>
+
+namespace hyperq {
+
+BrownoutController::BrownoutController(BrownoutOptions options,
+                                       const ResourceGovernor* governor)
+    : options_(std::move(options)), governor_(governor) {}
+
+double BrownoutController::MemoryFraction() const {
+  if (governor_ == nullptr) return 0.0;
+  int64_t budget = governor_->options().global_memory_bytes;
+  if (budget <= 0) return 0.0;
+  return static_cast<double>(governor_->stats().memory_bytes) /
+         static_cast<double>(budget);
+}
+
+void BrownoutController::EvaluateLocked() {
+  double mem = MemoryFraction();
+  if (!active_) {
+    if (queue_depth_ > options_.queue_high_watermark ||
+        mem > options_.memory_high_fraction) {
+      active_ = true;
+      entered_at_ = std::chrono::steady_clock::now();
+      ++stats_.entries;
+    }
+    return;
+  }
+  // Hysteresis exit: both signals calm AND the dwell elapsed.
+  bool calm = queue_depth_ <= options_.queue_low_watermark &&
+              mem <= options_.memory_low_fraction;
+  bool dwelled = std::chrono::steady_clock::now() - entered_at_ >=
+                 std::chrono::milliseconds(options_.min_dwell_ms);
+  if (calm && dwelled) {
+    active_ = false;
+    ++stats_.exits;
+  }
+}
+
+void BrownoutController::NoteQueueDepth(int64_t waiting) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_depth_ = waiting;
+  stats_.queue_depth = waiting;
+  EvaluateLocked();
+}
+
+Status BrownoutController::Admit(const std::string& session_class) {
+  if (!options_.enabled) return Status::OK();
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Memory pressure can cross a watermark between queue-depth samples, so
+  // every admission re-evaluates.
+  EvaluateLocked();
+  if (!active_) return Status::OK();
+  bool shed = std::find(options_.shed_classes.begin(),
+                        options_.shed_classes.end(),
+                        session_class) != options_.shed_classes.end();
+  if (!shed) return Status::OK();
+  ++stats_.shed_requests;
+  return Status::ResourceExhausted("brownout: shedding session class '",
+                                   session_class, "' under overload")
+      .WithDetail(StatusDetail::kBrownoutShed);
+}
+
+bool BrownoutController::active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_;
+}
+
+BrownoutStats BrownoutController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  BrownoutStats out = stats_;
+  out.active = active_;
+  return out;
+}
+
+}  // namespace hyperq

@@ -1,0 +1,96 @@
+// BrownoutController: declared partial degradation under overload
+// (DESIGN.md §11).
+//
+// Instead of letting saturation manifest as indiscriminate queue sheds and
+// timeouts, the process *declares* a brownout when either overload signal
+// crosses its high watermark:
+//   - admission-queue depth (fed by TdwpServer's accept path), or
+//   - governor memory pressure (reserved bytes / global budget).
+// While active, requests from low-priority session classes (scripts, batch
+// jobs, benchmarks) are shed immediately with a typed
+// kResourceExhausted[brownout_shed] error, preserving capacity for
+// interactive traffic. Exit is by hysteresis: BOTH signals must fall below
+// their low watermarks AND a minimum dwell must have elapsed, so the state
+// cannot flap at the boundary.
+//
+//        depth > queue_high  OR  mem > memory_high_fraction
+//   NORMAL ------------------------------------------------> BROWNOUT
+//   NORMAL <------------------------------------------------ BROWNOUT
+//        depth <= queue_low AND mem <= memory_low_fraction
+//        AND now - entered_at >= min_dwell_ms
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/resource_governor.h"
+#include "common/status.h"
+
+namespace hyperq {
+
+struct BrownoutOptions {
+  /// Off by default: a disabled controller admits everything and never
+  /// changes state, preserving pre-tail-tolerance behavior bit-for-bit.
+  bool enabled = false;
+  /// Admission-queue depth watermarks (waiting connections).
+  int queue_high_watermark = 8;
+  int queue_low_watermark = 2;
+  /// Governor memory pressure watermarks, as a fraction of the global
+  /// budget. Ignored when no governor (or no budget) is configured.
+  double memory_high_fraction = 0.9;
+  double memory_low_fraction = 0.7;
+  /// Minimum time in brownout before an exit is considered, so one quiet
+  /// sample at the boundary cannot flap the state.
+  int min_dwell_ms = 50;
+  /// Session classes shed while browning out. Everything else (notably
+  /// interactive traffic, the default class) is protected.
+  std::vector<std::string> shed_classes = {"script", "batch", "bench"};
+};
+
+struct BrownoutStats {
+  bool active = false;
+  int64_t entries = 0;       // NORMAL -> BROWNOUT transitions
+  int64_t exits = 0;         // BROWNOUT -> NORMAL transitions
+  int64_t shed_requests = 0; // requests rejected while active
+  int64_t queue_depth = 0;   // last reported admission-queue depth
+};
+
+/// \brief Thread-safe brownout state machine with hysteresis.
+class BrownoutController {
+ public:
+  /// `governor` may be null (memory signal then never fires).
+  explicit BrownoutController(BrownoutOptions options = {},
+                              const ResourceGovernor* governor = nullptr);
+
+  /// \brief Feeds the admission-queue depth signal and re-evaluates the
+  /// state machine. Called from the server's accept/dispatch path.
+  void NoteQueueDepth(int64_t waiting);
+
+  /// \brief Admission gate for one request. Re-evaluates pressure, then
+  /// sheds `session_class` with kResourceExhausted[brownout_shed] when a
+  /// brownout is active and the class is on the shed list.
+  Status Admit(const std::string& session_class);
+
+  bool active() const;
+  BrownoutStats stats() const;
+
+ private:
+  double MemoryFraction() const;
+  /// Runs the transition rules against the current signals. Caller holds
+  /// mutex_.
+  void EvaluateLocked();
+
+  const BrownoutOptions options_;
+  const ResourceGovernor* const governor_;
+  mutable std::mutex mutex_;
+  bool active_ = false;
+  int64_t queue_depth_ = 0;
+  std::chrono::steady_clock::time_point entered_at_{};
+  BrownoutStats stats_;
+};
+
+}  // namespace hyperq

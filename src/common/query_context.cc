@@ -16,6 +16,8 @@ const char* CancelCauseName(CancelCause cause) {
       return "drain";
     case CancelCause::kDeadline:
       return "deadline";
+    case CancelCause::kHedgeLoser:
+      return "hedge_loser";
   }
   return "unknown";
 }

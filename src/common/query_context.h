@@ -44,6 +44,7 @@ enum class CancelCause {
   kKill,         // operator kill API
   kDrain,        // server drain deadline during graceful Stop()
   kDeadline,     // per-request deadline expired
+  kHedgeLoser,   // the other leg of a hedged read won (DESIGN.md §11)
 };
 
 const char* CancelCauseName(CancelCause cause);

@@ -21,6 +21,7 @@
 #include <thread>
 
 #include "common/result.h"
+#include "common/retry_budget.h"
 #include "common/status.h"
 
 namespace hyperq {
@@ -126,13 +127,17 @@ const Status& ToStatus(const Result<T>& r) {
 }  // namespace retry_internal
 
 /// \brief Runs `fn` (returning Status or Result<T>) under `policy`,
-/// `deadline`, and an optional `breaker`. Breaker bookkeeping counts only
-/// transient failures: a permanent error means the backend answered, so it
-/// resets the failure streak rather than extending it.
+/// `deadline`, an optional `breaker`, and an optional global retry
+/// `budget` (DESIGN.md §11). Breaker bookkeeping counts only transient
+/// failures: a permanent error means the backend answered, so it resets
+/// the failure streak rather than extending it. Every retry (not the
+/// first attempt) must win a budget token; a denial surfaces the last
+/// backend error tagged StatusDetail::kRetryBudgetExhausted — the caller
+/// sees what actually failed, plus why no further attempt was made.
 template <typename Fn>
 auto RetryCall(const RetryPolicy& policy, const Deadline& deadline,
-               CircuitBreaker* breaker, RetryStats* stats, Fn&& fn)
-    -> decltype(fn()) {
+               CircuitBreaker* breaker, RetryStats* stats, RetryBudget* budget,
+               Fn&& fn) -> decltype(fn()) {
   using R = decltype(fn());
   RetryStats local;
   RetryStats& st = stats != nullptr ? *stats : local;
@@ -169,6 +174,10 @@ auto RetryCall(const RetryPolicy& policy, const Deadline& deadline,
     if (!status.IsRetryable() || attempt >= max_attempts) {
       return result;
     }
+    if (budget != nullptr && !budget->TryWithdraw()) {
+      return R(retry_internal::ToStatus(result).WithDetail(
+          StatusDetail::kRetryBudgetExhausted));
+    }
     int delay_ms = policy.DelayMs(attempt);
     if (deadline.has_deadline() &&
         deadline.RemainingMillis() <= static_cast<double>(delay_ms)) {
@@ -179,6 +188,15 @@ auto RetryCall(const RetryPolicy& policy, const Deadline& deadline,
     std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
     st.backoff_micros += delay_ms * 1000.0;
   }
+}
+
+/// \brief Budget-free overload, preserving the original call shape.
+template <typename Fn>
+auto RetryCall(const RetryPolicy& policy, const Deadline& deadline,
+               CircuitBreaker* breaker, RetryStats* stats, Fn&& fn)
+    -> decltype(fn()) {
+  return RetryCall(policy, deadline, breaker, stats,
+                   static_cast<RetryBudget*>(nullptr), std::forward<Fn>(fn));
 }
 
 }  // namespace hyperq

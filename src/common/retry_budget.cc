@@ -1,0 +1,37 @@
+#include "common/retry_budget.h"
+
+#include <algorithm>
+
+namespace hyperq {
+
+RetryBudget::RetryBudget(RetryBudgetOptions options)
+    : options_(options),
+      tokens_(std::min(options.initial_tokens, options.max_tokens)) {}
+
+void RetryBudget::NoteRequest() {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  tokens_ = std::min(options_.max_tokens, tokens_ + options_.ratio);
+  ++stats_.deposits;
+}
+
+bool RetryBudget::TryWithdraw() {
+  if (!options_.enabled) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tokens_ < 1.0) {
+    ++stats_.denials;
+    return false;
+  }
+  tokens_ -= 1.0;
+  ++stats_.withdrawals;
+  return true;
+}
+
+RetryBudgetStats RetryBudget::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RetryBudgetStats out = stats_;
+  out.tokens = tokens_;
+  return out;
+}
+
+}  // namespace hyperq

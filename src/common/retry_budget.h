@@ -1,0 +1,71 @@
+// RetryBudget: a process-wide token bucket bounding retry amplification
+// (DESIGN.md §11).
+//
+// Every first attempt deposits `ratio` tokens; every retry, fleet failover
+// re-route, or hedge withdraws one whole token. Under a healthy fleet the
+// bucket stays full and nothing is ever denied; when a sick backend makes
+// *every* request retry, withdrawals outrun deposits by 1/ratio and the
+// bucket drains, degrading the process to single-attempt behavior instead
+// of a retry storm. Denials carry StatusDetail::kRetryBudgetExhausted so
+// callers (and tests) can tell "budget said no" from "backend said no".
+//
+// The budget is shared by design: connector-level RetryCall, the service's
+// cross-replica failover loop, and hedged reads all draw from the same
+// bucket, so the *sum* of speculative work is bounded, not each source
+// independently.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace hyperq {
+
+struct RetryBudgetOptions {
+  /// Off by default: a null/disabled budget admits every retry, preserving
+  /// pre-tail-tolerance behavior bit-for-bit.
+  bool enabled = false;
+  /// Tokens deposited per first attempt. 0.1 means retries may add at most
+  /// ~10% extra backend attempts on top of organic traffic.
+  double ratio = 0.1;
+  /// Bucket capacity: how large a retry burst can be absorbed after a
+  /// quiet healthy period.
+  double max_tokens = 50.0;
+  /// Tokens in the bucket at construction (burst headroom before any
+  /// traffic has been seen). Clamped to max_tokens.
+  double initial_tokens = 10.0;
+};
+
+struct RetryBudgetStats {
+  int64_t deposits = 0;     // NoteRequest calls
+  int64_t withdrawals = 0;  // granted TryWithdraw calls
+  int64_t denials = 0;      // rejected TryWithdraw calls
+  double tokens = 0;        // current bucket level
+};
+
+/// \brief Thread-safe ratio-of-traffic retry token bucket.
+class RetryBudget {
+ public:
+  explicit RetryBudget(RetryBudgetOptions options = {});
+
+  /// \brief Records one unit of organic (first-attempt) traffic,
+  /// depositing `ratio` tokens up to the cap.
+  void NoteRequest();
+
+  /// \brief Tries to withdraw one token for a retry/re-route/hedge.
+  /// Returns true when the attempt is admitted. A disabled budget always
+  /// admits (and counts nothing).
+  bool TryWithdraw();
+
+  bool enabled() const { return options_.enabled; }
+  const RetryBudgetOptions& options() const { return options_; }
+  RetryBudgetStats stats() const;
+
+ private:
+  const RetryBudgetOptions options_;
+  mutable std::mutex mutex_;
+  double tokens_;
+  RetryBudgetStats stats_;
+};
+
+}  // namespace hyperq

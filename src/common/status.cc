@@ -50,6 +50,10 @@ const char* StatusDetailName(StatusDetail detail) {
       return "backend_down";
     case StatusDetail::kFailoverIncompatible:
       return "failover_incompatible";
+    case StatusDetail::kRetryBudgetExhausted:
+      return "retry_budget_exhausted";
+    case StatusDetail::kBrownoutShed:
+      return "brownout_shed";
   }
   return "unknown";
 }

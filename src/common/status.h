@@ -58,6 +58,11 @@ enum class StatusDetail : int {
   kBreakerOpen,  // circuit breaker rejected the call without trying
   kBackendDown,  // the backend instance itself is down/killed/ejected
   kFailoverIncompatible,  // no replica can honor the session's journal
+  // Tail-tolerance taxonomy (DESIGN.md §11). Both deliberately stop the
+  // retry/failover amplification chain: neither maps to a re-routable
+  // condition, so the error surfaces to the client as-is.
+  kRetryBudgetExhausted,  // global retry budget denied another attempt
+  kBrownoutShed,  // brownout mode shed this session class under overload
 };
 
 /// \brief Stable lower-case name for a detail, e.g. "breaker_open".

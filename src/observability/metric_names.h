@@ -99,6 +99,44 @@ inline constexpr const char* kFailoverIncompatible =
 inline constexpr const char* kGovernorBackendSlotDenials =
     "hyperq.governor.backend_slot_denials";
 
+// --- Tail tolerance (DESIGN.md §11): hedged reads, the global retry
+// budget, per-backend adaptive concurrency limits, and brownout mode.
+// Counters live where the events happen; the budget/brownout/limit levels
+// are mirrored into gauges at snapshot time. ---------------------------------
+inline constexpr const char* kHedgeLaunched = "hyperq.hedge.launched";
+inline constexpr const char* kHedgeWins = "hyperq.hedge.wins";
+inline constexpr const char* kHedgeLosses = "hyperq.hedge.losses";
+inline constexpr const char* kHedgeCancelled = "hyperq.hedge.cancelled";
+inline constexpr const char* kHedgeDeniedBudget =
+    "hyperq.hedge.denied_budget";
+inline constexpr const char* kHedgeDeniedLoad = "hyperq.hedge.denied_load";
+inline constexpr const char* kHedgeDeniedNoReplica =
+    "hyperq.hedge.denied_no_replica";
+inline constexpr const char* kHedgeLoserReleases =
+    "hyperq.hedge.loser_releases";
+inline constexpr const char* kHedgeExecuteMicros =
+    "hyperq.hedge.execute.micros";
+inline constexpr const char* kHedgeThresholdMicros =
+    "hyperq.hedge.threshold_micros";
+inline constexpr const char* kRetryBudgetTokens =
+    "hyperq.retry_budget.tokens";
+inline constexpr const char* kRetryBudgetDeposits =
+    "hyperq.retry_budget.deposits";
+inline constexpr const char* kRetryBudgetWithdrawals =
+    "hyperq.retry_budget.withdrawals";
+inline constexpr const char* kRetryBudgetDenials =
+    "hyperq.retry_budget.denials";
+inline constexpr const char* kLimitCurrent = "hyperq.limit.current";
+inline constexpr const char* kLimitDenials = "hyperq.limit.denials";
+inline constexpr const char* kLimitBackoffs = "hyperq.limit.backoffs";
+inline constexpr const char* kBrownoutActive = "hyperq.brownout.active";
+inline constexpr const char* kBrownoutEntries = "hyperq.brownout.entries";
+inline constexpr const char* kBrownoutExits = "hyperq.brownout.exits";
+inline constexpr const char* kBrownoutShedRequests =
+    "hyperq.brownout.shed_requests";
+inline constexpr const char* kBrownoutQueueDepth =
+    "hyperq.brownout.queue_depth";
+
 // --- Resource governor (mirrored into gauges at snapshot time; the
 // governor lives in common/ below the observability layer) ------------------
 inline constexpr const char* kGovernorMemoryBytes =

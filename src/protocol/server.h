@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/brownout.h"
 #include "common/query_context.h"
 #include "common/result.h"
 #include "observability/metrics.h"
@@ -100,6 +101,11 @@ struct TdwpServerOptions {
   /// Mint a QueryTrace per wire request (wire.read/wire.write spans) and
   /// deliver it to RequestHandler::OnQueryTraceFinished.
   bool tracing = true;
+  /// Brownout controller fed with the admission-queue depth signal
+  /// (DESIGN.md §11); the service's submit path consults the same
+  /// controller to shed low-priority session classes. Null = no brownout.
+  /// Must outlive the server.
+  BrownoutController* brownout = nullptr;
 };
 
 /// \brief Admission/overload counters (observability/tests). A typed view
@@ -173,6 +179,9 @@ class TdwpServer {
   void ShedConnection(Socket conn, const Status& reason);
   void ReleaseUserSlot(const std::string& user);
   size_t EffectiveLowWatermark() const;
+  /// Reports the current waiting-connection count to the brownout
+  /// controller. Caller holds admit_mutex_.
+  void NoteBrownoutQueueDepthLocked();
 
   RequestHandler* handler_;
   TdwpServerOptions options_;

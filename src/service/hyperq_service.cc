@@ -1,7 +1,11 @@
 #include "service/hyperq_service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <optional>
+#include <thread>
 
 #include "common/fault.h"
 #include "common/hash.h"
@@ -104,6 +108,22 @@ HyperQService::HyperQService(vdb::Engine* engine, ServiceOptions options)
   c_spill_bytes_ = metrics_->counter(names::kLifecycleSpillBytes);
   h_result_bytes_ = metrics_->histogram(
       names::kResultBytes, obs::Histogram::SizeBucketsBytes());
+  c_hedge_launched_ = metrics_->counter(names::kHedgeLaunched);
+  c_hedge_wins_ = metrics_->counter(names::kHedgeWins);
+  c_hedge_losses_ = metrics_->counter(names::kHedgeLosses);
+  c_hedge_cancelled_ = metrics_->counter(names::kHedgeCancelled);
+  c_hedge_denied_budget_ = metrics_->counter(names::kHedgeDeniedBudget);
+  c_hedge_denied_load_ = metrics_->counter(names::kHedgeDeniedLoad);
+  c_hedge_denied_no_replica_ =
+      metrics_->counter(names::kHedgeDeniedNoReplica);
+  h_hedge_execute_ = metrics_->histogram(names::kHedgeExecuteMicros);
+
+  // Tail tolerance (DESIGN.md §11): the budget and brownout controllers are
+  // always constructed — both are inert no-ops while disabled — and must
+  // exist before the pool, whose connector options carry the budget.
+  retry_budget_ = std::make_unique<RetryBudget>(options_.tail.retry_budget);
+  brownout_ = std::make_unique<BrownoutController>(options_.tail.brownout,
+                                                   options_.governor.get());
 
   // Fleet mode (DESIGN.md §10): registered backends get a pool + router;
   // sessions are then placed by the router instead of binding the engine.
@@ -111,6 +131,8 @@ HyperQService::HyperQService(vdb::Engine* engine, ServiceOptions options)
     backend::PoolOptions pool_options;
     pool_options.health = options_.fleet.health;
     pool_options.connector = options_.connector;
+    pool_options.connector.retry_budget = retry_budget_.get();
+    pool_options.adaptive_limit = options_.tail.adaptive_limit;
     pool_options.governor = options_.governor;
     pool_options.metrics = metrics_;
     pool_ = std::make_unique<backend::BackendPool>(
@@ -123,6 +145,9 @@ HyperQService::HyperQService(vdb::Engine* engine, ServiceOptions options)
 }
 
 HyperQService::~HyperQService() {
+  // Hedge-loser threads hold pool connectors; every one must drain before
+  // the pool (and its breakers/governor hooks) shuts down.
+  ReapHedgeStragglers(/*all=*/true);
   if (pool_ != nullptr) pool_->Stop();
 }
 
@@ -155,6 +180,9 @@ Result<uint32_t> HyperQService::OpenSession(
     connector_options.session_tag = session->id;
     if (connector_options.metrics == nullptr) {
       connector_options.metrics = metrics_;
+    }
+    if (connector_options.retry_budget == nullptr) {
+      connector_options.retry_budget = retry_budget_.get();
     }
     session->connector = std::make_unique<backend::BackendConnector>(
         engine_, connector_options);
@@ -272,6 +300,30 @@ void HyperQService::MirrorExternalGauges() const {
   // Per-backend health/in-flight levels and the per-state backend counts
   // (the lint-checked kHealthStateMetrics table).
   if (pool_ != nullptr) pool_->MirrorGauges();
+  // Tail-tolerance levels (DESIGN.md §11): budget tokens and brownout
+  // state, mirrored so one scrape shows the whole control loop.
+  {
+    RetryBudgetStats b = retry_budget_->stats();
+    metrics_->gauge(names::kRetryBudgetTokens)
+        ->Set(static_cast<int64_t>(b.tokens));
+    metrics_->gauge(names::kRetryBudgetDeposits)->Set(b.deposits);
+    metrics_->gauge(names::kRetryBudgetWithdrawals)->Set(b.withdrawals);
+    metrics_->gauge(names::kRetryBudgetDenials)->Set(b.denials);
+    BrownoutStats br = brownout_->stats();
+    metrics_->gauge(names::kBrownoutActive)->Set(br.active ? 1 : 0);
+    metrics_->gauge(names::kBrownoutEntries)->Set(br.entries);
+    metrics_->gauge(names::kBrownoutExits)->Set(br.exits);
+    metrics_->gauge(names::kBrownoutShedRequests)->Set(br.shed_requests);
+    metrics_->gauge(names::kBrownoutQueueDepth)->Set(br.queue_depth);
+    // Effective trigger: the adaptive percentile once observations exist,
+    // else the configured floor (0 when hedging is off entirely).
+    int64_t threshold = hedge_threshold_micros_.load(std::memory_order_relaxed);
+    if (threshold == 0 && options_.tail.hedge.enabled) {
+      threshold =
+          static_cast<int64_t>(options_.tail.hedge.min_threshold_micros);
+    }
+    metrics_->gauge(names::kHedgeThresholdMicros)->Set(threshold);
+  }
   // Resident cache levels are shard-computed; export them as gauges.
   TranslationCacheStats c = translation_cache_.stats();
   metrics_->gauge(names::kCacheEntries)->Set(c.entries);
@@ -611,7 +663,7 @@ void HyperQService::RecordTranslationActivity(bool translate_path,
 
 Result<QueryOutcome> HyperQService::ExecuteCachedStatement(
     Session* session, const CachedTranslation& entry, std::string sql_b,
-    const Stopwatch& translation, QueryContext* ctx) {
+    const Stopwatch& translation, QueryContext* ctx, bool select_shape) {
   translation_cache_.RecordHit();
   QueryOutcome out;
   out.features = entry.features;
@@ -623,9 +675,12 @@ Result<QueryOutcome> HyperQService::ExecuteCachedStatement(
   Stopwatch execution;
   {
     obs::SpanScope exec_span(ctx, "backend.execute");
-    HQ_ASSIGN_OR_RETURN(out.result, session->connector->Execute(sql_b, ctx));
+    HQ_ASSIGN_OR_RETURN(out.result,
+                        ExecuteOnBackend(session, sql_b, ctx, select_shape));
   }
   out.timing.execution_micros = execution.ElapsedMicros();
+  out.timing.hedges += out.result.hedges;
+  out.timing.hedge_won = out.result.hedge_won;
   AbsorbResilienceStats(&out);
   AbsorbSpillBytes(&out);
   return out;
@@ -854,6 +909,15 @@ Result<QueryOutcome> HyperQService::SubmitWithFleetFailover(
         cause.message(), ")");
   };
 
+  // Every re-placement after the first attempt is a retry from the
+  // backend's point of view and must win a token from the global retry
+  // budget (DESIGN.md §11); the typed denial is deliberately not
+  // failover-eligible, which is what stops the amplification chain.
+  auto budget_gate = [&](const Status& cause) -> Status {
+    if (retry_budget_->TryWithdraw()) return Status::OK();
+    return cause.WithDetail(StatusDetail::kRetryBudgetExhausted);
+  };
+
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     backend::RouteConstraints constraints;
     constraints.emitted = &options_.profile;
@@ -890,6 +954,7 @@ Result<QueryOutcome> HyperQService::SubmitWithFleetFailover(
         if (FailoverEligible(replayed.status())) {
           last_error = replayed.status();
           failed.push_back(route->backend);
+          HQ_RETURN_IF_ERROR(budget_gate(last_error));
           continue;
         }
         return replayed.status();
@@ -912,13 +977,23 @@ Result<QueryOutcome> HyperQService::SubmitWithFleetFailover(
       last_error = acquired;
       failed.push_back(route->backend);
       if (FailoverEligible(acquired) || acquired.IsResourceExhausted()) {
+        HQ_RETURN_IF_ERROR(budget_gate(last_error));
         continue;  // in-flight cap or just-killed: try another replica
       }
       return acquired;
     }
     auto outcome = SubmitInternal(session, sql_a, 0, ctx);
+    // When a hedge replica produced the result, the primary's slot is the
+    // losing leg: release it without feeding the scorer or the limiter
+    // (the hedge path already released the winner with real timing).
+    bool hedge_won = outcome.ok() && outcome->result.hedge_won;
     pool_->Release(route->backend,
-                   outcome.ok() ? Status::OK() : outcome.status());
+                   outcome.ok() ? Status::OK() : outcome.status(),
+                   outcome.ok() && !hedge_won
+                       ? outcome->timing.execution_micros
+                       : -1,
+                   hedge_won ? backend::BackendPool::ReleaseKind::kHedgeLoser
+                             : backend::BackendPool::ReleaseKind::kNormal);
     if (outcome.ok()) {
       outcome->timing.failovers += failovers;
       outcome->timing.journal_replays += total_replayed;
@@ -944,8 +1019,322 @@ Result<QueryOutcome> HyperQService::SubmitWithFleetFailover(
     } else {
       failed.push_back(route->backend);
     }
+    HQ_RETURN_IF_ERROR(budget_gate(last_error));
   }
   return last_error;
+}
+
+// ---------------------------------------------------------------------------
+// Hedged execution (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+bool HyperQService::HedgeEligible(const Session* session) const {
+  if (!options_.tail.hedge.enabled) return false;
+  // A hedge needs a second replica to race.
+  if (pool_ == nullptr || router_ == nullptr || pool_->size() < 2) {
+    return false;
+  }
+  if (session->backend_index < 0) return false;
+  // Side-effect fence: a statement inside an open transaction, or against
+  // session-scoped (volatile) backend state, must run exactly once on
+  // exactly the bound backend. SET SESSION journal entries are mid-tier
+  // state already baked into the SQL-B text, so they do not disqualify.
+  if (session->txn_depth > 0) return false;
+  if (!session->volatile_tables.empty()) return false;
+  for (const auto& e : session->journal) {
+    if (e.kind != JournalEntry::Kind::kSetSession) return false;
+  }
+  return true;
+}
+
+void HyperQService::ObserveHedgeLatency(double micros) {
+  h_hedge_execute_->Observe(micros);
+  int64_t n = hedge_observations_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // The percentile over a streaming histogram is cheap but not free:
+  // refresh the cached trigger every few observations rather than per
+  // query.
+  if (n % 32 != 0 &&
+      hedge_threshold_micros_.load(std::memory_order_relaxed) != 0) {
+    return;
+  }
+  obs::HistogramSnapshot snap = h_hedge_execute_->snapshot();
+  double q = snap.Quantile(options_.tail.hedge.percentile);
+  auto threshold = static_cast<int64_t>(
+      std::max(q, options_.tail.hedge.min_threshold_micros));
+  hedge_threshold_micros_.store(threshold, std::memory_order_relaxed);
+}
+
+int64_t HyperQService::HedgeThresholdMicros() {
+  int64_t cached = hedge_threshold_micros_.load(std::memory_order_relaxed);
+  if (cached > 0) return cached;
+  // Cold start: no eligible executions observed yet; hedge only past the
+  // configured floor.
+  return static_cast<int64_t>(options_.tail.hedge.min_threshold_micros);
+}
+
+void HyperQService::ReapHedgeStragglers(bool all) {
+  std::vector<HedgeStraggler> to_join;
+  {
+    std::lock_guard<std::mutex> lock(stragglers_mutex_);
+    if (all) {
+      to_join.swap(stragglers_);
+    } else {
+      for (auto it = stragglers_.begin(); it != stragglers_.end();) {
+        if (it->done->load(std::memory_order_acquire)) {
+          to_join.push_back(std::move(*it));
+          it = stragglers_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  for (auto& s : to_join) {
+    if (s.thread.joinable()) s.thread.join();
+  }
+}
+
+Result<BackendResult> HyperQService::ExecuteOnBackend(
+    Session* session, const std::string& sql_b, QueryContext* ctx,
+    bool hedge_eligible) {
+  // With the tail layer off (or the statement/session ineligible) this is
+  // byte-identical to the pre-hedging call.
+  if (!hedge_eligible || !HedgeEligible(session)) {
+    return session->connector->Execute(sql_b, ctx);
+  }
+  return HedgedExecute(session, sql_b, ctx);
+}
+
+Result<BackendResult> HyperQService::HedgedExecute(Session* session,
+                                                   const std::string& sql_b,
+                                                   QueryContext* ctx) {
+  // First-completion-wins over two legs (DESIGN.md §11). The primary leg
+  // runs on its own thread with its own connector and child context, so a
+  // straggling loser can never pin the caller, the session's connector, or
+  // the winner's result. The hedge leg (if admitted) runs inline on the
+  // caller's thread.
+  struct Shared {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool primary_done = false;
+    std::optional<Result<BackendResult>> primary_result;
+    // Set while a hedge is in flight so the primary, on winning, can
+    // cancel the loser promptly instead of letting it run to completion.
+    std::shared_ptr<QueryContext> hedge_ctx;
+  };
+  auto shared = std::make_shared<Shared>();
+  auto primary_ctx = std::make_shared<QueryContext>();
+  if (ctx != nullptr && ctx->has_deadline()) {
+    primary_ctx->SetDeadline(ctx->deadline());
+  }
+  const int primary_backend = session->backend_index;
+  std::shared_ptr<backend::BackendConnector> primary_conn =
+      pool_->CreateConnector(primary_backend, session->id);
+  auto primary_finished = std::make_shared<std::atomic<bool>>(false);
+
+  ReapHedgeStragglers(/*all=*/false);
+  // The closure owns everything it touches (no `this`): it may outlive
+  // this call as a parked straggler; the destructor joins it before the
+  // pool stops.
+  std::thread primary_thread([shared, primary_ctx, primary_conn, sql_b,
+                              primary_finished]() {
+    auto r = primary_conn->Execute(sql_b, primary_ctx.get());
+    std::shared_ptr<QueryContext> loser;
+    {
+      std::lock_guard<std::mutex> lock(shared->mutex);
+      bool won = r.ok();
+      shared->primary_result.emplace(std::move(r));
+      shared->primary_done = true;
+      if (won && shared->hedge_ctx != nullptr) loser = shared->hedge_ctx;
+    }
+    shared->cv.notify_all();
+    if (loser != nullptr) {
+      loser->Cancel(CancelCause::kHedgeLoser,
+                    Status::Cancelled("hedge lost: primary completed first"));
+    }
+    primary_finished->store(true, std::memory_order_release);
+  });
+
+  auto park_primary = [&]() {
+    std::lock_guard<std::mutex> lock(stragglers_mutex_);
+    stragglers_.push_back({std::move(primary_thread), primary_finished});
+  };
+  auto harvest_primary = [&](double waited_micros)
+      -> Result<BackendResult> {
+    primary_thread.join();
+    Result<BackendResult> r = std::move(*shared->primary_result);
+    if (r.ok()) ObserveHedgeLatency(waited_micros);
+    return r;
+  };
+
+  // Phase 1: give the primary the adaptive threshold to answer.
+  const int64_t threshold = HedgeThresholdMicros();
+  const auto slice = std::chrono::milliseconds(
+      std::max(1, options_.tail.hedge.poll_interval_ms));
+  Stopwatch waited;
+  {
+    std::unique_lock<std::mutex> lock(shared->mutex);
+    while (!shared->primary_done &&
+           waited.ElapsedMicros() < static_cast<double>(threshold)) {
+      shared->cv.wait_for(lock, slice);
+      if (ctx != nullptr && ctx->cancelled()) break;
+    }
+    if (shared->primary_done) {
+      lock.unlock();
+      return harvest_primary(waited.ElapsedMicros());
+    }
+  }
+  if (ctx != nullptr) {
+    Status alive = ctx->CheckAlive();
+    if (!alive.ok()) {
+      // The whole request died while we waited: cancel the primary leg and
+      // park it; it unwinds at its next batch boundary.
+      primary_ctx->Cancel(CancelCause::kHedgeLoser, alive);
+      park_primary();
+      return alive;
+    }
+  }
+
+  // Phase 2: the primary is slow — try to admit a hedge. Every denial
+  // falls back to simply waiting the primary out.
+  auto wait_out_primary = [&]() -> Result<BackendResult> {
+    std::unique_lock<std::mutex> lock(shared->mutex);
+    while (!shared->primary_done) {
+      shared->cv.wait_for(lock, slice);
+      if (ctx != nullptr) {
+        Status alive = ctx->CheckAlive();
+        if (!alive.ok()) {
+          lock.unlock();
+          primary_ctx->Cancel(CancelCause::kHedgeLoser, alive);
+          park_primary();
+          return alive;
+        }
+      }
+    }
+    lock.unlock();
+    return harvest_primary(waited.ElapsedMicros());
+  };
+
+  // Gate 1: a hedge is a retry from the fleet's point of view and spends a
+  // retry-budget token.
+  if (!retry_budget_->TryWithdraw()) {
+    c_hedge_denied_budget_->Inc();
+    return wait_out_primary();
+  }
+  // Gate 2: hedges may not exceed the configured fraction of in-flight
+  // load, so a slow fleet cannot double its own traffic.
+  int total_in_flight = 0;
+  for (size_t i = 0; i < pool_->size(); ++i) {
+    total_in_flight += pool_->in_flight(i);
+  }
+  int max_hedges = std::max(
+      1, static_cast<int>(options_.tail.hedge.max_hedge_fraction *
+                          static_cast<double>(total_in_flight)));
+  if (hedges_in_flight_.load(std::memory_order_relaxed) >= max_hedges) {
+    c_hedge_denied_load_->Inc();
+    return wait_out_primary();
+  }
+  // Gate 3: a distinct healthy replica must exist.
+  backend::RouteConstraints constraints;
+  constraints.emitted = &options_.profile;
+  constraints.exclude.push_back(primary_backend);
+  if (JournalRequiresProfile(session)) {
+    constraints.require_profile_digest = true;
+    constraints.profile_digest = pool_->profile_digest(primary_backend);
+  }
+  auto route = router_->Pick(constraints);
+  if (!route.ok()) {
+    c_hedge_denied_no_replica_->Inc();
+    return wait_out_primary();
+  }
+  const int hedge_backend = route->backend;
+  Status acquired = pool_->Acquire(hedge_backend);
+  if (!acquired.ok()) {
+    c_hedge_denied_load_->Inc();
+    return wait_out_primary();
+  }
+
+  auto hedge_ctx = std::make_shared<QueryContext>();
+  if (ctx != nullptr && ctx->has_deadline()) {
+    hedge_ctx->SetDeadline(ctx->deadline());
+  }
+  {
+    std::lock_guard<std::mutex> lock(shared->mutex);
+    if (shared->primary_done) {
+      // The primary answered while we were routing: no race to run.
+      pool_->Release(hedge_backend, Status::OK(), -1,
+                     backend::BackendPool::ReleaseKind::kHedgeLoser);
+      return harvest_primary(waited.ElapsedMicros());
+    }
+    shared->hedge_ctx = hedge_ctx;
+  }
+
+  c_hedge_launched_->Inc();
+  hedges_in_flight_.fetch_add(1, std::memory_order_relaxed);
+  Result<BackendResult> hedge_result = [&]() {
+    obs::SpanScope hedge_span(ctx, "backend.hedge");
+    hedge_span.Annotate("backend", pool_->spec(hedge_backend).name);
+    std::unique_ptr<backend::BackendConnector> hedge_conn =
+        pool_->CreateConnector(hedge_backend, session->id);
+    return hedge_conn->Execute(sql_b, hedge_ctx.get());
+  }();
+  hedges_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  double hedge_latency = waited.ElapsedMicros();
+
+  bool primary_done_now;
+  bool primary_won;
+  {
+    std::lock_guard<std::mutex> lock(shared->mutex);
+    shared->hedge_ctx = nullptr;  // the race is over either way
+    primary_done_now = shared->primary_done;
+    primary_won = primary_done_now && shared->primary_result->ok();
+  }
+
+  if (hedge_result.ok() && !primary_won) {
+    // Hedge wins: cancel the straggling primary leg and hand its slot
+    // release (as a hedge loser) to the fleet loop via the result flags.
+    c_hedge_wins_->Inc();
+    if (!primary_done_now) {
+      c_hedge_cancelled_->Inc();
+      primary_ctx->Cancel(
+          CancelCause::kHedgeLoser,
+          Status::Cancelled("hedge lost: hedge replica completed first"));
+      park_primary();
+    } else {
+      primary_thread.join();
+    }
+    pool_->Release(hedge_backend, Status::OK(), hedge_latency,
+                   backend::BackendPool::ReleaseKind::kNormal);
+    hedge_result->hedges = 1;
+    hedge_result->hedge_won = true;
+    hedge_result->hedge_backend = hedge_backend;
+    return hedge_result;
+  }
+
+  // Hedge lost: either the primary beat it (and cancelled it), or the
+  // hedge itself failed. A cancelled/failed-by-cancel leg must not feed the
+  // scorer or the limiter; a genuine hedge error scores normally.
+  bool hedge_cancelled = !hedge_result.ok() &&
+                         (hedge_result.status().IsCancelled() ||
+                          hedge_result.status().IsDeadlineExceeded());
+  if (hedge_cancelled) c_hedge_cancelled_->Inc();
+  pool_->Release(hedge_backend,
+                 hedge_result.ok() ? Status::OK() : hedge_result.status(),
+                 -1,
+                 hedge_result.ok() || hedge_cancelled
+                     ? backend::BackendPool::ReleaseKind::kHedgeLoser
+                     : backend::BackendPool::ReleaseKind::kNormal);
+  c_hedge_losses_->Inc();
+  auto out = wait_out_primary();
+  if (out.ok()) {
+    out->hedges = 1;
+  } else if (!primary_won && !hedge_result.ok() && !hedge_cancelled) {
+    // Both legs genuinely failed: surface the hedge error as context only
+    // when the primary failed too (the primary error is authoritative).
+    return out.status().WithContext("hedge also failed: " +
+                                    hedge_result.status().ToString());
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -992,6 +1381,14 @@ Result<QueryOutcome> HyperQService::Submit(uint32_t session_id,
 }
 
 Result<QueryOutcome> HyperQService::Submit(const QueryRequest& request) {
+  // Tail tolerance (DESIGN.md §11): each request tops up the retry budget,
+  // and under brownout the low-priority session classes are shed before
+  // any work — no trace, no session lookup, one typed error frame.
+  retry_budget_->NoteRequest();
+  if (Status shed = brownout_->Admit(request.session_class); !shed.ok()) {
+    RecordQueryOutcome(shed);
+    return shed;
+  }
   // Library callers without a context still get governance: the service
   // mints one so KillQuery and the default deadline apply uniformly.
   QueryContext local_ctx;
@@ -1091,9 +1488,12 @@ Result<QueryOutcome> HyperQService::SubmitInternal(Session* session,
         } else if (auto spliced = SpliceTranslationTemplate(*entry, norm);
                    spliced.ok()) {
           cache_span.End();
+          bool select_shape = norm.first_keyword == "SEL" ||
+                              norm.first_keyword == "SELECT";
           auto outcome = ExecuteCachedStatement(session, *entry,
                                                 std::move(*spliced),
-                                                translation, ctx);
+                                                translation, ctx,
+                                                select_shape);
           if (outcome.ok()) {
             RecordTranslationActivity(/*translate_path=*/false,
                                       /*cache_hit=*/true,
@@ -1432,9 +1832,13 @@ Result<QueryOutcome> HyperQService::RunPipeline(Session* session,
   Stopwatch execution;
   {
     obs::SpanScope exec_span(ctx, "backend.execute");
-    HQ_ASSIGN_OR_RETURN(out.result, session->connector->Execute(sql_b, ctx));
+    HQ_ASSIGN_OR_RETURN(out.result,
+                        ExecuteOnBackend(session, sql_b, ctx,
+                                         stmt.kind == StmtKind::kSelect));
   }
   out.timing.execution_micros = execution.ElapsedMicros();
+  out.timing.hedges += out.result.hedges;
+  out.timing.hedge_won = out.result.hedge_won;
   AbsorbResilienceStats(&out);
   AbsorbSpillBytes(&out);
   // DML against a session-scoped table is part of the replayable session
@@ -1744,6 +2148,13 @@ Result<QueryOutcome> HyperQService::SubmitScript(uint32_t session_id,
 
 Result<QueryOutcome> HyperQService::SubmitScript(
     const QueryRequest& request) {
+  // Same brownout/budget protocol as Submit — the script path does not
+  // funnel through it (DESIGN.md §11).
+  retry_budget_->NoteRequest();
+  if (Status shed = brownout_->Admit(request.session_class); !shed.ok()) {
+    RecordQueryOutcome(shed);
+    return shed;
+  }
   uint32_t session_id = request.session_id;
   const std::string& script = request.sql;
   QueryContext local_ctx;

@@ -20,6 +20,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "backend/connector.h"
@@ -27,6 +28,8 @@
 #include "backend/router.h"
 #include "binder/binder.h"
 #include "catalog/catalog.h"
+#include "common/brownout.h"
+#include "common/retry_budget.h"
 #include "common/features.h"
 #include "common/result.h"
 #include "common/stopwatch.h"
@@ -63,6 +66,8 @@ struct TimingBreakdown {
                               // cache (translation_micros ≈ splice cost)
   int64_t spill_bytes = 0;    // result bytes the shed-or-spill policy sent
                               // to disk for this request (DESIGN.md §8)
+  int hedges = 0;             // hedge attempts launched for this request
+  bool hedge_won = false;     // a hedge replica produced the result
 };
 
 /// \brief Result of one submitted SQL-A request.
@@ -125,6 +130,41 @@ struct FleetOptions {
   uint64_t route_seed = 0x5EEDULL;
 };
 
+/// \brief Hedged-execution knobs (DESIGN.md §11). Hedging launches a second
+/// attempt of a slow idempotent read on a different replica and takes the
+/// first completion; the loser is cancelled promptly. Off by default: a
+/// single-backend deployment behaves byte-identically with the layer
+/// disabled.
+struct HedgeOptions {
+  bool enabled = false;
+  /// The latency percentile of recent backend executions at which a hedge
+  /// fires; p95 hedges ~5% of eligible traffic in steady state.
+  double percentile = 0.95;
+  /// Floor for the hedge trigger so a fast fleet does not hedge noise (and
+  /// a cold histogram, whose quantile is 0, never hedges instantly).
+  double min_threshold_micros = 2000;
+  /// Hedges in flight may not exceed this fraction of the pool's total
+  /// in-flight load (admission gate against hedge storms).
+  double max_hedge_fraction = 0.25;
+  /// Primary-completion poll granularity while waiting out the threshold.
+  int poll_interval_ms = 1;
+};
+
+/// \brief The tail-tolerance layer (DESIGN.md §11): hedged reads, the
+/// process-wide retry budget, adaptive per-backend concurrency limits, and
+/// brownout load shedding. Every sub-feature defaults to off.
+struct TailOptions {
+  HedgeOptions hedge;
+  /// Global token bucket shared by connector retries, fleet failover
+  /// re-routes, and hedge launches.
+  RetryBudgetOptions retry_budget;
+  /// AIMD concurrency limiter per pool backend (fed by observed latency
+  /// and error outcomes in BackendPool::Release).
+  backend::AdaptiveLimitOptions adaptive_limit;
+  /// Overload shedding of low-priority session classes with hysteresis.
+  BrownoutOptions brownout;
+};
+
 struct ServiceOptions {
   transform::BackendProfile profile = transform::BackendProfile::Vdb();
   backend::ConnectorOptions connector;
@@ -144,6 +184,8 @@ struct ServiceOptions {
   /// Deadline applied to every Submit whose QueryContext carries none
   /// (and tightened into contexts that do). 0 = no default deadline.
   double default_query_deadline_ms = 0;
+  /// Tail-tolerance knobs (DESIGN.md §11); all off by default.
+  TailOptions tail;
 
   // --- Observability (DESIGN.md §9) -------------------------------------
   /// The registry every service counter/gauge/histogram registers in.
@@ -263,6 +305,13 @@ class HyperQService : public protocol::RequestHandler {
   /// for chaos tests and the availability bench (KillBackend/ProbeNow).
   backend::BackendPool* backend_pool() { return pool_.get(); }
   backend::Router* router() { return router_.get(); }
+  /// \brief The tail-tolerance controllers (DESIGN.md §11). Always
+  /// constructed (no-ops while their option blocks are disabled); the
+  /// brownout controller is what TdwpServerOptions::brownout should point
+  /// at so the admission queue feeds the same state machine the submit
+  /// path sheds from.
+  RetryBudget* retry_budget() { return retry_budget_.get(); }
+  BrownoutController* brownout() { return brownout_.get(); }
   /// \brief Backend index a session is currently bound to (-1 when unknown
   /// or in single-backend mode).
   int session_backend(uint32_t session_id) const;
@@ -423,6 +472,31 @@ class HyperQService : public protocol::RequestHandler {
   static bool StatementIsNonIdempotent(const sql::Statement& stmt);
   bool IsVolatileTable(const Session* session, const std::string& name) const;
 
+  // --- Hedged execution (DESIGN.md §11) ---------------------------------
+  /// Session-level hedge eligibility: fleet with a spare replica, no open
+  /// transaction, no session-scoped (volatile) backend state. Per-site
+  /// statement checks (SELECT only) are applied by the callers.
+  bool HedgeEligible(const Session* session) const;
+  /// Current hedge trigger in microseconds: the configured percentile of
+  /// the hedge-eligible execution histogram, floored at the configured
+  /// minimum. Cached; refreshed every few observations.
+  int64_t HedgeThresholdMicros();
+  void ObserveHedgeLatency(double micros);
+  /// The single backend-execution choke point of the service: runs
+  /// `sql_b` on the session's bound connector, and — when the tail layer
+  /// is enabled and the statement is hedge-eligible — races a hedge
+  /// replica against a slow primary, first completion wins.
+  Result<backend::BackendResult> ExecuteOnBackend(Session* session,
+                                                  const std::string& sql_b,
+                                                  QueryContext* ctx,
+                                                  bool hedge_eligible);
+  Result<backend::BackendResult> HedgedExecute(Session* session,
+                                               const std::string& sql_b,
+                                               QueryContext* ctx);
+  /// Joins finished straggler threads (hedge losers still draining their
+  /// cancelled attempt); `all` waits for every one (destructor).
+  void ReapHedgeStragglers(bool all);
+
   Result<QueryOutcome> SubmitInternal(Session* session,
                                       const std::string& sql_a, int depth,
                                       QueryContext* ctx);
@@ -444,9 +518,10 @@ class HyperQService : public protocol::RequestHandler {
                            const sql::NormalizedStatement& norm,
                            int64_t catalog_version) const;
   /// Executes a cache hit: splice already done, pipeline fully skipped.
+  /// `select_shape` marks a cached SELECT, the hedge-eligible shape.
   Result<QueryOutcome> ExecuteCachedStatement(
       Session* session, const CachedTranslation& entry, std::string sql_b,
-      const Stopwatch& translation, QueryContext* ctx);
+      const Stopwatch& translation, QueryContext* ctx, bool select_shape);
   /// Cold-path insertion; counts a bypass when the statement turns out
   /// not to be safely parameterizable. A cancelled request (`ctx`) never
   /// plants the negative "uncacheable" marker: a probe aborted mid-flight
@@ -509,11 +584,31 @@ class HyperQService : public protocol::RequestHandler {
   serializer::Serializer serializer_;
   sql::Dialect frontend_dialect_;
 
+  // Tail tolerance (DESIGN.md §11). Declared before pool_ and sessions_:
+  // connector options of both the pool and single-backend sessions point at
+  // the retry budget, so it must outlive them during destruction.
+  std::unique_ptr<RetryBudget> retry_budget_;
+  std::unique_ptr<BrownoutController> brownout_;
+
   // Fleet (DESIGN.md §10). Declared before sessions_ so the pool — whose
   // breakers and liveness hooks session connectors borrow — outlives every
   // session during destruction.
   std::unique_ptr<backend::BackendPool> pool_;
   std::unique_ptr<backend::Router> router_;
+
+  // Hedged execution (DESIGN.md §11). A hedge loser's primary attempt may
+  // still be draining its cancelled backend call when the winner returns;
+  // the thread parks here and is reaped opportunistically (fully joined in
+  // the destructor, before the pool stops).
+  struct HedgeStraggler {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  mutable std::mutex stragglers_mutex_;
+  std::vector<HedgeStraggler> stragglers_;
+  std::atomic<int> hedges_in_flight_{0};
+  std::atomic<int64_t> hedge_threshold_micros_{0};
+  std::atomic<int64_t> hedge_observations_{0};
 
   mutable std::mutex mutex_;
   std::map<uint32_t, std::unique_ptr<Session>> sessions_;
@@ -551,6 +646,15 @@ class HyperQService : public protocol::RequestHandler {
   observability::Counter* c_killed_;
   observability::Counter* c_spill_bytes_;
   observability::Histogram* h_result_bytes_;
+  // Tail-tolerance series (DESIGN.md §11).
+  observability::Counter* c_hedge_launched_;
+  observability::Counter* c_hedge_wins_;
+  observability::Counter* c_hedge_losses_;
+  observability::Counter* c_hedge_cancelled_;
+  observability::Counter* c_hedge_denied_budget_;
+  observability::Counter* c_hedge_denied_load_;
+  observability::Counter* c_hedge_denied_no_replica_;
+  observability::Histogram* h_hedge_execute_;
 
   TranslationCache translation_cache_;
   std::string profile_digest_;       // options_.profile.CacheKeyDigest()

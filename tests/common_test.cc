@@ -32,6 +32,26 @@ TEST(StatusTest, WithContextPrepends) {
   EXPECT_TRUE(Status::OK().WithContext("x").ok());
 }
 
+// Regression (DESIGN.md §11): adding call-path context must not strip the
+// typed detail — callers route on detail() (e.g. the fleet failover loop
+// stops re-routing on kRetryBudgetExhausted), so losing it would silently
+// re-enable the very amplification the detail exists to stop.
+TEST(StatusTest, WithContextPreservesDetail) {
+  Status budget = Status::Unavailable("no tokens")
+                      .WithDetail(StatusDetail::kRetryBudgetExhausted)
+                      .WithContext("replaying journal");
+  EXPECT_EQ(budget.detail(), StatusDetail::kRetryBudgetExhausted);
+  EXPECT_NE(budget.ToString().find("[retry_budget_exhausted]"),
+            std::string::npos)
+      << budget.ToString();
+
+  Status shed = Status::ResourceExhausted("overloaded")
+                    .WithDetail(StatusDetail::kBrownoutShed)
+                    .WithContext("admitting 'script'");
+  EXPECT_EQ(shed.detail(), StatusDetail::kBrownoutShed);
+  EXPECT_NE(shed.ToString().find("[brownout_shed]"), std::string::npos);
+}
+
 TEST(StatusTest, CopyAndMove) {
   Status s = Status::Internal("boom");
   Status copy = s;

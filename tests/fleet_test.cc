@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <string>
@@ -627,6 +628,111 @@ TEST_F(FleetTest, HardKillMidWorkloadCompletesAtLeast99Percent) {
       << "failed: " << failed.load();
   EXPECT_EQ(service.StatsSnapshot().resilience.aborted_in_txn, 0);
   EXPECT_EQ(service.open_sessions(), 0u);
+}
+
+// Tail soak (DESIGN.md §11): one replica is slow — not dead — so health
+// scoring, the breaker, and failover never fire; only hedged reads can
+// rescue the tail. The same workload runs hedged and unhedged: hedging
+// must cut the p99, deliver every result exactly once, and leak neither
+// sessions nor pool slots.
+TEST_F(FleetTest, SlowReplicaSoakHedgingCutsTailWithoutDuplicates) {
+  constexpr int kWorkers = 4;
+  constexpr int kQueriesPerWorker = 25;
+  constexpr int kRows = 10;
+
+  auto run_soak = [&](bool hedging) -> double {
+    vdb::Engine engine;
+    auto options = FleetServiceOptions(3);
+    options.tail.hedge.enabled = hedging;
+    options.tail.hedge.min_threshold_micros = 2000;
+    options.tail.hedge.max_hedge_fraction = 1.0;
+    service::HyperQService service(&engine, options);
+    {
+      auto setup = service.OpenSession("setup");
+      EXPECT_TRUE(setup.ok());
+      EXPECT_TRUE(service.Submit(*setup, "CREATE TABLE T (A INTEGER)").ok());
+      for (int i = 0; i < kRows; ++i) {
+        EXPECT_TRUE(
+            service
+                .Submit(*setup, "INS INTO T VALUES (" + std::to_string(i) +
+                                    ")")
+                .ok());
+      }
+      service.CloseSession(*setup);
+    }
+
+    // Bind every worker first, then slow worker 0's replica: at least one
+    // session is guaranteed to sit behind the slow backend.
+    std::vector<uint32_t> sids;
+    for (int w = 0; w < kWorkers; ++w) {
+      auto sid = service.OpenSession("worker" + std::to_string(w));
+      EXPECT_TRUE(sid.ok());
+      sids.push_back(*sid);
+    }
+    int slow = service.session_backend(sids[0]);
+    EXPECT_GE(slow, 0);
+    service.backend_pool()->SlowBackend(slow, 15);
+
+    std::vector<std::vector<double>> latencies(kWorkers);
+    std::atomic<int> wrong_rows{0};
+    std::atomic<int> failures{0};
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kWorkers; ++w) {
+      workers.emplace_back([&, w] {
+        for (int q = 0; q < kQueriesPerWorker; ++q) {
+          auto start = std::chrono::steady_clock::now();
+          auto r = service.Submit(sids[w], "SEL * FROM T ORDER BY A");
+          auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+          if (!r.ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          latencies[w].push_back(static_cast<double>(micros));
+          auto rows = r->result.DecodeRows();
+          // Exactly-once delivery: a duplicated hedge result would double
+          // the row count, a dropped one would empty it.
+          if (!rows.ok() || rows->size() != static_cast<size_t>(kRows)) {
+            wrong_rows.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+    for (uint32_t sid : sids) service.CloseSession(sid);
+
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(wrong_rows.load(), 0) << "duplicate or lost hedge results";
+    EXPECT_EQ(service.open_sessions(), 0u);
+    for (size_t i = 0; i < service.backend_pool()->size(); ++i) {
+      EXPECT_EQ(service.backend_pool()->in_flight(i), 0)
+          << "leaked slot on replica " << i;
+    }
+    if (hedging) {
+      EXPECT_GE(service.metrics_registry()
+                    ->counter(names::kHedgeWins)
+                    ->value(),
+                1)
+          << "the slow replica's sessions never won a hedge";
+    } else {
+      EXPECT_EQ(
+          service.metrics_registry()->counter(names::kHedgeLaunched)->value(),
+          0);
+    }
+
+    std::vector<double> all;
+    for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    return all[(all.size() * 99) / 100 - 1];
+  };
+
+  double unhedged_p99 = run_soak(false);
+  double hedged_p99 = run_soak(true);
+  EXPECT_LT(hedged_p99, unhedged_p99)
+      << "hedging must cut the slow-replica tail (hedged p99 "
+      << hedged_p99 / 1000 << "ms vs unhedged " << unhedged_p99 / 1000
+      << "ms)";
 }
 
 }  // namespace
