@@ -1,0 +1,161 @@
+// Differential fuzz campaign driver (DESIGN.md §12). Runs an open-ended
+// generate → translate → execute → compare → reduce campaign over every
+// registered SQL-B dialect and writes the summary to BENCH_fuzz.json.
+// Exit code is non-zero when any mismatch survives, and doubly so when one
+// could not be reduced — scripts/fuzz_nightly.sh keys off this.
+//
+// Flags:
+//   --seed=N       stream seed (default 20260809)
+//   --count=N      queries to generate; 0 = unbounded, use --seconds
+//   --count N / --seed N spellings accepted too
+//   --seconds=S    wall-clock bound in seconds (default 0 = none)
+//   --dialects=a,b comma-separated dialect names (default: all registered)
+//   --json=PATH    summary output path (default BENCH_fuzz.json)
+//
+// Also registers a micro-benchmark for the per-query differential cost.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fuzz/campaign.h"
+#include "fuzz/query_gen.h"
+#include "serializer/dialect.h"
+
+using namespace hyperq;
+
+namespace {
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+// Accepts --name=value and "--name value"; consumed args are blanked so
+// benchmark::Initialize never sees them.
+std::string TakeFlag(int* argc, char** argv, const char* name) {
+  std::string prefix = std::string("--") + name;
+  for (int i = 1; i < *argc; ++i) {
+    if (argv[i] == nullptr) continue;
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) != 0) continue;
+    const char* rest = argv[i] + prefix.size();
+    if (*rest == '=') {
+      argv[i] = nullptr;
+      return rest + 1;
+    }
+    if (*rest == '\0' && i + 1 < *argc && argv[i + 1] != nullptr) {
+      std::string v = argv[i + 1];
+      argv[i] = nullptr;
+      argv[i + 1] = nullptr;
+      return v;
+    }
+  }
+  return "";
+}
+
+void Compact(int* argc, char** argv) {
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (argv[i] != nullptr) argv[w++] = argv[i];
+  }
+  *argc = w;
+}
+
+// Micro-benchmark: one generated query through the full differential loop
+// (translate to every dialect + execute + canonical compare).
+void BM_DifferentialQuery(benchmark::State& state) {
+  static fuzz::DifferentialHarness* harness = new fuzz::DifferentialHarness();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    fuzz::QuerySpec spec = fuzz::GenerateQuery(7, i++);
+    auto outcome = harness->Run(spec.ToSql());
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_DifferentialQuery);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fuzz::CampaignOptions opts;
+  opts.seed = 20260809;
+  opts.count = 500;
+  opts.dialects = serializer::DialectNames();
+  std::string json_path = "BENCH_fuzz.json";
+
+  std::string v;
+  if (!(v = TakeFlag(&argc, argv, "seed")).empty()) {
+    opts.seed = std::strtoull(v.c_str(), nullptr, 10);
+  }
+  if (!(v = TakeFlag(&argc, argv, "count")).empty()) {
+    opts.count = std::atoi(v.c_str());
+  }
+  if (!(v = TakeFlag(&argc, argv, "seconds")).empty()) {
+    opts.max_seconds = std::atof(v.c_str());
+  }
+  if (!(v = TakeFlag(&argc, argv, "dialects")).empty()) {
+    opts.dialects = SplitCsv(v);
+  }
+  if (!(v = TakeFlag(&argc, argv, "json")).empty()) json_path = v;
+  bool run_micro = !TakeFlag(&argc, argv, "micro").empty();
+  Compact(&argc, argv);
+
+  std::string names;
+  for (const auto& d : opts.dialects) {
+    if (!names.empty()) names += ",";
+    names += d;
+  }
+  std::printf("fuzz campaign: seed=%llu count=%d seconds=%.0f dialects=%s\n",
+              static_cast<unsigned long long>(opts.seed), opts.count,
+              opts.max_seconds, names.c_str());
+
+  fuzz::CampaignSummary summary = fuzz::RunCampaign(opts);
+  std::printf(
+      "fuzz: %d generated, %d translated on all dialects, %d executed, %d "
+      "rejected, %d mismatched (%d reduced, %d unreduced) in %.1fs\n",
+      summary.generated, summary.translated, summary.executed,
+      summary.rejected, summary.mismatched, summary.reduced,
+      summary.unreduced(), summary.seconds);
+  for (const auto& m : summary.mismatches) {
+    std::printf("  [%s] #%llu: %s\n    original (%d clauses): %s\n    "
+                "reduced (%d clauses): %s\n",
+                m.classification.c_str(),
+                static_cast<unsigned long long>(m.index), m.detail.c_str(),
+                m.original_clauses, m.original_sql.c_str(),
+                m.reduced_clauses, m.reduced_sql.c_str());
+  }
+
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f != nullptr) {
+    std::string json = summary.ToJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+  }
+
+  if (run_micro) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  if (summary.mismatched > 0) {
+    return summary.unreduced() > 0 ? 2 : 1;
+  }
+  return 0;
+}

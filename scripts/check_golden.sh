@@ -2,11 +2,15 @@
 # Golden-corpus hygiene gate:
 #   * every tests/golden/*.sql has a sibling .expected (and vice versa —
 #     an orphan .expected is a stale file the suite no longer references),
+#   * every case also has a per-dialect translation under each dialect
+#     subdirectory (tests/golden/<dialect>/<name>.expected), and those
+#     subdirectories contain no orphans,
 #   * no corpus file is empty.
 # `_schema.sql` is the shared DDL preamble and intentionally has no
 # .expected. The semantic check (expected text matches what the
 # translator emits today) lives in the `golden` ctest suite; regenerate
-# with HQ_REGEN_GOLDEN=1 after an intentional serializer change.
+# with HQ_REGEN_GOLDEN=1 after an intentional serializer change (root and
+# dialect sub-corpora regenerate together).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,7 +46,41 @@ if (( count < 30 )); then
   fail=1
 fi
 
+# Per-dialect sub-corpora: every root case must have a translation under
+# each dialect directory, and every dialect file must map back to a root
+# .sql. Dialect directories are discovered, not hard-coded, so adding a
+# generator (and regenerating) extends the gate automatically.
+dialect_dirs=("$dir"/*/)
+if (( ${#dialect_dirs[@]} == 0 )); then
+  echo "check_golden: no dialect sub-corpora under $dir" >&2
+  fail=1
+fi
+for ddir in "${dialect_dirs[@]}"; do
+  dname=$(basename "$ddir")
+  for sql in "$dir"/*.sql; do
+    base=$(basename "${sql%.sql}")
+    [[ "$base" == _schema ]] && continue
+    if [[ ! -f "$ddir$base.expected" ]]; then
+      echo "check_golden: MISSING $dname translation for $sql" >&2
+      fail=1
+    fi
+  done
+  for exp in "$ddir"*.expected; do
+    base=$(basename "${exp%.expected}")
+    if [[ ! -f "$dir/$base.sql" ]]; then
+      echo "check_golden: ORPHAN (stale) $exp — no matching root .sql" >&2
+      fail=1
+    fi
+  done
+  for f in "$ddir"*.expected; do
+    if [[ ! -s "$f" ]]; then
+      echo "check_golden: EMPTY $f" >&2
+      fail=1
+    fi
+  done
+done
+
 if (( fail )); then
   exit 1
 fi
-echo "check_golden: OK ($count cases)"
+echo "check_golden: OK ($count cases, ${#dialect_dirs[@]} dialect sub-corpora)"

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Nightly differential-fuzz campaign.
+#
+# Runs an open-ended (time-bounded) campaign with a fresh seed each night,
+# writes the machine-readable summary to BENCH_fuzz.json, and fails the run
+# if any mismatch survived reduction. The harness itself already reduces
+# every finding to a minimal repro and (in regen mode) appends it to the
+# golden corpus, so a red nightly means a real, already-minimized bug.
+#
+#   scripts/fuzz_nightly.sh                 # 10-minute campaign, date-derived seed
+#   scripts/fuzz_nightly.sh --seconds 3600  # hour-long soak
+#   scripts/fuzz_nightly.sh --seed 99       # reproduce a specific night
+#
+# Extra arguments are passed through to bench_fuzz (e.g. --dialects
+# ansi,granite). Exit codes mirror bench_fuzz: 0 clean, 1 mismatches found
+# (all reduced), 2 unreduced mismatches.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+seconds=600
+seed=$(date +%Y%m%d)
+passthru=()
+while (( $# )); do
+  case "$1" in
+    --seconds) seconds=$2; shift 2 ;;
+    --seconds=*) seconds=${1#*=}; shift ;;
+    --seed) seed=$2; shift 2 ;;
+    --seed=*) seed=${1#*=}; shift ;;
+    *) passthru+=("$1"); shift ;;
+  esac
+done
+
+jobs=$(nproc 2>/dev/null || echo 4)
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs" --target bench_fuzz
+
+json=BENCH_fuzz.json
+rc=0
+# --count 0 = unbounded; the campaign runs until the wall-clock bound.
+build/bench/bench_fuzz --seed "$seed" --count 0 --seconds "$seconds" \
+  --json "$json" "${passthru[@]}" || rc=$?
+
+echo "fuzz_nightly: summary written to $json"
+if (( rc == 2 )); then
+  echo "fuzz_nightly: FAIL — unreduced mismatches (reducer could not shrink)" >&2
+elif (( rc == 1 )); then
+  echo "fuzz_nightly: mismatches found but all reduced to minimal repros" >&2
+elif (( rc != 0 )); then
+  echo "fuzz_nightly: bench_fuzz exited $rc" >&2
+else
+  echo "fuzz_nightly: OK"
+fi
+exit "$rc"

@@ -6,7 +6,7 @@
 #   scripts/tier1.sh --asan     # also build build-asan/ and run the
 #                               # `faults`, `failover`, `cache`, `golden`,
 #                               # `lifecycle`, `observability`, `fleet`,
-#                               # and `tail` suites under ASan+UBSan
+#                               # `tail`, and `fuzz` suites under ASan+UBSan
 #   scripts/tier1.sh --tsan     # also build build-tsan/ and run the
 #                               # cross-thread suites (`lifecycle`,
 #                               # `faults`, `observability`, `fleet`,
@@ -33,6 +33,10 @@ if [[ "${1:-}" == "--asan" ]]; then
   ctest --test-dir build-asan --output-on-failure -L observability -j "$jobs"
   ctest --test-dir build-asan --output-on-failure -L fleet -j "$jobs"
   ctest --test-dir build-asan --output-on-failure -L tail -j "$jobs"
+  # The differential fuzzer is the widest query-shape surface in the tree
+  # (generator → 3 dialect translations → 3 executions per query) — exactly
+  # where memory bugs hide. The fixed seed keeps the ASan pass deterministic.
+  ctest --test-dir build-asan --output-on-failure -L fuzz -j "$jobs"
 fi
 
 if [[ "${1:-}" == "--tsan" ]]; then

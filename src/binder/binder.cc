@@ -814,6 +814,13 @@ Result<xtra::ExprPtr> Binder::BindFunc(const sql::Expr& e, Scope* scope,
     // Target-side day arithmetic emitted by the date_arith_to_func rule.
     HQ_RETURN_IF_ERROR(arity(2, 2));
     type = SqlType::Date();
+  } else if (name == "TO_DATE") {
+    // Conversion-function temporal literals (granite dialect surface).
+    HQ_RETURN_IF_ERROR(arity(1, 1));
+    type = SqlType::Date();
+  } else if (name == "TO_TIMESTAMP") {
+    HQ_RETURN_IF_ERROR(arity(1, 1));
+    type = SqlType::Timestamp();
   } else if (name == "DATE_DIFF_DAYS") {
     HQ_RETURN_IF_ERROR(arity(2, 2));
     type = SqlType::Int();

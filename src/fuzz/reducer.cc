@@ -1,0 +1,160 @@
+#include "fuzz/reducer.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hyperq::fuzz {
+
+namespace {
+
+// Drops order_by entries whose expression text starts with `expr` (order
+// items are rendered as "<select expr> [ASC|DESC] [NULLS ...]").
+void DropOrderItemsFor(QuerySpec* spec, const std::string& expr) {
+  std::vector<std::string> kept;
+  for (auto& item : spec->order_by) {
+    if (item.rfind(expr, 0) != 0) kept.push_back(std::move(item));
+  }
+  spec->order_by = std::move(kept);
+}
+
+}  // namespace
+
+ReductionResult ReduceQuery(const QuerySpec& spec,
+                            const StillFails& still_fails) {
+  ReductionResult out;
+  out.initial_clauses = spec.ClauseCount();
+  out.minimal = spec.Clone();
+  if (!still_fails(out.minimal)) {
+    // Flaky or mis-reported finding: nothing to minimize safely.
+    out.final_clauses = out.initial_clauses;
+    out.converged = false;
+    return out;
+  }
+
+  // `try_drop` applies `mutate` to a clone; keeps it iff it still fails.
+  auto try_drop = [&](const std::function<void(QuerySpec*)>& mutate) {
+    QuerySpec candidate = out.minimal.Clone();
+    mutate(&candidate);
+    ++out.probes;
+    if (still_fails(candidate)) {
+      out.minimal = std::move(candidate);
+      return true;
+    }
+    return false;
+  };
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+
+    // 1. The set operation: dropping the whole right operand is the
+    //    single biggest shrink available, so it goes first.
+    if (out.minimal.setop_right != nullptr) {
+      progress |= try_drop([](QuerySpec* q) {
+        q->setop_kw.clear();
+        q->setop_right.reset();
+      });
+    }
+
+    // 2. Clauses of the right operand (when the set operation survives).
+    if (out.minimal.setop_right != nullptr) {
+      QuerySpec right_min = out.minimal.setop_right->Clone();
+      ReductionResult inner = ReduceQuery(right_min, [&](const QuerySpec& r) {
+        QuerySpec whole = out.minimal.Clone();
+        *whole.setop_right = r.Clone();
+        ++out.probes;
+        return still_fails(whole);
+      });
+      if (inner.final_clauses < out.minimal.setop_right->ClauseCount()) {
+        *out.minimal.setop_right = inner.minimal.Clone();
+        progress = true;
+      }
+    }
+
+    // 3. The row limit. With TOP gone the total-order ORDER BY becomes
+    //    droppable too (multiset comparison needs no order), so try the
+    //    combined drop first, then TOP alone.
+    if (out.minimal.top >= 0) {
+      progress |= try_drop([](QuerySpec* q) {
+        q->top = -1;
+        q->order_by.clear();
+      });
+    }
+    if (out.minimal.top >= 0) {
+      progress |= try_drop([](QuerySpec* q) { q->top = -1; });
+    }
+
+    // 4. Joins, last first (later joins may reference earlier aliases; a
+    //    drop that orphans a reference fails to bind uniformly, the
+    //    predicate rejects it, and the clause survives — no oracle needed).
+    for (int j = static_cast<int>(out.minimal.joins.size()) - 1; j >= 0;
+         --j) {
+      progress |= try_drop([j](QuerySpec* q) {
+        q->joins.erase(q->joins.begin() + j);
+      });
+    }
+
+    // 5. WHERE conjuncts.
+    for (int w = static_cast<int>(out.minimal.where.size()) - 1; w >= 0;
+         --w) {
+      progress |= try_drop(
+          [w](QuerySpec* q) { q->where.erase(q->where.begin() + w); });
+    }
+
+    // 6. HAVING.
+    if (!out.minimal.having.empty()) {
+      progress |= try_drop([](QuerySpec* q) { q->having.clear(); });
+    }
+
+    // 7. Group keys, paired with their select item (and any order item
+    //    built from it) so the candidate still binds.
+    for (int g = static_cast<int>(out.minimal.group_by.size()) - 1; g >= 0;
+         --g) {
+      std::string expr = out.minimal.group_by[g];
+      progress |= try_drop([g, &expr](QuerySpec* q) {
+        q->group_by.erase(q->group_by.begin() + g);
+        for (size_t s = 0; s < q->select_items.size(); ++s) {
+          if (q->select_items[s] == expr && q->select_items.size() > 1) {
+            q->select_items.erase(q->select_items.begin() + s);
+            break;
+          }
+        }
+        DropOrderItemsFor(q, expr);
+      });
+    }
+
+    // 8. ORDER BY items individually — only once TOP is gone, so a
+    //    partial order under a row limit can never masquerade as a
+    //    "minimal" (but actually order-nondeterministic) repro.
+    if (out.minimal.top < 0) {
+      for (int o = static_cast<int>(out.minimal.order_by.size()) - 1; o >= 0;
+           --o) {
+        progress |= try_drop([o](QuerySpec* q) {
+          q->order_by.erase(q->order_by.begin() + o);
+        });
+      }
+    }
+
+    // 9. Surplus select items (at least one stays), with their order items.
+    for (int s = static_cast<int>(out.minimal.select_items.size()) - 1;
+         s >= 0 && out.minimal.select_items.size() > 1; --s) {
+      std::string expr = out.minimal.select_items[s];
+      progress |= try_drop([s, &expr](QuerySpec* q) {
+        if (q->select_items.size() <= 1) return;
+        q->select_items.erase(q->select_items.begin() + s);
+        DropOrderItemsFor(q, expr);
+      });
+    }
+
+    // 10. DISTINCT.
+    if (out.minimal.distinct) {
+      progress |= try_drop([](QuerySpec* q) { q->distinct = false; });
+    }
+  }
+
+  out.final_clauses = out.minimal.ClauseCount();
+  return out;
+}
+
+}  // namespace hyperq::fuzz

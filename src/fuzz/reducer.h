@@ -1,0 +1,38 @@
+// Delta-debugging query reducer: given a QuerySpec that reproduces a
+// differential finding and a predicate that re-checks it, greedily drops
+// clauses (set operation, joins, WHERE conjuncts, grouping, ordering, row
+// limit, surplus select items) until no single drop preserves the failure.
+// The result is the minimal repro appended to tests/golden/. DESIGN.md §12.
+
+#pragma once
+
+#include <functional>
+
+#include "fuzz/query_gen.h"
+
+namespace hyperq::fuzz {
+
+/// \brief Re-checks a candidate: returns true when the (re-rendered)
+/// candidate still reproduces the original failure. A candidate whose
+/// simplification breaks validity simply stops failing differentially
+/// (uniform rejection classifies as kRejected, not a finding), so the
+/// predicate doubles as the validity check — no separate grammar oracle.
+using StillFails = std::function<bool(const QuerySpec&)>;
+
+struct ReductionResult {
+  QuerySpec minimal;       // smallest spec that still fails
+  int initial_clauses = 0; // ClauseCount() of the input
+  int final_clauses = 0;   // ClauseCount() of `minimal`
+  int probes = 0;          // candidate evaluations performed
+  /// True when at least one clause was removed (or none were removable).
+  bool converged = true;
+};
+
+/// \brief Greedy clause-dropping to fixed point. Deterministic: candidate
+/// order is fixed, so the same (spec, predicate) pair always minimizes to
+/// the same repro. `still_fails(spec)` must be true on entry; if it is
+/// not (a flaky finding), the input is returned with converged = false.
+ReductionResult ReduceQuery(const QuerySpec& spec,
+                            const StillFails& still_fails);
+
+}  // namespace hyperq::fuzz

@@ -1,0 +1,256 @@
+#include "serializer/dialect.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "common/str_util.h"
+#include "types/date.h"
+
+namespace hyperq::serializer {
+
+namespace {
+
+// Shared literal rendering; dialects override only the spellings that
+// genuinely differ (temporal literals, intervals).
+class DialectBase : public SQLDialectGenerator {
+ public:
+  std::string RenderLiteral(const Datum& v) const override {
+    if (v.is_null()) return "NULL";
+    if (v.is_bool()) return v.bool_val() ? "TRUE" : "FALSE";
+    if (v.is_int()) return std::to_string(v.int_val());
+    if (v.is_decimal()) return v.decimal_val().ToString();
+    if (v.is_double()) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.double_val());
+      std::string s = buf;
+      // Guarantee a float-looking literal so re-parsing keeps the type.
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos &&
+          s.find("nan") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    if (v.is_string()) return QuoteSql(v.string_val(), '\'');
+    if (v.is_date()) return DateLiteral(FormatDate(v.date_val()));
+    if (v.is_time()) return "TIME '" + FormatTime(v.time_val()) + "'";
+    if (v.is_timestamp()) {
+      return TimestampLiteral(FormatTimestamp(v.timestamp_val()));
+    }
+    if (v.is_interval()) {
+      // Day-time intervals surviving to the serializer (targets with native
+      // date arithmetic skip date_arith_to_func) travel as whole-day counts,
+      // matching the day semantics the rewrite would have produced.
+      return std::to_string(v.interval_val() / 86400000000LL);
+    }
+    if (v.is_period()) {
+      // PERIOD values have no target literal; they travel as their two
+      // DATE components (the paper's emulation for compound types).
+      auto p = v.period_val();
+      return DateLiteral(FormatDate(p.begin_days)) +
+             " /* PERIOD end: " + FormatDate(p.end_days) + " */";
+    }
+    return "NULL";
+  }
+
+  std::string SetOpKeyword(xtra::SetOpKind kind) const override {
+    switch (kind) {
+      case xtra::SetOpKind::kUnion:
+        return " UNION ";
+      case xtra::SetOpKind::kUnionAll:
+        return " UNION ALL ";
+      case xtra::SetOpKind::kIntersect:
+        return " INTERSECT ";
+      default:
+        return " EXCEPT ";
+    }
+  }
+
+  std::string RowLimitClause(int64_t n) const override {
+    return " LIMIT " + std::to_string(n);
+  }
+
+ protected:
+  virtual std::string DateLiteral(const std::string& iso) const {
+    return "DATE '" + iso + "'";
+  }
+  virtual std::string TimestampLiteral(const std::string& iso) const {
+    return "TIMESTAMP '" + iso + "'";
+  }
+
+  static bool IsSimpleIdent(const std::string& name) {
+    bool simple = !name.empty() &&
+                  (std::isalpha(static_cast<unsigned char>(name[0])) ||
+                   name[0] == '_');
+    for (char c : name) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+        simple = false;
+      }
+    }
+    return simple;
+  }
+};
+
+// ---- ansi -----------------------------------------------------------------
+// The embedded vdb engine's native surface: standard keywords, double-quote
+// escaping only where required, typed temporal literals, LIMIT.
+class AnsiDialect final : public DialectBase {
+ public:
+  AnsiDialect() {
+    profile_ = transform::BackendProfile::Vdb();
+    profile_.dialect = "ansi";
+  }
+
+  const std::string& Name() const override {
+    static const std::string kName = "ansi";
+    return kName;
+  }
+
+  const transform::BackendProfile& Profile() const override {
+    return profile_;
+  }
+
+  std::string QuoteIdent(const std::string& name) const override {
+    if (IsSimpleIdent(name)) return name;
+    return QuoteSql(name, '"');
+  }
+
+ private:
+  transform::BackendProfile profile_;
+};
+
+// ---- sierra ---------------------------------------------------------------
+// A serverless-analytics-flavored target: every identifier is backtick
+// quoted, temporal values are written as CASTs over strings (the system has
+// no typed literal syntax), and set operations must state DISTINCT
+// explicitly. Its engine rejects quantified comparisons (ANY/ALL and IN
+// subqueries), so the transformer must lower them to EXISTS before
+// serialization — a genuinely different rewrite pipeline from ansi.
+class SierraDialect final : public DialectBase {
+ public:
+  SierraDialect() {
+    profile_ = transform::BackendProfile::Vdb();
+    profile_.name = "vdb-sierra";
+    profile_.dialect = "sierra";
+    profile_.supports_quantified_subquery = false;
+  }
+
+  const std::string& Name() const override {
+    static const std::string kName = "sierra";
+    return kName;
+  }
+
+  const transform::BackendProfile& Profile() const override {
+    return profile_;
+  }
+
+  std::string QuoteIdent(const std::string& name) const override {
+    return QuoteSql(name, '`');
+  }
+
+  std::string SetOpKeyword(xtra::SetOpKind kind) const override {
+    switch (kind) {
+      case xtra::SetOpKind::kUnion:
+        return " UNION DISTINCT ";
+      case xtra::SetOpKind::kUnionAll:
+        return " UNION ALL ";
+      case xtra::SetOpKind::kIntersect:
+        return " INTERSECT DISTINCT ";
+      default:
+        return " EXCEPT DISTINCT ";
+    }
+  }
+
+ protected:
+  std::string DateLiteral(const std::string& iso) const override {
+    return "CAST('" + iso + "' AS DATE)";
+  }
+  std::string TimestampLiteral(const std::string& iso) const override {
+    return "CAST('" + iso + "' AS TIMESTAMP)";
+  }
+
+ private:
+  transform::BackendProfile profile_;
+};
+
+// ---- granite --------------------------------------------------------------
+// A legacy-enterprise-flavored target: identifiers are always double
+// quoted, temporal literals go through conversion functions
+// (TO_DATE/TO_TIMESTAMP), EXCEPT is spelled MINUS, row limits use the
+// standard FETCH FIRST clause, and — like Teradata itself — the engine
+// sorts NULLs low and does native DATE ± integer day arithmetic, so the
+// explicit-NULL-ordering and date_arith_to_func rewrites are both skipped.
+class GraniteDialect final : public DialectBase {
+ public:
+  GraniteDialect() {
+    profile_ = transform::BackendProfile::Vdb();
+    profile_.name = "vdb-granite";
+    profile_.dialect = "granite";
+    profile_.supports_date_arithmetic = true;
+    profile_.nulls_sort_low = true;
+  }
+
+  const std::string& Name() const override {
+    static const std::string kName = "granite";
+    return kName;
+  }
+
+  const transform::BackendProfile& Profile() const override {
+    return profile_;
+  }
+
+  std::string QuoteIdent(const std::string& name) const override {
+    return QuoteSql(name, '"');
+  }
+
+  std::string SetOpKeyword(xtra::SetOpKind kind) const override {
+    switch (kind) {
+      case xtra::SetOpKind::kUnion:
+        return " UNION ";
+      case xtra::SetOpKind::kUnionAll:
+        return " UNION ALL ";
+      case xtra::SetOpKind::kIntersect:
+        return " INTERSECT ";
+      default:
+        return " MINUS ";
+    }
+  }
+
+  std::string RowLimitClause(int64_t n) const override {
+    return " FETCH FIRST " + std::to_string(n) + " ROWS ONLY";
+  }
+
+ protected:
+  std::string DateLiteral(const std::string& iso) const override {
+    return "TO_DATE('" + iso + "')";
+  }
+  std::string TimestampLiteral(const std::string& iso) const override {
+    return "TO_TIMESTAMP('" + iso + "')";
+  }
+
+ private:
+  transform::BackendProfile profile_;
+};
+
+}  // namespace
+
+const SQLDialectGenerator* FindDialect(const std::string& name) {
+  static const AnsiDialect ansi;
+  static const SierraDialect sierra;
+  static const GraniteDialect granite;
+  static const SQLDialectGenerator* const kRegistry[] = {&ansi, &sierra,
+                                                         &granite};
+  for (const SQLDialectGenerator* d : kRegistry) {
+    if (d->Name() == name) return d;
+  }
+  return nullptr;
+}
+
+const SQLDialectGenerator& DefaultDialect() { return *FindDialect("ansi"); }
+
+std::vector<std::string> DialectNames() {
+  return {"ansi", "granite", "sierra"};
+}
+
+}  // namespace hyperq::serializer

@@ -1,0 +1,64 @@
+// Pluggable SQL-B dialect generators (ROADMAP item 3).
+//
+// The serializer owns the *structure* of the emitted SQL (block assembly,
+// derived tables, scope resolution); a SQLDialectGenerator owns the
+// *surface syntax* that genuinely differs between target systems:
+// identifier quoting, date/time/interval literal spelling, set-operation
+// keywords, and the row-limit clause. Each generator also carries the
+// capability matrix (transform::BackendProfile) of the system it targets,
+// so selecting a dialect selects which serialization-stage transformations
+// fire upstream — the getml-community transpiler-per-dialect pattern
+// applied to the Hyper-Q pipeline.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "transform/backend_profile.h"
+#include "types/datum.h"
+#include "xtra/xtra.h"
+
+namespace hyperq::serializer {
+
+/// \brief Surface-syntax renderer for one target dialect.
+///
+/// Implementations are stateless and process-lifetime; the registry hands
+/// out shared const pointers. All three built-in dialects emit SQL the
+/// embedded vdb engine can parse (its frontend accepts the superset), which
+/// is what makes differential execution across dialects possible.
+class SQLDialectGenerator {
+ public:
+  virtual ~SQLDialectGenerator() = default;
+
+  /// Registry key; matches BackendProfile::dialect.
+  virtual const std::string& Name() const = 0;
+
+  /// The capability matrix this dialect targets. `profile().dialect` is
+  /// always `Name()`, so constructing a Serializer/Transformer pair from
+  /// this profile routes emission back through this generator.
+  virtual const transform::BackendProfile& Profile() const = 0;
+
+  /// Identifier quoting policy.
+  virtual std::string QuoteIdent(const std::string& name) const = 0;
+
+  /// Literal spelling (dates, times, timestamps, intervals, strings...).
+  virtual std::string RenderLiteral(const Datum& v) const = 0;
+
+  /// Set-operation keyword, padded with single spaces ("\x20UNION\x20").
+  virtual std::string SetOpKeyword(xtra::SetOpKind kind) const = 0;
+
+  /// Row-limit clause including its leading space (" LIMIT 5").
+  virtual std::string RowLimitClause(int64_t n) const = 0;
+};
+
+/// \brief Looks up a registered dialect by name; nullptr when unknown.
+const SQLDialectGenerator* FindDialect(const std::string& name);
+
+/// \brief The "ansi" dialect (the embedded vdb engine's native surface).
+const SQLDialectGenerator& DefaultDialect();
+
+/// \brief Names of every registered dialect, sorted.
+std::vector<std::string> DialectNames();
+
+}  // namespace hyperq::serializer

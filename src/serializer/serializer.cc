@@ -1,10 +1,5 @@
 #include "serializer/serializer.h"
 
-#include <cctype>
-
-#include "common/str_util.h"
-#include "types/date.h"
-
 namespace hyperq::serializer {
 
 using xtra::ColumnInfo;
@@ -14,53 +9,17 @@ using xtra::Op;
 using xtra::OpKind;
 
 Serializer::Serializer(const transform::BackendProfile& profile)
-    : profile_(profile) {}
-
-std::string Serializer::QuoteIdent(const std::string& name) {
-  bool simple = !name.empty() &&
-                (std::isalpha(static_cast<unsigned char>(name[0])) ||
-                 name[0] == '_');
-  for (char c : name) {
-    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
-      simple = false;
-    }
-  }
-  if (simple) return name;
-  return QuoteSql(name, '"');
+    : profile_(profile) {
+  dialect_ = FindDialect(profile.dialect);
+  if (dialect_ == nullptr) dialect_ = &DefaultDialect();
 }
 
-std::string Serializer::RenderLiteral(const Datum& v) {
-  if (v.is_null()) return "NULL";
-  if (v.is_bool()) return v.bool_val() ? "TRUE" : "FALSE";
-  if (v.is_int()) return std::to_string(v.int_val());
-  if (v.is_decimal()) return v.decimal_val().ToString();
-  if (v.is_double()) {
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g", v.double_val());
-    std::string s = buf;
-    // Guarantee a float-looking literal so re-parsing keeps the type.
-    if (s.find('.') == std::string::npos &&
-        s.find('e') == std::string::npos &&
-        s.find("inf") == std::string::npos &&
-        s.find("nan") == std::string::npos) {
-      s += ".0";
-    }
-    return s;
-  }
-  if (v.is_string()) return QuoteSql(v.string_val(), '\'');
-  if (v.is_date()) return "DATE '" + FormatDate(v.date_val()) + "'";
-  if (v.is_time()) return "TIME '" + FormatTime(v.time_val()) + "'";
-  if (v.is_timestamp()) {
-    return "TIMESTAMP '" + FormatTimestamp(v.timestamp_val()) + "'";
-  }
-  if (v.is_period()) {
-    // PERIOD values have no target literal; they travel as their two
-    // DATE components (the paper's emulation for compound types).
-    auto p = v.period_val();
-    return "DATE '" + FormatDate(p.begin_days) + "' /* PERIOD end: " +
-           FormatDate(p.end_days) + " */";
-  }
-  return "NULL";
+std::string Serializer::QuoteIdent(const std::string& name) const {
+  return dialect_->QuoteIdent(name);
+}
+
+std::string Serializer::RenderLiteral(const Datum& v) const {
+  return dialect_->RenderLiteral(v);
 }
 
 Result<std::string> Serializer::RenderAggCall(const xtra::AggItem& item,
@@ -405,23 +364,9 @@ Result<Serializer::Rendered> Serializer::RenderQuery(
                         RenderQuery(*op.children[0], outer, alias_counter));
     HQ_ASSIGN_OR_RETURN(Rendered right,
                         RenderQuery(*op.children[1], outer, alias_counter));
-    const char* kw;
-    switch (op.setop_kind) {
-      case xtra::SetOpKind::kUnion:
-        kw = " UNION ";
-        break;
-      case xtra::SetOpKind::kUnionAll:
-        kw = " UNION ALL ";
-        break;
-      case xtra::SetOpKind::kIntersect:
-        kw = " INTERSECT ";
-        break;
-      default:
-        kw = " EXCEPT ";
-        break;
-    }
     Rendered out;
-    out.sql = "(" + left.sql + ")" + kw + "(" + right.sql + ")";
+    out.sql = "(" + left.sql + ")" + dialect_->SetOpKeyword(op.setop_kind) +
+              "(" + right.sql + ")";
     for (size_t i = 0; i < op.output.size(); ++i) {
       std::string name =
           i < left.cols.size() ? left.cols[i].name : op.output[i].name;
@@ -523,7 +468,7 @@ Result<Serializer::Rendered> Serializer::RenderQuery(
         }
       }
     }
-    if (limit >= 0) sql += " LIMIT " + std::to_string(limit);
+    if (limit >= 0) sql += dialect_->RowLimitClause(limit);
     out.sql = std::move(sql);
     out.cols = std::move(out_cols);
     return out;
@@ -570,7 +515,7 @@ Result<Serializer::Rendered> Serializer::RenderQuery(
     // Render literal rows as a UNION ALL of FROM-less selects.
     std::string sql;
     for (size_t r = 0; r < cur->rows.size(); ++r) {
-      if (r > 0) sql += " UNION ALL ";
+      if (r > 0) sql += dialect_->SetOpKeyword(xtra::SetOpKind::kUnionAll);
       sql += "SELECT ";
       for (size_t c = 0; c < cur->rows[r].size(); ++c) {
         if (c > 0) sql += ", ";
@@ -707,7 +652,7 @@ Result<Serializer::Rendered> Serializer::RenderQuery(
       }
     }
   }
-  if (limit >= 0) sql += " LIMIT " + std::to_string(limit);
+  if (limit >= 0) sql += dialect_->RowLimitClause(limit);
 
   out.sql = std::move(sql);
   out.cols = std::move(out_cols);

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "serializer/dialect.h"
 #include "transform/backend_profile.h"
 #include "xtra/xtra.h"
 
@@ -32,6 +33,10 @@ class Serializer {
   Result<std::string> Serialize(const xtra::Op& plan) const;
 
   const transform::BackendProfile& profile() const { return profile_; }
+
+  /// \brief The dialect generator resolved from `profile.dialect` (the
+  /// "ansi" default when the profile names no registered dialect).
+  const SQLDialectGenerator& dialect() const { return *dialect_; }
 
  private:
   /// Maps col id -> SQL text that evaluates it in the current scope.
@@ -62,10 +67,12 @@ class Serializer {
   Result<std::string> RenderUpdate(const xtra::Op& op) const;
   Result<std::string> RenderDelete(const xtra::Op& op) const;
 
-  static std::string QuoteIdent(const std::string& name);
-  static std::string RenderLiteral(const Datum& v);
+  // Surface syntax delegates to the active dialect generator.
+  std::string QuoteIdent(const std::string& name) const;
+  std::string RenderLiteral(const Datum& v) const;
 
   transform::BackendProfile profile_;
+  const SQLDialectGenerator* dialect_;  // registry-owned, never null
 };
 
 }  // namespace hyperq::serializer

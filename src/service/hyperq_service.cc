@@ -669,8 +669,10 @@ Result<QueryOutcome> HyperQService::ExecuteCachedStatement(
   out.features = entry.features;
   out.timing.cache_hits = 1;
   // The whole parse→bind→transform→serialize pipeline was skipped;
-  // translation cost is normalize + lookup + splice.
+  // translation cost is normalize + lookup + splice. The cached template
+  // was emitted under the active dialect (it is part of the cache key).
   out.timing.translation_micros = translation.ElapsedMicros();
+  out.timing.dialect = serializer_.dialect().Name();
   out.backend_sql.push_back(sql_b);
   Stopwatch execution;
   {
@@ -1651,6 +1653,9 @@ Result<QueryOutcome> HyperQService::ExecuteStatement(
             one.timing.retry_backoff_micros;
         combined.timing.execution_attempts += one.timing.execution_attempts;
         combined.timing.cache_hits += one.timing.cache_hits;
+        if (combined.timing.dialect.empty()) {
+          combined.timing.dialect = one.timing.dialect;
+        }
         combined.features.Merge(one.features);
         combined.backend_sql.insert(combined.backend_sql.end(),
                                     one.backend_sql.begin(),
@@ -1679,6 +1684,9 @@ Result<QueryOutcome> HyperQService::ExecuteStatement(
             one.timing.retry_backoff_micros;
         combined.timing.execution_attempts += one.timing.execution_attempts;
         combined.timing.cache_hits += one.timing.cache_hits;
+        if (combined.timing.dialect.empty()) {
+          combined.timing.dialect = one.timing.dialect;
+        }
         combined.features.Merge(one.features);
         combined.backend_sql.insert(combined.backend_sql.end(),
                                     one.backend_sql.begin(),
@@ -1797,6 +1805,7 @@ Result<QueryOutcome> HyperQService::RunPipeline(Session* session,
                                         &plan, &ids, &features, &catalog_));
     transform_span.End();
     out.timing.translation_micros += translation.ElapsedMicros();
+    out.timing.dialect = serializer_.dialect().Name();
     Stopwatch execution;
     obs::SpanScope exec_span(ctx, "backend.execute");
     emulation::RecursionDriver driver(&serializer_,
@@ -1817,9 +1826,11 @@ Result<QueryOutcome> HyperQService::RunPipeline(Session* session,
   }
   transform_span.End();
   obs::SpanScope serialize_span(ctx, "serialize");
+  serialize_span.Annotate("dialect", serializer_.dialect().Name());
   HQ_ASSIGN_OR_RETURN(std::string sql_b, serializer_.Serialize(*plan));
   serialize_span.End();
   out.timing.translation_micros += translation.ElapsedMicros();
+  out.timing.dialect = serializer_.dialect().Name();
   out.backend_sql.push_back(sql_b);
   if (artifacts != nullptr) {
     // Translation is complete; record it so a cancellation during the
@@ -2258,7 +2269,52 @@ Result<QueryOutcome> HyperQService::SubmitScript(
 
 Result<std::vector<std::string>> HyperQService::Translate(
     const std::string& sql_a, FeatureSet* features) {
-  return TranslateInternal(sql_a, features, 0);
+  return Translate(sql_a, features, nullptr);
+}
+
+Result<std::vector<std::string>> HyperQService::Translate(
+    const std::string& sql_a, FeatureSet* features,
+    TimingBreakdown* timing) {
+  Stopwatch translation;
+  auto out = TranslateInternal(sql_a, features, 0);
+  if (timing != nullptr) {
+    // Attribute the translation to the dialect it serialized under, so
+    // differential-run traces are attributable even on cache hits (the
+    // cached template was emitted under this same dialect — it keys on
+    // the profile digest, which includes the dialect).
+    timing->translation_micros += translation.ElapsedMicros();
+    timing->dialect = serializer_.dialect().Name();
+  }
+  return out;
+}
+
+Status HyperQService::SwitchBackendDialect(const std::string& dialect_name) {
+  const serializer::SQLDialectGenerator* gen =
+      serializer::FindDialect(dialect_name);
+  if (gen == nullptr) {
+    return Status::InvalidArgument("unknown SQL-B dialect '", dialect_name,
+                                   "'");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pool_ != nullptr) {
+    return Status::InvalidArgument(
+        "cannot switch dialect in fleet mode: registered replicas were "
+        "validated against the configured profile");
+  }
+  if (!active_queries_.empty()) {
+    return Status::InvalidArgument(
+        "cannot switch dialect with queries in flight");
+  }
+  // Adopt the generator's capability matrix wholesale: the dialect decides
+  // which serialization-stage rewrites fire, not just the surface syntax.
+  options_.profile = gen->Profile();
+  transformer_ = transform::Transformer(options_.profile);
+  serializer_ = serializer::Serializer(options_.profile);
+  // Re-keying the cache is automatic: the profile digest embeds the
+  // dialect, so entries of the previous dialect can no longer be looked up
+  // (they age out of the LRU; no flush required for correctness).
+  profile_digest_ = options_.profile.CacheKeyDigest();
+  return Status::OK();
 }
 
 Result<std::vector<std::string>> HyperQService::TranslateInternal(

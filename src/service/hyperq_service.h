@@ -68,6 +68,9 @@ struct TimingBreakdown {
                               // to disk for this request (DESIGN.md §8)
   int hedges = 0;             // hedge attempts launched for this request
   bool hedge_won = false;     // a hedge replica produced the result
+  std::string dialect;        // SQL-B dialect the statement serialized under
+                              // (profile.dialect; also a `dialect` label on
+                              // the serialize span)
 };
 
 /// \brief Result of one submitted SQL-A request.
@@ -295,6 +298,20 @@ class HyperQService : public protocol::RequestHandler {
   /// statement would produce. Used by the workload study and tests.
   Result<std::vector<std::string>> Translate(const std::string& sql_a,
                                              FeatureSet* features);
+
+  /// \brief Translate with timing attribution: fills `timing` (when non
+  /// null) with the translation time and the active SQL-B dialect, so
+  /// differential runs can attribute every translation to its generator.
+  Result<std::vector<std::string>> Translate(const std::string& sql_a,
+                                             FeatureSet* features,
+                                             TimingBreakdown* timing);
+
+  /// \brief Re-targets this service to another registered SQL-B dialect:
+  /// adopts the dialect's capability matrix, rebuilds the transformer and
+  /// serializer, and re-keys the translation cache via the profile digest
+  /// (entries of the old dialect become unreachable; no flush needed).
+  /// Fails in fleet mode and while queries are in flight.
+  Status SwitchBackendDialect(const std::string& dialect_name);
 
   Catalog* catalog() { return &catalog_; }
   const transform::BackendProfile& profile() const {

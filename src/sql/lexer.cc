@@ -124,7 +124,7 @@ Status StreamLexer::Lex(Token* t) {
   if (IsDigit(c)) return LexNumber(t);
   if (c == '.' && IsDigit(LookAhead())) return LexNumber(t);
   if (c == '\'') return LexString(t);
-  if (c == '"') return LexQuotedIdent(t);
+  if (c == '"' || c == '`') return LexQuotedIdent(t, c);
   if (c == ':') return LexParam(t);
   return LexOperator(t);
 }
@@ -193,7 +193,11 @@ Status StreamLexer::LexString(Token* t) {
   return Status::OK();
 }
 
-Status StreamLexer::LexQuotedIdent(Token* t) {
+// Handles both `"..."` (standard) and `` `...` `` (sierra-style) quoting;
+// the doubled-quote escape applies to whichever character opened the
+// identifier. Both fold to upper case (quoting is for reserved words and
+// special characters, not case sensitivity, in this frontend).
+Status StreamLexer::LexQuotedIdent(Token* t, char quote) {
   Start(t, TokenKind::kQuotedIdent);
   Advance();
   size_t chunk = pos_;
@@ -202,10 +206,10 @@ Status StreamLexer::LexQuotedIdent(Token* t) {
       return Status::SyntaxError("unterminated quoted identifier at line ",
                                  t->line);
     }
-    if (Cur() == '"') {
+    if (Cur() == quote) {
       t->text.append(sql_, chunk, pos_ - chunk);
-      if (LookAhead() == '"') {
-        t->text += '"';
+      if (LookAhead() == quote) {
+        t->text += quote;
         Advance();
         Advance();
         chunk = pos_;

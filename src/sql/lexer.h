@@ -69,7 +69,7 @@ class StreamLexer {
   Status LexIdent(Token* t);
   Status LexNumber(Token* t);
   Status LexString(Token* t);
-  Status LexQuotedIdent(Token* t);
+  Status LexQuotedIdent(Token* t, char quote);
   Status LexParam(Token* t);
   Status LexOperator(Token* t);
 

@@ -230,6 +230,18 @@ class Parser {
     if (dialect_.allow_limit && ts_.ConsumeKeyword("LIMIT")) {
       HQ_ASSIGN_OR_RETURN(int64_t n, ParseIntegerLiteral());
       stmt->limit = n;
+    } else if (dialect_.allow_limit && ts_.Peek().IsKeyword("FETCH")) {
+      // Standard row-limit spelling: FETCH FIRST|NEXT n ROWS|ROW ONLY.
+      ts_.Next();
+      if (!ts_.ConsumeKeyword("FIRST")) {
+        HQ_RETURN_IF_ERROR(ts_.ExpectKeyword("NEXT"));
+      }
+      HQ_ASSIGN_OR_RETURN(int64_t n, ParseIntegerLiteral());
+      if (!ts_.ConsumeKeyword("ROWS")) {
+        HQ_RETURN_IF_ERROR(ts_.ExpectKeyword("ROW"));
+      }
+      HQ_RETURN_IF_ERROR(ts_.ExpectKeyword("ONLY"));
+      stmt->limit = n;
     }
     return stmt;
   }

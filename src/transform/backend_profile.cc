@@ -19,7 +19,10 @@ std::string BackendProfile::CacheKeyDigest() const {
       supports_case_insensitive_columns, supports_nonconstant_defaults,
       nulls_sort_low,
   };
-  std::string digest = name + ':';
+  // The dialect participates in the digest: two profiles that agree on every
+  // capability but render through different generators emit different SQL-B
+  // text and must never share cached templates.
+  std::string digest = name + '/' + dialect + ':';
   digest.reserve(digest.size() + sizeof(bits) / sizeof(bits[0]));
   for (bool b : bits) digest += b ? '1' : '0';
   return digest;
@@ -27,8 +30,11 @@ std::string BackendProfile::CacheKeyDigest() const {
 
 bool BackendProfile::CanServe(const BackendProfile& emitted) const {
   // nulls_sort_low is a semantic property, not a capability: a mismatch
-  // silently reorders results, so it must match exactly.
+  // silently reorders results, so it must match exactly. The dialect must
+  // match too — SQL-B rendered by one generator is not guaranteed to parse
+  // on a backend expecting another (quoting and literal syntax diverge).
   if (nulls_sort_low != emitted.nulls_sort_low) return false;
+  if (dialect != emitted.dialect) return false;
   const bool mine[] = {
       supports_qualify,          supports_implicit_join,
       supports_named_expr_reuse, supports_derived_col_aliases,

@@ -16,6 +16,12 @@ namespace hyperq::transform {
 struct BackendProfile {
   std::string name;
 
+  // Registered SQLDialectGenerator that renders SQL-B for this target
+  // (serializer/dialect.h). Dialects differ in identifier quoting,
+  // date/interval literal syntax, set-operation keywords, and row-limit
+  // clauses — text-level divergence on top of the capability switches below.
+  std::string dialect = "ansi";
+
   // Query surface.
   bool supports_qualify = false;
   bool supports_implicit_join = false;

@@ -147,7 +147,29 @@ class VectorSubqToExistsRule : public Rule {
       std::vector<ColumnInfo> cols = x.subplan->output;
       ExprPtr row_pred = BuildRowComparison(x, cols);
       bool negate = x.quantifier == xtra::Quantifier::kAll;
-      if (negate) row_pred = xtra::Not(std::move(row_pred));
+      if (negate) {
+        // ALL under filter semantics keeps the outer row only when every
+        // comparison is TRUE, so the NOT EXISTS witness set must contain
+        // rows whose comparison is FALSE *or UNKNOWN*. Plain NOT(pred)
+        // loses the UNKNOWN rows (NOT NULL = NULL is filtered out) and
+        // wrongly keeps the outer row when the subquery has NULLs.
+        // Unknown-ness is guarded operand-wise: exact for the scalar
+        // case, conservative for vector rows (any NULL operand counts).
+        std::vector<ExprPtr> witness;
+        witness.push_back(xtra::Not(std::move(row_pred)));
+        for (size_t i = 0; i < x.children.size(); ++i) {
+          auto outer_null = std::make_unique<Expr>(ExprKind::kIsNull);
+          outer_null->type = SqlType::Bool();
+          outer_null->children.push_back(x.children[i]->Clone());
+          witness.push_back(std::move(outer_null));
+          auto inner_null = std::make_unique<Expr>(ExprKind::kIsNull);
+          inner_null->type = SqlType::Bool();
+          inner_null->children.push_back(
+              xtra::ColRef(cols[i].id, cols[i].name, cols[i].type));
+          witness.push_back(std::move(inner_null));
+        }
+        row_pred = xtra::BoolOp(BoolKind::kOr, std::move(witness));
+      }
 
       // SELECT 1 FROM <subplan> WHERE <pred> — the paper's "remap consts"
       // projection under a select (Figure 6).

@@ -1371,6 +1371,8 @@ Result<Datum> Executor::EvalFunc(const Expr& e,
     HQ_ASSIGN_OR_RETURN(Datum d, args[0].CastTo(SqlType::Date()));
     return Datum::Date(d.date_val() + static_cast<int32_t>(args[1].AsInt()));
   }
+  if (f == "TO_DATE") return args[0].CastTo(SqlType::Date());
+  if (f == "TO_TIMESTAMP") return args[0].CastTo(SqlType::Timestamp());
   if (f == "DATE_DIFF_DAYS") {
     HQ_ASSIGN_OR_RETURN(Datum a, args[0].CastTo(SqlType::Date()));
     HQ_ASSIGN_OR_RETURN(Datum b, args[1].CastTo(SqlType::Date()));

@@ -6,11 +6,14 @@
 // Whitespace/formatting is normalized relative to the paper (the original
 // figures mix "arith (+)" and "arith(-)"); the structure is asserted 1:1.
 
+#include <filesystem>
+
 #include <gtest/gtest.h>
 
 #include "binder/binder.h"
 #include "frontend/ast_printer.h"
 #include "golden_corpus.h"
+#include "serializer/dialect.h"
 #include "serializer/serializer.h"
 #include "service/hyperq_service.h"
 #include "sql/normalizer.h"
@@ -283,6 +286,71 @@ TEST_F(GoldenCorpusTest, SerializedSqlReparsesUnderTargetGrammar) {
           << sql_b << "\n" << reparsed.status();
     }
   }
+}
+
+// Per-dialect sub-corpora (DESIGN.md §12): every root corpus case also has
+// a checked-in translation under tests/golden/<dialect>/ for each non-root
+// SQL-B dialect, produced by a service running that dialect's profile.
+// HQ_REGEN_GOLDEN=1 regenerates the sub-corpora together with the root.
+TEST_F(GoldenCorpusTest, DialectSubCorporaMatchExpected) {
+  bool regen = golden::RegenRequested();
+  namespace fs = std::filesystem;
+  for (const std::string& dialect : serializer::DialectNames()) {
+    if (dialect == serializer::DefaultDialect().Name()) continue;
+    const serializer::SQLDialectGenerator* gen =
+        serializer::FindDialect(dialect);
+    ASSERT_NE(gen, nullptr) << dialect;
+    vdb::Engine engine;
+    service::ServiceOptions options;
+    options.profile = gen->Profile();
+    service::HyperQService service(&engine, options);
+    auto sid = service.OpenSession("golden-" + dialect);
+    ASSERT_TRUE(sid.ok()) << sid.status();
+    for (const std::string& stmt : golden::SchemaStatements()) {
+      auto r = service.Submit(*sid, stmt);
+      ASSERT_TRUE(r.ok()) << dialect << ": " << stmt << "\n" << r.status();
+    }
+    std::string subdir = golden::GoldenDir() + "/" + dialect;
+    if (regen) fs::create_directories(subdir);
+    for (const auto& c : cases_) {
+      auto translated = service.Translate(c.sql, nullptr);
+      ASSERT_TRUE(translated.ok())
+          << dialect << "/" << c.name << "\n" << translated.status();
+      std::string joined = golden::JoinTranslations(*translated);
+      std::string expected_path = subdir + "/" + c.name + ".expected";
+      if (regen) {
+        golden::WriteTextFile(expected_path, joined);
+        continue;
+      }
+      std::string expected = golden::ReadTextFile(expected_path);
+      ASSERT_FALSE(expected.empty())
+          << dialect << "/" << c.name << ": missing " << expected_path
+          << " (run with HQ_REGEN_GOLDEN=1 to create it)";
+      EXPECT_EQ(joined, expected) << dialect << "/" << c.name;
+    }
+  }
+}
+
+// The sub-corpora must be genuinely dialect-specific: for each case at
+// least one non-root dialect translation differs from the root .expected
+// (all-identical files would mean the generators are not being exercised).
+TEST_F(GoldenCorpusTest, DialectSubCorporaDivergeFromRoot) {
+  if (golden::RegenRequested()) GTEST_SKIP() << "regen run";
+  int diverging_cases = 0;
+  for (const auto& c : cases_) {
+    for (const std::string& dialect : serializer::DialectNames()) {
+      if (dialect == serializer::DefaultDialect().Name()) continue;
+      std::string expected = golden::ReadTextFile(
+          golden::GoldenDir() + "/" + dialect + "/" + c.name + ".expected");
+      if (!expected.empty() && expected != c.expected) {
+        ++diverging_cases;
+        break;
+      }
+    }
+  }
+  // Nearly every case contains an identifier, so the always-quoting
+  // dialects must diverge almost everywhere.
+  EXPECT_GE(diverging_cases, static_cast<int>(cases_.size()) - 2);
 }
 
 // Normalization property: normalize(normalize(q)) == normalize(q). The

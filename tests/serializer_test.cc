@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include "binder/binder.h"
+#include "serializer/dialect.h"
 #include "serializer/serializer.h"
 #include "sql/parser.h"
+#include "types/date.h"
 #include "transform/transformer.h"
 #include "vdb/engine.h"
 
@@ -173,6 +175,112 @@ TEST_F(SerializerTest, WindowSpecRendering) {
   EXPECT_NE(sql->find("SUM(T.A) OVER (PARTITION BY T.B ORDER BY T.D DESC)"),
             std::string::npos)
       << *sql;
+}
+
+// ---------------------------------------------------------------------------
+// Pluggable dialect generators (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+TEST(DialectRegistryTest, ThreeDialectsRegisteredAndResolvable) {
+  auto names = DialectNames();
+  ASSERT_GE(names.size(), 3u);
+  for (const auto& n : {"ansi", "sierra", "granite"}) {
+    const SQLDialectGenerator* gen = FindDialect(n);
+    ASSERT_NE(gen, nullptr) << n;
+    EXPECT_EQ(gen->Name(), n);
+    EXPECT_EQ(gen->Profile().dialect, n);
+  }
+  EXPECT_EQ(FindDialect("no-such"), nullptr);
+  EXPECT_EQ(DefaultDialect().Name(), "ansi");
+}
+
+TEST(DialectRegistryTest, CapabilityMatricesDiverge) {
+  const auto& ansi = FindDialect("ansi")->Profile();
+  const auto& sierra = FindDialect("sierra")->Profile();
+  const auto& granite = FindDialect("granite")->Profile();
+  // Sierra loses quantified subqueries (the EXISTS rewrites must fire);
+  // granite gains native date arithmetic and NULLs-sort-low semantics.
+  EXPECT_TRUE(ansi.supports_quantified_subquery);
+  EXPECT_FALSE(sierra.supports_quantified_subquery);
+  EXPECT_TRUE(granite.supports_quantified_subquery);
+  EXPECT_FALSE(ansi.supports_date_arithmetic);
+  EXPECT_TRUE(granite.supports_date_arithmetic);
+  EXPECT_FALSE(ansi.nulls_sort_low);
+  EXPECT_TRUE(granite.nulls_sort_low);
+  // Three pairwise-distinct cache digests.
+  EXPECT_NE(ansi.CacheKeyDigest(), sierra.CacheKeyDigest());
+  EXPECT_NE(ansi.CacheKeyDigest(), granite.CacheKeyDigest());
+  EXPECT_NE(sierra.CacheKeyDigest(), granite.CacheKeyDigest());
+}
+
+TEST(DialectGeneratorTest, IdentifierQuotingDiverges) {
+  const auto& ansi = *FindDialect("ansi");
+  const auto& sierra = *FindDialect("sierra");
+  const auto& granite = *FindDialect("granite");
+  // Simple identifier: ansi leaves it bare, the others always quote.
+  EXPECT_EQ(ansi.QuoteIdent("SALES"), "SALES");
+  EXPECT_EQ(sierra.QuoteIdent("SALES"), "`SALES`");
+  EXPECT_EQ(granite.QuoteIdent("SALES"), "\"SALES\"");
+  // Non-simple identifier: everyone quotes, each in its own style.
+  EXPECT_EQ(ansi.QuoteIdent("ORDER TOTAL"), "\"ORDER TOTAL\"");
+  EXPECT_EQ(sierra.QuoteIdent("ORDER TOTAL"), "`ORDER TOTAL`");
+  EXPECT_EQ(granite.QuoteIdent("ORDER TOTAL"), "\"ORDER TOTAL\"");
+}
+
+TEST(DialectGeneratorTest, TemporalLiteralSyntaxDiverges) {
+  Datum d = Datum::Date(DaysFromCivil(2024, 3, 15));
+  EXPECT_EQ(FindDialect("ansi")->RenderLiteral(d), "DATE '2024-03-15'");
+  EXPECT_EQ(FindDialect("sierra")->RenderLiteral(d),
+            "CAST('2024-03-15' AS DATE)");
+  EXPECT_EQ(FindDialect("granite")->RenderLiteral(d),
+            "TO_DATE('2024-03-15')");
+}
+
+TEST(DialectGeneratorTest, SetOpAndRowLimitSyntaxDiverges) {
+  const auto& ansi = *FindDialect("ansi");
+  const auto& sierra = *FindDialect("sierra");
+  const auto& granite = *FindDialect("granite");
+  EXPECT_EQ(ansi.SetOpKeyword(xtra::SetOpKind::kExcept), " EXCEPT ");
+  EXPECT_EQ(sierra.SetOpKeyword(xtra::SetOpKind::kExcept),
+            " EXCEPT DISTINCT ");
+  EXPECT_EQ(granite.SetOpKeyword(xtra::SetOpKind::kExcept), " MINUS ");
+  EXPECT_EQ(ansi.RowLimitClause(7), " LIMIT 7");
+  EXPECT_EQ(granite.RowLimitClause(7), " FETCH FIRST 7 ROWS ONLY");
+}
+
+TEST(DialectSerializerTest, SerializerRendersUnderEachDialect) {
+  Catalog catalog;
+  TableDef t;
+  t.name = "T";
+  t.columns = {{"A", SqlType::Int(), true, {}},
+               {"D", SqlType::Date(), true, {}}};
+  ASSERT_TRUE(catalog.CreateTable(t).ok());
+  auto serialize = [&](const std::string& dialect) {
+    auto stmt = sql::ParseStatement("SEL A FROM T WHERE D = DATE '2024-03-15'",
+                                    sql::Dialect::Teradata());
+    EXPECT_TRUE(stmt.ok()) << stmt.status();
+    binder::Binder binder(&catalog, sql::Dialect::Teradata());
+    auto plan = binder.BindStatement(**stmt);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    Serializer ser(FindDialect(dialect)->Profile());
+    auto sql_b = ser.Serialize(**plan);
+    EXPECT_TRUE(sql_b.ok()) << sql_b.status();
+    return sql_b.ok() ? *sql_b : std::string();
+  };
+  std::string ansi = serialize("ansi");
+  std::string sierra = serialize("sierra");
+  std::string granite = serialize("granite");
+  EXPECT_NE(ansi.find("DATE '2024-03-15'"), std::string::npos) << ansi;
+  EXPECT_NE(sierra.find("CAST('2024-03-15' AS DATE)"), std::string::npos)
+      << sierra;
+  EXPECT_NE(sierra.find("`T`"), std::string::npos) << sierra;
+  EXPECT_NE(granite.find("TO_DATE('2024-03-15')"), std::string::npos)
+      << granite;
+  EXPECT_NE(granite.find("\"T\""), std::string::npos) << granite;
+  // All three are distinct texts of the same statement.
+  EXPECT_NE(ansi, sierra);
+  EXPECT_NE(ansi, granite);
+  EXPECT_NE(sierra, granite);
 }
 
 }  // namespace

@@ -581,5 +581,71 @@ TEST_F(TranslationCacheTest, HitPathTranslationAtLeast5xFaster) {
       << "us, median hit translation " << hit << "us";
 }
 
+// ---------------------------------------------------------------------------
+// Dialect isolation (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+// Two profiles that agree on every capability bit but carry different
+// dialect generators must never share a cached template: the digest (the
+// cache key's settings component) has to differ, and CanServe has to
+// refuse the cross-dialect reuse path.
+TEST(DialectCacheKeyTest, ProfilesDifferingOnlyInDialectNeverShareEntries) {
+  transform::BackendProfile ansi = transform::BackendProfile::Vdb();
+  transform::BackendProfile sierra = transform::BackendProfile::Vdb();
+  sierra.dialect = "sierra";
+  EXPECT_NE(ansi.CacheKeyDigest(), sierra.CacheKeyDigest());
+  EXPECT_FALSE(ansi.CanServe(sierra));
+  EXPECT_FALSE(sierra.CanServe(ansi));
+  EXPECT_TRUE(ansi.CanServe(ansi));
+}
+
+// Switching the service's dialect mid-session re-keys the cache cleanly:
+// the same SQL-A shape is a miss under the new dialect (no stale template
+// is spliced), produces that dialect's SQL-B, and switching back makes the
+// original entries reachable again — hits resume, byte-identical.
+TEST_F(TranslationCacheTest, DialectSwitchMidSessionReKeysCache) {
+  Init();
+  const std::string q1 = "SEL REGION FROM SALES WHERE AMOUNT > 100";
+  const std::string q2 = "SEL REGION FROM SALES WHERE AMOUNT > 200";
+
+  auto cold = Must(q1);
+  auto warm = Must(q2);
+  EXPECT_EQ(warm.timing.cache_hits, 1);
+  EXPECT_EQ(cold.timing.dialect, "ansi");
+  ASSERT_EQ(warm.backend_sql.size(), 1u);
+  const std::string ansi_sql = cold.backend_sql[0];
+
+  ASSERT_TRUE(service_->SwitchBackendDialect("sierra").ok());
+  auto sierra_cold = Must(q1);
+  // Same shape, new dialect: MUST be a miss (a hit would splice the ansi
+  // template into a sierra session).
+  EXPECT_EQ(sierra_cold.timing.cache_hits, 0);
+  EXPECT_EQ(sierra_cold.timing.dialect, "sierra");
+  ASSERT_EQ(sierra_cold.backend_sql.size(), 1u);
+  EXPECT_NE(sierra_cold.backend_sql[0], ansi_sql);
+  // Sierra's generator backtick-quotes every identifier.
+  EXPECT_NE(sierra_cold.backend_sql[0].find('`'), std::string::npos)
+      << sierra_cold.backend_sql[0];
+  auto sierra_warm = Must(q2);
+  EXPECT_EQ(sierra_warm.timing.cache_hits, 1);
+  EXPECT_EQ(sierra_warm.timing.dialect, "sierra");
+
+  // Switch back: the original dialect's entries are reachable again.
+  ASSERT_TRUE(service_->SwitchBackendDialect("ansi").ok());
+  auto back = Must(q1);
+  EXPECT_EQ(back.timing.cache_hits, 1);
+  EXPECT_EQ(back.timing.dialect, "ansi");
+  ASSERT_EQ(back.backend_sql.size(), 1u);
+  EXPECT_EQ(back.backend_sql[0], ansi_sql);
+}
+
+TEST_F(TranslationCacheTest, DialectSwitchRejectsUnknownName) {
+  Init();
+  EXPECT_FALSE(service_->SwitchBackendDialect("no-such-dialect").ok());
+  // The failed switch left the active dialect untouched.
+  auto out = Must("SEL REGION FROM SALES WHERE AMOUNT > 100");
+  EXPECT_EQ(out.timing.dialect, "ansi");
+}
+
 }  // namespace
 }  // namespace hyperq
