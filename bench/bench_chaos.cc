@@ -1,0 +1,362 @@
+// Chaos resilience study (DESIGN.md §13).
+//
+// A wire-level proxy (TdwpServer over real TCP) serves an 8-session
+// self-checking workload while declarative chaos scenarios degrade the
+// links and the fleet. Per scenario the study reports
+//   * availability (% of logical queries delivered, after retries),
+//   * MTTR (fault-phase start -> first delivered query, averaged),
+//   * client-observed latency p50/p99 (including retries),
+//   * fault-injection counts (the storm actually fired), and
+//   * the invariant audit verdict (violations fail the study),
+// written to BENCH_chaos.json. Scenarios: baseline (no chaos), latency
+// + jitter, a one-way partition of one replica's request path, a replica
+// kill/revive cycle, and the full mixed soak from the acceptance bar.
+//
+// Flags: --chaos_seconds=N (per scenario; default 6) and
+// --chaos_sessions=N (default 8). scripts/chaos_nightly.sh runs the long
+// version. Remaining args go to Google Benchmark (micro-benchmarks for
+// the disarmed-seam overhead and the ChaosNet decision path).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chaos/auditor.h"
+#include "chaos/link.h"
+#include "chaos/orchestrator.h"
+#include "chaos/workload.h"
+#include "common/link_shim.h"
+#include "common/resource_governor.h"
+#include "observability/metric_names.h"
+#include "protocol/server.h"
+#include "service/hyperq_service.h"
+#include "vdb/engine.h"
+
+using namespace hyperq;
+
+namespace {
+
+int g_seconds = 6;
+int g_sessions = 8;
+
+struct ScenarioSpec {
+  const char* name;
+  /// Scenario script run in a loop for the study window; empty = no chaos.
+  /// "%d" nowhere — scripts are literal. Fault phases are the ones whose
+  /// name starts with "fault": MTTR is measured from their start.
+  const char* script;
+};
+
+// Phase names starting with "fault" mark MTTR measurement points.
+const ScenarioSpec kScenarios[] = {
+    {"baseline", ""},
+    {"latency_jitter", R"(
+scenario latency_jitter
+phase fault_latency 600
+latency client ms=5 jitter=10
+latency frontend ms=2 jitter=4
+phase recover 200
+heal
+)"},
+    {"partition_replica", R"(
+scenario partition_replica
+phase calm 200
+phase fault_partition 500
+partition backend send link=r0
+phase recover 200
+heal
+)"},
+    {"kill_revive", R"(
+scenario kill_revive
+phase calm 200
+phase fault_kill 500
+kill 1
+phase recover 200
+heal
+)"},
+    {"mixed_soak", R"(
+scenario mixed_soak
+phase warm 150
+phase fault_degrade 350
+latency client ms=3 jitter=4
+short_io frontend p=0.08 max=5
+short_io client p=0.08 max=5
+corrupt client send=0.02
+phase fault_partition 350
+partition backend send link=r0
+phase fault_kill 350
+kill 1
+phase recover 150
+heal
+)"},
+};
+
+struct ScenarioResult {
+  std::string name;
+  chaos::WorkloadReport report;
+  chaos::LinkChaosStats net;
+  double mttr_ms = 0;       // mean fault-start -> next delivery
+  double p50_ms = 0;        // client-observed latency (incl. retries)
+  double p99_ms = 0;
+  int fault_phases = 0;
+  std::vector<std::string> violations;
+};
+
+double Percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t i = static_cast<size_t>(p * (v.size() - 1));
+  return v[i];
+}
+
+ScenarioResult RunScenarioStudy(const ScenarioSpec& spec) {
+  ScenarioResult result;
+  result.name = spec.name;
+
+  vdb::Engine engine;
+  service::ServiceOptions options;
+  options.connector.retry.max_attempts = 2;
+  options.connector.retry.base_delay_ms = 1;
+  options.connector.retry.max_delay_ms = 2;
+  options.fleet.backends.resize(3);
+  for (int i = 0; i < 3; ++i) {
+    options.fleet.backends[i].name = "r" + std::to_string(i);
+    options.fleet.backends[i].profile = transform::BackendProfile::Vdb();
+  }
+  auto governor = std::make_shared<ResourceGovernor>();
+  options.governor = governor;
+  service::HyperQService service(&engine, options);
+
+  protocol::TdwpServerOptions server_options;
+  server_options.frame_read_timeout_ms = 2000;
+  protocol::TdwpServer server(&service, server_options);
+  if (!server.Start(0).ok()) std::abort();
+  if (!chaos::ChaosWorkload::SeedData(server.port(), 48).ok()) std::abort();
+
+  chaos::AuditorOptions audit_options;
+  audit_options.service = &service;
+  audit_options.server = &server;
+  audit_options.governor = governor.get();
+  audit_options.metrics = service.metrics_registry();
+  chaos::InvariantAuditor auditor(audit_options);
+  auditor.CaptureBaseline();
+
+  chaos::ClientLedger ledger;
+  chaos::ChaosNet net(0xC4A05, service.metrics_registry());
+  net.Install();
+
+  // Fault-phase start marks on the ledger clock, for MTTR.
+  std::mutex marks_mutex;
+  std::vector<int64_t> fault_marks;
+  std::atomic<bool> done{false};
+  std::thread chaos_thread;
+  if (spec.script[0] != '\0') {
+    chaos_thread = std::thread([&] {
+      chaos::OrchestratorOptions opt;
+      opt.net = &net;
+      opt.pool = service.backend_pool();
+      opt.metrics = service.metrics_registry();
+      opt.on_phase = [&](const std::string& label) {
+        if (label.find(") phase fault") != std::string::npos) {
+          std::lock_guard<std::mutex> lock(marks_mutex);
+          fault_marks.push_back(ledger.now_ms());
+        }
+      };
+      chaos::ChaosOrchestrator orch(opt);
+      while (!done.load()) {
+        Status st = orch.RunScript(spec.script);
+        if (!st.ok()) {
+          std::fprintf(stderr, "scenario %s: %s\n", spec.name,
+                       st.ToString().c_str());
+          std::abort();
+        }
+      }
+    });
+  }
+
+  chaos::WorkloadOptions w;
+  w.port = server.port();
+  w.sessions = g_sessions;
+  w.duration_ms = g_seconds * 1000;
+  w.max_attempts = 4;
+  w.rows = 48;
+  result.report = chaos::ChaosWorkload::Run(w, &ledger);
+  done.store(true);
+  if (chaos_thread.joinable()) chaos_thread.join();
+  net.Uninstall();
+  result.net = net.stats();
+
+  result.violations = auditor.Audit(ledger);
+
+  // Latency percentiles over delivered queries (retries included: this is
+  // what the BI client experienced).
+  std::vector<double> latencies;
+  for (const auto& e : ledger.Entries()) {
+    if (e.delivered) {
+      latencies.push_back(static_cast<double>(e.t_end_ms - e.t_begin_ms));
+    }
+  }
+  result.p50_ms = Percentile(latencies, 0.50);
+  result.p99_ms = Percentile(latencies, 0.99);
+
+  // MTTR: for each fault-phase start, time until the next delivered query
+  // anywhere in the fleet of sessions. A shallow dip means milliseconds.
+  auto samples = ledger.Samples();
+  double mttr_sum = 0;
+  int mttr_n = 0;
+  {
+    std::lock_guard<std::mutex> lock(marks_mutex);
+    result.fault_phases = static_cast<int>(fault_marks.size());
+    for (int64_t mark : fault_marks) {
+      for (const auto& s : samples) {
+        if (s.ok && s.t_ms >= mark) {
+          mttr_sum += static_cast<double>(s.t_ms - mark);
+          ++mttr_n;
+          break;
+        }
+      }
+    }
+  }
+  result.mttr_ms = mttr_n > 0 ? mttr_sum / mttr_n : 0;
+  server.Stop();
+  return result;
+}
+
+void WriteBenchJson(const std::vector<ScenarioResult>& results) {
+  const char* path = "BENCH_chaos.json";
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"chaos_resilience\",\n");
+  std::fprintf(f, "  \"sessions\": %d,\n", g_sessions);
+  std::fprintf(f, "  \"seconds_per_scenario\": %d,\n", g_seconds);
+  std::fprintf(f, "  \"scenarios\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    double avail = 100.0 * r.report.success_rate();
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n", r.name.c_str());
+    std::fprintf(f, "      \"issued\": %lld,\n",
+                 static_cast<long long>(r.report.issued));
+    std::fprintf(f, "      \"delivered\": %lld,\n",
+                 static_cast<long long>(r.report.delivered));
+    std::fprintf(f, "      \"failed\": %lld,\n",
+                 static_cast<long long>(r.report.failed));
+    std::fprintf(f, "      \"retries\": %lld,\n",
+                 static_cast<long long>(r.report.retries));
+    std::fprintf(f, "      \"availability_pct\": %.4f,\n", avail);
+    std::fprintf(f, "      \"acceptance_99pct\": %s,\n",
+                 avail >= 99.0 ? "true" : "false");
+    std::fprintf(f, "      \"mttr_ms\": %.1f,\n", r.mttr_ms);
+    std::fprintf(f, "      \"fault_phases\": %d,\n", r.fault_phases);
+    std::fprintf(f, "      \"latency_p50_ms\": %.1f,\n", r.p50_ms);
+    std::fprintf(f, "      \"latency_p99_ms\": %.1f,\n", r.p99_ms);
+    std::fprintf(f, "      \"injected\": {\n");
+    std::fprintf(f, "        \"latency\": %lld,\n",
+                 static_cast<long long>(r.net.latency_injections));
+    std::fprintf(f, "        \"short_ios\": %lld,\n",
+                 static_cast<long long>(r.net.short_ios));
+    std::fprintf(f, "        \"corruptions\": %lld,\n",
+                 static_cast<long long>(r.net.corruptions));
+    std::fprintf(f, "        \"resets\": %lld,\n",
+                 static_cast<long long>(r.net.resets));
+    std::fprintf(f, "        \"partition_drops\": %lld\n",
+                 static_cast<long long>(r.net.partition_drops));
+    std::fprintf(f, "      },\n");
+    std::fprintf(f, "      \"audit_violations\": %zu\n",
+                 r.violations.size());
+    std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+// Micro-benchmark: the disarmed seam — the production-path cost of chaos
+// support is one relaxed atomic load per transfer chunk.
+void BM_LinkSeamDisarmed(benchmark::State& state) {
+  SetGlobalLinkShim(nullptr);
+  for (auto _ : state) {
+    Status st = CheckLink(linkscopes::kBackend, "r0", true, 4096);
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_LinkSeamDisarmed);
+
+// Micro-benchmark: one armed ChaosNet decision (mutex + PRNG draws).
+void BM_ChaosNetDecision(benchmark::State& state) {
+  static chaos::ChaosNet* net = [] {
+    auto* n = new chaos::ChaosNet(7);
+    chaos::LinkFaults f;
+    f.short_io_probability = 0.1;
+    f.corrupt_send_probability = 0.05;
+    n->Configure(linkscopes::kClient, f);
+    return n;
+  }();
+  LinkOp op;
+  op.scope = linkscopes::kClient;
+  op.send = true;
+  op.requested = 4096;
+  for (auto _ : state) {
+    size_t chunk = op.requested;
+    bool blackhole = false, corrupt = false;
+    Status st = net->BeforeTransfer(op, &chunk, &blackhole, &corrupt);
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_ChaosNetDecision);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--chaos_seconds=", 16) == 0) {
+      g_seconds = std::atoi(argv[i] + 16);
+    } else if (std::strncmp(argv[i], "--chaos_sessions=", 17) == 0) {
+      g_sessions = std::atoi(argv[i] + 17);
+    }
+  }
+  if (g_seconds < 1) g_seconds = 1;
+  if (g_sessions < 1) g_sessions = 1;
+
+  std::vector<ScenarioResult> results;
+  bool clean = true;
+  for (const auto& spec : kScenarios) {
+    ScenarioResult r = RunScenarioStudy(spec);
+    std::printf(
+        "%-18s %6lld issued, %.3f%% delivered, mttr %.1fms, p99 %.1fms, "
+        "%zu violations\n",
+        r.name.c_str(), static_cast<long long>(r.report.issued),
+        100.0 * r.report.success_rate(), r.mttr_ms, r.p99_ms,
+        r.violations.size());
+    for (const auto& v : r.violations) {
+      std::fprintf(stderr, "  invariant violation: %s\n", v.c_str());
+      clean = false;
+    }
+    if (r.report.success_rate() < 0.99) {
+      std::fprintf(stderr,
+                   "  availability bar missed: %s delivered %.3f%% < 99%%\n",
+                   r.name.c_str(), 100.0 * r.report.success_rate());
+      clean = false;
+    }
+    results.push_back(std::move(r));
+  }
+  WriteBenchJson(results);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return clean ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Nightly chaos soak.
+#
+# Runs the full bench_chaos scenario ladder — baseline, latency+jitter,
+# replica partition, kill/revive, and the mixed soak — at nightly length,
+# writes availability / MTTR / injected-fault counts per scenario to
+# BENCH_chaos.json, and fails the run if any scenario missed the 99%
+# availability bar or produced an invariant-audit violation. A red nightly
+# therefore means a real robustness regression, not flake: every failure
+# comes with the auditor's named invariant (I1–I9) in the output.
+#
+#   scripts/chaos_nightly.sh                # 60 s per scenario, 8 sessions
+#   scripts/chaos_nightly.sh --seconds 300  # 5-minute scenarios
+#   scripts/chaos_nightly.sh --sessions 16  # heavier client fleet
+#
+# Extra arguments are passed through to bench_chaos. Exit codes mirror
+# bench_chaos: 0 clean, 1 availability bar missed or audit violations.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+seconds=60
+sessions=8
+passthru=()
+while (( $# )); do
+  case "$1" in
+    --seconds) seconds=$2; shift 2 ;;
+    --seconds=*) seconds=${1#*=}; shift ;;
+    --sessions) sessions=$2; shift 2 ;;
+    --sessions=*) sessions=${1#*=}; shift ;;
+    *) passthru+=("$1"); shift ;;
+  esac
+done
+
+jobs=$(nproc 2>/dev/null || echo 4)
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs" --target bench_chaos
+
+rc=0
+build/bench/bench_chaos --chaos_seconds="$seconds" \
+  --chaos_sessions="$sessions" "${passthru[@]}" || rc=$?
+
+echo "chaos_nightly: summary written to BENCH_chaos.json"
+if (( rc != 0 )); then
+  echo "chaos_nightly: FAIL — availability bar missed or audit violations" >&2
+else
+  echo "chaos_nightly: OK"
+fi
+exit "$rc"

@@ -7,8 +7,9 @@
 # contract holds for the fleet (DESIGN.md §10): every BackendHealth state in
 # src/backend/pool.h must have a kHealthStateMetrics row named
 # hyperq.backend.health.<state>. And for the tail-tolerance layer
-# (DESIGN.md §11): every hyperq.hedge.* / hyperq.retry_budget.* /
-# hyperq.limit.* / hyperq.brownout.* series must be declared as a named
+# (DESIGN.md §11) and the chaos layer (DESIGN.md §13): every
+# hyperq.hedge.* / hyperq.retry_budget.* / hyperq.limit.* /
+# hyperq.brownout.* / hyperq.chaos.* series must be declared as a named
 # constant in metric_names.h (no ad-hoc string literals in src/), and every
 # declared constant must actually be emitted somewhere.
 set -euo pipefail
@@ -96,58 +97,67 @@ if [[ -n "$bad_health" ]]; then
   status=1
 fi
 
-# --- Tail-tolerance series (DESIGN.md §11) -----------------------------------
-# The hedge/retry-budget/adaptive-limit/brownout families are consumed by
-# dashboards as a set; a typo'd literal or a dead constant silently breaks
-# the control-loop view, so both directions are linted.
+# --- Family lints (both directions) ------------------------------------------
+# A metric family consumed by dashboards as a set breaks silently in either
+# direction: a typo'd ad-hoc literal creates a series no dashboard reads,
+# and a dead constant leaves a panel permanently empty. lint_family checks
+# both: every family literal in src/ must be a declared constant in
+# metric_names.h, and every declared constant must be emitted somewhere.
+# $1 = family label (messages), $2 = extended-regex series pattern.
+lint_family() {
+  local label="$1" pat="$2" declared_fam used_fam undeclared dead ident
+  declared_fam=$(grep -oE "\"${pat}\"" "$names_h" | sed 's/"//g' | sort -u)
+  used_fam=$(grep -rhoE "\"${pat}\"" src --include='*.cc' \
+                 --include='*.h' |
+             grep -v "hyperq.faults" | sed 's/"//g' | sort -u || true)
 
-tail_pat='hyperq\.(hedge|retry_budget|limit|brownout)\.[a-z_.]*'
-
-# Declared: the string values of the tail-family constants.
-declared_tail=$(grep -oE "\"${tail_pat}\"" "$names_h" |
-                sed 's/"//g' | sort -u)
-# Used: every tail-family string literal anywhere else in src/.
-used_tail=$(grep -rhoE "\"${tail_pat}\"" src --include='*.cc' \
-                --include='*.h' |
-            grep -v "hyperq.faults" | sed 's/"//g' | sort -u || true)
-
-if [[ -z "$declared_tail" ]]; then
-  echo "check_metrics: no tail-tolerance series parsed from $names_h" >&2
-  exit 1
-fi
-
-# Any literal outside metric_names.h must match a declared constant. The
-# grep above includes metric_names.h itself, so "used minus declared" is
-# exactly the undeclared ad-hoc literals.
-undeclared=$(comm -13 <(echo "$declared_tail") <(echo "$used_tail"))
-if [[ -n "$undeclared" ]]; then
-  echo "check_metrics: tail series used in src/ but not declared in $names_h:" >&2
-  echo "$undeclared" | sed 's/^/  /' >&2
-  status=1
-fi
-
-# Every declared tail constant must be emitted somewhere (by identifier).
-dead_tail=""
-while IFS= read -r line; do
-  ident=$(echo "$line" | sed 's/ .*//')
-  if ! grep -rq "names::${ident}\b" src --include='*.cc' \
-       --exclude='metric_names.h'; then
-    dead_tail="${dead_tail}  ${ident} ($(echo "$line" | sed 's/^[^ ]* //'))"$'\n'
+  if [[ -z "$declared_fam" ]]; then
+    echo "check_metrics: no ${label} series parsed from $names_h" >&2
+    return 1
   fi
-done < <(grep -B1 -E "\"${tail_pat}\"" "$names_h" |
-         tr '\n' ' ' | tr ';' '\n' |
-         grep -oE "k[A-Za-z0-9]+ =[^\"]*\"${tail_pat}\"" |
-         sed 's/ =[^"]*"/ /; s/"$//')
-if [[ -n "$dead_tail" ]]; then
-  echo "check_metrics: declared tail series never emitted from src/:" >&2
-  printf '%s' "$dead_tail" >&2
-  status=1
-fi
+
+  # Any literal outside metric_names.h must match a declared constant. The
+  # grep above includes metric_names.h itself, so "used minus declared" is
+  # exactly the undeclared ad-hoc literals.
+  undeclared=$(comm -13 <(echo "$declared_fam") <(echo "$used_fam"))
+  if [[ -n "$undeclared" ]]; then
+    echo "check_metrics: ${label} series used in src/ but not declared in $names_h:" >&2
+    echo "$undeclared" | sed 's/^/  /' >&2
+    return 1
+  fi
+
+  # Every declared constant must be emitted somewhere (by identifier).
+  dead=""
+  while IFS= read -r line; do
+    ident=$(echo "$line" | sed 's/ .*//')
+    if ! grep -rq "names::${ident}\b" src --include='*.cc' \
+         --exclude='metric_names.h'; then
+      dead="${dead}  ${ident} ($(echo "$line" | sed 's/^[^ ]* //'))"$'\n'
+    fi
+  done < <(grep -B1 -E "\"${pat}\"" "$names_h" |
+           tr '\n' ' ' | tr ';' '\n' |
+           grep -oE "k[A-Za-z0-9]+ =[^\"]*\"${pat}\"" |
+           sed 's/ =[^"]*"/ /; s/"$//')
+  if [[ -n "$dead" ]]; then
+    echo "check_metrics: declared ${label} series never emitted from src/:" >&2
+    printf '%s' "$dead" >&2
+    return 1
+  fi
+  echo "$declared_fam" | wc -l
+}
+
+# Tail tolerance (DESIGN.md §11): the hedge/retry-budget/adaptive-limit/
+# brownout control-loop families.
+tail_count=$(lint_family "tail" \
+    'hyperq\.(hedge|retry_budget|limit|brownout)\.[a-z_.]*') || status=1
+
+# Chaos (DESIGN.md §13): scenario/orchestrator progress, per-fault link
+# injection counts, and the invariant-audit verdict series.
+chaos_count=$(lint_family "chaos" 'hyperq\.chaos\.[a-z_.]*') || status=1
 
 if [[ $status -eq 0 ]]; then
   count=$(echo "$declared" | wc -l)
   state_count=$(echo "$states" | wc -l)
-  tail_count=$(echo "$declared_tail" | wc -l)
-  echo "check_metrics: OK ($count fault points, $state_count health states, $tail_count tail series all mirrored)"
+  echo "check_metrics: OK ($count fault points, $state_count health states, $tail_count tail series, $chaos_count chaos series all mirrored)"
 fi
 exit $status

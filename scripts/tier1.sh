@@ -6,11 +6,12 @@
 #   scripts/tier1.sh --asan     # also build build-asan/ and run the
 #                               # `faults`, `failover`, `cache`, `golden`,
 #                               # `lifecycle`, `observability`, `fleet`,
-#                               # `tail`, and `fuzz` suites under ASan+UBSan
+#                               # `tail`, `fuzz`, and `chaos` suites under
+#                               # ASan+UBSan
 #   scripts/tier1.sh --tsan     # also build build-tsan/ and run the
 #                               # cross-thread suites (`lifecycle`,
 #                               # `faults`, `observability`, `fleet`,
-#                               # `tail`) under ThreadSanitizer
+#                               # `tail`, `chaos`) under ThreadSanitizer
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,6 +38,12 @@ if [[ "${1:-}" == "--asan" ]]; then
   # (generator → 3 dialect translations → 3 executions per query) — exactly
   # where memory bugs hide. The fixed seed keeps the ASan pass deterministic.
   ctest --test-dir build-asan --output-on-failure -L fuzz -j "$jobs"
+  # Chaos injects short I/O, resets, corruption, and kill/revive against
+  # live sockets — the best place for heap errors to surface. The soak is
+  # shortened (sanitizer overhead makes wall-clock expensive) but every
+  # scenario phase still runs at least once.
+  HQ_CHAOS_SOAK_MS=2500 \
+    ctest --test-dir build-asan --output-on-failure -L chaos -j "$jobs"
 fi
 
 if [[ "${1:-}" == "--tsan" ]]; then
@@ -58,4 +65,10 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # completion wins, loser cancelled mid-flight, stragglers parked and
   # reaped) — the tail suite must be TSan-clean, not just ASan-clean.
   ctest --test-dir build-tsan --output-on-failure -L tail -j "$jobs"
+  # The chaos layer is all cross-thread: the orchestrator mutates link
+  # faults while 8 workload sessions and the server's workers run through
+  # them, and the auditor polls server state during teardown. Shortened
+  # soak, same phase coverage.
+  HQ_CHAOS_SOAK_MS=2500 \
+    ctest --test-dir build-tsan --output-on-failure -L chaos -j "$jobs"
 fi

@@ -1,6 +1,7 @@
 #include "backend/connector.h"
 
 #include "common/fault.h"
+#include "common/link_shim.h"
 #include "observability/metric_names.h"
 
 namespace hyperq::backend {
@@ -119,6 +120,14 @@ Result<BackendResult> BackendConnector::ExecuteWithRetry(
       OnSessionLost();
       return Status::SessionLost("backend session lost: ", lost.message());
     }
+    // The chaos seam's warehouse-link hook (DESIGN.md §13). There is no
+    // real socket on this path, so the request send is modelled as one
+    // logical transfer; a partitioned or reset link fails the attempt with
+    // kUnavailable, which the retry/failover layers route around exactly
+    // as they would a dead replica.
+    HQ_RETURN_IF_ERROR(CheckLink(linkscopes::kBackend,
+                                 options_.backend_name.c_str(),
+                                 /*send=*/true, sql.size()));
     HQ_FAULT_POINT(faultpoints::kVdbExecute);
     vdb::QueryResult result;
     if (is_script) {
@@ -194,6 +203,11 @@ Result<BackendResult> BackendConnector::Package(vdb::QueryResult result,
     // So is the pool's liveness verdict, which is how a replica hard-killed
     // mid-result-stream turns into a cross-replica failover within a batch.
     if (options_.liveness) HQ_RETURN_IF_ERROR(options_.liveness());
+    // Result batches flow proxy-ward: the chaos seam's recv direction on
+    // the warehouse link, consulted per batch like a real driver fetch.
+    HQ_RETURN_IF_ERROR(CheckLink(linkscopes::kBackend,
+                                 options_.backend_name.c_str(),
+                                 /*send=*/false, options_.batch_rows));
     HQ_FAULT_POINT(faultpoints::kConnectorFetchBatch);
     TdfWriter writer(out.columns);
     size_t end = std::min(result.rows.size(), i + options_.batch_rows);

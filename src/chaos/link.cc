@@ -1,0 +1,222 @@
+#include "chaos/link.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "observability/metric_names.h"
+
+namespace hyperq::chaos {
+
+namespace obs = observability;
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashStr(const char* s) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (; s != nullptr && *s != '\0'; ++s) {
+    h = (h ^ static_cast<uint64_t>(*s)) * 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+ChaosNet::ChaosNet(uint64_t seed, obs::MetricsRegistry* metrics)
+    : seed_(seed) {
+  if (metrics != nullptr) {
+    c_latency_ = metrics->counter(obs::names::kChaosLinkLatencyInjections);
+    c_throttle_ = metrics->counter(obs::names::kChaosLinkThrottleSleeps);
+    c_short_io_ = metrics->counter(obs::names::kChaosLinkShortIos);
+    c_corrupt_ = metrics->counter(obs::names::kChaosLinkCorruptions);
+    c_reset_ = metrics->counter(obs::names::kChaosLinkResets);
+    c_partition_ = metrics->counter(obs::names::kChaosLinkPartitionDrops);
+  }
+}
+
+ChaosNet::~ChaosNet() { Uninstall(); }
+
+void ChaosNet::Install() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (installed_) return;
+  previous_ = SetGlobalLinkShim(this);
+  installed_ = true;
+}
+
+void ChaosNet::Uninstall() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!installed_) return;
+  SetGlobalLinkShim(previous_);
+  previous_ = nullptr;
+  installed_ = false;
+}
+
+void ChaosNet::Configure(const std::string& scope, const LinkFaults& faults) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (faults.any()) {
+    scopes_[scope] = faults;
+  } else {
+    scopes_.erase(scope);
+  }
+}
+
+void ChaosNet::Clear(const std::string& scope) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  scopes_.erase(scope);
+}
+
+void ChaosNet::ClearAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  scopes_.clear();
+}
+
+LinkFaults ChaosNet::faults(const std::string& scope) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = scopes_.find(scope);
+  return it == scopes_.end() ? LinkFaults{} : it->second;
+}
+
+LinkChaosStats ChaosNet::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+uint64_t ChaosNet::NextRand(const char* scope) {
+  // Caller holds mutex_.
+  uint64_t& n = draw_counts_[scope];
+  ++n;
+  return SplitMix64(seed_ ^ HashStr(scope) ^ (n * 0x9E3779B97F4A7C15ULL));
+}
+
+double ChaosNet::ToUnit(uint64_t r) {
+  return static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);
+}
+
+Status ChaosNet::BeforeTransfer(const LinkOp& op, size_t* chunk,
+                                bool* blackhole, bool* corrupt) {
+  // Decide everything under the lock, then sleep/fail outside it so a
+  // throttled link never serializes the whole fleet behind one mutex.
+  LinkFaults f;
+  uint64_t r1 = 0, r2 = 0, r3 = 0, r4 = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = scopes_.find(op.scope);
+    if (it == scopes_.end()) return Status::OK();
+    f = it->second;
+    if (!f.only_link.empty() && op.link != nullptr && *op.link != '\0' &&
+        f.only_link != op.link) {
+      return Status::OK();
+    }
+    r1 = NextRand(op.scope);
+    r2 = NextRand(op.scope);
+    r3 = NextRand(op.scope);
+    r4 = NextRand(op.scope);
+  }
+
+  // Resets preempt everything else: a reset link moves no bytes.
+  if (f.reset_probability > 0 && ToUnit(r1) < f.reset_probability) {
+    if (c_reset_ != nullptr) c_reset_->Inc();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.resets;
+    }
+    return Status::Unavailable("chaos: connection reset on link '", op.scope,
+                               *op.link != '\0' ? "/" : "", op.link, "'");
+  }
+
+  // One-way partitions. The send direction reports success upward (bytes
+  // "buffered" then lost); the recv direction stalls like a real dead
+  // link, then the caller surfaces its timeout taxonomy.
+  if ((op.send && f.partition_send) || (!op.send && f.partition_recv)) {
+    if (!op.send && f.partition_stall_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(f.partition_stall_ms));
+    }
+    *blackhole = true;
+    if (c_partition_ != nullptr) c_partition_->Inc();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.partition_drops;
+    }
+    return Status::OK();
+  }
+
+  // Latency fires once per logical transfer (first_chunk), so short-I/O
+  // fragmentation does not compound the delay.
+  if (op.first_chunk && (f.latency_ms > 0 || f.jitter_ms > 0)) {
+    int delay = f.latency_ms;
+    if (f.jitter_ms > 0) {
+      delay += static_cast<int>(r2 % static_cast<uint64_t>(f.jitter_ms + 1));
+    }
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      if (c_latency_ != nullptr) c_latency_->Inc();
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.latency_injections;
+    }
+  }
+
+  // Bandwidth ceiling: this chunk costs bytes/rate seconds, capped so one
+  // huge transfer cannot wedge a phase.
+  if (f.bandwidth_bytes_per_sec > 0 && *chunk > 0) {
+    int64_t ms = static_cast<int64_t>(*chunk) * 1000 /
+                 f.bandwidth_bytes_per_sec;
+    ms = std::min<int64_t>(ms, 200);
+    if (ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      if (c_throttle_ != nullptr) c_throttle_->Inc();
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.throttle_sleeps;
+    }
+  }
+
+  // Short I/O: clamp the chunk so the caller's partial-transfer loop has
+  // to do its job.
+  if (f.short_io_probability > 0 && *chunk > 1 &&
+      ToUnit(r3) < f.short_io_probability) {
+    size_t cap = std::max<size_t>(1, f.short_io_max_bytes);
+    size_t clamped = 1 + static_cast<size_t>(r3 % cap);
+    if (clamped < *chunk) {
+      *chunk = clamped;
+      if (c_short_io_ != nullptr) c_short_io_->Inc();
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.short_ios;
+    }
+  }
+
+  double p_corrupt =
+      op.send ? f.corrupt_send_probability : f.corrupt_recv_probability;
+  if (p_corrupt > 0 && ToUnit(r4) < p_corrupt) {
+    *corrupt = true;
+  }
+  return Status::OK();
+}
+
+void ChaosNet::CorruptPayload(const LinkOp& op, uint8_t* data, size_t n) {
+  if (n == 0) return;
+  uint64_t r;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    r = NextRand(op.scope);
+    ++stats_.corruptions;
+  }
+  if (c_corrupt_ != nullptr) c_corrupt_->Inc();
+  // Flip one byte per 64 transferred (at least one): enough to break any
+  // parser that trusts the wire, sparse enough that framing sometimes
+  // survives and the corruption lands in a payload instead.
+  size_t flips = std::max<size_t>(1, n / 64);
+  for (size_t i = 0; i < flips; ++i) {
+    r = SplitMix64(r);
+    data[r % n] ^= static_cast<uint8_t>(0x01u << (r % 8));
+  }
+}
+
+}  // namespace hyperq::chaos

@@ -1,0 +1,132 @@
+// ChaosNet (DESIGN.md §13): the network-fault engine behind the LinkShim
+// seam.
+//
+// Hyper-Q's claim is survival in the production path (paper §2, §7): BI
+// clients keep working while the warehouse link flaps. ChaosNet turns that
+// claim testable by degrading the proxy's links the way real networks do —
+// added latency and jitter, bandwidth ceilings, short reads/writes,
+// flipped bytes, connection resets, and one-way partitions — each targeted
+// per link scope (frontend / client / backend) and drawn from a seeded
+// PRNG, so a failing soak replays byte-for-byte from its seed.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/link_shim.h"
+#include "observability/metrics.h"
+
+namespace hyperq::chaos {
+
+/// \brief The fault mix armed on one link scope. Default-constructed =
+/// no interference. Probabilities are per transfer chunk.
+struct LinkFaults {
+  /// Added one-way delay, injected once per logical transfer.
+  int latency_ms = 0;
+  /// Uniform extra delay in [0, jitter_ms] on top of latency_ms.
+  int jitter_ms = 0;
+  /// Bandwidth ceiling; each chunk sleeps bytes/rate (capped at 200ms per
+  /// chunk so a single huge write cannot wedge a scenario). 0 = unlimited.
+  int64_t bandwidth_bytes_per_sec = 0;
+  /// Probability a chunk is clamped to at most short_io_max_bytes — the
+  /// partial-read/partial-write regression driver: any loop that assumes
+  /// one syscall moves everything breaks under this.
+  double short_io_probability = 0;
+  size_t short_io_max_bytes = 7;
+  /// Per-direction byte-corruption probability. Kept separate because the
+  /// two directions have very different blast radii: a corrupted request
+  /// garbles one query, a corrupted response silently lies to the client.
+  double corrupt_send_probability = 0;
+  double corrupt_recv_probability = 0;
+  /// Probability the transfer fails with a connection reset
+  /// (kUnavailable, the retryable flavor real ECONNRESET maps to).
+  double reset_probability = 0;
+  /// One-way partitions. Send: bytes vanish but the caller sees success
+  /// (the TCP-buffer illusion). Recv: nothing ever arrives — the caller
+  /// stalls partition_stall_ms, then times out.
+  bool partition_send = false;
+  bool partition_recv = false;
+  int partition_stall_ms = 20;
+  /// Restrict every fault above to one link instance within the scope
+  /// (a backend name); empty = the whole scope. This is how a soak
+  /// partitions exactly one replica and lets failover route around it.
+  std::string only_link;
+
+  bool any() const {
+    return latency_ms > 0 || jitter_ms > 0 || bandwidth_bytes_per_sec > 0 ||
+           short_io_probability > 0 || corrupt_send_probability > 0 ||
+           corrupt_recv_probability > 0 || reset_probability > 0 ||
+           partition_send || partition_recv;
+  }
+};
+
+/// \brief Per-fault-kind injection counts (tests assert the schedule
+/// actually fired; the bench reports them per scenario).
+struct LinkChaosStats {
+  int64_t latency_injections = 0;
+  int64_t throttle_sleeps = 0;
+  int64_t short_ios = 0;
+  int64_t corruptions = 0;
+  int64_t resets = 0;
+  int64_t partition_drops = 0;
+};
+
+/// \brief LinkShim implementation: holds one LinkFaults per scope and
+/// rolls a deterministic PRNG per consultation. Thread-safe; install with
+/// Install() (or SetGlobalLinkShim) and always uninstall before
+/// destruction — sockets consult the global pointer on every chunk.
+class ChaosNet : public LinkShim {
+ public:
+  explicit ChaosNet(uint64_t seed = 0xC4A05u,
+                    observability::MetricsRegistry* metrics = nullptr);
+  ~ChaosNet() override;
+
+  /// \brief Installs this engine as the process-global shim. Nesting is
+  /// not supported: the previous shim is remembered and restored by
+  /// Uninstall().
+  void Install();
+  void Uninstall();
+
+  /// \brief Arms `faults` on `scope` (replacing the scope's previous
+  /// config); a default-constructed LinkFaults disarms it.
+  void Configure(const std::string& scope, const LinkFaults& faults);
+  void Clear(const std::string& scope);
+  void ClearAll();
+  LinkFaults faults(const std::string& scope) const;
+  LinkChaosStats stats() const;
+
+  Status BeforeTransfer(const LinkOp& op, size_t* chunk, bool* blackhole,
+                        bool* corrupt) override;
+  void CorruptPayload(const LinkOp& op, uint8_t* data, size_t n) override;
+
+ private:
+  /// Deterministic per-consultation randomness: splitmix64 over
+  /// (seed, scope hash, consultation index). Independent of wall clock
+  /// and thread interleaving *per scope counter draw*, so a single-client
+  /// test replays exactly and a concurrent soak still draws from a fixed
+  /// sequence.
+  uint64_t NextRand(const char* scope);
+  static double ToUnit(uint64_t r);  // [0, 1)
+
+  const uint64_t seed_;
+  mutable std::mutex mutex_;
+  std::map<std::string, LinkFaults> scopes_;
+  std::map<std::string, uint64_t> draw_counts_;
+  bool installed_ = false;
+  LinkShim* previous_ = nullptr;
+
+  LinkChaosStats stats_;
+  // Optional registry mirror (hyperq.chaos.link.*); null pointers when no
+  // registry was given.
+  observability::Counter* c_latency_ = nullptr;
+  observability::Counter* c_throttle_ = nullptr;
+  observability::Counter* c_short_io_ = nullptr;
+  observability::Counter* c_corrupt_ = nullptr;
+  observability::Counter* c_reset_ = nullptr;
+  observability::Counter* c_partition_ = nullptr;
+};
+
+}  // namespace hyperq::chaos

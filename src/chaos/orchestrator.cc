@@ -1,0 +1,187 @@
+#include "chaos/orchestrator.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/fault.h"
+#include "observability/metric_names.h"
+
+namespace hyperq::chaos {
+
+namespace obs = observability;
+
+namespace {
+
+double KvDouble(const ChaosAction& a, const char* key, double fallback = 0) {
+  auto it = a.kv.find(key);
+  return it == a.kv.end() ? fallback : std::atof(it->second.c_str());
+}
+
+int KvInt(const ChaosAction& a, const char* key, int fallback = 0) {
+  auto it = a.kv.find(key);
+  return it == a.kv.end() ? fallback : std::atoi(it->second.c_str());
+}
+
+}  // namespace
+
+ChaosOrchestrator::ChaosOrchestrator(OrchestratorOptions options)
+    : options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    c_scenarios_ = options_.metrics->counter(obs::names::kChaosScenarios);
+    c_phases_ = options_.metrics->counter(obs::names::kChaosPhases);
+    c_actions_ = options_.metrics->counter(obs::names::kChaosActions);
+    g_active_ = options_.metrics->gauge(obs::names::kChaosScenarioActive);
+  }
+}
+
+ChaosOrchestrator::~ChaosOrchestrator() { Heal(); }
+
+Status ChaosOrchestrator::RunScript(const std::string& text) {
+  HQ_ASSIGN_OR_RETURN(ChaosScenario scenario, ParseScenario(text));
+  return Run(scenario);
+}
+
+Status ChaosOrchestrator::Run(const ChaosScenario& scenario) {
+  if (g_active_ != nullptr) g_active_->Set(1);
+  Status status;
+  for (const auto& phase : scenario.phases) {
+    if (options_.on_phase) {
+      options_.on_phase("(" + scenario.name + ") phase " + phase.name + " " +
+                        std::to_string(phase.duration_ms) + "ms");
+    }
+    for (const auto& action : phase.actions) {
+      status = Apply(action);
+      if (!status.ok()) break;
+      if (c_actions_ != nullptr) c_actions_->Inc();
+    }
+    if (!status.ok()) break;
+    if (c_phases_ != nullptr) c_phases_->Inc();
+    std::this_thread::sleep_for(std::chrono::milliseconds(phase.duration_ms));
+  }
+  // The faults a scenario arms must never outlive it, pass or fail.
+  Heal();
+  if (c_scenarios_ != nullptr) c_scenarios_->Inc();
+  if (g_active_ != nullptr) g_active_->Set(0);
+  return status.ok() ? Status::OK()
+                     : status.WithContext("chaos scenario '" + scenario.name +
+                                          "' aborted");
+}
+
+void ChaosOrchestrator::Heal() {
+  if (options_.net != nullptr) options_.net->ClearAll();
+  if (options_.pool != nullptr) {
+    for (size_t i : killed_) options_.pool->ReviveBackend(i);
+    for (size_t i : slowed_) options_.pool->SlowBackend(i, 0);
+  }
+  killed_.clear();
+  slowed_.clear();
+  // Disarm exactly the points this orchestrator armed: a concurrent test
+  // fixture's own fault configuration is not ours to reset.
+  for (const auto& point : armed_points_) {
+    FaultInjector::Global().Disarm(point);
+  }
+  armed_points_.clear();
+}
+
+Status ChaosOrchestrator::ApplyLinkVerb(const ChaosAction& a) {
+  if (options_.net == nullptr) {
+    return Status::InvalidArgument("chaos orchestrator: link verb '", a.verb,
+                                   "' with no ChaosNet configured");
+  }
+  if (a.verb == "clear") {
+    options_.net->Clear(a.target);
+    return Status::OK();
+  }
+  // Link configs accumulate within a scope: `latency frontend` then
+  // `short_io frontend` arms both, matching how real degradation stacks.
+  LinkFaults f = options_.net->faults(a.target);
+  if (a.verb == "latency") {
+    f.latency_ms = KvInt(a, "ms");
+    f.jitter_ms = KvInt(a, "jitter");
+  } else if (a.verb == "throttle") {
+    f.bandwidth_bytes_per_sec = static_cast<int64_t>(KvDouble(a, "bps"));
+  } else if (a.verb == "short_io") {
+    f.short_io_probability = KvDouble(a, "p");
+    f.short_io_max_bytes =
+        static_cast<size_t>(KvInt(a, "max", static_cast<int>(
+                                                f.short_io_max_bytes)));
+  } else if (a.verb == "corrupt") {
+    f.corrupt_send_probability = KvDouble(a, "send");
+    f.corrupt_recv_probability = KvDouble(a, "recv");
+  } else if (a.verb == "reset") {
+    f.reset_probability = KvDouble(a, "p");
+  } else if (a.verb == "partition") {
+    const std::string& dir = a.kv.at("dir");
+    f.partition_send = dir == "send" || dir == "both";
+    f.partition_recv = dir == "recv" || dir == "both";
+    f.partition_stall_ms = KvInt(a, "stall", f.partition_stall_ms);
+    auto link = a.kv.find("link");
+    if (link != a.kv.end()) f.only_link = link->second;
+  }
+  options_.net->Configure(a.target, f);
+  return Status::OK();
+}
+
+Status ChaosOrchestrator::Apply(const ChaosAction& a) {
+  const std::string& v = a.verb;
+  if (v == "latency" || v == "throttle" || v == "short_io" ||
+      v == "corrupt" || v == "reset" || v == "partition" || v == "clear") {
+    return ApplyLinkVerb(a);
+  }
+  if (v == "kill" || v == "revive" || v == "slow") {
+    if (options_.pool == nullptr) {
+      return Status::InvalidArgument("chaos orchestrator: '", v,
+                                     "' with no BackendPool configured");
+    }
+    size_t i = static_cast<size_t>(std::atoll(a.target.c_str()));
+    if (i >= options_.pool->size()) {
+      return Status::InvalidArgument("chaos orchestrator: backend index ", i,
+                                     " out of range (fleet size ",
+                                     options_.pool->size(), ")");
+    }
+    if (v == "kill") {
+      options_.pool->KillBackend(i);
+      killed_.insert(i);
+    } else if (v == "revive") {
+      options_.pool->ReviveBackend(i);
+      killed_.erase(i);
+    } else {
+      int ms = KvInt(a, "ms");
+      options_.pool->SlowBackend(i, ms);
+      if (ms > 0) {
+        slowed_.insert(i);
+      } else {
+        slowed_.erase(i);
+      }
+    }
+    return Status::OK();
+  }
+  if (v == "fault") {
+    HQ_RETURN_IF_ERROR(FaultInjector::Global().Configure(a.target));
+    // Remember every point name in the config string for Heal().
+    size_t pos = 0;
+    while (pos < a.target.size()) {
+      size_t eq = a.target.find('=', pos);
+      if (eq == std::string::npos) break;
+      armed_points_.insert(a.target.substr(pos, eq - pos));
+      size_t semi = a.target.find(';', eq);
+      if (semi == std::string::npos) break;
+      pos = semi + 1;
+    }
+    return Status::OK();
+  }
+  if (v == "unfault") {
+    FaultInjector::Global().Disarm(a.target);
+    armed_points_.erase(a.target);
+    return Status::OK();
+  }
+  if (v == "heal") {
+    Heal();
+    return Status::OK();
+  }
+  return Status::InvalidArgument("chaos orchestrator: unknown verb '", v,
+                                 "'");
+}
+
+}  // namespace hyperq::chaos

@@ -1,0 +1,69 @@
+// ChaosOrchestrator (DESIGN.md §13): executes a ChaosScenario timeline
+// against a live proxy — arming ChaosNet link faults, driving the backend
+// pool's kill/revive/slow hooks, and configuring FaultInjector points —
+// then guarantees the blast radius is fully unwound (Heal) when the
+// scenario ends, even on error. Blocking by design: callers run it from
+// its own thread next to the workload under test.
+
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+
+#include "backend/pool.h"
+#include "chaos/link.h"
+#include "chaos/scenario.h"
+#include "common/status.h"
+#include "observability/metrics.h"
+
+namespace hyperq::chaos {
+
+struct OrchestratorOptions {
+  /// Link-fault engine; required for the link verbs (latency, throttle,
+  /// short_io, corrupt, reset, partition, clear). The orchestrator does
+  /// NOT install it — callers decide when the shim goes live.
+  ChaosNet* net = nullptr;
+  /// Backend fleet; required for kill / revive / slow.
+  backend::BackendPool* pool = nullptr;
+  /// Registry for hyperq.chaos.{scenarios,phases,actions_applied,
+  /// scenario_active}; null = no metrics.
+  observability::MetricsRegistry* metrics = nullptr;
+  /// Phase-transition callback: "(scenario) phase <name> <ms>". The bench
+  /// timestamps these to compute per-fault MTTR. Null = silent.
+  std::function<void(const std::string&)> on_phase;
+};
+
+class ChaosOrchestrator {
+ public:
+  explicit ChaosOrchestrator(OrchestratorOptions options);
+  ~ChaosOrchestrator();
+
+  /// \brief Runs the whole timeline: applies each phase's actions, holds
+  /// them for the phase duration, then Heal()s. An invalid action aborts
+  /// the run — after healing, so a typo never leaves faults armed.
+  Status Run(const ChaosScenario& scenario);
+  /// \brief ParseScenario + Run.
+  Status RunScript(const std::string& text);
+
+  /// \brief Unwinds everything this orchestrator armed: clears all link
+  /// faults, revives every backend it killed, un-slows every backend it
+  /// slowed, and disarms every fault point it configured. Idempotent.
+  void Heal();
+
+ private:
+  Status Apply(const ChaosAction& action);
+  Status ApplyLinkVerb(const ChaosAction& action);
+
+  OrchestratorOptions options_;
+  std::set<size_t> killed_;
+  std::set<size_t> slowed_;
+  std::set<std::string> armed_points_;
+
+  observability::Counter* c_scenarios_ = nullptr;
+  observability::Counter* c_phases_ = nullptr;
+  observability::Counter* c_actions_ = nullptr;
+  observability::Gauge* g_active_ = nullptr;
+};
+
+}  // namespace hyperq::chaos

@@ -1,0 +1,203 @@
+#include "chaos/scenario.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace hyperq::chaos {
+
+namespace {
+
+std::vector<std::string> Tokens(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+bool IsNumber(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// Splits "k=v" into kv; returns false on malformed tokens.
+bool ParseKv(const std::string& tok, std::map<std::string, std::string>* kv) {
+  auto eq = tok.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= tok.size()) {
+    return false;
+  }
+  (*kv)[tok.substr(0, eq)] = tok.substr(eq + 1);
+  return true;
+}
+
+Status RequireNumericKeys(const ChaosAction& a,
+                          std::initializer_list<const char*> required) {
+  for (const char* key : required) {
+    auto it = a.kv.find(key);
+    if (it == a.kv.end()) {
+      return Status::InvalidArgument("chaos scenario: '", a.verb,
+                                     "' requires ", key, "=...: ", a.raw);
+    }
+    if (!IsNumber(it->second)) {
+      return Status::InvalidArgument("chaos scenario: non-numeric ", key,
+                                     " in: ", a.raw);
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateAction(const ChaosAction& a) {
+  const std::string& v = a.verb;
+  bool scoped = v == "latency" || v == "throttle" || v == "short_io" ||
+                v == "corrupt" || v == "reset" || v == "partition" ||
+                v == "clear";
+  if (scoped && a.target.empty()) {
+    return Status::InvalidArgument("chaos scenario: '", v,
+                                   "' needs a link scope: ", a.raw);
+  }
+  if (v == "latency") return RequireNumericKeys(a, {"ms"});
+  if (v == "throttle") return RequireNumericKeys(a, {"bps"});
+  if (v == "short_io") return RequireNumericKeys(a, {"p"});
+  if (v == "reset") return RequireNumericKeys(a, {"p"});
+  if (v == "corrupt") {
+    if (a.kv.count("send") == 0 && a.kv.count("recv") == 0) {
+      return Status::InvalidArgument(
+          "chaos scenario: 'corrupt' needs send= and/or recv=: ", a.raw);
+    }
+    return Status::OK();
+  }
+  if (v == "partition") {
+    const std::string& dir = a.kv.count("dir") ? a.kv.at("dir") : "";
+    if (dir != "send" && dir != "recv" && dir != "both") {
+      return Status::InvalidArgument(
+          "chaos scenario: 'partition' direction must be send|recv|both: ",
+          a.raw);
+    }
+    return Status::OK();
+  }
+  if (v == "clear" || v == "heal") return Status::OK();
+  if (v == "kill" || v == "revive" || v == "slow") {
+    if (!IsNumber(a.target)) {
+      return Status::InvalidArgument("chaos scenario: '", v,
+                                     "' needs a backend index: ", a.raw);
+    }
+    if (v == "slow" && a.kv.count("ms") == 0) {
+      return Status::InvalidArgument(
+          "chaos scenario: 'slow' needs a delay: ", a.raw);
+    }
+    return Status::OK();
+  }
+  if (v == "fault") {
+    if (a.target.find('=') == std::string::npos) {
+      return Status::InvalidArgument(
+          "chaos scenario: 'fault' needs point=spec: ", a.raw);
+    }
+    return Status::OK();
+  }
+  if (v == "unfault") {
+    if (a.target.empty()) {
+      return Status::InvalidArgument(
+          "chaos scenario: 'unfault' needs a point name: ", a.raw);
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument("chaos scenario: unknown verb '", v,
+                                 "' in: ", a.raw);
+}
+
+}  // namespace
+
+Result<ChaosScenario> ParseScenario(const std::string& text) {
+  ChaosScenario scenario;
+  ChaosPhase* current = nullptr;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::vector<std::string> toks = Tokens(line);
+    if (toks.empty()) continue;
+
+    if (toks[0] == "scenario") {
+      if (toks.size() != 2) {
+        return Status::InvalidArgument("chaos scenario: line ", lineno,
+                                       ": 'scenario' takes one name");
+      }
+      scenario.name = toks[1];
+      continue;
+    }
+    if (toks[0] == "phase") {
+      if (toks.size() != 3 || !IsNumber(toks[2])) {
+        return Status::InvalidArgument(
+            "chaos scenario: line ", lineno,
+            ": expected 'phase <name> <duration_ms>'");
+      }
+      ChaosPhase phase;
+      phase.name = toks[1];
+      phase.duration_ms = std::atoi(toks[2].c_str());
+      if (phase.duration_ms < 0) {
+        return Status::InvalidArgument("chaos scenario: line ", lineno,
+                                       ": negative phase duration");
+      }
+      scenario.phases.push_back(std::move(phase));
+      current = &scenario.phases.back();
+      continue;
+    }
+
+    if (current == nullptr) {
+      return Status::InvalidArgument("chaos scenario: line ", lineno,
+                                     ": action before any phase: ", line);
+    }
+    ChaosAction action;
+    action.verb = toks[0];
+    action.raw = line;
+    size_t next = 1;
+    // The target is the first token after the verb that is not k=v (heal
+    // has none; `fault` takes the whole remainder as its config string).
+    if (action.verb == "fault") {
+      std::string config;
+      for (size_t i = 1; i < toks.size(); ++i) {
+        if (!config.empty()) config += ' ';
+        config += toks[i];
+      }
+      action.target = config;
+      next = toks.size();
+    } else if (next < toks.size() &&
+               toks[next].find('=') == std::string::npos) {
+      action.target = toks[next];
+      ++next;
+    }
+    // `partition <scope> send|recv|both` and `slow <i> <ms>` carry one
+    // positional extra; normalize both into kv.
+    if (next < toks.size() && toks[next].find('=') == std::string::npos) {
+      if (action.verb == "partition") {
+        action.kv["dir"] = toks[next];
+        ++next;
+      } else if (action.verb == "slow") {
+        action.kv["ms"] = toks[next];
+        ++next;
+      }
+    }
+    for (; next < toks.size(); ++next) {
+      if (!ParseKv(toks[next], &action.kv)) {
+        return Status::InvalidArgument("chaos scenario: line ", lineno,
+                                       ": malformed argument '", toks[next],
+                                       "'");
+      }
+    }
+    HQ_RETURN_IF_ERROR(ValidateAction(action));
+    current->actions.push_back(std::move(action));
+  }
+  if (scenario.phases.empty()) {
+    return Status::InvalidArgument("chaos scenario: no phases");
+  }
+  if (scenario.name.empty()) scenario.name = "unnamed";
+  return scenario;
+}
+
+}  // namespace hyperq::chaos

@@ -1,0 +1,78 @@
+// Declarative chaos scenarios (DESIGN.md §13): a timeline of phases, each
+// a named set of fault actions held for a duration. Scripts are plain
+// text so scenarios live in tests, benches, and nightly soak files
+// without recompiling:
+//
+//   scenario mixed_soak
+//   phase warmup 500
+//   phase degrade 2000
+//     latency frontend ms=5 jitter=5
+//     short_io frontend p=0.4 max=7
+//     partition backend recv stall=10 link=r1
+//     kill 2
+//     fault vdb.execute=transient:p=0.05
+//   phase recover 1000
+//     heal
+//     revive 2
+//
+// Link configs persist across phases until overwritten, cleared, or
+// healed; `heal` also revives killed backends and disarms fault points.
+// The orchestrator (orchestrator.h) executes the timeline; this header is
+// only the parsed representation plus the parser.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hyperq::chaos {
+
+/// \brief One fault action. `verb` is validated at parse time; `target`
+/// is the scope / backend index / fault config depending on the verb, and
+/// `kv` holds the parsed key=value arguments.
+struct ChaosAction {
+  std::string verb;
+  std::string target;
+  std::map<std::string, std::string> kv;
+  std::string raw;  // the source line, for diagnostics
+};
+
+struct ChaosPhase {
+  std::string name;
+  int duration_ms = 0;
+  std::vector<ChaosAction> actions;  // applied at phase start
+};
+
+struct ChaosScenario {
+  std::string name;
+  std::vector<ChaosPhase> phases;
+  int total_ms() const {
+    int total = 0;
+    for (const auto& p : phases) total += p.duration_ms;
+    return total;
+  }
+};
+
+/// \brief Parses a scenario script. Verbs, argument presence, and numeric
+/// shapes are validated here so a typo fails the run at parse time, not
+/// minutes into a soak. Blank lines and `#` comments are skipped.
+///
+/// Verbs:
+///   latency <scope> ms=N [jitter=N]      added delay per transfer
+///   throttle <scope> bps=N               bandwidth ceiling
+///   short_io <scope> p=P [max=N]         partial reads/writes
+///   corrupt <scope> [send=P] [recv=P]    byte corruption per direction
+///   reset <scope> p=P                    connection resets
+///   partition <scope> send|recv|both [stall=N] [link=NAME]
+///   clear <scope>                        disarm one scope's link faults
+///   kill <i> / revive <i>                BackendPool hard kill / revive
+///   slow <i> <ms>                        BackendPool slow-replica stall
+///   fault <point>=<spec>                 FaultInjector::Configure string
+///   unfault <point>                      disarm one fault point
+///   heal                                 clear links + revive + disarm all
+Result<ChaosScenario> ParseScenario(const std::string& text);
+
+}  // namespace hyperq::chaos

@@ -1,0 +1,38 @@
+#include "common/link_shim.h"
+
+namespace hyperq {
+
+namespace {
+std::atomic<LinkShim*> g_link_shim{nullptr};
+}  // namespace
+
+LinkShim* SetGlobalLinkShim(LinkShim* shim) {
+  return g_link_shim.exchange(shim, std::memory_order_acq_rel);
+}
+
+LinkShim* GlobalLinkShim() {
+  return g_link_shim.load(std::memory_order_acquire);
+}
+
+Status CheckLink(const char* scope, const char* link, bool send,
+                 size_t bytes) {
+  LinkShim* shim = GlobalLinkShim();
+  if (shim == nullptr) return Status::OK();
+  LinkOp op;
+  op.scope = scope;
+  op.link = link;
+  op.send = send;
+  op.requested = bytes;
+  op.first_chunk = true;
+  size_t chunk = bytes;
+  bool blackhole = false;
+  bool corrupt = false;
+  HQ_RETURN_IF_ERROR(shim->BeforeTransfer(op, &chunk, &blackhole, &corrupt));
+  if (blackhole) {
+    return Status::Unavailable("chaos: request dropped by one-way partition",
+                               " on link '", link, "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace hyperq

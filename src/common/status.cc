@@ -54,6 +54,8 @@ const char* StatusDetailName(StatusDetail detail) {
       return "retry_budget_exhausted";
     case StatusDetail::kBrownoutShed:
       return "brownout_shed";
+    case StatusDetail::kFrameStall:
+      return "frame_stall";
   }
   return "unknown";
 }

@@ -63,6 +63,12 @@ enum class StatusDetail : int {
   // condition, so the error surfaces to the client as-is.
   kRetryBudgetExhausted,  // global retry budget denied another attempt
   kBrownoutShed,  // brownout mode shed this session class under overload
+  // Robustness taxonomy (DESIGN.md §13). A kDeadlineExceeded with this
+  // detail means a peer started a tdwp frame but failed to complete it
+  // within the server's per-frame budget (the slowloris guard): the
+  // connection is answered with a typed error frame and reaped so a
+  // trickling client cannot pin a worker.
+  kFrameStall,
 };
 
 /// \brief Stable lower-case name for a detail, e.g. "breaker_open".

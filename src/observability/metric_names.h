@@ -165,6 +165,32 @@ inline constexpr const char* kServerForceClosed =
 inline constexpr const char* kServerUserCappedLogons =
     "hyperq.server.user_capped_logons";
 inline constexpr const char* kServerScrapes = "hyperq.server.scrapes";
+inline constexpr const char* kServerFrameStalls =
+    "hyperq.server.frame_stalls";
+
+// --- Chaos layer (DESIGN.md §13): the scenario orchestrator, the link
+// shim's injection counters, and the invariant auditor. Link-fault counters
+// are labeled {scope="frontend|client|backend"}. ------------------------------
+inline constexpr const char* kChaosScenarios = "hyperq.chaos.scenarios";
+inline constexpr const char* kChaosPhases = "hyperq.chaos.phases";
+inline constexpr const char* kChaosActions =
+    "hyperq.chaos.actions_applied";
+inline constexpr const char* kChaosScenarioActive =
+    "hyperq.chaos.scenario_active";
+inline constexpr const char* kChaosLinkLatencyInjections =
+    "hyperq.chaos.link.latency_injections";
+inline constexpr const char* kChaosLinkThrottleSleeps =
+    "hyperq.chaos.link.throttle_sleeps";
+inline constexpr const char* kChaosLinkShortIos =
+    "hyperq.chaos.link.short_ios";
+inline constexpr const char* kChaosLinkCorruptions =
+    "hyperq.chaos.link.corruptions";
+inline constexpr const char* kChaosLinkResets = "hyperq.chaos.link.resets";
+inline constexpr const char* kChaosLinkPartitionDrops =
+    "hyperq.chaos.link.partition_drops";
+inline constexpr const char* kChaosAuditRuns = "hyperq.chaos.audit.runs";
+inline constexpr const char* kChaosAuditViolations =
+    "hyperq.chaos.audit.violations";
 
 // --- Fault-injection points (mirrored from FaultInjector::Global()) --------
 // scripts/check_metrics.sh enforces that every point declared in

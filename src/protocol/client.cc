@@ -4,6 +4,10 @@ namespace hyperq::protocol {
 
 Status TdwpClient::Connect(uint16_t port) {
   HQ_ASSIGN_OR_RETURN(sock_, Socket::ConnectLocal(port));
+  // Tag the link for the chaos seam: schedules targeting "client" degrade
+  // the client side of the client<->proxy links independently of the
+  // server side.
+  sock_.set_link_scope(linkscopes::kClient);
   return Status::OK();
 }
 
@@ -45,7 +49,17 @@ Result<ClientResult> TdwpClient::Run(const std::string& sql) {
     switch (frame.kind) {
       case MessageKind::kError: {
         HQ_ASSIGN_OR_RETURN(ErrorMessage err, DecodeError(frame.payload));
-        return Status::ExecutionError(err.message);
+        // Reconstruct the typed status the server put on the wire: the
+        // frame carries the StatusCode, and the message already renders
+        // code[detail]. Flattening to kExecutionError would hide the
+        // retryable/deadline/cancelled taxonomy from callers (and from
+        // the chaos invariant auditor's ledger).
+        auto code = static_cast<StatusCode>(err.code);
+        if (err.code == 0 ||
+            err.code > static_cast<uint32_t>(StatusCode::kCancelled)) {
+          return Status::ExecutionError(err.message);
+        }
+        return Status(code, err.message);
       }
       case MessageKind::kResultHeader: {
         HQ_ASSIGN_OR_RETURN(ResultHeader header,

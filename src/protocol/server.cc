@@ -31,6 +31,7 @@ TdwpServer::TdwpServer(RequestHandler* handler, TdwpServerOptions options)
   user_capped_counter_ =
       metrics_->counter(obs::names::kServerUserCappedLogons);
   scrape_counter_ = metrics_->counter(obs::names::kServerScrapes);
+  frame_stall_counter_ = metrics_->counter(obs::names::kServerFrameStalls);
 }
 
 TdwpServer::~TdwpServer() { Stop(); }
@@ -164,6 +165,7 @@ ServerStats TdwpServer::stats() const {
   s.force_closed = force_closed_counter_->value();
   s.user_capped_logons = user_capped_counter_->value();
   s.scrapes = scrape_counter_->value();
+  s.frame_stalls = frame_stall_counter_->value();
   return s;
 }
 
@@ -217,6 +219,9 @@ void TdwpServer::AcceptLoop() {
       return;
     }
     Socket conn = std::move(accepted).value();
+    // Tag the link for the chaos seam: schedules targeting "frontend"
+    // degrade exactly the proxy's client-facing edge.
+    conn.set_link_scope(linkscopes::kFrontend);
 
     Status admit = FaultInjector::Global().Check(faultpoints::kServerAdmit);
     if (!admit.ok()) {
@@ -394,10 +399,18 @@ void TdwpServer::ServeConnection(Socket& conn, ActiveQuery& active) {
   // never leaked by an early return (no silent thread death).
   bool serving = true;
   while (serving && running_) {
-    auto frame = conn.ReadFrame();
+    auto frame = conn.ReadFrameGuarded(options_.frame_read_timeout_ms,
+                                       options_.idle_timeout_ms);
     if (!frame.ok()) {
       const Status& st = frame.status();
-      if (st.IsDeadlineExceeded()) {
+      if (st.detail() == StatusDetail::kFrameStall) {
+        // Slowloris guard: the peer started a frame but trickled it in too
+        // slowly. Answer with the typed error so a well-meaning-but-slow
+        // client can tell this reap from a network failure, then drop the
+        // connection — its stream is mid-frame and unrecoverable.
+        frame_stall_counter_->Inc();
+        send_error(st);
+      } else if (st.IsDeadlineExceeded()) {
         // Idle connection: tell the client why before reaping it.
         send_error(Status::DeadlineExceeded("idle connection closed after ",
                                             options_.idle_timeout_ms, "ms"));

@@ -89,6 +89,14 @@ struct TdwpServerOptions {
   /// A connection idle longer than this between frames is reaped with an
   /// error frame instead of pinning a thread forever. 0 = no timeout.
   int idle_timeout_ms = 0;
+  /// Slowloris guard (DESIGN.md §13): once a client has sent the first
+  /// byte of a frame, the whole frame (header + payload) must arrive
+  /// within this budget, however slowly the bytes trickle in. A stalled
+  /// frame is answered with kDeadlineExceeded[frame_stall] and the
+  /// connection is reaped, so a 1-byte-per-second client cannot pin a
+  /// worker thread. Idle time *between* frames is governed by
+  /// idle_timeout_ms, not this. 0 = no guard.
+  int frame_read_timeout_ms = 0;
   /// Per-request time budget minted into each QueryContext; expiry cancels
   /// the request at the next batch boundary with kDeadlineExceeded.
   /// 0 = no deadline.
@@ -118,6 +126,7 @@ struct ServerStats {
   int64_t force_closed = 0;  // workers force-closed at the drain deadline
   int64_t user_capped_logons = 0;  // logons refused by the per-user cap
   int64_t scrapes = 0;             // kStatsRequest frames answered
+  int64_t frame_stalls = 0;  // connections reaped by the slowloris guard
 };
 
 /// \brief tdwp TCP server; one thread per connection behind a bounded
@@ -151,6 +160,12 @@ class TdwpServer {
   /// \brief Worker threads not yet joined (bounded by active connections
   /// plus a small reaping lag, never by server lifetime).
   size_t live_workers() const;
+  /// \brief Joins finished connection workers now, releasing their held
+  /// fds. Reaping otherwise piggybacks on the next accepted connection
+  /// (or Stop()), so an idle server keeps a few closed-connection fds
+  /// around; the chaos InvariantAuditor calls this before checking fd
+  /// conservation.
+  void ReapWorkers() { ReapFinishedWorkers(); }
 
  private:
   /// The worker's in-flight request, if any. Stop() uses it to route the
@@ -212,6 +227,7 @@ class TdwpServer {
   observability::Counter* force_closed_counter_ = nullptr;
   observability::Counter* user_capped_counter_ = nullptr;
   observability::Counter* scrape_counter_ = nullptr;
+  observability::Counter* frame_stall_counter_ = nullptr;
 };
 
 }  // namespace hyperq::protocol

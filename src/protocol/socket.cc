@@ -31,6 +31,7 @@ Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     Close();
     fd_.store(other.fd_.exchange(-1), std::memory_order_release);
+    link_scope_ = other.link_scope_;
   }
   return *this;
 }
@@ -74,10 +75,42 @@ Status Socket::WriteAll(const void* data, size_t n) {
   HQ_FAULT_POINT(faultpoints::kSocketWrite);
   const char* p = static_cast<const char*>(data);
   size_t total = n;
+  std::vector<uint8_t> scratch;  // allocated only for a corrupted chunk
+  bool first_chunk = true;
   while (n > 0) {
+    size_t chunk = n;
+    const char* src = p;
+    if (LinkShim* shim = GlobalLinkShim()) {
+      LinkOp op;
+      op.scope = link_scope_;
+      op.send = true;
+      op.requested = n;
+      op.first_chunk = first_chunk;
+      bool blackhole = false;
+      bool corrupt = false;
+      HQ_RETURN_IF_ERROR(
+          shim->BeforeTransfer(op, &chunk, &blackhole, &corrupt));
+      if (chunk == 0 || chunk > n) chunk = n;
+      if (blackhole) {
+        // One-way partition: the bytes vanish "into the kernel buffer".
+        // The caller sees success — exactly the illusion real TCP gives a
+        // sender whose peer direction is partitioned.
+        p += chunk;
+        n -= chunk;
+        first_chunk = false;
+        continue;
+      }
+      if (corrupt) {
+        // Corrupt a copy: a retry of this transfer must be able to resend
+        // the caller's original, pristine bytes.
+        scratch.assign(p, p + chunk);
+        shim->CorruptPayload(op, scratch.data(), chunk);
+        src = reinterpret_cast<const char*>(scratch.data());
+      }
+    }
     // send() may accept fewer bytes than asked (short write): advance and
     // loop. MSG_NOSIGNAL turns a dead peer into EPIPE instead of SIGPIPE.
-    ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
+    ssize_t w = ::send(fd_, src, chunk, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -92,23 +125,43 @@ Status Socket::WriteAll(const void* data, size_t n) {
     }
     p += w;
     n -= static_cast<size_t>(w);
+    first_chunk = false;
   }
   return Status::OK();
 }
 
-Status Socket::ReadExactly(void* data, size_t n) {
-  HQ_FAULT_POINT(faultpoints::kSocketRead);
-  char* p = static_cast<char*>(data);
-  size_t total = n;
-  while (n > 0) {
-    // recv() returns whatever is buffered (short read): loop until the
-    // frame-level caller's byte count is satisfied.
-    ssize_t r = ::recv(fd_, p, n, 0);
+Result<size_t> Socket::RecvChunk(char* p, size_t n, bool first_chunk,
+                                 size_t outstanding, size_t total) {
+  for (;;) {
+    size_t chunk = n;
+    bool corrupt = false;
+    LinkShim* shim = GlobalLinkShim();
+    LinkOp op;
+    if (shim != nullptr) {
+      op.scope = link_scope_;
+      op.send = false;
+      op.requested = n;
+      op.first_chunk = first_chunk;
+      bool blackhole = false;
+      HQ_RETURN_IF_ERROR(
+          shim->BeforeTransfer(op, &chunk, &blackhole, &corrupt));
+      if (chunk == 0 || chunk > n) chunk = n;
+      if (blackhole) {
+        // A recv-direction partition delivers nothing, ever: surface the
+        // same kDeadlineExceeded a real SO_RCVTIMEO expiry would.
+        return Status::DeadlineExceeded(
+            "recv timed out with ", outstanding, " of ", total,
+            " bytes outstanding (link partitioned)");
+      }
+    }
+    // recv() returns whatever is buffered (short read): the caller loops
+    // until its byte count is satisfied.
+    ssize_t r = ::recv(fd_, p, chunk, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return Status::DeadlineExceeded("recv timed out with ", n, " of ",
-                                        total, " bytes outstanding");
+        return Status::DeadlineExceeded("recv timed out with ", outstanding,
+                                        " of ", total, " bytes outstanding");
       }
       if (errno == ECONNRESET) {
         return Status::Unavailable("connection reset by peer during recv");
@@ -116,11 +169,28 @@ Status Socket::ReadExactly(void* data, size_t n) {
       return Status::IoError("recv(): ", std::strerror(errno));
     }
     if (r == 0) {
-      return Status::Unavailable("connection closed by peer (", total - n,
-                                 " of ", total, " bytes read)");
+      return Status::Unavailable("connection closed by peer (",
+                                 total - outstanding, " of ", total,
+                                 " bytes read)");
     }
+    if (corrupt && shim != nullptr) {
+      shim->CorruptPayload(op, reinterpret_cast<uint8_t*>(p),
+                           static_cast<size_t>(r));
+    }
+    return static_cast<size_t>(r);
+  }
+}
+
+Status Socket::ReadExactly(void* data, size_t n) {
+  HQ_FAULT_POINT(faultpoints::kSocketRead);
+  char* p = static_cast<char*>(data);
+  size_t total = n;
+  bool first_chunk = true;
+  while (n > 0) {
+    HQ_ASSIGN_OR_RETURN(size_t r, RecvChunk(p, n, first_chunk, n, total));
     p += r;
-    n -= static_cast<size_t>(r);
+    n -= r;
+    first_chunk = false;
   }
   return Status::OK();
 }
@@ -145,6 +215,78 @@ Result<Frame> Socket::ReadFrame() {
   if (len > 0) {
     HQ_RETURN_IF_ERROR(ReadExactly(frame.payload.data(), len));
   }
+  return frame;
+}
+
+Result<Frame> Socket::ReadFrameGuarded(int frame_budget_ms,
+                                       int idle_timeout_ms) {
+  if (frame_budget_ms <= 0) return ReadFrame();
+  // Waiting for the frame to start is idleness, not a stall: the first
+  // header byte arrives under the caller's idle policy.
+  uint8_t header[8];
+  HQ_RETURN_IF_ERROR(ReadExactly(header, 1));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(frame_budget_ms);
+  // Once started, the frame must complete within the budget no matter how
+  // slowly bytes trickle in: the recv timeout is re-derived from the
+  // remaining budget before every chunk, so a 1-byte-per-second client
+  // cannot reset the clock (the slowloris attack this guard exists for).
+  auto read_rest = [&](void* data, size_t n, size_t total) -> Status {
+    char* p = static_cast<char*>(data);
+    bool first_chunk = true;
+    while (n > 0) {
+      auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           deadline - std::chrono::steady_clock::now())
+                           .count();
+      if (remaining <= 0) {
+        return Status::DeadlineExceeded(
+                   "tdwp frame stalled: peer delivered ", total - n, " of ",
+                   total, " bytes within the ", frame_budget_ms,
+                   "ms per-frame budget")
+            .WithDetail(StatusDetail::kFrameStall);
+      }
+      HQ_RETURN_IF_ERROR(SetRecvTimeoutMs(static_cast<int>(remaining)));
+      auto r = RecvChunk(p, n, first_chunk, n, total);
+      if (!r.ok()) {
+        if (r.status().IsDeadlineExceeded()) {
+          return Status::DeadlineExceeded(
+                     "tdwp frame stalled: peer delivered ", total - n, " of ",
+                     total, " bytes within the ", frame_budget_ms,
+                     "ms per-frame budget")
+              .WithDetail(StatusDetail::kFrameStall);
+        }
+        return r.status();
+      }
+      p += *r;
+      n -= *r;
+      first_chunk = false;
+    }
+    return Status::OK();
+  };
+  auto restore_idle = [&] { (void)SetRecvTimeoutMs(idle_timeout_ms); };
+  Status rest = read_rest(header + 1, sizeof(header) - 1, sizeof(header));
+  if (!rest.ok()) {
+    restore_idle();
+    return rest;
+  }
+  Frame frame;
+  frame.kind = static_cast<MessageKind>(header[0]);
+  frame.flags = header[1];
+  uint32_t len;
+  std::memcpy(&len, header + 4, 4);
+  if (len > (256u << 20)) {
+    restore_idle();
+    return Status::ProtocolError("oversized frame (", len, " bytes)");
+  }
+  frame.payload.resize(len);
+  if (len > 0) {
+    Status body = read_rest(frame.payload.data(), len, len);
+    if (!body.ok()) {
+      restore_idle();
+      return body;
+    }
+  }
+  restore_idle();
   return frame;
 }
 

@@ -1,12 +1,19 @@
 // Thin RAII TCP socket wrapper plus tdwp frame I/O.
+//
+// Every transfer consults the process-global LinkShim seam (DESIGN.md §13)
+// so a chaos engine can delay, throttle, shorten, corrupt, blackhole, or
+// reset traffic per link scope; when nothing is installed the cost is one
+// relaxed atomic load per chunk.
 
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/link_shim.h"
 #include "common/result.h"
 #include "protocol/tdwp.h"
 
@@ -18,7 +25,8 @@ class Socket {
   Socket() = default;
   explicit Socket(int fd) : fd_(fd) {}
   ~Socket();
-  Socket(Socket&& other) noexcept : fd_(other.fd_.exchange(-1)) {}
+  Socket(Socket&& other) noexcept
+      : fd_(other.fd_.exchange(-1)), link_scope_(other.link_scope_) {}
   Socket& operator=(Socket&& other) noexcept;
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
@@ -29,6 +37,13 @@ class Socket {
   /// — hands the descriptor off without a data race.
   int fd() const { return fd_.load(std::memory_order_acquire); }
   void Close();
+
+  /// \brief Tags this socket's link for the chaos seam: the server tags
+  /// accepted connections linkscopes::kFrontend, the client library tags
+  /// its connections linkscopes::kClient. Untagged sockets ("net") are
+  /// invisible to scope-targeted chaos schedules.
+  void set_link_scope(const char* scope) { link_scope_ = scope; }
+  const char* link_scope() const { return link_scope_; }
 
   /// \brief Connects to 127.0.0.1:`port`.
   static Result<Socket> ConnectLocal(uint16_t port);
@@ -49,8 +64,27 @@ class Socket {
   /// \brief Reads one framed message (blocking).
   Result<Frame> ReadFrame();
 
+  /// \brief Reads one framed message under the slowloris guard (DESIGN.md
+  /// §13): waiting for the frame to *start* follows the socket's idle
+  /// policy, but once the first header byte has arrived the remainder
+  /// (header + payload) must land within `frame_budget_ms`, however many
+  /// bytes trickle in per recv. A stalled frame fails with
+  /// kDeadlineExceeded[frame_stall]. On return the recv timeout is
+  /// restored to `idle_timeout_ms` (0 = cleared). `frame_budget_ms <= 0`
+  /// degrades to ReadFrame().
+  Result<Frame> ReadFrameGuarded(int frame_budget_ms, int idle_timeout_ms);
+
  private:
+  /// One recv round: consults the chaos seam (which may clamp the chunk,
+  /// inject latency, corrupt the received bytes, or fail the op), then
+  /// recv()s at most `n` bytes. Returns the byte count moved (> 0);
+  /// mid-stream EOF and errors map exactly as ReadExactly documents.
+  /// `context` distinguishes the total-transfer error messages.
+  Result<size_t> RecvChunk(char* p, size_t n, bool first_chunk,
+                           size_t outstanding, size_t total);
+
   std::atomic<int> fd_{-1};
+  const char* link_scope_ = linkscopes::kNone;
 };
 
 /// \brief Listening socket bound to 127.0.0.1 (port 0 = ephemeral).

@@ -5,19 +5,27 @@
 // mechanics, and the 22 TPC-H shapes executing equivalently on all
 // dialects.
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "chaos/auditor.h"
 #include "fuzz/campaign.h"
 #include "fuzz/differential.h"
 #include "fuzz/query_gen.h"
 #include "fuzz/reducer.h"
+#include "protocol/client.h"
+#include "protocol/server.h"
+#include "protocol/socket.h"
+#include "protocol/tdwp.h"
 #include "serializer/dialect.h"
 #include "service/hyperq_service.h"
 #include "vdb/engine.h"
@@ -264,6 +272,158 @@ TEST(FuzzTpchTest, All22QueriesEquivalentOnEveryDialect) {
       }
     }
   }
+}
+
+// --- Wire-frame robustness (DESIGN.md §13) -----------------------------------
+// Malformed, truncated, and oversized frames thrown at a live server: every
+// byte pattern must yield either a typed error frame or a clean close —
+// never a crash, a wedged worker, or a leaked fd. Run under ASan by
+// scripts/tier1.sh, so "no crash" includes "no heap error".
+
+class WireFuzzFixture {
+ public:
+  WireFuzzFixture() : service_(&engine_, ServiceOpts()) {
+    server_options_.frame_read_timeout_ms = 500;
+    server_ = std::make_unique<protocol::TdwpServer>(&service_,
+                                                     server_options_);
+    start_ok_ = server_->Start(0).ok();
+  }
+  ~WireFuzzFixture() { server_->Stop(); }
+
+  bool ok() const { return start_ok_; }
+  uint16_t port() const { return server_->port(); }
+  protocol::TdwpServer& server() { return *server_; }
+
+  /// The liveness probe: after any garbage, a well-formed session must
+  /// still work end to end.
+  ::testing::AssertionResult StillServes() {
+    protocol::TdwpClient client;
+    if (!client.Connect(server_->port()).ok()) {
+      return ::testing::AssertionFailure() << "connect failed";
+    }
+    if (!client.Logon("alice", "pw").ok()) {
+      return ::testing::AssertionFailure() << "logon failed";
+    }
+    auto out = client.Run("SELECT 1");
+    client.Goodbye();
+    if (!out.ok()) {
+      return ::testing::AssertionFailure() << out.status();
+    }
+    return ::testing::AssertionSuccess();
+  }
+
+ private:
+  static service::ServiceOptions ServiceOpts() { return {}; }
+  vdb::Engine engine_;
+  service::HyperQService service_;
+  protocol::TdwpServerOptions server_options_;
+  std::unique_ptr<protocol::TdwpServer> server_;
+  bool start_ok_ = false;
+};
+
+uint64_t FuzzMix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+TEST(WireFuzzTest, GarbageBytesNeverCrashTheServer) {
+  WireFuzzFixture fx;
+  ASSERT_TRUE(fx.ok());
+  uint64_t rng = kSmokeSeed;
+  for (int round = 0; round < 24; ++round) {
+    auto conn = protocol::Socket::ConnectLocal(fx.port());
+    ASSERT_TRUE(conn.ok());
+    uint8_t garbage[64];
+    for (auto& b : garbage) {
+      rng = FuzzMix(rng);
+      b = static_cast<uint8_t>(rng);
+    }
+    // The write may legitimately fail (the server can close first).
+    (void)conn->WriteAll(garbage, sizeof(garbage));
+    // Drain whatever the server answers (error frame or EOF), then drop.
+    uint8_t sink[256];
+    (void)conn->SetRecvTimeoutMs(1000);
+    (void)conn->ReadExactly(sink, 1);
+  }
+  EXPECT_TRUE(fx.StillServes());
+}
+
+TEST(WireFuzzTest, OversizedLengthPrefixGetsTypedErrorFrame) {
+  WireFuzzFixture fx;
+  ASSERT_TRUE(fx.ok());
+  auto conn = protocol::Socket::ConnectLocal(fx.port());
+  ASSERT_TRUE(conn.ok());
+  // Valid kind, absurd length: claims a 1 GiB payload.
+  uint8_t header[8] = {static_cast<uint8_t>(protocol::MessageKind::kRunRequest),
+                       0, 0, 0, 0x00, 0x00, 0x00, 0x40};
+  ASSERT_TRUE(conn->WriteAll(header, sizeof(header)).ok());
+  auto reply = conn->ReadFrame();
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  ASSERT_EQ(reply->kind, protocol::MessageKind::kError);
+  auto err = protocol::DecodeError(reply->payload);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->code, static_cast<uint32_t>(StatusCode::kProtocolError));
+  EXPECT_TRUE(fx.StillServes());
+}
+
+TEST(WireFuzzTest, TruncatedFramesAndMidFrameClosesLeakNothing) {
+  WireFuzzFixture fx;
+  ASSERT_TRUE(fx.ok());
+  int baseline_fds = chaos::InvariantAuditor::CountOpenFds();
+  uint64_t rng = kSmokeSeed + 1;
+  for (int round = 0; round < 24; ++round) {
+    auto conn = protocol::Socket::ConnectLocal(fx.port());
+    ASSERT_TRUE(conn.ok());
+    // A header promising more payload than we ever send...
+    rng = FuzzMix(rng);
+    uint32_t claimed = 32 + static_cast<uint32_t>(rng % 512);
+    uint8_t header[8] = {
+        static_cast<uint8_t>(protocol::MessageKind::kRunRequest), 0, 0, 0,
+        static_cast<uint8_t>(claimed), static_cast<uint8_t>(claimed >> 8),
+        0, 0};
+    (void)conn->WriteAll(header, sizeof(header));
+    uint8_t partial[16] = {0};
+    (void)conn->WriteAll(partial, sizeof(partial));
+    // ...then vanish mid-frame. The frame guard reaps the worker.
+  }
+  EXPECT_TRUE(fx.StillServes());
+  // Every fuzz connection's fd must be released once workers are reaped.
+  bool settled = false;
+  for (int i = 0; i < 4000 && !settled; ++i) {
+    fx.server().ReapWorkers();
+    settled = fx.server().active_connections() == 0 &&
+              chaos::InvariantAuditor::CountOpenFds() <= baseline_fds + 2;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(settled) << "fds: " << chaos::InvariantAuditor::CountOpenFds()
+                       << " vs baseline " << baseline_fds << ", active: "
+                       << fx.server().active_connections();
+}
+
+TEST(WireFuzzTest, UnknownMessageKindsGetErrorsNotCrashes) {
+  WireFuzzFixture fx;
+  ASSERT_TRUE(fx.ok());
+  for (uint8_t kind : {0, 42, 99, 200, 255}) {
+    auto conn = protocol::Socket::ConnectLocal(fx.port());
+    ASSERT_TRUE(conn.ok());
+    protocol::Frame f;
+    f.kind = static_cast<protocol::MessageKind>(kind);
+    f.payload = {1, 2, 3};
+    ASSERT_TRUE(conn->WriteFrame(f).ok());
+    (void)conn->SetRecvTimeoutMs(2000);
+    auto reply = conn->ReadFrame();
+    // Either a typed error frame or a clean close; never silence.
+    if (reply.ok()) {
+      EXPECT_EQ(reply->kind, protocol::MessageKind::kError)
+          << "kind " << int(kind);
+    } else {
+      EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable)
+          << "kind " << int(kind) << ": " << reply.status();
+    }
+  }
+  EXPECT_TRUE(fx.StillServes());
 }
 
 }  // namespace
