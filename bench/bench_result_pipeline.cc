@@ -4,14 +4,27 @@
 // and the Result Converter, in both buffered-in-memory and spill-to-disk
 // regimes, and across converter parallelism — the design choices DESIGN.md
 // calls out for the Result Store / Result Converter components.
+//
+// The run also performs the row-vs-batch study (DESIGN.md §15): the same
+// result set pushed through the legacy per-row plane (TdfWriter::AddRow +
+// encoded-blob Append) and through the columnar plane (zero-copy batch
+// spans), medians over repeated runs, written to BENCH_pipeline.json. The
+// process exits non-zero if the batch path is not at least 2x faster —
+// the columnar redesign's floor, enforced where it can fail the build.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
 
 #include "backend/connector.h"
 #include "backend/result_store.h"
 #include "backend/tdf.h"
+#include "common/stopwatch.h"
 #include "convert/result_converter.h"
 #include "protocol/tdwp.h"
+#include "vdb/column_batch.h"
 #include "vdb/engine.h"
 
 using namespace hyperq;
@@ -153,6 +166,137 @@ void BM_RecordRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_RecordRoundTrip);
 
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+// Row-vs-batch study (DESIGN.md §15): the same rowset through both data
+// planes, package + convert end to end.
+//
+//   row   — per-row Datum encode (TdfWriter::AddRow), encoded-blob Append
+//           into the store, converter re-decodes each blob into a batch.
+//   batch — columnar chunks appended as zero-copy spans; the converter
+//           encodes wire records straight from the column vectors.
+//
+// The chunks themselves are built outside the timed region: on the batch
+// plane the executor produces them natively, so constructing them is not
+// part of the pipeline being replaced.
+struct RowVsBatchStudy {
+  double row_us = 0;
+  double batch_us = 0;
+  double speedup = 0;
+};
+
+RowVsBatchStudy RunRowVsBatchStudy() {
+  constexpr int64_t kRows = 100000;
+  constexpr size_t kBatchRows = 2048;
+  constexpr int kIters = 9;
+
+  vdb::QueryResult result = MakeResult(kRows);
+  result.EnsureRows();
+  std::vector<backend::TdfColumn> schema;
+  std::vector<SqlType> types;
+  for (const auto& col : result.columns) {
+    schema.push_back({col.name, col.type});
+    types.push_back(col.type);
+  }
+  std::vector<std::shared_ptr<const vdb::ColumnBatch>> chunks;
+  for (size_t i = 0; i < result.rows.size(); i += kBatchRows) {
+    size_t end = std::min(result.rows.size(), i + kBatchRows);
+    chunks.push_back(vdb::BatchFromRows(types, result.rows, i, end));
+  }
+
+  convert::ResultConverter converter{convert::ConverterOptions{}};
+  uint64_t row_rows = 0, batch_rows = 0;
+
+  auto row_pass = [&]() -> double {
+    Stopwatch sw;
+    backend::BackendResult br;
+    br.columns = schema;
+    br.store = std::make_shared<backend::ResultStore>();
+    size_t i = 0;
+    while (i < result.rows.size()) {
+      backend::TdfWriter writer(schema);
+      size_t end = std::min(result.rows.size(), i + kBatchRows);
+      for (; i < end; ++i) {
+        if (!writer.AddRow(result.rows[i]).ok()) std::abort();
+      }
+      size_t n = writer.row_count();
+      if (!br.store->Append(writer.Finish(), n).ok()) std::abort();
+    }
+    auto converted = converter.Convert(br);
+    if (!converted.ok()) std::abort();
+    row_rows = converted->total_rows;
+    return sw.ElapsedMicros();
+  };
+
+  auto batch_pass = [&]() -> double {
+    Stopwatch sw;
+    backend::BackendResult br;
+    br.columns = schema;
+    br.store = std::make_shared<backend::ResultStore>();
+    br.store->set_schema(schema);
+    for (const auto& chunk : chunks) {
+      if (!br.store->AppendBatch(chunk, 0, chunk->rows).ok()) std::abort();
+    }
+    auto converted = converter.Convert(br);
+    if (!converted.ok()) std::abort();
+    batch_rows = converted->total_rows;
+    return sw.ElapsedMicros();
+  };
+
+  std::vector<double> row_us, batch_us;
+  for (int it = 0; it < kIters; ++it) {
+    row_us.push_back(row_pass());
+    batch_us.push_back(batch_pass());
+  }
+  if (row_rows != static_cast<uint64_t>(kRows) || batch_rows != row_rows) {
+    std::fprintf(stderr, "row-vs-batch study row-count mismatch\n");
+    std::abort();
+  }
+
+  RowVsBatchStudy study;
+  study.row_us = Median(row_us);
+  study.batch_us = Median(batch_us);
+  study.speedup = study.batch_us > 0 ? study.row_us / study.batch_us : 0;
+  std::printf("Row-vs-batch data plane (%lld rows x 4 cols, %d iters):\n",
+              static_cast<long long>(kRows), kIters);
+  std::printf("  row plane:   %10.1f us (median)\n", study.row_us);
+  std::printf("  batch plane: %10.1f us (median)\n", study.batch_us);
+  std::printf("  speedup:     %10.2fx (floor: 2x)\n", study.speedup);
+  return study;
+}
+
+void WritePipelineJson(const RowVsBatchStudy& study) {
+  const char* path = "BENCH_pipeline.json";
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"result_pipeline\",\n");
+  std::fprintf(f, "  \"row_vs_batch\": {\n");
+  std::fprintf(f, "    \"row_us\": %.1f,\n", study.row_us);
+  std::fprintf(f, "    \"batch_us\": %.1f,\n", study.batch_us);
+  std::fprintf(f, "    \"speedup\": %.2f,\n", study.speedup);
+  std::fprintf(f, "    \"floor\": 2.0\n");
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  RowVsBatchStudy study = RunRowVsBatchStudy();
+  WritePipelineJson(study);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  // Gate: the columnar plane must hold at least 2x over the row plane
+  // (acceptance bar for the DESIGN.md §15 redesign).
+  return study.speedup >= 2.0 ? 0 : 1;
+}

@@ -155,9 +155,13 @@ tail_count=$(lint_family "tail" \
 # injection counts, and the invariant-audit verdict series.
 chaos_count=$(lint_family "chaos" 'hyperq\.chaos\.[a-z_.]*') || status=1
 
+# Result converter (DESIGN.md §15): per-wire-batch size distributions on
+# the columnar data plane.
+convert_count=$(lint_family "convert" 'hyperq\.convert\.[a-z_.]*') || status=1
+
 if [[ $status -eq 0 ]]; then
   count=$(echo "$declared" | wc -l)
   state_count=$(echo "$states" | wc -l)
-  echo "check_metrics: OK ($count fault points, $state_count health states, $tail_count tail series, $chaos_count chaos series all mirrored)"
+  echo "check_metrics: OK ($count fault points, $state_count health states, $tail_count tail series, $chaos_count chaos series, $convert_count convert series all mirrored)"
 fi
 exit $status

@@ -6,12 +6,13 @@
 #   scripts/tier1.sh --asan     # also build build-asan/ and run the
 #                               # `faults`, `failover`, `cache`, `golden`,
 #                               # `lifecycle`, `observability`, `fleet`,
-#                               # `tail`, `fuzz`, and `chaos` suites under
-#                               # ASan+UBSan
+#                               # `tail`, `fuzz`, `chaos`, and `batch`
+#                               # suites under ASan+UBSan
 #   scripts/tier1.sh --tsan     # also build build-tsan/ and run the
 #                               # cross-thread suites (`lifecycle`,
 #                               # `faults`, `observability`, `fleet`,
-#                               # `tail`, `chaos`) under ThreadSanitizer
+#                               # `tail`, `chaos`, `batch`) under
+#                               # ThreadSanitizer
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,6 +45,11 @@ if [[ "${1:-}" == "--asan" ]]; then
   # scenario phase still runs at least once.
   HQ_CHAOS_SOAK_MS=2500 \
     ctest --test-dir build-asan --output-on-failure -L chaos -j "$jobs"
+  # The batch data plane moves shared column vectors zero-copy between the
+  # executor, store, and converter — exactly where lifetime bugs would
+  # hide. The edge suite (zero-row spans, spill straddles, mid-batch
+  # cancellation) must be ASan-clean.
+  ctest --test-dir build-asan --output-on-failure -L batch -j "$jobs"
 fi
 
 if [[ "${1:-}" == "--tsan" ]]; then
@@ -71,4 +77,8 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # soak, same phase coverage.
   HQ_CHAOS_SOAK_MS=2500 \
     ctest --test-dir build-tsan --output-on-failure -L chaos -j "$jobs"
+  # Batch conversion fans out over worker threads and cancellation races
+  # the fetch loop from another thread — the batch suite must be
+  # TSan-clean, not just ASan-clean.
+  ctest --test-dir build-tsan --output-on-failure -L batch -j "$jobs"
 fi

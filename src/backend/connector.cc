@@ -11,10 +11,9 @@ namespace obs = observability;
 Result<std::vector<std::vector<Datum>>> BackendResult::DecodeRows() const {
   std::vector<std::vector<Datum>> rows;
   if (!store) return rows;
-  Status status = store->Scan([&](const std::vector<uint8_t>& bytes) {
-    HQ_ASSIGN_OR_RETURN(TdfReader reader, TdfReader::Open(bytes));
-    HQ_ASSIGN_OR_RETURN(auto batch_rows, reader.ReadAll());
-    for (auto& r : batch_rows) rows.push_back(std::move(r));
+  Status status = store->ScanSpans([&](const BatchSpan& span) {
+    vdb::AppendRowsFromBatch(*span.batch, span.offset,
+                             span.offset + span.rows, &rows);
     return Status::OK();
   });
   HQ_RETURN_IF_ERROR(status);
@@ -195,8 +194,14 @@ Result<BackendResult> BackendConnector::Package(vdb::QueryResult result,
                                             options_.spill_dir,
                                             options_.governor,
                                             options_.session_tag);
-  size_t i = 0;
-  while (i < result.rows.size() || result.rows.empty()) {
+  out.store->set_schema(out.columns);
+
+  // Legacy producers (the emulation layer) still deliver rows; fold them
+  // into one chunk so the rest of the pipeline sees only batches.
+  result.EnsureChunks();
+
+  auto emit_span = [&](const std::shared_ptr<const vdb::ColumnBatch>& batch,
+                       size_t offset, size_t rows) -> Status {
     // Cancellation is observed at every batch boundary: an abandoned fetch
     // drops `out` and with it the store's spill files and governor bytes.
     if (ctx != nullptr) HQ_RETURN_IF_ERROR(ctx->CheckAlive());
@@ -209,14 +214,39 @@ Result<BackendResult> BackendConnector::Package(vdb::QueryResult result,
                                  options_.backend_name.c_str(),
                                  /*send=*/false, options_.batch_rows));
     HQ_FAULT_POINT(faultpoints::kConnectorFetchBatch);
-    TdfWriter writer(out.columns);
-    size_t end = std::min(result.rows.size(), i + options_.batch_rows);
-    for (; i < end; ++i) {
-      HQ_RETURN_IF_ERROR(writer.AddRow(result.rows[i]));
+    // The per-row append fault point keeps its historical granularity so
+    // fault-injection counts are identical to the row-at-a-time path.
+    for (size_t r = 0; r < rows; ++r) {
+      HQ_FAULT_POINT(faultpoints::kTdfAppend);
     }
-    size_t n = writer.row_count();
-    HQ_RETURN_IF_ERROR(out.store->Append(writer.Finish(), n));
-    if (result.rows.empty() || i >= result.rows.size()) break;
+    return out.store->AppendBatch(batch, offset, rows);
+  };
+
+  size_t total = 0;
+  for (const auto& chunk : result.chunks) total += chunk->rows;
+  if (total == 0) {
+    // Announce-then-stream protocols expect at least one (empty) batch.
+    std::vector<SqlType> types;
+    types.reserve(out.columns.size());
+    for (const auto& c : out.columns) types.push_back(c.type);
+    vdb::BatchBuilder builder(types);
+    HQ_RETURN_IF_ERROR(emit_span(builder.Finish(), 0, 0));
+    return out;
+  }
+  for (const auto& chunk : result.chunks) {
+    if (chunk->rows == 0) continue;
+    // Coerce the whole chunk to the declared result types once (the common
+    // case is a zero-copy identity check), instead of per row per value.
+    HQ_ASSIGN_OR_RETURN(std::shared_ptr<const vdb::ColumnBatch> canon,
+                        CanonicalizeBatch(out.columns, chunk));
+    size_t i = 0;
+    while (i < canon->rows) {
+      // Spans never straddle chunk boundaries; a short tail span simply
+      // carries fewer rows, like the row path's final short batch.
+      size_t n = std::min(options_.batch_rows, canon->rows - i);
+      HQ_RETURN_IF_ERROR(emit_span(canon, i, n));
+      i += n;
+    }
   }
   return out;
 }

@@ -71,6 +71,59 @@ Status ResultStore::Append(std::vector<uint8_t> batch, size_t row_count) {
   return Status::OK();
 }
 
+Status ResultStore::AppendBatch(
+    std::shared_ptr<const vdb::ColumnBatch> batch, size_t offset,
+    size_t rows) {
+  total_rows_ += static_cast<int64_t>(rows);
+  size_t charge = 0;
+  for (const auto& col : batch->columns) {
+    charge += col->ByteSize(offset, offset + rows);
+  }
+
+  Slot slot;
+  bool fits_local = charge == 0 || memory_bytes_ + charge <= memory_budget_;
+  bool use_memory = fits_local;
+  if (use_memory && governor_ && charge > 0) {
+    use_memory =
+        governor_->ReserveMemory(session_tag_, static_cast<int64_t>(charge))
+            .ok();
+  }
+
+  if (use_memory) {
+    memory_bytes_ += charge;
+    slot.is_span = true;
+    slot.size = charge;
+    slot.span = BatchSpan{std::move(batch), offset, rows};
+    in_memory_.push_back(std::move(slot));
+    return Status::OK();
+  }
+
+  // Denied memory: serialize the span as TDF2 and take the spill path so
+  // the governor accounting stays byte-exact against the file size.
+  HQ_FAULT_POINT(faultpoints::kStoreSpill);
+  std::vector<uint8_t> encoded = EncodeTdfBatch(schema_, *batch, offset, rows);
+  if (governor_) {
+    Status reserved =
+        governor_->ReserveSpill(static_cast<int64_t>(encoded.size()));
+    if (!reserved.ok()) {
+      governor_->NoteShed();
+      return reserved.WithContext("result shed: spill budget denied");
+    }
+  }
+  slot.size = encoded.size();
+  Status spilled = SpillBatch(encoded, &slot);
+  if (!spilled.ok()) {
+    if (governor_) {
+      governor_->ReleaseSpill(static_cast<int64_t>(encoded.size()));
+    }
+    return spilled;
+  }
+  ++spilled_files_;
+  spilled_bytes_ += static_cast<int64_t>(encoded.size());
+  in_memory_.push_back(std::move(slot));
+  return Status::OK();
+}
+
 Status ResultStore::SpillBatch(const std::vector<uint8_t>& batch, Slot* slot) {
   std::string path = spill_dir_ + "/hyperq_spill_" +
                      std::to_string(g_store_counter.fetch_add(1)) + "_" +
@@ -113,6 +166,13 @@ Status ResultStore::SpillBatch(const std::vector<uint8_t>& batch, Slot* slot) {
 Status ResultStore::Scan(
     const std::function<Status(const std::vector<uint8_t>&)>& fn) const {
   for (const Slot& slot : in_memory_) {
+    if (slot.is_span) {
+      // Legacy consumers see span slots as freshly encoded TDF2 batches.
+      std::vector<uint8_t> encoded = EncodeTdfBatch(
+          schema_, *slot.span.batch, slot.span.offset, slot.span.rows);
+      HQ_RETURN_IF_ERROR(fn(encoded));
+      continue;
+    }
     if (!slot.spilled) {
       HQ_RETURN_IF_ERROR(fn(slot.bytes));
       continue;
@@ -128,6 +188,37 @@ Status ResultStore::Scan(
                              bytes.size(), " of ", slot.size, " bytes)");
     }
     HQ_RETURN_IF_ERROR(fn(bytes));
+  }
+  return Status::OK();
+}
+
+Status ResultStore::ScanSpans(
+    const std::function<Status(const BatchSpan&)>& fn) const {
+  for (const Slot& slot : in_memory_) {
+    if (slot.is_span) {
+      HQ_RETURN_IF_ERROR(fn(slot.span));
+      continue;
+    }
+    std::vector<uint8_t> bytes;
+    if (!slot.spilled) {
+      bytes = slot.bytes;
+    } else {
+      std::ifstream in(slot.path, std::ios::binary);
+      if (!in) {
+        return Status::IoError("cannot reopen spill file ", slot.path);
+      }
+      bytes.assign((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+      if (bytes.size() != slot.size) {
+        return Status::IoError("truncated spill file ", slot.path, " (",
+                               bytes.size(), " of ", slot.size, " bytes)");
+      }
+    }
+    HQ_ASSIGN_OR_RETURN(TdfReader reader, TdfReader::Open(std::move(bytes)));
+    HQ_ASSIGN_OR_RETURN(std::shared_ptr<const vdb::ColumnBatch> batch,
+                        reader.ReadBatch());
+    BatchSpan span{batch, 0, batch->rows};
+    HQ_RETURN_IF_ERROR(fn(span));
   }
   return Status::OK();
 }

@@ -19,12 +19,27 @@
 #include <string>
 #include <vector>
 
+#include "backend/tdf.h"
 #include "common/resource_governor.h"
 #include "common/result.h"
+#include "vdb/column_batch.h"
 
 namespace hyperq::backend {
 
-/// \brief Bounded in-memory buffer of encoded TDF batches with disk spill.
+/// \brief A view over rows [offset, offset+rows) of a shared ColumnBatch —
+/// the unit the batch data plane moves between connector, store and
+/// converter without re-materializing rows.
+struct BatchSpan {
+  std::shared_ptr<const vdb::ColumnBatch> batch;
+  size_t offset = 0;
+  size_t rows = 0;
+};
+
+/// \brief Bounded in-memory buffer of result batches with disk spill.
+///
+/// Batches are held columnar (BatchSpan) on the fast path; spilled spans
+/// are serialized as TDF2 and decoded back to batches on scan. The encoded
+/// row-oriented Append/Scan pair remains as a legacy shim.
 class ResultStore {
  public:
   /// \param memory_budget_bytes in-memory cap before spilling
@@ -49,7 +64,21 @@ class ResultStore {
   /// \brief Appends one encoded TDF batch. Policy: memory if both the local
   /// budget and the governor admit it, else spill (governor-bounded), else
   /// shed (kResourceExhausted). Spill I/O failures surface as kIoError.
+  /// \deprecated Row-oriented shim; the batch data plane uses AppendBatch.
   Status Append(std::vector<uint8_t> batch, size_t row_count);
+
+  /// \brief Schema used to serialize spans on spill and by the legacy Scan
+  /// shim; must be set before the first AppendBatch/Scan of span slots.
+  void set_schema(std::vector<TdfColumn> schema) {
+    schema_ = std::move(schema);
+  }
+  const std::vector<TdfColumn>& schema() const { return schema_; }
+
+  /// \brief Appends a columnar span under the same shed-or-spill policy.
+  /// In memory the span is held zero-copy (charged at its heap size); a
+  /// spilled span is encoded as TDF2 and charged at its encoded size.
+  Status AppendBatch(std::shared_ptr<const vdb::ColumnBatch> batch,
+                     size_t offset, size_t rows);
 
   int64_t total_rows() const { return total_rows_; }
   size_t batch_count() const { return in_memory_.size(); }
@@ -60,8 +89,14 @@ class ResultStore {
 
   /// \brief Visits every batch in append order (spilled batches are read
   /// back from disk). The store stays valid for repeated scans.
+  /// \deprecated Legacy encoded-bytes view; span slots are re-encoded as
+  /// TDF2 on demand. Batch-path consumers should use ScanSpans.
   Status Scan(
       const std::function<Status(const std::vector<uint8_t>&)>& fn) const;
+
+  /// \brief Visits every batch in append order as columnar spans (spilled
+  /// and legacy encoded slots are decoded). Repeated scans are valid.
+  Status ScanSpans(const std::function<Status(const BatchSpan&)>& fn) const;
 
   /// \brief Deletes spill files and returns every reserved byte to the
   /// governor; idempotent; called by the destructor.
@@ -70,13 +105,16 @@ class ResultStore {
  private:
   struct Slot {
     bool spilled = false;
-    std::vector<uint8_t> bytes;  // when in memory
+    bool is_span = false;
+    BatchSpan span;              // when an in-memory columnar span
+    std::vector<uint8_t> bytes;  // when in-memory encoded (legacy Append)
     std::string path;            // when spilled
-    size_t size = 0;             // payload bytes (for governor release)
+    size_t size = 0;             // charged bytes (for governor release)
   };
 
   Status SpillBatch(const std::vector<uint8_t>& batch, Slot* slot);
 
+  std::vector<TdfColumn> schema_;
   size_t memory_budget_;
   std::string spill_dir_;
   std::shared_ptr<ResourceGovernor> governor_;

@@ -23,10 +23,29 @@
 //                time/timestamp     i64 micros
 //                interval           i64 micros
 //                period(date)       nested: i32 begin + i32 end
+//
+// TDF2 (columnar, DESIGN.md §15) keeps the same self-describing header but
+// stores the payload column-at-a-time, mirroring vdb::ColumnBatch so whole
+// batches serialize with bulk copies instead of per-row dispatch:
+//   magic      u32   'T''D''F''2'
+//   header     identical to TDF1 (ncols + per-column schema)
+//   nrows      u32
+//   per column: phys u8 (vdb::PhysKind)
+//               valid bitmap (ceil(nrows/8) bytes; bit set = non-NULL)
+//               payload by phys kind (NULL slots keep zero placeholders):
+//                 i64 kinds          8*nrows
+//                 f64                8*nrows
+//                 bool               nrows
+//                 decimal            8*nrows unscaled + 4*nrows scales
+//                 date               4*nrows
+//                 period             4*nrows begin + 4*nrows end
+//                 string             4*nrows lengths + arena bytes
+//                 datum (boxed)      per non-NULL value: kind u8 + payload
 
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,6 +53,7 @@
 #include "common/result.h"
 #include "types/datum.h"
 #include "types/type.h"
+#include "vdb/column_batch.h"
 
 namespace hyperq::backend {
 
@@ -42,13 +62,18 @@ struct TdfColumn {
   SqlType type;
 };
 
-/// \brief Encodes rows into one TDF batch.
+/// \brief Encodes rows into one TDF1 batch.
+///
+/// \deprecated Row-at-a-time entry point kept for legacy producers and the
+/// row-vs-batch benchmark; the data plane serializes whole batches with
+/// EncodeTdfBatch().
 class TdfWriter {
  public:
   explicit TdfWriter(std::vector<TdfColumn> schema);
 
   /// \brief Appends one row (datums must match the schema arity; values are
   /// encoded by their runtime kind, which the schema's type governs).
+  /// \deprecated See class comment; use EncodeTdfBatch for the batch path.
   Status AddRow(const std::vector<Datum>& row);
 
   size_t row_count() const { return rows_; }
@@ -62,7 +87,7 @@ class TdfWriter {
   size_t rows_ = 0;
 };
 
-/// \brief Decodes one TDF batch.
+/// \brief Decodes one TDF batch (either format; dispatches on the magic).
 class TdfReader {
  public:
   /// \brief Parses the batch header; fails on malformed input.
@@ -70,8 +95,15 @@ class TdfReader {
 
   const std::vector<TdfColumn>& schema() const { return schema_; }
   size_t row_count() const { return nrows_; }
+  /// True when the payload is columnar (TDF2).
+  bool is_columnar() const { return columnar_; }
+
+  /// \brief Decodes the payload into a ColumnBatch (both formats).
+  Result<std::shared_ptr<const vdb::ColumnBatch>> ReadBatch() const;
 
   /// \brief Decodes all rows.
+  /// \deprecated Row-at-a-time shim over ReadBatch(); batch-path consumers
+  /// should keep the columnar form.
   Result<std::vector<std::vector<Datum>>> ReadAll() const;
 
  private:
@@ -80,8 +112,26 @@ class TdfReader {
   std::vector<TdfColumn> schema_;
   size_t nrows_ = 0;
   size_t rows_offset_ = 0;
+  bool columnar_ = false;
 };
 
-constexpr uint32_t kTdfMagic = 0x31464454;  // "TDF1"
+/// \brief Serializes rows [offset, offset+rows) of `batch` as one TDF2
+/// batch. The batch should be canonical for `schema` (see
+/// CanonicalizeBatch); kDatum columns are encoded boxed.
+std::vector<uint8_t> EncodeTdfBatch(const std::vector<TdfColumn>& schema,
+                                    const vdb::ColumnBatch& batch,
+                                    size_t offset, size_t rows);
+
+/// \brief Coerces a batch to the declared schema types, replicating
+/// TdfWriter::AddRow's per-value CastTo semantics column-at-a-time. Returns
+/// the input pointer unchanged when every column already stores exactly the
+/// schema's physical form (the common zero-copy case); otherwise rebuilds
+/// only the non-conforming columns.
+Result<std::shared_ptr<const vdb::ColumnBatch>> CanonicalizeBatch(
+    const std::vector<TdfColumn>& schema,
+    std::shared_ptr<const vdb::ColumnBatch> chunk);
+
+constexpr uint32_t kTdfMagic = 0x31464454;   // "TDF1" (row payload)
+constexpr uint32_t kTdfMagic2 = 0x32464454;  // "TDF2" (columnar payload)
 
 }  // namespace hyperq::backend

@@ -27,8 +27,8 @@ const char* OutcomeClassName(OutcomeClass cls) {
 
 std::vector<std::string> CanonicalRows(const vdb::QueryResult& result) {
   std::vector<std::string> out;
-  out.reserve(result.rows.size());
-  for (const auto& row : result.rows) {
+  out.reserve(result.row_count());
+  auto emit = [&](const std::vector<Datum>& row) {
     std::string line;
     for (size_t c = 0; c < row.size(); ++c) {
       if (c > 0) line += '|';
@@ -46,6 +46,17 @@ std::vector<std::string> CanonicalRows(const vdb::QueryResult& result) {
       }
     }
     out.push_back(std::move(line));
+  };
+  // Results arrive either as legacy datum rows or as columnar chunks
+  // (DESIGN.md §15); canonicalize both without forcing a materialization
+  // of the whole relation.
+  for (const auto& row : result.rows) emit(row);
+  std::vector<Datum> scratch;
+  for (const auto& chunk : result.chunks) {
+    for (size_t r = 0; r < chunk->rows; ++r) {
+      chunk->FillRow(r, &scratch);
+      emit(scratch);
+    }
   }
   std::sort(out.begin(), out.end());
   return out;

@@ -41,6 +41,14 @@ inline constexpr const char* kWireRequests = "hyperq.wire.requests";
 inline constexpr const char* kWireConvertMicros =
     "hyperq.wire.convert.micros";
 
+// --- Result conversion (convert/result_converter, DESIGN.md §15) -----------
+// Per-wire-batch size distributions; each produced batch is observed exactly
+// once, after the conversion attempt succeeds, so retries never double-count.
+inline constexpr const char* kConvertBatchRows =
+    "hyperq.convert.batch.rows";
+inline constexpr const char* kConvertBatchBytes =
+    "hyperq.convert.batch.bytes";
+
 // --- Translation (both entry points: Submit/Run and Translate) -------------
 inline constexpr const char* kTranslateSubmitStatements =
     "hyperq.translate.submit_statements";

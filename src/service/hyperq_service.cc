@@ -1349,16 +1349,17 @@ Result<BackendResult> HyperQService::HedgedExecute(Session* session,
 BackendResult HyperQService::PackageLocal(
     const emulation::LocalResult& local) {
   BackendResult out;
+  std::vector<SqlType> types;
+  types.reserve(local.columns.size());
   for (const auto& col : local.columns) {
     out.columns.push_back({col.name, col.type});
+    types.push_back(col.type);
   }
   out.store = std::make_shared<backend::ResultStore>();
-  backend::TdfWriter writer(out.columns);
-  for (const auto& row : local.rows) {
-    (void)writer.AddRow(row);
-  }
-  size_t n = writer.row_count();
-  (void)out.store->Append(writer.Finish(), n);
+  out.store->set_schema(out.columns);
+  std::shared_ptr<const vdb::ColumnBatch> batch =
+      vdb::BatchFromRows(types, local.rows, 0, local.rows.size());
+  (void)out.store->AppendBatch(batch, 0, batch->rows);
   out.command_tag = "HELP";
   return out;
 }
@@ -2511,7 +2512,10 @@ Result<protocol::WireResponse> HyperQService::Run(uint32_t session_id,
 
   if (outcome.result.is_rowset()) {
     Stopwatch conversion;
-    convert::ResultConverter converter(options_.convert_parallelism);
+    convert::ConverterOptions conv_opts;
+    conv_opts.parallelism = options_.convert_parallelism;
+    conv_opts.metrics = metrics_;
+    convert::ResultConverter converter(conv_opts);
     obs::SpanScope convert_span(ctx, "convert");
     auto converted_result = converter.Convert(outcome.result, ctx);
     convert_span.End();

@@ -29,13 +29,42 @@ struct ResultColumn {
 };
 
 /// \brief A fully materialized statement result.
+///
+/// SELECT results arrive as columnar `chunks` (shared, immutable
+/// ColumnBatch); `rows` is the deprecated row-at-a-time shim, populated
+/// only by EnsureRows() or by legacy producers (emulation). Exactly one of
+/// the two forms is authoritative; consumers on the batch path should call
+/// EnsureChunks() and iterate `chunks`.
 struct QueryResult {
   std::vector<ResultColumn> columns;
+
+  /// \deprecated Row shim; call EnsureRows() before reading, or better,
+  /// consume `chunks` directly.
   std::vector<Row> rows;
+
+  /// Columnar result payload (authoritative when non-empty).
+  std::vector<std::shared_ptr<const ColumnBatch>> chunks;
+
   int64_t affected_rows = 0;
   std::string command_tag;  // "SELECT", "INSERT", "CREATE TABLE", ...
 
   bool is_rowset() const { return !columns.empty(); }
+
+  /// Total result rows across whichever representation is live.
+  size_t row_count() const {
+    if (!chunks.empty()) {
+      size_t n = 0;
+      for (const auto& c : chunks) n += c->rows;
+      return n;
+    }
+    return rows.size();
+  }
+
+  /// \brief Materializes `rows` from `chunks` (legacy consumers).
+  void EnsureRows();
+  /// \brief Builds one chunk from `rows` (legacy producers feeding the
+  /// batch data plane); requires `columns` to be populated.
+  void EnsureChunks();
 };
 
 /// \brief The target database engine. Thread-safe: one internal lock

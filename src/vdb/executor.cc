@@ -7,6 +7,7 @@
 
 #include "common/str_util.h"
 #include "types/date.h"
+#include "vdb/exec_util.h"
 
 namespace hyperq::vdb {
 
@@ -16,153 +17,56 @@ using xtra::ExprKind;
 using xtra::Op;
 using xtra::OpKind;
 
-namespace {
+using exec::Accumulator;
+using exec::LikeMatch;
+using exec::RowEq;
+using exec::RowHash;
 
-// Hash/equality for rows, consistent with Datum::GroupEquals.
-struct RowHash {
-  size_t operator()(const Row& row) const {
-    size_t h = 0x345678;
-    for (const Datum& d : row) h = h * 1000003 ^ d.Hash();
-    return h;
-  }
-};
-struct RowEq {
-  bool operator()(const Row& a, const Row& b) const {
-    if (a.size() != b.size()) return false;
-    for (size_t i = 0; i < a.size(); ++i) {
-      if (!Datum::GroupEquals(a[i], b[i])) return false;
-    }
-    return true;
-  }
-};
+// ---------------------------------------------------------------------------
+// Relation row/columnar conversion shims
+// ---------------------------------------------------------------------------
 
-struct DatumHash {
-  size_t operator()(const Datum& d) const { return d.Hash(); }
-};
-struct DatumEq {
-  bool operator()(const Datum& a, const Datum& b) const {
-    return Datum::GroupEquals(a, b);
-  }
-};
-
-// SQL LIKE matcher with optional escape character.
-bool LikeMatch(const std::string& value, const std::string& pattern,
-               char escape, bool has_escape) {
-  size_t vi = 0, pi = 0;
-  // Recursive matcher with backtracking on '%'.
-  std::function<bool(size_t, size_t)> match = [&](size_t v, size_t p) -> bool {
-    while (p < pattern.size()) {
-      char pc = pattern[p];
-      if (has_escape && pc == escape && p + 1 < pattern.size()) {
-        if (v >= value.size() || value[v] != pattern[p + 1]) return false;
-        ++v;
-        p += 2;
-        continue;
-      }
-      if (pc == '%') {
-        // Collapse consecutive %.
-        while (p < pattern.size() && pattern[p] == '%') ++p;
-        if (p == pattern.size()) return true;
-        for (size_t k = v; k <= value.size(); ++k) {
-          if (match(k, p)) return true;
-        }
-        return false;
-      }
-      if (pc == '_') {
-        if (v >= value.size()) return false;
-        ++v;
-        ++p;
-        continue;
-      }
-      if (v >= value.size() || value[v] != pc) return false;
-      ++v;
-      ++p;
-    }
-    return v == value.size();
-  };
-  (void)vi;
-  (void)pi;
-  return match(0, 0);
+size_t Relation::RowCount() const {
+  if (!columnar) return rows.size();
+  size_t n = 0;
+  for (const auto& c : chunks) n += c->rows;
+  return n;
 }
 
-/// Aggregate accumulator shared by hash aggregation and window frames.
-class Accumulator {
- public:
-  Accumulator(const std::string& func, bool distinct)
-      : func_(func), distinct_(distinct) {}
-
-  Status Add(const Datum& v) {
-    if (func_ == "COUNT" && v.is_null()) return Status::OK();
-    if (v.is_null()) return Status::OK();  // SQL aggregates skip NULLs
-    if (distinct_) {
-      if (seen_.count(v)) return Status::OK();
-      seen_.insert(v);
-    }
-    ++count_;
-    if (func_ == "COUNT") return Status::OK();
-    if (func_ == "MIN" || func_ == "MAX") {
-      if (best_.is_null()) {
-        best_ = v;
-        return Status::OK();
-      }
-      HQ_ASSIGN_OR_RETURN(int c, Datum::Compare(v, best_));
-      if ((func_ == "MIN" && c < 0) || (func_ == "MAX" && c > 0)) best_ = v;
-      return Status::OK();
-    }
-    // SUM / AVG.
-    if (v.is_decimal()) {
-      dec_sum_ = Decimal::Add(dec_sum_, v.decimal_val());
-      saw_decimal_ = true;
-    } else if (v.is_int()) {
-      int_sum_ += v.int_val();
-    } else if (v.is_double()) {
-      dbl_sum_ += v.double_val();
-      saw_double_ = true;
-    } else {
-      return Status::ExecutionError("cannot ", func_, " non-numeric value ",
-                                    v.ToString());
-    }
-    return Status::OK();
+void Relation::EnsureRows() {
+  if (!columnar) return;
+  rows.clear();
+  rows.reserve(RowCount());
+  for (const auto& chunk : chunks) {
+    AppendRowsFromBatch(*chunk, 0, chunk->rows, &rows);
   }
+  chunks.clear();
+  columnar = false;
+}
 
-  Status AddCountRow() {  // COUNT(*)
-    ++count_;
-    return Status::OK();
-  }
+void Relation::EnsureColumnar() {
+  if (columnar) return;
+  std::vector<SqlType> types;
+  types.reserve(cols.size());
+  for (const auto& c : cols) types.push_back(c.type);
+  chunks = {BatchFromRows(types, rows, 0, rows.size())};
+  rows.clear();
+  columnar = true;
+}
 
-  Datum Finish() const {
-    if (func_ == "COUNT") return Datum::Int(count_);
-    if (count_ == 0) return Datum::Null();
-    if (func_ == "MIN" || func_ == "MAX") return best_;
-    if (func_ == "AVG") return Datum::MakeDouble(TotalAsDouble() / count_);
-    // SUM.
-    if (saw_double_) return Datum::MakeDouble(TotalAsDouble());
-    if (saw_decimal_) {
-      Decimal total = dec_sum_;
-      if (int_sum_ != 0) total = Decimal::Add(total, Decimal{int_sum_, 0});
-      return Datum::MakeDecimal(total);
+std::shared_ptr<const ColumnBatch> Relation::SingleChunk() const {
+  if (chunks.empty()) {
+    // A zero-row relation still needs one column vector per slot so
+    // vectorized kernels can resolve ColRefs against the layout.
+    auto out = std::make_shared<ColumnBatch>();
+    out->columns.reserve(cols.size());
+    for (const auto& c : cols) {
+      out->columns.push_back(std::make_shared<ColumnVec>(PhysKindFor(c.type)));
     }
-    return Datum::Int(int_sum_);
+    return out;
   }
-
- private:
-  double TotalAsDouble() const {
-    return dbl_sum_ + static_cast<double>(int_sum_) + dec_sum_.ToDouble();
-  }
-
-  std::string func_;
-  bool distinct_;
-  std::unordered_set<Datum, DatumHash, DatumEq> seen_;
-  int64_t count_ = 0;
-  Datum best_;
-  int64_t int_sum_ = 0;
-  double dbl_sum_ = 0;
-  Decimal dec_sum_{0, 0};
-  bool saw_decimal_ = false;
-  bool saw_double_ = false;
-};
-
-}  // namespace
+  return ConcatBatches(chunks);
+}
 
 int CompareForSort(const Datum& a, const Datum& b, bool descending,
                    bool nulls_first) {
@@ -235,6 +139,9 @@ Result<Relation> Executor::Execute(const xtra::Op& op) { return Exec(op); }
 
 Result<Relation> Executor::Exec(const Op& op) {
   // Correlation-free subtrees re-executed inside subqueries are cached.
+  // Invariant: whenever `outer_` is non-empty the returned relation is
+  // row-materialized — correlated machinery (subquery memo, select indexes)
+  // keeps pointers into `rows`, so vectorized results are converted here.
   if (!outer_.empty()) {
     auto hit = relation_cache_.find(&op);
     if (hit != relation_cache_.end()) return *hit->second;
@@ -244,10 +151,14 @@ Result<Relation> Executor::Exec(const Op& op) {
     if (cf == correlation_free_.end()) correlation_free_[&op] = free;
     if (free && op.kind != OpKind::kGet) {
       HQ_ASSIGN_OR_RETURN(Relation rel, ExecDispatch(op));
+      rel.EnsureRows();
       auto shared = std::make_shared<Relation>(std::move(rel));
       relation_cache_[&op] = shared;
       return *shared;
     }
+    HQ_ASSIGN_OR_RETURN(Relation rel, ExecDispatch(op));
+    rel.EnsureRows();
+    return rel;
   }
   return ExecDispatch(op);
 }
@@ -297,7 +208,13 @@ Result<Relation> Executor::ExecGet(const Op& op) {
   Relation rel;
   rel.cols = op.output;
   rel.BuildLayout();
-  rel.rows = table->rows;  // snapshot copy
+  if (outer_.empty()) {
+    // Zero-copy scan: share the table's cached columnar snapshot.
+    rel.chunks = {table->ColumnarSnapshot()};
+    rel.columnar = true;
+  } else {
+    rel.rows = table->rows;  // snapshot copy (correlated paths index rows)
+  }
   return rel;
 }
 
@@ -360,8 +277,24 @@ Result<Relation> Executor::ExecSelect(const Op& op) {
     auto it = select_indexes_.find(&op);
     if (it == select_indexes_.end()) {
       auto idx = std::make_unique<SelectIndex>();
-      HQ_ASSIGN_OR_RETURN(Relation base, ExecGet(*op.children[0]));
-      idx->base = std::make_shared<Relation>(std::move(base));
+      // Borrow the table's row storage instead of snapshotting it: the
+      // query executor never mutates storage (DML is rejected upstream),
+      // so the rows are stable for this executor's lifetime and copying a
+      // whole table per indexed subquery would dominate the plan.
+      const Op& get_op = *op.children[0];
+      HQ_ASSIGN_OR_RETURN(const Table* table,
+                          storage_->GetTable(get_op.table_name));
+      if (table->columns.size() != get_op.output.size()) {
+        return Status::ExecutionError("table '", get_op.table_name, "' has ",
+                                      table->columns.size(),
+                                      " columns but the plan expects ",
+                                      get_op.output.size());
+      }
+      auto base = std::make_shared<Relation>();
+      base->cols = get_op.output;
+      base->BuildLayout();
+      idx->base = std::move(base);
+      idx->rows = &table->rows;
       std::vector<const Expr*> conjuncts;
       SplitConjuncts(op.predicate.get(), &conjuncts);
       for (const Expr* c : conjuncts) {
@@ -386,7 +319,7 @@ Result<Relation> Executor::ExecSelect(const Op& op) {
         if (idx->key_slot >= 0) break;
       }
       if (idx->key_slot >= 0) {
-        for (const Row& row : idx->base->rows) {
+        for (const Row& row : *idx->rows) {
           const Datum& key = row[idx->key_slot];
           if (!key.is_null()) idx->buckets[key].push_back(&row);
         }
@@ -416,6 +349,10 @@ Result<Relation> Executor::ExecSelect(const Op& op) {
     }
   }
   HQ_ASSIGN_OR_RETURN(Relation child, Exec(*op.children[0]));
+  if (child.columnar && outer_.empty()) {
+    return SelectVec(op, std::move(child));
+  }
+  child.EnsureRows();
   Relation rel;
   rel.cols = child.cols;
   rel.layout = child.layout;
@@ -429,6 +366,10 @@ Result<Relation> Executor::ExecSelect(const Op& op) {
 
 Result<Relation> Executor::ExecProject(const Op& op) {
   HQ_ASSIGN_OR_RETURN(Relation child, Exec(*op.children[0]));
+  if (child.columnar && outer_.empty() && !op.project_distinct) {
+    return ProjectVec(op, std::move(child));
+  }
+  child.EnsureRows();
   Relation rel;
   rel.cols = op.output;
   rel.BuildLayout();
@@ -454,6 +395,7 @@ Result<Relation> Executor::ExecProject(const Op& op) {
 
 Result<Relation> Executor::ExecWindow(const Op& op) {
   HQ_ASSIGN_OR_RETURN(Relation child, Exec(*op.children[0]));
+  child.EnsureRows();  // window functions stay on the row path
   Relation rel;
   rel.cols = op.output;
   rel.BuildLayout();
@@ -587,6 +529,10 @@ Result<Relation> Executor::ExecWindow(const Op& op) {
 
 Result<Relation> Executor::ExecAggregate(const Op& op) {
   HQ_ASSIGN_OR_RETURN(Relation child, Exec(*op.children[0]));
+  if (child.columnar && outer_.empty()) {
+    return AggregateVec(op, std::move(child));
+  }
+  child.EnsureRows();
   Relation rel;
   rel.cols = op.output;
   rel.BuildLayout();
@@ -650,29 +596,6 @@ Result<Relation> Executor::ExecAggregate(const Op& op) {
 Result<Relation> Executor::ExecJoin(const Op& op) {
   HQ_ASSIGN_OR_RETURN(Relation left, Exec(*op.children[0]));
   HQ_ASSIGN_OR_RETURN(Relation right, Exec(*op.children[1]));
-  Relation rel;
-  rel.cols = op.output;
-  rel.BuildLayout();
-
-  // Combined layout for the predicate.
-  std::map<int, int> combined = left.layout;
-  for (const auto& [id, idx] : right.layout) {
-    combined[id] = idx + static_cast<int>(left.cols.size());
-  }
-
-  auto combine = [&](const Row& l, const Row& r) {
-    Row out;
-    out.reserve(l.size() + r.size());
-    out.insert(out.end(), l.begin(), l.end());
-    out.insert(out.end(), r.begin(), r.end());
-    return out;
-  };
-  Row null_left(left.cols.size());
-  Row null_right(right.cols.size());
-
-  bool need_right_match = op.join_kind == xtra::JoinKind::kRight ||
-                          op.join_kind == xtra::JoinKind::kFull;
-  std::vector<bool> right_matched(right.rows.size(), false);
 
   // Hash-join fast path: extract equi-conjuncts whose sides bind entirely
   // to one input each.
@@ -700,6 +623,38 @@ Result<Relation> Executor::ExecJoin(const Op& op) {
       }
     }
   }
+
+  if (!left_keys.empty() && left.columnar && right.columnar &&
+      outer_.empty()) {
+    return JoinVec(op, std::move(left), std::move(right), left_keys,
+                   right_keys);
+  }
+  left.EnsureRows();
+  right.EnsureRows();
+
+  Relation rel;
+  rel.cols = op.output;
+  rel.BuildLayout();
+
+  // Combined layout for the predicate.
+  std::map<int, int> combined = left.layout;
+  for (const auto& [id, idx] : right.layout) {
+    combined[id] = idx + static_cast<int>(left.cols.size());
+  }
+
+  auto combine = [&](const Row& l, const Row& r) {
+    Row out;
+    out.reserve(l.size() + r.size());
+    out.insert(out.end(), l.begin(), l.end());
+    out.insert(out.end(), r.begin(), r.end());
+    return out;
+  };
+  Row null_left(left.cols.size());
+  Row null_right(right.cols.size());
+
+  bool need_right_match = op.join_kind == xtra::JoinKind::kRight ||
+                          op.join_kind == xtra::JoinKind::kFull;
+  std::vector<bool> right_matched(right.rows.size(), false);
 
   if (!left_keys.empty()) {
     std::unordered_map<std::vector<Datum>, std::vector<size_t>, VecHashT,
@@ -794,6 +749,15 @@ Result<Relation> Executor::ExecSetOp(const Op& op) {
   Relation rel;
   rel.cols = op.output;
   rel.BuildLayout();
+  if (op.setop_kind == xtra::SetOpKind::kUnionAll && left.columnar &&
+      right.columnar) {
+    rel.chunks = std::move(left.chunks);
+    for (auto& c : right.chunks) rel.chunks.push_back(std::move(c));
+    rel.columnar = true;
+    return rel;
+  }
+  left.EnsureRows();
+  right.EnsureRows();
   switch (op.setop_kind) {
     case xtra::SetOpKind::kUnionAll:
       rel.rows = std::move(left.rows);
@@ -836,6 +800,10 @@ Result<Relation> Executor::ExecSetOp(const Op& op) {
 
 Result<Relation> Executor::ExecSort(const Op& op) {
   HQ_ASSIGN_OR_RETURN(Relation child, Exec(*op.children[0]));
+  if (child.columnar && outer_.empty()) {
+    return SortVec(op, std::move(child));
+  }
+  child.EnsureRows();
   // Precompute sort keys.
   std::vector<std::pair<std::vector<Datum>, Row>> keyed;
   keyed.reserve(child.rows.size());
@@ -867,6 +835,7 @@ Result<Relation> Executor::ExecSort(const Op& op) {
 
 Result<Relation> Executor::ExecLimit(const Op& op) {
   HQ_ASSIGN_OR_RETURN(Relation child, Exec(*op.children[0]));
+  if (child.columnar) return LimitVec(op, std::move(child));
   if (op.limit_count >= 0 &&
       child.rows.size() > static_cast<size_t>(op.limit_count)) {
     child.rows.resize(op.limit_count);
@@ -883,6 +852,7 @@ Result<int64_t> Executor::ExecuteDml(const Op& op) {
   switch (op.kind) {
     case OpKind::kInsert: {
       HQ_ASSIGN_OR_RETURN(Relation src, Exec(*op.children[0]));
+      src.EnsureRows();
       // Map insert columns to table slots.
       std::vector<int> slots;
       if (op.target_columns.empty()) {
@@ -918,6 +888,7 @@ Result<int64_t> Executor::ExecuteDml(const Op& op) {
         }
         table->rows.push_back(std::move(out));
       }
+      ++table->version;  // invalidate the cached columnar snapshot
       return static_cast<int64_t>(src.rows.size());
     }
     case OpKind::kUpdate: {
@@ -952,6 +923,7 @@ Result<int64_t> Executor::ExecuteDml(const Op& op) {
         row = std::move(updated);
         ++affected;
       }
+      if (affected > 0) ++table->version;
       return affected;
     }
     case OpKind::kDelete: {
@@ -973,6 +945,7 @@ Result<int64_t> Executor::ExecuteDml(const Op& op) {
         }
       }
       table->rows = std::move(kept);
+      if (affected > 0) ++table->version;
       return affected;
     }
     default:
@@ -1158,86 +1131,7 @@ Result<Datum> Executor::EvalArith(const Expr& e,
   HQ_ASSIGN_OR_RETURN(Datum l, EvalExpr(*e.children[0], layout, row));
   HQ_ASSIGN_OR_RETURN(Datum r, EvalExpr(*e.children[1], layout, row));
   if (l.is_null() || r.is_null()) return Datum::Null();
-
-  using AK = xtra::ArithKind;
-  if (e.arith == AK::kConcat) {
-    HQ_ASSIGN_OR_RETURN(Datum ls, l.CastTo(SqlType::Varchar(0)));
-    HQ_ASSIGN_OR_RETURN(Datum rs, r.CastTo(SqlType::Varchar(0)));
-    return Datum::String(ls.string_val() + rs.string_val());
-  }
-  // Temporal arithmetic.
-  if (l.is_date() || r.is_date()) {
-    if (l.is_date() && r.is_date() && e.arith == AK::kSub) {
-      return Datum::Int(static_cast<int64_t>(l.date_val()) - r.date_val());
-    }
-    if (l.is_date() && r.is_interval()) {
-      int64_t days = r.interval_val() / 86400000000LL;
-      return Datum::Date(l.date_val() +
-                         static_cast<int32_t>(e.arith == AK::kSub ? -days
-                                                                  : days));
-    }
-    if (l.is_date() && r.is_numeric()) {
-      int64_t days = r.AsInt();
-      if (e.arith == AK::kAdd) {
-        return Datum::Date(l.date_val() + static_cast<int32_t>(days));
-      }
-      if (e.arith == AK::kSub) {
-        return Datum::Date(l.date_val() - static_cast<int32_t>(days));
-      }
-    }
-    if (r.is_date() && l.is_numeric() && e.arith == AK::kAdd) {
-      return Datum::Date(r.date_val() + static_cast<int32_t>(l.AsInt()));
-    }
-    return Status::ExecutionError("invalid date arithmetic");
-  }
-  if (l.is_timestamp() && r.is_interval()) {
-    int64_t delta = e.arith == AK::kSub ? -r.interval_val() : r.interval_val();
-    return Datum::Timestamp(l.timestamp_val() + delta);
-  }
-  if (!l.is_numeric() || !r.is_numeric()) {
-    return Status::ExecutionError("non-numeric operands for arithmetic: ",
-                                  l.ToString(), " ",
-                                  ArithKindName(e.arith), " ", r.ToString());
-  }
-  switch (e.arith) {
-    case AK::kAdd:
-    case AK::kSub:
-    case AK::kMul: {
-      if (l.is_double() || r.is_double()) {
-        double a = l.AsDouble(), b = r.AsDouble();
-        double v = e.arith == AK::kAdd   ? a + b
-                   : e.arith == AK::kSub ? a - b
-                                         : a * b;
-        return Datum::MakeDouble(v);
-      }
-      if (l.is_decimal() || r.is_decimal()) {
-        Decimal a = l.is_decimal() ? l.decimal_val() : Decimal{l.int_val(), 0};
-        Decimal b = r.is_decimal() ? r.decimal_val() : Decimal{r.int_val(), 0};
-        Decimal v = e.arith == AK::kAdd   ? Decimal::Add(a, b)
-                    : e.arith == AK::kSub ? Decimal::Sub(a, b)
-                                          : Decimal::Mul(a, b);
-        return Datum::MakeDecimal(v);
-      }
-      int64_t a = l.int_val(), b = r.int_val();
-      int64_t v = e.arith == AK::kAdd   ? a + b
-                  : e.arith == AK::kSub ? a - b
-                                        : a * b;
-      return Datum::Int(v);
-    }
-    case AK::kDiv: {
-      double b = r.AsDouble();
-      if (b == 0) return Status::ExecutionError("division by zero");
-      return Datum::MakeDouble(l.AsDouble() / b);
-    }
-    case AK::kMod: {
-      int64_t b = r.AsInt();
-      if (b == 0) return Status::ExecutionError("MOD by zero");
-      return Datum::Int(l.AsInt() % b);
-    }
-    case AK::kConcat:
-      break;
-  }
-  return Status::Internal("bad arithmetic kind");
+  return exec::ArithValues(e.arith, l, r);
 }
 
 Result<Datum> Executor::EvalFunc(const Expr& e,
@@ -1397,7 +1291,7 @@ Result<Datum> Executor::EvalSubquery(const Expr& e,
     info_it = subq_info_.emplace(&e, std::move(info)).first;
   }
   SubqInfo& info = *info_it->second;
-  std::vector<Datum> memo_key;
+  std::vector<Datum> outer_key;
   bool memoizable = true;
   for (int id : info.outer_ids) {
     auto v = ResolveColRef(id, layout, row, "");
@@ -1405,9 +1299,11 @@ Result<Datum> Executor::EvalSubquery(const Expr& e,
       memoizable = false;
       break;
     }
-    memo_key.push_back(std::move(v).value());
+    outer_key.push_back(std::move(v).value());
   }
+  std::vector<Datum> memo_key;
   if (memoizable) {
+    memo_key = outer_key;
     for (const auto& c : e.children) {
       auto v = EvalExpr(*c, layout, row);
       if (!v.ok()) {
@@ -1421,7 +1317,23 @@ Result<Datum> Executor::EvalSubquery(const Expr& e,
     auto hit = info.memo.find(memo_key);
     if (hit != info.memo.end()) return hit->second;
   }
-  HQ_ASSIGN_OR_RETURN(Datum result, EvalSubqueryUncached(e, layout, row));
+  Datum result;
+  if (memoizable) {
+    // The subplan's result depends only on the outer values, so distinct
+    // probe values (IN / quantified comparisons) share one execution.
+    auto prep_it = info.rel_memo.find(outer_key);
+    if (prep_it == info.rel_memo.end()) {
+      HQ_ASSIGN_OR_RETURN(
+          PreparedSubq prep,
+          PrepareSubquery(e, layout, row, /*build_index=*/true));
+      prep_it =
+          info.rel_memo.emplace(std::move(outer_key), std::move(prep)).first;
+    }
+    HQ_ASSIGN_OR_RETURN(
+        result, EvalSubqueryOverPrepared(e, prep_it->second, layout, row));
+  } else {
+    HQ_ASSIGN_OR_RETURN(result, EvalSubqueryUncached(e, layout, row));
+  }
   if (memoizable) info.memo.emplace(std::move(memo_key), result);
   return result;
 }
@@ -1443,30 +1355,83 @@ Result<Datum> Executor::ResolveColRef(int col_id,
 Result<Datum> Executor::EvalSubqueryUncached(const Expr& e,
                                              const std::map<int, int>& layout,
                                              const Row& row) {
+  HQ_ASSIGN_OR_RETURN(PreparedSubq prep,
+                      PrepareSubquery(e, layout, row, /*build_index=*/false));
+  return EvalSubqueryOverPrepared(e, prep, layout, row);
+}
+
+Result<Executor::PreparedSubq> Executor::PrepareSubquery(
+    const Expr& e, const std::map<int, int>& layout, const Row& row,
+    bool build_index) {
   outer_.push_back({&layout, &row});
   auto result = Exec(*e.subplan);
   outer_.pop_back();
   HQ_RETURN_IF_ERROR(result.status());
   Relation& rel = result.value();
+  rel.EnsureRows();
 
+  PreparedSubq prep;
+  prep.exists = !rel.rows.empty();
+  auto rows = std::make_shared<std::vector<Row>>(std::move(rel.rows));
+  if (build_index && e.kind == ExprKind::kSubqIn) {
+    bool all_i64 = true, all_str = true;
+    for (const auto& r : *rows) {
+      if (r[0].is_null()) {
+        prep.saw_null = true;
+        continue;
+      }
+      all_i64 = all_i64 && r[0].is_int();
+      all_str = all_str && r[0].is_string();
+    }
+    if (all_i64) {
+      prep.index = PreparedSubq::Index::kI64;
+      for (const auto& r : *rows) {
+        if (!r[0].is_null()) prep.i64s.insert(r[0].int_val());
+      }
+    } else if (all_str) {
+      prep.index = PreparedSubq::Index::kStr;
+      for (const auto& r : *rows) {
+        if (!r[0].is_null()) prep.strs.insert(r[0].string_val());
+      }
+    }
+  }
+  prep.rows = std::move(rows);
+  return prep;
+}
+
+Result<Datum> Executor::EvalSubqueryOverPrepared(
+    const Expr& e, const PreparedSubq& prep, const std::map<int, int>& layout,
+    const Row& row) {
+  const std::vector<Row>& rows = *prep.rows;
   switch (e.kind) {
     case ExprKind::kSubqScalar: {
-      if (rel.rows.empty()) return Datum::Null();
-      if (rel.rows.size() > 1) {
+      if (rows.empty()) return Datum::Null();
+      if (rows.size() > 1) {
         return Status::ExecutionError(
             "scalar subquery returned more than one row");
       }
-      return rel.rows[0][0];
+      return rows[0][0];
     }
     case ExprKind::kSubqExists: {
-      bool exists = !rel.rows.empty();
-      return Datum::Bool(e.negated ? !exists : exists);
+      return Datum::Bool(e.negated ? !prep.exists : prep.exists);
     }
     case ExprKind::kSubqIn: {
       HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*e.children[0], layout, row));
       if (v.is_null()) return Datum::Null();
+      if (prep.index == PreparedSubq::Index::kI64 && v.is_int()) {
+        if (prep.i64s.count(v.int_val()) > 0) return Datum::Bool(!e.negated);
+        if (prep.saw_null) return Datum::Null();
+        return Datum::Bool(e.negated);
+      }
+      if (prep.index == PreparedSubq::Index::kStr && v.is_string()) {
+        if (prep.strs.count(v.string_val()) > 0) {
+          return Datum::Bool(!e.negated);
+        }
+        if (prep.saw_null) return Datum::Null();
+        return Datum::Bool(e.negated);
+      }
       bool saw_null = false;
-      for (const auto& r : rel.rows) {
+      for (const auto& r : rows) {
         if (r[0].is_null()) {
           saw_null = true;
           continue;
@@ -1488,7 +1453,7 @@ Result<Datum> Executor::EvalSubqueryUncached(const Expr& e,
       bool is_any = e.quantifier == xtra::Quantifier::kAny;
       bool saw_null = false;
       bool any_true = false, all_true = true;
-      for (const auto& r : rel.rows) {
+      for (const auto& r : rows) {
         bool row_null = false;
         int cmp = 0;
         for (size_t i = 0; i < vals.size(); ++i) {
@@ -1535,7 +1500,7 @@ Result<Datum> Executor::EvalSubqueryUncached(const Expr& e,
         if (saw_null) return Datum::Null();
         return Datum::Bool(false);
       }
-      if (rel.rows.empty()) return Datum::Bool(true);
+      if (rows.empty()) return Datum::Bool(true);
       if (!all_true) return Datum::Bool(false);
       if (saw_null) return Datum::Null();
       return Datum::Bool(true);

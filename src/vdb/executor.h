@@ -10,6 +10,7 @@
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -19,10 +20,23 @@
 namespace hyperq::vdb {
 
 /// \brief A materialized intermediate result.
+///
+/// Since the columnar data-plane redesign (DESIGN.md §15) a relation carries
+/// its data either as `chunks` (a list of shared ColumnBatch, the fast path)
+/// or as `rows` (the legacy row-at-a-time shim). `columnar` says which form
+/// is authoritative; `EnsureRows()` / `EnsureColumnar()` convert on demand.
 struct Relation {
   std::vector<xtra::ColumnInfo> cols;
   std::map<int, int> layout;  // col id -> slot index
+
+  /// \deprecated Row-oriented shim. New code should consume `chunks`; call
+  /// EnsureRows() before touching this member.
   std::vector<Row> rows;
+
+  /// Columnar payload (authoritative when `columnar` is true). Chunks are
+  /// shared and immutable; operators alias them instead of copying.
+  std::vector<std::shared_ptr<const ColumnBatch>> chunks;
+  bool columnar = false;
 
   void BuildLayout() {
     layout.clear();
@@ -30,6 +44,14 @@ struct Relation {
       layout[cols[i].id] = static_cast<int>(i);
     }
   }
+
+  size_t RowCount() const;
+  /// \brief Materializes `rows` from `chunks` (no-op when already rows).
+  void EnsureRows();
+  /// \brief Builds one chunk from `rows` (no-op when already columnar).
+  void EnsureColumnar();
+  /// \brief Concatenates `chunks` to a single batch (requires columnar).
+  std::shared_ptr<const ColumnBatch> SingleChunk() const;
 };
 
 /// \brief Executes plans; holds the storage reference and the correlation
@@ -48,6 +70,15 @@ class Executor {
   /// tests and the emulation layer's constant evaluation).
   Result<Datum> Eval(const xtra::Expr& e, const Relation& rel,
                      const Row& row);
+
+  /// One evaluated expression over a chunk: either a column of the chunk's
+  /// row count or a broadcast scalar constant. Public so executor_vec.cc's
+  /// file-local kernels can operate on it; not part of the stable API.
+  struct VecVal {
+    std::shared_ptr<const ColumnVec> col;
+    bool is_const = false;
+    Datum scalar;
+  };
 
  private:
   struct OuterScope {
@@ -68,17 +99,71 @@ class Executor {
   Result<Relation> ExecSort(const xtra::Op& op);
   Result<Relation> ExecLimit(const xtra::Op& op);
 
+  // --- Vectorized operator paths (executor_vec.cc) ----------------------
+  // Entered only when `outer_` is empty (no correlation in flight) and the
+  // child relation is columnar; they consume and emit batches.
+
+  /// Evaluation context for one chunk; caches lazily materialized rows for
+  /// expression shapes that fall back to the tree-walking interpreter. Rows
+  /// are filled slot by slot: only the columns a fallback expression reads
+  /// are boxed into Datums (`slot_ready` tracks which), unless an expression
+  /// contains a subquery — then the whole row is materialized because the
+  /// subplan can read any column through the outer-scope chain.
+  struct VecCtx {
+    const ColumnBatch* batch = nullptr;
+    const std::map<int, int>* layout = nullptr;
+    std::vector<Row> lazy_rows;
+    std::vector<uint8_t> slot_ready;  // per-slot fill flag
+    bool rows_ready = false;          // every slot filled
+  };
+
+  Result<VecVal> EvalExprVec(const xtra::Expr& e, VecCtx& ctx);
+  Result<VecVal> EvalExprVecFallback(const xtra::Expr& e, VecCtx& ctx);
+  Result<std::shared_ptr<const ColumnVec>> MaterializeVec(const VecVal& v,
+                                                          size_t n);
+
+  Result<Relation> SelectVec(const xtra::Op& op, Relation child);
+  Result<Relation> ProjectVec(const xtra::Op& op, Relation child);
+  Result<Relation> AggregateVec(const xtra::Op& op, Relation child);
+  Result<Relation> JoinVec(const xtra::Op& op, Relation left, Relation right,
+                           const std::vector<const xtra::Expr*>& left_keys,
+                           const std::vector<const xtra::Expr*>& right_keys);
+  Result<Relation> SortVec(const xtra::Op& op, Relation child);
+  Result<Relation> LimitVec(const xtra::Op& op, Relation child);
+
   Result<Datum> EvalExpr(const xtra::Expr& e, const std::map<int, int>& layout,
                          const Row& row);
   Result<Datum> EvalFunc(const xtra::Expr& e, const std::map<int, int>& layout,
                          const Row& row);
   Result<Datum> EvalArith(const xtra::Expr& e,
                           const std::map<int, int>& layout, const Row& row);
+  /// One executed subquery result, reusable across probe values. For IN
+  /// subqueries an exact-match hash index over the first output column is
+  /// built when every non-null value is one of the exact kinds (int64,
+  /// string) — for those a hit/miss is equivalent to the Compare loop, so
+  /// the index can never change the answer; mixed or approximate kinds
+  /// keep the loop.
+  struct PreparedSubq {
+    std::shared_ptr<const std::vector<Row>> rows;
+    bool exists = false;
+    bool saw_null = false;  // NULL among the first-column values
+    enum class Index { kNone, kI64, kStr } index = Index::kNone;
+    std::unordered_set<int64_t> i64s;
+    std::unordered_set<std::string> strs;
+  };
+
   Result<Datum> EvalSubquery(const xtra::Expr& e,
                              const std::map<int, int>& layout, const Row& row);
   Result<Datum> EvalSubqueryUncached(const xtra::Expr& e,
                                      const std::map<int, int>& layout,
                                      const Row& row);
+  Result<PreparedSubq> PrepareSubquery(const xtra::Expr& e,
+                                       const std::map<int, int>& layout,
+                                       const Row& row, bool build_index);
+  Result<Datum> EvalSubqueryOverPrepared(const xtra::Expr& e,
+                                         const PreparedSubq& prep,
+                                         const std::map<int, int>& layout,
+                                         const Row& row);
 
   /// Truth test for predicates: NULL counts as false.
   Result<bool> EvalPredicate(const xtra::Expr& e,
@@ -107,6 +192,12 @@ class Executor {
   struct SubqInfo {
     std::vector<int> outer_ids;  // outer column ids the subplan reads
     std::unordered_map<std::vector<Datum>, Datum, VecHashT, VecEqT> memo;
+    // Subplan results memoized by the outer values alone: an IN/quantified
+    // subquery is keyed on (outer values, probe value) in `memo`, so
+    // without this every distinct probe value would re-execute the whole
+    // subplan instead of re-probing one prepared result.
+    std::unordered_map<std::vector<Datum>, PreparedSubq, VecHashT, VecEqT>
+        rel_memo;
   };
   struct DatumHashT {
     size_t operator()(const Datum& d) const { return d.Hash(); }
@@ -121,7 +212,10 @@ class Executor {
     const xtra::Expr* outer_key = nullptr;  // outer-only key expression
     std::unordered_map<Datum, std::vector<const Row*>, DatumHashT, DatumEqT>
         buckets;
-    std::shared_ptr<Relation> base;  // owns the indexed rows
+    std::shared_ptr<Relation> base;  // schema (cols + layout) only
+    /// Indexed rows, borrowed from the Table (stable for this executor's
+    /// lifetime: the query executor never mutates storage).
+    const std::vector<Row>* rows = nullptr;
   };
 
   Result<Datum> ResolveColRef(int col_id, const std::map<int, int>& layout,

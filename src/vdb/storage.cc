@@ -4,6 +4,19 @@
 
 namespace hyperq::vdb {
 
+std::shared_ptr<const ColumnBatch> Table::ColumnarSnapshot() const {
+  if (snapshot_ && snapshot_version_ == version &&
+      snapshot_->rows == rows.size()) {
+    return snapshot_;
+  }
+  std::vector<SqlType> types;
+  types.reserve(columns.size());
+  for (const auto& c : columns) types.push_back(c.type);
+  snapshot_ = BatchFromRows(types, rows, 0, rows.size());
+  snapshot_version_ = version;
+  return snapshot_;
+}
+
 int Table::FindColumn(const std::string& col_name) const {
   for (size_t i = 0; i < columns.size(); ++i) {
     if (EqualsIgnoreCase(columns[i].name, col_name)) {

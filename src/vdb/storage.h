@@ -16,10 +16,9 @@
 #include "common/result.h"
 #include "types/datum.h"
 #include "types/type.h"
+#include "vdb/column_batch.h"
 
 namespace hyperq::vdb {
-
-using Row = std::vector<Datum>;
 
 struct TableColumn {
   std::string name;
@@ -33,8 +32,20 @@ struct Table {
   std::string name;
   std::vector<TableColumn> columns;
   std::vector<Row> rows;
+  /// Bumped by every DML statement that mutates `rows`; invalidates the
+  /// cached columnar snapshot.
+  uint64_t version = 0;
 
   int FindColumn(const std::string& col_name) const;
+
+  /// \brief Columnar view of the current rows. The batch is immutable and
+  /// shared: repeated scans of an unmodified table reuse one snapshot with
+  /// no copying. Callers must hold the engine lock (same rule as `rows`).
+  std::shared_ptr<const ColumnBatch> ColumnarSnapshot() const;
+
+ private:
+  mutable std::shared_ptr<const ColumnBatch> snapshot_;
+  mutable uint64_t snapshot_version_ = 0;
 };
 
 /// \brief Name → table registry (case-insensitive).

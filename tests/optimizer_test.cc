@@ -79,6 +79,7 @@ TEST_F(OptimizerTest, ResultsUnchangedByOptimization) {
   auto r = engine_.Execute(
       "SELECT AV, BV, CV FROM A, B, C WHERE A.K = B.K AND B.K = C.K");
   ASSERT_TRUE(r.ok()) << r.status();
+  r->EnsureRows();
   ASSERT_EQ(r->rows.size(), 1u);  // only K=2 matches all three
   EXPECT_EQ(r->rows[0][0].int_val(), 20);
   EXPECT_EQ(r->rows[0][1].int_val(), 200);
@@ -92,6 +93,7 @@ TEST_F(OptimizerTest, DisconnectedTablesKeepCrossJoin) {
   auto r = engine_.Execute(
       "SELECT COUNT(*) FROM A, B WHERE AV > 0 AND BV > 0");
   ASSERT_TRUE(r.ok());
+  r->EnsureRows();
   EXPECT_EQ(r->rows[0][0].int_val(), 6);
 }
 
@@ -111,6 +113,7 @@ TEST_F(OptimizerTest, OrCommonConjunctsFactorIntoJoin) {
       "(A.K = B.K AND AV > 25 AND BV > 150) OR "
       "(A.K = B.K AND AV = -1 AND BV = -1) ORDER BY AV");
   ASSERT_TRUE(r.ok());
+  r->EnsureRows();
   ASSERT_EQ(r->rows.size(), 1u);  // (1,100) matches branch one
   EXPECT_EQ(r->rows[0][0].int_val(), 10);
 }
@@ -145,6 +148,7 @@ TEST_F(OptimizerTest, CorrelatedConjunctLandsOnItsLeaf) {
       "SELECT AV FROM A WHERE EXISTS "
       "(SELECT 1 FROM B, C WHERE B.K = C.K AND B.K = A.K)");
   ASSERT_TRUE(r.ok()) << r.status();
+  r->EnsureRows();
   EXPECT_EQ(r->rows.size(), 1u);  // only K=2 is in both B and C
 }
 

@@ -99,6 +99,7 @@ TEST_F(PipelineTest, Example2ExecutesOnVdb) {
   ASSERT_TRUE(sql.ok()) << sql.status();
   auto result = engine.Execute(*sql);
   ASSERT_TRUE(result.ok()) << result.status() << "\nSQL: " << *sql;
+  result->EnsureRows();
   // Row 1 (100.00, date 2014) qualifies: date > 2014-01-01 and 100 > 60.
   // Row 2 (50.00) fails the subquery; row 3 fails the date filter.
   ASSERT_EQ(result->rows.size(), 1u);

@@ -165,6 +165,7 @@ TEST_F(SerializerTest, FromlessSelect) {
   vdb::Engine engine;
   auto r = engine.Execute(*sql);
   ASSERT_TRUE(r.ok());
+  r->EnsureRows();
   EXPECT_EQ(r->rows[0][0].int_val(), 2);
 }
 

@@ -13,7 +13,11 @@ class VdbTest : public ::testing::Test {
   QueryResult Must(const std::string& sql) {
     auto r = engine_.Execute(sql);
     EXPECT_TRUE(r.ok()) << sql << "\n" << r.status();
-    return r.ok() ? std::move(r).value() : QueryResult{};
+    QueryResult result = r.ok() ? std::move(r).value() : QueryResult{};
+    // These tests assert on datum rows; rowsets now arrive as columnar
+    // chunks (DESIGN.md §15), so materialize via the row shim.
+    result.EnsureRows();
+    return result;
   }
   Status Fails(const std::string& sql) {
     auto r = engine_.Execute(sql);

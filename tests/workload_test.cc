@@ -35,6 +35,8 @@ TEST(TpchGenTest, LoadIsDeterministic) {
   auto ra = a.Execute("SELECT SUM(L_ORDERKEY), COUNT(*) FROM LINEITEM");
   auto rb = b.Execute("SELECT SUM(L_ORDERKEY), COUNT(*) FROM LINEITEM");
   ASSERT_TRUE(ra.ok() && rb.ok());
+  ra->EnsureRows();
+  rb->EnsureRows();
   EXPECT_EQ(ra->rows[0][0].int_val(), rb->rows[0][0].int_val());
   EXPECT_EQ(ra->rows[0][1].int_val(), rb->rows[0][1].int_val());
   EXPECT_GT(ra->rows[0][1].int_val(), 0);
@@ -66,11 +68,13 @@ TEST(TpchGenTest, ReferentialIntegrityHolds) {
       "SELECT COUNT(*) FROM LINEITEM WHERE L_ORDERKEY NOT IN "
       "(SELECT O_ORDERKEY FROM ORDERS)");
   ASSERT_TRUE(orphans.ok()) << orphans.status();
+  orphans->EnsureRows();
   EXPECT_EQ(orphans->rows[0][0].int_val(), 0);
   auto cust = engine.Execute(
       "SELECT COUNT(*) FROM ORDERS WHERE O_CUSTKEY NOT IN "
       "(SELECT C_CUSTKEY FROM CUSTOMER)");
   ASSERT_TRUE(cust.ok());
+  cust->EnsureRows();
   EXPECT_EQ(cust->rows[0][0].int_val(), 0);
 }
 
